@@ -1,0 +1,444 @@
+// Command ljqbench reproduces the paper's evaluation — every table and
+// figure of Swami (SIGMOD 1989) regenerates by name — plus the
+// extension experiments this library adds. Output is an aligned text
+// table whose rows/columns match the paper's layout; figures can also
+// be written as SVG/CSV or printed as ASCII charts.
+//
+// Usage:
+//
+//	ljqbench -experiment fig4                    # reduced scale (default)
+//	ljqbench -experiment table3 -full            # the paper's full protocol
+//	ljqbench -experiment fig6 -queries 12 -reps 2 -seed 7
+//	ljqbench -experiment all -svg figs -csv figs # figures to files
+//	ljqbench -experiment space                   # §7 solution-space profile
+//	ljqbench -experiment bushy                   # §2 left-deep restriction probe
+//	ljqbench -experiment baselines               # extension algorithms vs IAI
+//	ljqbench -experiment shapes                  # chain/star/cycle/clique/grid
+//	ljqbench -experiment noise                   # estimation-error robustness
+//	ljqbench -experiment qerror                  # estimator accuracy vs execution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"joinopt/internal/bushy"
+	"joinopt/internal/core"
+	"joinopt/internal/cost"
+	"joinopt/internal/dp"
+	"joinopt/internal/estimate"
+	"joinopt/internal/experiment"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/search"
+	"joinopt/internal/spacestat"
+	"joinopt/internal/stats"
+	"joinopt/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "fig4", "one of table1, table2, table3, fig4, fig5, fig6, fig7, space, bushy, baselines, noise, shapes, qerror, all")
+		full     = flag.Bool("full", false, "run the paper's full protocol (50 queries/N, 2 replicates)")
+		queries  = flag.Int("queries", 0, "override queries per N")
+		reps     = flag.Int("reps", 0, "override replicates per query")
+		seed     = flag.Int64("seed", 1989, "experiment seed")
+		par      = flag.Int("parallelism", 0, "concurrent query tasks (default NumCPU)")
+		progress = flag.Bool("progress", true, "print progress to stderr")
+		svgDir   = flag.String("svg", "", "directory to write <experiment>.svg figures into")
+		csvDir   = flag.String("csv", "", "directory to write <experiment>.csv matrices into")
+		ascii    = flag.Bool("ascii", false, "also print an ASCII chart of each figure")
+	)
+	flag.Parse()
+
+	sc := experiment.ReducedScale
+	if *full {
+		sc = experiment.FullScale
+	}
+	if *queries > 0 {
+		sc.QueriesPerN = *queries
+	}
+	if *reps > 0 {
+		sc.Replicates = *reps
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "table3"}
+	}
+	for _, name := range names {
+		if err := run(name, sc, *seed, *par, *progress, *svgDir, *csvDir, *ascii); err != nil {
+			fmt.Fprintf(os.Stderr, "ljqbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, sc experiment.Scale, seed int64, par int, progress bool, svgDir, csvDir string, ascii bool) error {
+	var cfgs []experiment.Config
+	switch strings.ToLower(name) {
+	case "table1":
+		cfgs = []experiment.Config{experiment.Table1(sc, seed)}
+	case "table2":
+		cfgs = []experiment.Config{experiment.Table2(sc, seed)}
+	case "fig4", "figure4":
+		cfgs = []experiment.Config{experiment.Figure4(sc, seed)}
+	case "fig5", "figure5":
+		cfgs = []experiment.Config{experiment.Figure5(sc, seed)}
+	case "fig6", "figure6":
+		cfgs = []experiment.Config{experiment.Figure6(sc, seed)}
+	case "fig7", "figure7":
+		cfgs = []experiment.Config{experiment.Figure7(sc, seed)}
+	case "table3":
+		var err error
+		cfgs, err = experiment.Table3(sc, seed)
+		if err != nil {
+			return err
+		}
+	case "space":
+		return runSpace(sc, seed)
+	case "bushy":
+		return runBushy(sc, seed)
+	case "baselines":
+		return runBaselines(sc, seed)
+	case "shapes":
+		return runShapes(sc, seed)
+	case "qerror":
+		r, err := experiment.RunQError(experiment.DefaultQErrorConfig(sc, seed))
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	case "noise":
+		r, err := experiment.RunNoise(experiment.DefaultNoiseConfig(sc, seed))
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+
+	// Table 3 prints as one combined table: rows = benchmarks.
+	if strings.EqualFold(name, "table3") {
+		return runTable3(cfgs, par, progress)
+	}
+	for i := range cfgs {
+		cfg := cfgs[i]
+		cfg.Parallelism = par
+		if progress {
+			cfg.Progress = progressPrinter(cfg.Title)
+		}
+		m, err := experiment.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Println(m.Format())
+		if err := emitCharts(m, name, svgDir, csvDir, ascii); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitCharts writes the figure as SVG/CSV and/or prints it as ASCII.
+func emitCharts(m *experiment.Matrix, name, svgDir, csvDir string, ascii bool) error {
+	if svgDir == "" && csvDir == "" && !ascii {
+		return nil
+	}
+	if csvDir != "" {
+		path := filepath.Join(csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(m.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	chart := m.Chart()
+	if svgDir != "" {
+		svg, err := chart.SVG()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(svgDir, name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if ascii {
+		out, err := chart.ASCII(72, 18)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func runTable3(cfgs []experiment.Config, par int, progress bool) error {
+	fmt.Printf("Table 3: changing the benchmarks (scaled cost at 9N²)\n")
+	fmt.Printf("%-24s", "Benchmark")
+	first := true
+	for i := range cfgs {
+		cfg := cfgs[i]
+		cfg.Parallelism = par
+		if progress {
+			cfg.Progress = progressPrinter(cfg.Title)
+		}
+		m, err := experiment.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		if first {
+			for _, v := range m.Variants {
+				fmt.Printf("%8s", v)
+			}
+			fmt.Println()
+			first = false
+		}
+		fmt.Printf("%-24s", fmt.Sprintf("%d:%s", i+1, cfg.Spec.Name))
+		for v := range m.Variants {
+			fmt.Printf("%8.2f", m.Scaled[v][0])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runSpace characterizes the solution space of default-benchmark
+// queries at several sizes — the §7 "distribution of solution costs"
+// investigation.
+func runSpace(sc experiment.Scale, seed int64) error {
+	ns := []int{10, 30, 50}
+	if sc.Ns != nil {
+		ns = sc.Ns
+	}
+	perN := sc.QueriesPerN
+	if perN > 3 {
+		perN = 3 // the probes are heavy; a few queries per N suffice
+	}
+	cfg := spacestat.DefaultConfig()
+	for _, n := range ns {
+		for qi := 0; qi < perN; qi++ {
+			rng := rand.New(rand.NewSource(seed + int64(n)*100 + int64(qi)))
+			q := workload.Default().Generate(n, rng)
+			g := joingraph.New(q)
+			st := estimate.NewStats(q, g)
+			eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+			sp := search.NewSpace(eval, g.Components()[0], rng)
+			r := spacestat.Analyze(sp, cfg, rng)
+			fmt.Printf("N=%d query %d:\n%s\n", n, qi, r.Format())
+		}
+	}
+	return nil
+}
+
+// runBushy probes the paper's §2 left-deep restriction. For small
+// queries it reports the exact left-deep/bushy optimality gap (DP); for
+// large ones, left-deep IAI versus bushy iterative improvement at the
+// same 9N² budget.
+func runBushy(sc experiment.Scale, seed int64) error {
+	fmt.Println("left-deep restriction probe (static estimator)")
+	perN := sc.QueriesPerN
+	if perN > 10 {
+		perN = 10
+	}
+
+	fmt.Println("\nexact optimality gap (left-deep optimum / bushy optimum), DP:")
+	for _, n := range []int{8, 10, 12} {
+		gaps := make([]float64, 0, perN)
+		for qi := 0; qi < perN; qi++ {
+			rng := rand.New(rand.NewSource(seed + int64(n)*1000 + int64(qi)))
+			q := workload.Default().Generate(n, rng)
+			g := joingraph.New(q)
+			st := estimate.NewStats(q, g)
+			st.UseStaticSelectivity()
+			eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+			gap, err := dp.LeftDeepGap(eval, g.Components()[0])
+			if err != nil {
+				return err
+			}
+			gaps = append(gaps, gap)
+		}
+		fmt.Printf("  N=%-3d mean gap %.4f  max gap %.4f  (over %d queries)\n",
+			n, stats.Mean(gaps), stats.Max(gaps), len(gaps))
+	}
+
+	fmt.Println("\nsearch comparison at 9N² budget (left-deep IAI cost / bushy II cost):")
+	for _, n := range []int{20, 40} {
+		ratios := make([]float64, 0, perN)
+		for qi := 0; qi < perN; qi++ {
+			rng := rand.New(rand.NewSource(seed + int64(n)*2000 + int64(qi)))
+			q := workload.Default().Generate(n, rng)
+
+			linBudget := cost.NewBudget(cost.UnitsFor(9, n))
+			opt, err := core.NewOptimizer(q.Clone(), cost.NewMemoryModel(), linBudget,
+				rand.New(rand.NewSource(seed+int64(qi))), core.Options{StaticEstimator: true})
+			if err != nil {
+				return err
+			}
+			pl, err := opt.Run(core.IAI)
+			if err != nil {
+				return err
+			}
+
+			g := joingraph.New(q)
+			st := estimate.NewStats(q, g)
+			st.UseStaticSelectivity()
+			bBudget := cost.NewBudget(cost.UnitsFor(9, n))
+			bsp := bushy.NewSpace(st, cost.NewMemoryModel(), bBudget, g.Components()[0],
+				rand.New(rand.NewSource(seed+int64(qi)+1)))
+			_, bc, ok := bsp.Improve(bushy.DefaultIIConfig())
+			if !ok {
+				continue
+			}
+			ratios = append(ratios, pl.TotalCost/bc)
+		}
+		fmt.Printf("  N=%-3d mean ratio %.3f  max %.3f  (>1 means bushy search won; %d queries)\n",
+			n, stats.Mean(ratios), stats.Max(ratios), len(ratios))
+	}
+	return nil
+}
+
+// runShapes compares the leading strategies across canonical join-graph
+// topologies (chain/star/cycle/clique/grid) at a fixed relation count:
+// stars have the largest valid-order space, chains the smallest, so the
+// topology is a second axis of difficulty orthogonal to N.
+func runShapes(sc experiment.Scale, seed int64) error {
+	const nRel = 21 // 20 joins
+	methods := []core.Method{core.IAI, core.AGI, core.II, core.KBI}
+	perN := sc.QueriesPerN
+	fmt.Printf("shape comparison (%d relations, 9N² budget, mean scaled cost over %d queries)\n", nRel, perN)
+	fmt.Printf("%-8s", "shape")
+	for _, m := range methods {
+		fmt.Printf("%8s", m)
+	}
+	fmt.Println()
+	for _, shape := range workload.Shapes {
+		sums := make([]float64, len(methods))
+		for qi := 0; qi < perN; qi++ {
+			q, err := workload.Default().GenerateShape(shape, nRel, rand.New(rand.NewSource(seed+int64(qi))))
+			if err != nil {
+				return err
+			}
+			costs := make([]float64, len(methods))
+			for mi, m := range methods {
+				b := cost.NewBudget(cost.UnitsFor(9, nRel-1))
+				opt, err := core.NewOptimizer(q.Clone(), cost.NewMemoryModel(), b,
+					rand.New(rand.NewSource(seed+int64(qi)+int64(mi)*99)), core.Options{})
+				if err != nil {
+					return err
+				}
+				pl, err := opt.Run(m)
+				if err != nil {
+					return err
+				}
+				costs[mi] = pl.TotalCost
+			}
+			best := stats.Min(costs)
+			for mi, c := range costs {
+				sums[mi] += stats.CoerceOutlier(c / best)
+			}
+		}
+		fmt.Printf("%-8s", shape)
+		for _, s := range sums {
+			fmt.Printf("%8.2f", s/float64(perN))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runBaselines compares the paper's recommended IAI against the
+// post-paper algorithms this library adds as extensions: the genetic
+// algorithm, 2PO, the perturbation-walk floor, iterative DP, greedy
+// operator ordering and bushy II. All run under the static estimator so
+// the DP-derived baselines are exact in their own space, with 9N²
+// budgets where a budget applies. Scaled per query by the best result.
+func runBaselines(sc experiment.Scale, seed int64) error {
+	names := []string{"IAI", "GA", "2PO", "PW", "IDP3", "GOO", "bushyII"}
+	perN := sc.QueriesPerN
+	fmt.Println("extension baselines (static estimator, 9N² budgets; mean scaled cost)")
+	fmt.Printf("%-6s", "N")
+	for _, n := range names {
+		fmt.Printf("%9s", n)
+	}
+	fmt.Println()
+	for _, n := range []int{10, 20, 30} {
+		sums := make([]float64, len(names))
+		for qi := 0; qi < perN; qi++ {
+			q := workload.Default().Generate(n, rand.New(rand.NewSource(seed+int64(n)*10000+int64(qi))))
+			costs := make([]float64, len(names))
+
+			runMethod := func(m core.Method) float64 {
+				b := cost.NewBudget(cost.UnitsFor(9, n))
+				opt, err := core.NewOptimizer(q.Clone(), cost.NewMemoryModel(), b,
+					rand.New(rand.NewSource(seed+int64(qi))), core.Options{StaticEstimator: true})
+				if err != nil {
+					return math.Inf(1)
+				}
+				pl, err := opt.Run(m)
+				if err != nil {
+					return math.Inf(1)
+				}
+				return pl.TotalCost
+			}
+			costs[0] = runMethod(core.IAI)
+			costs[1] = runMethod(core.GA)
+			costs[2] = runMethod(core.TPO)
+			costs[3] = runMethod(core.PW)
+
+			g := joingraph.New(q)
+			st := estimate.NewStats(q, g)
+			st.UseStaticSelectivity()
+			eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+			comp := g.Components()[0]
+			if _, c, err := dp.IDP(eval, comp, 3); err == nil {
+				costs[4] = c
+			} else {
+				costs[4] = math.Inf(1)
+			}
+			bsp := bushy.NewSpace(st, cost.NewMemoryModel(), cost.Unlimited(), comp,
+				rand.New(rand.NewSource(seed+int64(qi)+5)))
+			_, costs[5] = bsp.GOO()
+			b2 := cost.NewBudget(cost.UnitsFor(9, n))
+			bsp2 := bushy.NewSpace(st, cost.NewMemoryModel(), b2, comp,
+				rand.New(rand.NewSource(seed+int64(qi)+6)))
+			if _, c, ok := bsp2.Improve(bushy.DefaultIIConfig()); ok {
+				costs[6] = c
+			} else {
+				costs[6] = math.Inf(1)
+			}
+
+			best := stats.Min(costs)
+			for i, c := range costs {
+				sums[i] += stats.CoerceOutlier(c / best)
+			}
+		}
+		fmt.Printf("%-6d", n)
+		for _, s := range sums {
+			fmt.Printf("%9.2f", s/float64(perN))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func progressPrinter(title string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d", title, done, total)
+	}
+}

@@ -1,0 +1,100 @@
+// Command ljqgen synthesizes random large-join queries from the paper's
+// §5 benchmarks and writes them as JSON (the format cmd/ljqopt reads).
+//
+// Usage:
+//
+//	ljqgen -n 30 > query.json              # default benchmark, 30 joins
+//	ljqgen -n 50 -benchmark 8 -seed 7      # star-biased join graph
+//	ljqgen -n 20 -o q.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plot"
+	"joinopt/internal/qdsl"
+	"joinopt/internal/qfile"
+	"joinopt/internal/workload"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 20, "number of joins (relations = n+1)")
+		bench = flag.Int("benchmark", 0, "benchmark id: 0 = default, 1..9 = §5 variations")
+		shape = flag.String("shape", "", "fixed topology instead of a random graph: chain, star, cycle, clique, grid")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("o", "-", "output file (- = stdout)")
+		dsl   = flag.Bool("dsl", false, "emit the textual DSL instead of JSON")
+		graph = flag.String("graph", "", "also write the join graph as an SVG to this path")
+	)
+	flag.Parse()
+
+	spec := workload.Default()
+	if *bench != 0 {
+		var err error
+		spec, err = workload.Benchmark(*bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ljqgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "ljqgen: -n must be at least 1")
+		os.Exit(1)
+	}
+	var q *catalog.Query
+	if *shape != "" {
+		var sh workload.Shape
+		switch *shape {
+		case "chain":
+			sh = workload.ShapeChain
+		case "star":
+			sh = workload.ShapeStar
+		case "cycle":
+			sh = workload.ShapeCycle
+		case "clique":
+			sh = workload.ShapeClique
+		case "grid":
+			sh = workload.ShapeGrid
+		default:
+			fmt.Fprintf(os.Stderr, "ljqgen: unknown shape %q\n", *shape)
+			os.Exit(1)
+		}
+		var err error
+		q, err = spec.GenerateShape(sh, *n+1, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ljqgen: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		q = spec.Generate(*n, rand.New(rand.NewSource(*seed)))
+	}
+	if *graph != "" {
+		svg := plot.GraphSVG(joingraph.New(q), q)
+		if err := os.WriteFile(*graph, []byte(svg), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ljqgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *dsl {
+		text := qdsl.Format(q)
+		if *out == "-" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ljqgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := qfile.WriteFile(*out, q); err != nil {
+		fmt.Fprintf(os.Stderr, "ljqgen: %v\n", err)
+		os.Exit(1)
+	}
+}

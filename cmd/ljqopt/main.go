@@ -1,0 +1,167 @@
+// Command ljqopt optimizes one large-join query read from JSON (see
+// cmd/ljqgen and internal/qfile for the format) and prints the chosen
+// plan.
+//
+// Usage:
+//
+//	ljqgen -n 40 | ljqopt                         # IAI, memory model, t=9
+//	ljqopt -query q.json -method AGI -t 1.5
+//	ljqopt -query q.json -cost disk -seed 3 -all  # compare all methods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/core"
+	"joinopt/internal/cost"
+	"joinopt/internal/engine"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/qdsl"
+	"joinopt/internal/qfile"
+)
+
+func main() {
+	var (
+		queryPath = flag.String("query", "-", "query file (- = stdin); JSON by default")
+		dsl       = flag.Bool("dsl", false, "parse the query as the textual DSL instead of JSON (see internal/qdsl)")
+		method    = flag.String("method", "IAI", "strategy: II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI, AUG, KBZ")
+		costName  = flag.String("cost", "memory", "cost model: memory, disk, or auto (per-join method choice)")
+		tcoeff    = flag.Float64("t", 9, "optimization budget coefficient (time limit t·N²)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		all       = flag.Bool("all", false, "run every strategy and print a comparison")
+		detailed  = flag.Bool("detailed", false, "print per-join sizes, costs and chosen methods")
+		jsonOut   = flag.Bool("json", false, "emit the plan as JSON (order, per-join steps, costs)")
+		calibrate = flag.Bool("calibrate", false, "measure real joins on this machine and print a fitted memory cost model, then exit")
+	)
+	flag.Parse()
+
+	if *calibrate {
+		runCalibrate(*seed)
+		return
+	}
+
+	var q *catalog.Query
+	var err error
+	if *dsl {
+		q, err = readDSL(*queryPath)
+	} else {
+		q, err = qfile.ReadFile(*queryPath)
+	}
+	if err != nil {
+		fail(err)
+	}
+	var model cost.Model
+	switch *costName {
+	case "memory":
+		model = cost.NewMemoryModel()
+	case "disk":
+		model = cost.NewDiskModel()
+	case "auto":
+		model = cost.NewChooser()
+	default:
+		fail(fmt.Errorf("unknown cost model %q", *costName))
+	}
+	n := q.NumRelations() - 1
+	if n < 1 {
+		n = 1
+	}
+
+	if *all {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "method\tcost\tunits used")
+		for _, m := range core.Methods {
+			pl, used, err := run(q, m, model, *tcoeff, *seed, n)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(w, "%s\t%.6g\t%d\n", m, pl.TotalCost, used)
+		}
+		w.Flush()
+		return
+	}
+
+	m, err := core.ParseMethod(*method)
+	if err != nil {
+		fail(err)
+	}
+	pl, used, err := run(q, m, model, *tcoeff, *seed, n)
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case *jsonOut:
+		eval := plan.NewEvaluator(planStats(q, model), model, cost.Unlimited())
+		if err := qfile.WritePlan(os.Stdout, q, pl, eval); err != nil {
+			fail(err)
+		}
+		return
+	case *detailed:
+		eval := plan.NewEvaluator(planStats(q, model), model, cost.Unlimited())
+		fmt.Print(pl.ExplainDetailed(eval, q))
+	default:
+		fmt.Print(pl.Explain(q))
+	}
+	fmt.Printf("method: %s, cost model: %s, budget: %d units (t=%g), used: %d\n",
+		m, model.Name(), cost.UnitsFor(*tcoeff, n), *tcoeff, used)
+}
+
+// planStats rebuilds the statistics used by ExplainDetailed.
+func planStats(q *catalog.Query, model cost.Model) *estimate.Stats {
+	qc := q.Clone()
+	qc.Normalize()
+	g := joingraph.New(qc)
+	return estimate.NewStats(qc, g)
+}
+
+func run(q *catalog.Query, m core.Method, model cost.Model, tcoeff float64, seed int64, n int) (*plan.Plan, int64, error) {
+	budget := cost.NewBudget(cost.UnitsFor(tcoeff, n))
+	opt, err := core.NewOptimizer(q.Clone(), model, budget, rand.New(rand.NewSource(seed)), core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	pl, err := opt.Run(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pl, budget.Used(), nil
+}
+
+// runCalibrate measures real hash joins and prints a fitted model.
+func runCalibrate(seed int64) {
+	fmt.Fprintln(os.Stderr, "measuring joins (a few seconds)...")
+	samples, err := engine.CalibrationSamples(rand.New(rand.NewSource(seed)), 3)
+	if err != nil {
+		fail(err)
+	}
+	m, err := cost.Calibrate(samples)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("calibrated memory model (probe ≡ 1): build=%.3f probe=%.3f result=%.3f  R²=%.3f  (%d samples)\n",
+		m.Build, m.Probe, m.Result, cost.FitQuality(m, samples), len(samples))
+}
+
+// readDSL reads a query in the textual description language.
+func readDSL(path string) (*catalog.Query, error) {
+	if path == "-" {
+		return qdsl.Parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return qdsl.Parse(f)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ljqopt: %v\n", err)
+	os.Exit(1)
+}

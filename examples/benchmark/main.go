@@ -1,0 +1,87 @@
+// Command benchmark reproduces a miniature of the paper's Figure 4
+// using only the public API: generate random queries from the §5
+// default benchmark, run several strategies at increasing optimization
+// budgets, and report mean scaled costs (each query's costs scaled by
+// the best cost any strategy achieved on it, outliers coerced to 10).
+//
+// For the full evaluation harness (every table and figure, parallel
+// execution, all nine §5 benchmark variations), use cmd/ljqbench.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"joinopt"
+)
+
+func main() {
+	methods := []joinopt.Method{
+		joinopt.MethodIAI, joinopt.MethodAGI, joinopt.MethodII, joinopt.MethodSA,
+	}
+	budgets := []float64{0.5, 1.5, 9}
+	const (
+		queries = 8
+		nJoins  = 20
+	)
+
+	// costs[m][t][q]
+	costs := make([][][]float64, len(methods))
+	for mi := range costs {
+		costs[mi] = make([][]float64, len(budgets))
+		for ti := range costs[mi] {
+			costs[mi][ti] = make([]float64, queries)
+		}
+	}
+
+	for qi := 0; qi < queries; qi++ {
+		q, err := joinopt.GenerateBenchmarkQuery(0, nJoins, int64(1000+qi))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for mi, m := range methods {
+			for ti, t := range budgets {
+				p, err := joinopt.Optimize(q.Clone(), joinopt.Options{
+					Method: m, TimeCoeff: t, Seed: int64(qi),
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				costs[mi][ti][qi] = p.Cost()
+			}
+		}
+	}
+
+	// Scale per query by the best final-budget cost, coerce outliers.
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "budget t\\method")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%v", m)
+	}
+	fmt.Fprintln(w)
+	for ti := range budgets {
+		fmt.Fprintf(w, "%g", budgets[ti])
+		for mi := range methods {
+			sum := 0.0
+			for qi := 0; qi < queries; qi++ {
+				best := costs[0][len(budgets)-1][qi]
+				for mj := range methods {
+					if c := costs[mj][len(budgets)-1][qi]; c < best {
+						best = c
+					}
+				}
+				scaled := costs[mi][ti][qi] / best
+				if scaled > 10 {
+					scaled = 10
+				}
+				sum += scaled
+			}
+			fmt.Fprintf(w, "\t%.2f", sum/queries)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("\n(mean scaled cost over", queries, "random 20-join queries; 1.00 = best known)")
+}

@@ -1,0 +1,64 @@
+// Command quickstart shows the minimal joinopt workflow: describe a
+// query by its statistics, optimize it with the paper's recommended
+// strategy (IAI), and inspect the plan. It also cross-checks the
+// randomized result against the exact dynamic-programming optimum, which
+// is still feasible at this query size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"joinopt"
+)
+
+func main() {
+	// A 12-join star-ish query: a fact table joined to dimension tables,
+	// two of which chain onwards — the kind of shape view expansion
+	// produces.
+	q := &joinopt.Query{}
+	fact := addRelation(q, "fact", 500_000)
+	for i := 0; i < 8; i++ {
+		dim := addRelation(q, fmt.Sprintf("dim%d", i), int64(1_000*(i+1)))
+		addJoin(q, fact, dim, float64(1_000*(i+1)))
+	}
+	// Two dimensions chain to sub-dimensions.
+	sub0 := addRelation(q, "sub0", 200)
+	addJoin(q, joinopt.RelID(1), sub0, 200)
+	sub1 := addRelation(q, "sub1", 50)
+	addJoin(q, joinopt.RelID(2), sub1, 50)
+	// A selective filter on one dimension.
+	q.Relations[3].Selections = []joinopt.Selection{{Selectivity: 0.01}}
+
+	// StaticEstimator makes the run comparable with OptimalPlan below
+	// (the DP optimum is defined under the static size model).
+	plan, err := joinopt.Optimize(q, joinopt.Options{Seed: 7, StaticEstimator: true})
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+	fmt.Println("IAI plan:")
+	fmt.Print(plan.Explain())
+	fmt.Printf("budget consumed: %d work units\n\n", plan.Units)
+
+	best, err := joinopt.OptimalPlan(q, nil)
+	if err != nil {
+		log.Fatalf("optimal: %v", err)
+	}
+	fmt.Println("exact optimum (DP):")
+	fmt.Print(best.Explain())
+	fmt.Printf("\nIAI found %.4gx the optimal cost\n", plan.Cost()/best.Cost())
+}
+
+func addRelation(q *joinopt.Query, name string, card int64) joinopt.RelID {
+	q.Relations = append(q.Relations, joinopt.Relation{Name: name, Cardinality: card})
+	return joinopt.RelID(len(q.Relations) - 1)
+}
+
+// addJoin links two relations on a key with the given distinct count on
+// both sides (a key–foreign-key join).
+func addJoin(q *joinopt.Query, a, b joinopt.RelID, distinct float64) {
+	q.Predicates = append(q.Predicates, joinopt.Predicate{
+		Left: a, Right: b,
+		LeftDistinct: distinct, RightDistinct: distinct,
+	})
+}

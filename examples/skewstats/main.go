@@ -1,0 +1,82 @@
+// Command skewstats demonstrates skew-aware statistics: the same chain
+// query is materialized with Zipf-distributed join columns, then
+// optimized twice — once with flat ANALYZE statistics (distinct counts
+// only) and once with histogram statistics — and both plans are
+// executed to compare the estimators against reality.
+//
+// Under skew the flat containment estimate n₁·n₂/max(D) can be off by
+// an order of magnitude; per-bucket histogram estimation tracks it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"joinopt"
+)
+
+func main() {
+	// The query whose data we materialize: a 3-join chain of 400-row
+	// relations joined on 400-value keys. (Skew multiplies intermediate
+	// sizes at every join, so the chain is kept short enough to
+	// materialize.)
+	truth := &joinopt.Query{}
+	for i := 0; i < 4; i++ {
+		truth.Relations = append(truth.Relations, joinopt.Relation{
+			Name:        fmt.Sprintf("r%d", i),
+			Cardinality: 400,
+		})
+	}
+	for i := 0; i < 3; i++ {
+		truth.Predicates = append(truth.Predicates, joinopt.Predicate{
+			Left: joinopt.RelID(i), Right: joinopt.RelID(i + 1),
+			LeftDistinct: 400, RightDistinct: 400,
+		})
+	}
+
+	// Materialize with heavy skew (Zipf exponent 1.1): a few hot key
+	// values carry most rows.
+	db, err := joinopt.NewSkewedDatabase(truth, 7, 1.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flat, err := joinopt.AnalyzeDatabase(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, err := joinopt.AnalyzeDatabaseWithHistograms(db, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		q    *joinopt.Query
+	}{{"flat ANALYZE", flat}, {"histogram ANALYZE", hist}} {
+		p, err := joinopt.Optimize(tc.q, joinopt.Options{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := joinopt.ExecutePlan(db, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The estimator's predicted final size is the last step's
+		// ResultSize.
+		steps := p.Steps()
+		predicted := steps[len(steps)-1].ResultSize
+		fmt.Printf("%-18s predicted %10.4g rows, actual %10d  (off by %.1fx)\n",
+			tc.name, predicted, rows, offBy(predicted, float64(rows)))
+	}
+}
+
+func offBy(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,486 @@
+// Package bushy extends the paper's search to the space of bushy join
+// trees. The paper restricts itself to outer linear (left-deep) trees
+// and flags validating that restriction as an open problem (§2); the
+// dp package answers it exactly for small queries, and this package
+// provides the large-N instrument: iterative improvement over bushy
+// trees with the classical tree move set (swap, commutativity,
+// associativity), under the same metered budget as the linear search.
+//
+// Trees may contain cross-product joins; they are priced honestly
+// (selectivity 1) rather than filtered, so the search avoids them the
+// same way a real optimizer's cost function would.
+package bushy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/plan"
+)
+
+// Tree is a mutable bushy join tree node. Leaves carry a relation;
+// internal nodes join their two children (left = outer).
+type Tree struct {
+	Rel         catalog.RelID // valid for leaves
+	Left, Right *Tree         // nil for leaves
+}
+
+// IsLeaf reports whether the node is a base relation.
+func (t *Tree) IsLeaf() bool { return t.Left == nil }
+
+// Clone deep-copies the tree.
+func (t *Tree) Clone() *Tree {
+	if t == nil {
+		return nil
+	}
+	if t.IsLeaf() {
+		return &Tree{Rel: t.Rel}
+	}
+	return &Tree{Left: t.Left.Clone(), Right: t.Right.Clone()}
+}
+
+// Leaves appends the tree's relations in left-to-right order.
+func (t *Tree) Leaves(dst []catalog.RelID) []catalog.RelID {
+	if t.IsLeaf() {
+		return append(dst, t.Rel)
+	}
+	dst = t.Left.Leaves(dst)
+	return t.Right.Leaves(dst)
+}
+
+// String renders the tree in parenthesized form.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.format(&b)
+	return b.String()
+}
+
+func (t *Tree) format(b *strings.Builder) {
+	if t.IsLeaf() {
+		fmt.Fprintf(b, "R%d", t.Rel)
+		return
+	}
+	b.WriteByte('(')
+	t.Left.format(b)
+	b.WriteString(" ⋈ ")
+	t.Right.format(b)
+	b.WriteByte(')')
+}
+
+// internalNodes appends pointers to every internal node (pre-order).
+func (t *Tree) internalNodes(dst []*Tree) []*Tree {
+	if t.IsLeaf() {
+		return dst
+	}
+	dst = append(dst, t)
+	dst = t.Left.internalNodes(dst)
+	return t.Right.internalNodes(dst)
+}
+
+// allNodes appends pointers to every node (pre-order).
+func (t *Tree) allNodes(dst []*Tree) []*Tree {
+	dst = append(dst, t)
+	if !t.IsLeaf() {
+		dst = t.Left.allNodes(dst)
+		dst = t.Right.allNodes(dst)
+	}
+	return dst
+}
+
+// Space is the bushy search space for one component: evaluation, random
+// tree generation, and the tree move set, all budget-metered.
+type Space struct {
+	stats  *estimate.Stats
+	model  cost.Model
+	budget *cost.Budget
+	rels   []catalog.RelID
+	rng    *rand.Rand
+	// MaxProposals bounds the attempts to find a cost-improving
+	// applicable move per Neighbor call.
+	MaxProposals int
+
+	maskL, maskR []bool
+}
+
+// NewSpace builds a bushy search space over the component rels.
+func NewSpace(st *estimate.Stats, model cost.Model, budget *cost.Budget, rels []catalog.RelID, rng *rand.Rand) *Space {
+	n := st.Query().NumRelations()
+	return &Space{
+		stats:        st,
+		model:        model,
+		budget:       budget,
+		rels:         rels,
+		rng:          rng,
+		MaxProposals: 32,
+		maskL:        make([]bool, n),
+		maskR:        make([]bool, n),
+	}
+}
+
+// Budget exposes the shared budget.
+func (s *Space) Budget() *cost.Budget { return s.budget }
+
+// Cost prices a tree: the sum of join costs over internal nodes. The
+// join selectivity between two subtrees multiplies the selectivities of
+// all edges crossing between their leaf sets, with the dynamic
+// distinct-value cap applied symmetrically (each side's distinct count
+// is capped by that side's subtree size) when the statistics are in
+// dynamic mode. Charges plan.EvalUnitsPerJoin per internal node.
+func (s *Space) Cost(t *Tree) float64 {
+	c, _ := s.costAndSize(t)
+	return c
+}
+
+func (s *Space) costAndSize(t *Tree) (costSum, size float64) {
+	if t.IsLeaf() {
+		return 0, s.stats.Cardinality(t.Rel)
+	}
+	cl, sl := s.costAndSize(t.Left)
+	cr, sr := s.costAndSize(t.Right)
+	sel := s.crossSelectivity(t.Left, t.Right, sl, sr)
+	size = sl * sr * sel
+	s.budget.Charge(plan.EvalUnitsPerJoin)
+	return cl + cr + s.model.JoinCost(sl, sr, size), size
+}
+
+// crossSelectivity multiplies the selectivities of all edges between
+// the two subtrees' leaf sets.
+func (s *Space) crossSelectivity(l, r *Tree, sizeL, sizeR float64) float64 {
+	for i := range s.maskL {
+		s.maskL[i] = false
+		s.maskR[i] = false
+	}
+	for _, rel := range l.Leaves(nil) {
+		s.maskL[rel] = true
+	}
+	for _, rel := range r.Leaves(nil) {
+		s.maskR[rel] = true
+	}
+	sel := 1.0
+	dynamic := s.stats.Dynamic()
+	for _, e := range s.stats.Graph().Edges() {
+		var dl, dr float64
+		switch {
+		case s.maskL[e.From] && s.maskR[e.To]:
+			dl, dr = e.FromDistinct, e.ToDistinct
+		case s.maskL[e.To] && s.maskR[e.From]:
+			dl, dr = e.ToDistinct, e.FromDistinct
+		default:
+			continue
+		}
+		if j, ok := e.FromHist.JoinSelectivity(e.ToHist); ok {
+			sel *= j
+			continue
+		}
+		if dl < 1 || dr < 1 {
+			sel *= e.Selectivity
+			continue
+		}
+		// See estimate.SelectivityInto: residual preserves merged and
+		// explicit selectivities beyond the distinct-count model.
+		residual := e.Selectivity * math.Max(dl, dr)
+		if dynamic {
+			dl = math.Min(dl, math.Max(sizeL, 1e-12))
+			dr = math.Min(dr, math.Max(sizeR, 1e-12))
+		}
+		sel *= residual / math.Max(dl, dr)
+	}
+	return sel
+}
+
+// FromPerm converts a left-deep permutation into the equivalent bushy
+// tree (a left spine).
+func FromPerm(p plan.Perm) *Tree {
+	if len(p) == 0 {
+		return nil
+	}
+	t := &Tree{Rel: p[0]}
+	for _, r := range p[1:] {
+		t = &Tree{Left: t, Right: &Tree{Rel: r}}
+	}
+	return t
+}
+
+// RandomTree grows a random bushy tree agglomeratively: start from the
+// leaf forest and repeatedly join two random roots, preferring pairs
+// connected by a join edge so cross products appear only when forced.
+func (s *Space) RandomTree() *Tree {
+	forest := make([]*Tree, 0, len(s.rels))
+	for _, r := range s.rels {
+		forest = append(forest, &Tree{Rel: r})
+	}
+	leafSets := make([][]catalog.RelID, len(forest))
+	for i, t := range forest {
+		leafSets[i] = []catalog.RelID{t.Rel}
+	}
+	connected := func(a, b int) bool {
+		for i := range s.maskL {
+			s.maskL[i] = false
+		}
+		for _, r := range leafSets[b] {
+			s.maskL[r] = true
+		}
+		g := s.stats.Graph()
+		for _, r := range leafSets[a] {
+			s.budget.Charge(1)
+			if g.JoinsInto(r, s.maskL) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(forest) > 1 {
+		// Pick a random first root, then a random joinable partner
+		// (falling back to any partner when none joins).
+		i := s.rng.Intn(len(forest))
+		var candidates []int
+		for j := range forest {
+			if j != i && connected(i, j) {
+				candidates = append(candidates, j)
+			}
+		}
+		var j int
+		if len(candidates) > 0 {
+			j = candidates[s.rng.Intn(len(candidates))]
+		} else {
+			j = s.rng.Intn(len(forest) - 1)
+			if j >= i {
+				j++
+			}
+		}
+		joined := &Tree{Left: forest[i], Right: forest[j]}
+		merged := append(append([]catalog.RelID{}, leafSets[i]...), leafSets[j]...)
+		// Remove j then i (careful with ordering).
+		hi, lo := i, j
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		forest = append(forest[:hi], forest[hi+1:]...)
+		leafSets = append(leafSets[:hi], leafSets[hi+1:]...)
+		forest = append(forest[:lo], forest[lo+1:]...)
+		leafSets = append(leafSets[:lo], leafSets[lo+1:]...)
+		forest = append(forest, joined)
+		leafSets = append(leafSets, merged)
+	}
+	return forest[0]
+}
+
+// Neighbor proposes a random tree move and returns the mutated clone
+// with its cost. The move set is the classical bushy one:
+//
+//   - commute: swap an internal node's children;
+//   - associate: rotate (A ⋈ B) ⋈ C → A ⋈ (B ⋈ C) or its mirror;
+//   - exchange: swap two disjoint subtrees.
+func (s *Space) Neighbor(t *Tree) (*Tree, float64, bool) {
+	for attempt := 0; attempt < s.MaxProposals; attempt++ {
+		cand := t.Clone()
+		var ok bool
+		switch s.rng.Intn(3) {
+		case 0:
+			ok = s.commute(cand)
+		case 1:
+			ok = s.associate(cand)
+		default:
+			ok = s.exchange(cand)
+		}
+		if !ok {
+			continue
+		}
+		return cand, s.Cost(cand), true
+	}
+	return nil, 0, false
+}
+
+func (s *Space) commute(t *Tree) bool {
+	nodes := t.internalNodes(nil)
+	if len(nodes) == 0 {
+		return false
+	}
+	n := nodes[s.rng.Intn(len(nodes))]
+	n.Left, n.Right = n.Right, n.Left
+	return true
+}
+
+func (s *Space) associate(t *Tree) bool {
+	nodes := t.internalNodes(nil)
+	s.rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	for _, n := range nodes {
+		if !n.Left.IsLeaf() {
+			// (A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)
+			a, b, c := n.Left.Left, n.Left.Right, n.Right
+			n.Left = a
+			n.Right = &Tree{Left: b, Right: c}
+			return true
+		}
+		if !n.Right.IsLeaf() {
+			// A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C
+			a, b, c := n.Left, n.Right.Left, n.Right.Right
+			n.Left = &Tree{Left: a, Right: b}
+			n.Right = c
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Space) exchange(t *Tree) bool {
+	if t.IsLeaf() {
+		return false
+	}
+	// Swap the left subtree of one internal node with the right subtree
+	// of another, when disjoint. Pick two random internal nodes.
+	nodes := t.internalNodes(nil)
+	a := nodes[s.rng.Intn(len(nodes))]
+	b := nodes[s.rng.Intn(len(nodes))]
+	if a == b {
+		a.Left, a.Right = a.Right, a.Left
+		return true
+	}
+	// Disjointness: neither subtree may contain the other's swap point.
+	if contains(a.Left, b) || contains(b.Right, a) {
+		return false
+	}
+	a.Left, b.Right = b.Right, a.Left
+	return true
+}
+
+// contains reports whether node x occurs in the subtree t.
+func contains(t, x *Tree) bool {
+	if t == nil {
+		return false
+	}
+	if t == x {
+		return true
+	}
+	if t.IsLeaf() {
+		return false
+	}
+	return contains(t.Left, x) || contains(t.Right, x)
+}
+
+// GOO runs Greedy Operator Ordering (Fegaras 1998) — the classical
+// agglomerative heuristic over bushy trees: repeatedly join the pair of
+// subtrees whose join result is smallest, preferring connected pairs
+// (cross products only when forced). Deterministic; budget is charged
+// one unit per pair sized plus the usual evaluation charge for the
+// final tree cost.
+func (s *Space) GOO() (*Tree, float64) {
+	type entry struct {
+		tree *Tree
+		size float64
+	}
+	forest := make([]entry, 0, len(s.rels))
+	for _, r := range s.rels {
+		forest = append(forest, entry{&Tree{Rel: r}, s.stats.Cardinality(r)})
+	}
+	budget := s.budget
+	for len(forest) > 1 {
+		bi, bj := -1, -1
+		bestSize := math.Inf(1)
+		bestConnected := false
+		for i := 0; i < len(forest); i++ {
+			for j := i + 1; j < len(forest); j++ {
+				sel := s.crossSelectivity(forest[i].tree, forest[j].tree, forest[i].size, forest[j].size)
+				budget.Charge(1)
+				connected := sel != 1.0 || s.pairConnected(forest[i].tree, forest[j].tree)
+				size := forest[i].size * forest[j].size * sel
+				// Connected pairs always beat cross products; among the
+				// same class, smaller result wins.
+				if (connected && !bestConnected) ||
+					(connected == bestConnected && size < bestSize) {
+					bi, bj, bestSize, bestConnected = i, j, size, connected
+				}
+			}
+		}
+		joined := entry{
+			tree: &Tree{Left: forest[bi].tree, Right: forest[bj].tree},
+			size: bestSize,
+		}
+		forest[bj] = forest[len(forest)-1]
+		forest = forest[:len(forest)-1]
+		if bi == len(forest) {
+			bi = bj
+		}
+		forest[bi] = joined
+	}
+	t := forest[0].tree
+	return t, s.Cost(t)
+}
+
+// pairConnected reports whether any join edge crosses between the two
+// subtrees' leaf sets.
+func (s *Space) pairConnected(l, r *Tree) bool {
+	for i := range s.maskL {
+		s.maskL[i] = false
+	}
+	for _, rel := range r.Leaves(nil) {
+		s.maskL[rel] = true
+	}
+	g := s.stats.Graph()
+	for _, rel := range l.Leaves(nil) {
+		if g.JoinsInto(rel, s.maskL) {
+			return true
+		}
+	}
+	return false
+}
+
+// Improve runs iterative improvement over bushy trees from random
+// starts until the budget is exhausted, mirroring the linear II driver:
+// descend while improving, restart when a local minimum (a streak of
+// rejections proportional to the move neighborhood) is reached.
+func (s *Space) Improve(cfg IIConfig) (*Tree, float64, bool) {
+	var best *Tree
+	bestCost := math.Inf(1)
+	ok := false
+	for !s.budget.Exhausted() {
+		start := s.RandomTree()
+		c := s.Cost(start)
+		end, endCost := s.descend(cfg, start, c)
+		if endCost < bestCost {
+			best, bestCost, ok = end, endCost, true
+		}
+	}
+	return best, bestCost, ok
+}
+
+// IIConfig mirrors search.IIConfig for the bushy space.
+type IIConfig struct {
+	RejectFactor float64
+	MinRejects   int
+}
+
+// DefaultIIConfig returns thresholds matched to the linear defaults.
+func DefaultIIConfig() IIConfig { return IIConfig{RejectFactor: 0.5, MinRejects: 16} }
+
+func (c IIConfig) threshold(n int) int {
+	t := int(c.RejectFactor * float64(n) * float64(n-1) / 2)
+	if t < c.MinRejects {
+		t = c.MinRejects
+	}
+	return t
+}
+
+func (s *Space) descend(cfg IIConfig, start *Tree, startCost float64) (*Tree, float64) {
+	cur, curCost := start, startCost
+	threshold := cfg.threshold(len(s.rels))
+	rejects := 0
+	for rejects < threshold && !s.budget.Exhausted() {
+		next, nextCost, ok := s.Neighbor(cur)
+		if !ok {
+			break
+		}
+		if nextCost < curCost {
+			cur, curCost = next, nextCost
+			rejects = 0
+		} else {
+			rejects++
+		}
+	}
+	return cur, curCost
+}

@@ -1,0 +1,104 @@
+package bushy_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/bushy"
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/dp"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/workload"
+)
+
+// extSpace builds a bushy space plus a matching linear evaluator over a
+// benchmark query (external-test twin of the internal helper; this file
+// lives outside the package so it can import dp, which imports bushy).
+func extSpace(n int, seed int64, budget *cost.Budget) (*bushy.Space, *plan.Evaluator, []catalog.RelID) {
+	q := workload.Default().Generate(n, rand.New(rand.NewSource(seed)))
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	if budget == nil {
+		budget = cost.Unlimited()
+	}
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), budget)
+	comp := g.Components()[0]
+	return bushy.NewSpace(st, cost.NewMemoryModel(), budget, comp, rand.New(rand.NewSource(seed+1))), eval, comp
+}
+
+// TestLeftDeepCostsAgree: a left-deep permutation priced as a bushy
+// tree must cost exactly what the linear evaluator says (same model,
+// same estimator), because a left spine IS the permutation.
+func TestLeftDeepCostsAgree(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%10)
+		sp, eval, comp := extSpace(n, seed, nil)
+		perm, _, err := dp.Optimal(eval, comp)
+		if err != nil {
+			return false
+		}
+		linear := eval.Cost(perm)
+		bush := sp.Cost(bushy.FromPerm(perm))
+		return math.Abs(linear-bush) <= linear*1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBushyAgainstBushyDP: bushy II with a generous budget should land
+// near the exact bushy optimum on small queries. The II space is a
+// strict superset of the DP's (DP enumerates only cross-product-free
+// trees, while II prices cross products honestly), so II may undercut
+// the DP value slightly — but a large gap either way means the two cost
+// semantics diverged.
+func TestBushyAgainstBushyDP(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		b := cost.NewBudget(cost.UnitsFor(30, 8))
+		sp, eval, comp := extSpace(8, seed, b)
+		_, optCost, err := dp.BushyOptimal(eval, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, iiCost, ok := sp.Improve(bushy.DefaultIIConfig())
+		if !ok {
+			t.Fatal("bushy II produced nothing")
+		}
+		if iiCost < optCost*0.9 {
+			t.Fatalf("seed %d: bushy II (%g) far below the valid-tree optimum (%g)", seed, iiCost, optCost)
+		}
+		if iiCost > optCost*20 {
+			t.Fatalf("seed %d: bushy II (%g) wildly off the optimum (%g)", seed, iiCost, optCost)
+		}
+	}
+}
+
+// TestGOONearBushyOptimum: GOO is a strong greedy; on small queries it
+// should land within a modest factor of the exact bushy optimum and
+// never beat it.
+func TestGOONearBushyOptimum(t *testing.T) {
+	worstRatio := 1.0
+	for seed := int64(1); seed <= 10; seed++ {
+		sp, eval, comp := extSpace(8, seed, nil)
+		_, opt, err := dp.BushyOptimal(eval, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c := sp.GOO()
+		if c < opt*(1-1e-9) {
+			t.Fatalf("seed %d: GOO (%g) beat the bushy optimum (%g)", seed, c, opt)
+		}
+		if r := c / opt; r > worstRatio {
+			worstRatio = r
+		}
+	}
+	if worstRatio > 50 {
+		t.Fatalf("GOO wildly off the optimum: worst ratio %g", worstRatio)
+	}
+}

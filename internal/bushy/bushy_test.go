@@ -1,0 +1,171 @@
+package bushy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/workload"
+)
+
+func spaceFor(n int, seed int64, static bool, budget *cost.Budget) (*Space, *plan.Evaluator, []catalog.RelID) {
+	q := workload.Default().Generate(n, rand.New(rand.NewSource(seed)))
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	if static {
+		st.UseStaticSelectivity()
+	}
+	if budget == nil {
+		budget = cost.Unlimited()
+	}
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), budget)
+	comp := g.Components()[0]
+	return NewSpace(st, cost.NewMemoryModel(), budget, comp, rand.New(rand.NewSource(seed+1))), eval, comp
+}
+
+func leavesSorted(t *Tree) []catalog.RelID {
+	ls := t.Leaves(nil)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}
+
+func TestRandomTreeCoversComponent(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%12)
+		sp, _, comp := spaceFor(n, seed, false, nil)
+		tree := sp.RandomTree()
+		ls := leavesSorted(tree)
+		if len(ls) != len(comp) {
+			return false
+		}
+		want := append([]catalog.RelID(nil), comp...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if ls[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMovesPreserveLeafSet: every move yields a tree over the same
+// relations.
+func TestMovesPreserveLeafSet(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%10)
+		sp, _, _ := spaceFor(n, seed, false, nil)
+		tree := sp.RandomTree()
+		want := leavesSorted(tree)
+		for k := 0; k < 10; k++ {
+			next, _, ok := sp.Neighbor(tree)
+			if !ok {
+				continue
+			}
+			got := leavesSorted(next)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			tree = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborDoesNotMutateInput(t *testing.T) {
+	sp, _, _ := spaceFor(8, 5, false, nil)
+	tree := sp.RandomTree()
+	before := tree.String()
+	sp.Neighbor(tree)
+	if tree.String() != before {
+		t.Fatal("Neighbor mutated its input")
+	}
+}
+
+func TestImproveRespectsBudget(t *testing.T) {
+	b := cost.NewBudget(2000)
+	sp, _, _ := spaceFor(15, 9, false, b)
+	_, _, ok := sp.Improve(DefaultIIConfig())
+	if !ok {
+		t.Fatal("no result")
+	}
+	slack := int64(16*plan.EvalUnitsPerJoin) + 16*16
+	if b.Used() > b.Limit()+slack {
+		t.Fatalf("budget overshoot: %d of %d", b.Used(), b.Limit())
+	}
+}
+
+func TestTreeHelpers(t *testing.T) {
+	tree := FromPerm(plan.Perm{1, 2, 3})
+	if tree.String() != "((R1 ⋈ R2) ⋈ R3)" {
+		t.Fatalf("spine rendering: %s", tree.String())
+	}
+	c := tree.Clone()
+	c.Left.Left.Rel = 9
+	if tree.Left.Left.Rel == 9 {
+		t.Fatal("clone aliases")
+	}
+	if FromPerm(nil) != nil {
+		t.Fatal("empty perm should give nil tree")
+	}
+	if len(tree.internalNodes(nil)) != 2 || len(tree.allNodes(nil)) != 5 {
+		t.Fatal("node enumeration wrong")
+	}
+	if !contains(tree, tree.Left) || contains(tree.Left, tree) {
+		t.Fatal("contains broken")
+	}
+}
+
+func TestIIConfigThreshold(t *testing.T) {
+	cfg := DefaultIIConfig()
+	if cfg.threshold(3) != 16 {
+		t.Fatal("floor")
+	}
+	if cfg.threshold(50) != 612 {
+		t.Fatal("formula")
+	}
+}
+
+func TestGOOCoversComponentAndIsDecent(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%10)
+		sp, _, comp := spaceFor(n, seed, true, nil)
+		tree, c := sp.GOO()
+		ls := leavesSorted(tree)
+		if len(ls) != len(comp) || c <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGOODeterministic(t *testing.T) {
+	run := func() float64 {
+		sp, _, _ := spaceFor(10, 21, true, nil)
+		_, c := sp.GOO()
+		return c
+	}
+	if run() != run() {
+		t.Fatal("GOO not deterministic")
+	}
+}

@@ -1,0 +1,46 @@
+package bushy_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/bushy"
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+)
+
+// ExampleSpace_GOO runs Greedy Operator Ordering on a snowflake chain:
+// it joins the smallest-result pair first, producing a bushy tree.
+func ExampleSpace_GOO() {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "fact", Cardinality: 100000},
+			{Name: "dim", Cardinality: 500},
+			{Name: "sub", Cardinality: 20},
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 500, RightDistinct: 500},
+			{Left: 1, Right: 2, LeftDistinct: 20, RightDistinct: 20},
+		},
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	sp := bushy.NewSpace(st, cost.NewMemoryModel(), cost.Unlimited(),
+		g.Components()[0], rand.New(rand.NewSource(1)))
+	tree, c := sp.GOO()
+	fmt.Printf("%s cost %.4g\n", tree, c)
+	// Output: (R0 ⋈ (R1 ⋈ R2)) cost 2.02e+05
+}
+
+// ExampleFromPerm shows that a left-deep permutation is just a bushy
+// left spine, and prices identically in both spaces.
+func ExampleFromPerm() {
+	t := bushy.FromPerm(plan.Perm{2, 1, 0})
+	fmt.Println(t)
+	// Output: ((R2 ⋈ R1) ⋈ R0)
+}

@@ -1,0 +1,151 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func validQuery() *Query {
+	return &Query{
+		Relations: []Relation{
+			{Name: "a", Cardinality: 100},
+			{Name: "b", Cardinality: 200, Selections: []Selection{{Selectivity: 0.5}}},
+			{Name: "c", Cardinality: 300},
+		},
+		Predicates: []Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 10, RightDistinct: 20},
+			{Left: 2, Right: 1, LeftDistinct: 30, RightDistinct: 40},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validQuery().Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Query)
+		want   string
+	}{
+		{"no relations", func(q *Query) { q.Relations = nil }, "no relations"},
+		{"zero cardinality", func(q *Query) { q.Relations[0].Cardinality = 0 }, "non-positive cardinality"},
+		{"negative cardinality", func(q *Query) { q.Relations[1].Cardinality = -5 }, "non-positive cardinality"},
+		{"bad selection", func(q *Query) { q.Relations[1].Selections[0].Selectivity = 1.5 }, "selectivity"},
+		{"zero selection", func(q *Query) { q.Relations[1].Selections[0].Selectivity = 0 }, "selectivity"},
+		{"predicate out of range", func(q *Query) { q.Predicates[0].Right = 9 }, "out of range"},
+		{"negative endpoint", func(q *Query) { q.Predicates[0].Left = -1 }, "out of range"},
+		{"self join", func(q *Query) { q.Predicates[0].Right = q.Predicates[0].Left }, "itself"},
+		{"bad join selectivity", func(q *Query) { q.Predicates[0].Selectivity = 2 }, "selectivity"},
+		{"no stats at all", func(q *Query) {
+			q.Predicates[0].LeftDistinct = 0
+			q.Predicates[0].RightDistinct = 0
+		}, "neither"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := validQuery()
+			tc.mutate(q)
+			err := q.Validate()
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEffectiveCardinality(t *testing.T) {
+	r := Relation{Cardinality: 1000}
+	if got := r.EffectiveCardinality(); got != 1000 {
+		t.Fatalf("no selections: got %g, want 1000", got)
+	}
+	r.Selections = []Selection{{Selectivity: 0.1}, {Selectivity: 0.5}}
+	if got := r.EffectiveCardinality(); got != 50 {
+		t.Fatalf("two selections: got %g, want 50", got)
+	}
+	r.Selections = []Selection{{Selectivity: 0.0001}}
+	if got := r.EffectiveCardinality(); got != 1 {
+		t.Fatalf("floor: got %g, want 1", got)
+	}
+}
+
+func TestPredicateNormalize(t *testing.T) {
+	p := Predicate{Left: 3, Right: 1, LeftDistinct: 7, RightDistinct: 11}
+	p.Normalize()
+	if p.Left != 1 || p.Right != 3 {
+		t.Fatalf("endpoints not ordered: %d, %d", p.Left, p.Right)
+	}
+	if p.LeftDistinct != 11 || p.RightDistinct != 7 {
+		t.Fatalf("distincts not swapped with endpoints: %g, %g", p.LeftDistinct, p.RightDistinct)
+	}
+	if p.Selectivity != 1.0/11 {
+		t.Fatalf("derived selectivity: got %g, want %g", p.Selectivity, 1.0/11)
+	}
+}
+
+func TestPredicateNormalizeKeepsExplicitSelectivity(t *testing.T) {
+	p := Predicate{Left: 0, Right: 1, Selectivity: 0.25}
+	p.Normalize()
+	if p.Selectivity != 0.25 {
+		t.Fatalf("explicit selectivity overwritten: %g", p.Selectivity)
+	}
+}
+
+func TestPredicateNormalizeNoStats(t *testing.T) {
+	p := Predicate{Left: 0, Right: 1}
+	p.Normalize()
+	if p.Selectivity != 1 {
+		t.Fatalf("selectivity without stats should default to 1, got %g", p.Selectivity)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	q := validQuery()
+	q.Normalize()
+	first := *q.Clone()
+	q.Normalize()
+	for i := range q.Predicates {
+		if q.Predicates[i] != first.Predicates[i] {
+			t.Fatalf("normalize not idempotent at predicate %d: %+v vs %+v", i, q.Predicates[i], first.Predicates[i])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := validQuery()
+	c := q.Clone()
+	c.Relations[1].Selections[0].Selectivity = 0.9
+	c.Predicates[0].Left = 2
+	if q.Relations[1].Selections[0].Selectivity == 0.9 {
+		t.Fatal("clone shares selection slice with original")
+	}
+	if q.Predicates[0].Left == 2 {
+		t.Fatal("clone shares predicate slice with original")
+	}
+}
+
+func TestRelationName(t *testing.T) {
+	q := validQuery()
+	if got := q.RelationName(1); got != "b" {
+		t.Fatalf("named relation: got %q", got)
+	}
+	q.Relations[1].Name = ""
+	if got := q.RelationName(1); got != "R1" {
+		t.Fatalf("fallback name: got %q", got)
+	}
+	if got := q.RelationName(77); got != "R77" {
+		t.Fatalf("out-of-range name: got %q", got)
+	}
+}
+
+func TestNumRelations(t *testing.T) {
+	if got := validQuery().NumRelations(); got != 3 {
+		t.Fatalf("got %d, want 3", got)
+	}
+}

@@ -1,0 +1,101 @@
+// Package core implements the paper's primary contribution: the nine
+// join-order optimization strategies of §4.4 that combine the
+// augmentation, KBZ and local-improvement heuristics with iterative
+// improvement and simulated annealing, all under a shared optimization
+// budget.
+package core
+
+import "fmt"
+
+// Method identifies one of the nine compared strategies.
+type Method int
+
+const (
+	// II is plain iterative improvement from random start states.
+	II Method = iota
+	// SA is plain simulated annealing from a random start state.
+	SA
+	// SAA seeds simulated annealing with one augmentation state.
+	SAA
+	// SAK seeds simulated annealing with the KBZ state.
+	SAK
+	// IAI runs iterative improvement from augmentation start states,
+	// then from random states.
+	IAI
+	// IKI runs iterative improvement from KBZ start states, then from
+	// random states.
+	IKI
+	// IAL is IAI on the augmentation states followed by local
+	// improvement of the best local minimum.
+	IAL
+	// AGI evaluates all augmentation states directly, then runs
+	// iterative improvement from random states.
+	AGI
+	// KBI evaluates all KBZ states directly, then runs iterative
+	// improvement from random states.
+	KBI
+	// AugOnly is the pure augmentation heuristic of §4.1: generate and
+	// price the per-first-relation states, nothing more. Used by the
+	// Table 1 criteria comparison; not one of the paper's nine combined
+	// strategies.
+	AugOnly
+	// KBZOnly is the pure KBZ heuristic of §4.2: generate and price the
+	// per-root orders, nothing more. Used by the Table 2 weight
+	// comparison.
+	KBZOnly
+	// TPO is two-phase optimization: iterative improvement from a few
+	// random starts, then low-temperature simulated annealing from the
+	// best local minimum. This strategy postdates the paper (Ioannidis
+	// & Kang, SIGMOD 1990) and is included as an extension — the paper's
+	// §7 positions its framework as the bench for exactly such
+	// candidate strategies.
+	TPO
+	// PW is the perturbation walk of [SG88] (the 1988 companion paper's
+	// third technique): a pure random walk over valid states keeping
+	// the best state seen, with no descent at all. It lost to both II
+	// and SA there and serves here as the no-intelligence floor every
+	// method must clear.
+	PW
+	// GA is a genetic algorithm over valid join orders (after Bennett,
+	// Ferris & Ioannidis, SIGMOD 1991) — the third classical
+	// metaheuristic family, included as an extension for comparison
+	// within the paper's framework.
+	GA
+	// TS is tabu search (after Morzy, Matysiak & Salza 1993): steepest
+	// sampled descent with a tabu list forbidding recent swaps, so it
+	// escapes local minima deterministically. Extension.
+	TS
+
+	numMethods
+)
+
+// Methods lists all nine strategies in the paper's presentation order.
+var Methods = []Method{II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI}
+
+// TopFive lists the five best methods the paper carries into Figures 5–7
+// and Table 3.
+var TopFive = []Method{IAI, IAL, AGI, KBI, II}
+
+var methodNames = [numMethods]string{
+	II: "II", SA: "SA", SAA: "SAA", SAK: "SAK", IAI: "IAI",
+	IKI: "IKI", IAL: "IAL", AGI: "AGI", KBI: "KBI",
+	AugOnly: "AUG", KBZOnly: "KBZ", TPO: "2PO", PW: "PW", GA: "GA", TS: "TS",
+}
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	if m < 0 || m >= numMethods {
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+	return methodNames[m]
+}
+
+// ParseMethod resolves a method by its paper name (case-sensitive).
+func ParseMethod(s string) (Method, error) {
+	for i, n := range methodNames {
+		if n == s {
+			return Method(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown method %q", s)
+}

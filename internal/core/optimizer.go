@@ -1,0 +1,396 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/heuristics"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/search"
+)
+
+// Options tunes a strategy run. The zero value selects the paper's
+// defaults (criterion 3 everywhere, [SG88]/[JAMS87] parameters).
+type Options struct {
+	// IIConfig tunes iterative improvement; zero value = defaults.
+	IIConfig search.IIConfig
+	// SAConfig tunes simulated annealing; zero value = defaults.
+	SAConfig search.SAConfig
+	// Criterion is the augmentation chooseNext criterion (default 3,
+	// min join selectivity — the Table 1 winner).
+	Criterion heuristics.Criterion
+	// Weight is the KBZ spanning-tree edge weight (default 3, join
+	// selectivity — the Table 2 winner).
+	Weight heuristics.WeightCriterion
+	// StaticEstimator disables dynamic distinct-value propagation in
+	// the size estimator. Required when comparing against the DP
+	// baseline (whose optimality needs order-independent estimates).
+	StaticEstimator bool
+	// InsertMoveProb adds relation re-insertion moves to the move set
+	// with the given probability (0 = the [SG88] swap-only default).
+	// Kept as an ablation knob; see BenchmarkAblationMoveSet.
+	InsertMoveProb float64
+	// OnImprove, if non-nil, is invoked whenever the incumbent best
+	// total cost improves, with the new cost and the budget units
+	// consumed so far. Experiment harnesses use it to read off
+	// best-so-far curves at checkpoint budgets.
+	OnImprove func(cost float64, used int64)
+}
+
+func (o *Options) fill() {
+	if o.IIConfig == (search.IIConfig{}) {
+		o.IIConfig = search.DefaultIIConfig()
+	}
+	if o.SAConfig == (search.SAConfig{}) {
+		o.SAConfig = search.DefaultSAConfig()
+	}
+	if o.Criterion == 0 {
+		o.Criterion = heuristics.CriterionMinSel
+	}
+	if o.Weight == 0 {
+		o.Weight = heuristics.WeightSelectivity
+	}
+}
+
+// Optimizer runs one strategy over one query under one budget.
+type Optimizer struct {
+	query  *catalog.Query
+	graph  *joingraph.Graph
+	stats  *estimate.Stats
+	eval   *plan.Evaluator
+	budget *cost.Budget
+	rng    *rand.Rand
+	opts   Options
+}
+
+// NewOptimizer prepares an optimizer. The query must validate; it is
+// normalized in place. budget may be cost.Unlimited().
+func NewOptimizer(q *catalog.Query, model cost.Model, budget *cost.Budget, rng *rand.Rand, opts Options) (*Optimizer, error) {
+	if q == nil {
+		return nil, errors.New("core: nil query")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q.Normalize()
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	opts.fill()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	if opts.StaticEstimator {
+		st.UseStaticSelectivity()
+	}
+	return &Optimizer{
+		query:  q,
+		graph:  g,
+		stats:  st,
+		eval:   plan.NewEvaluator(st, model, budget),
+		budget: budget,
+		rng:    rng,
+		opts:   opts,
+	}, nil
+}
+
+// Evaluator exposes the optimizer's plan evaluator (tests and tools).
+func (o *Optimizer) Evaluator() *plan.Evaluator { return o.eval }
+
+// Run executes the strategy and returns the best complete plan found.
+// Queries whose join graph is disconnected are handled per the
+// postpone-cross-products heuristic: each component is optimized
+// separately (the budget is shared) and the results are combined
+// cheapest-first by cross products.
+func (o *Optimizer) Run(m Method) (*plan.Plan, error) {
+	comps := o.graph.Components()
+	results := make([]plan.Result, 0, len(comps))
+	// Optimize large components first: they dominate cost, so they
+	// deserve the budget when it is tight.
+	orderComponentsBySize(o.stats, comps)
+	multi := len(comps) > 1
+	for _, comp := range comps {
+		if len(comp) == 1 {
+			results = append(results, plan.Result{
+				Perm: plan.Perm{comp[0]},
+				Cost: 0,
+			})
+			continue
+		}
+		sp := search.NewSpace(o.eval, comp, o.rng)
+		if o.opts.InsertMoveProb > 0 {
+			sp.SwapWeight = 1 - o.opts.InsertMoveProb
+		}
+		onImprove := o.opts.OnImprove
+		if multi {
+			// Per-component incumbents do not translate to a total-plan
+			// cost until assembly; suppress intermediate callbacks.
+			onImprove = nil
+		}
+		best, bestCost, ok := o.runComponent(m, sp, onImprove)
+		if !ok {
+			// Budget exhausted before any state was produced: fall back
+			// to a deterministic valid state so a plan always exists
+			// (the paper's optimizers likewise always return *some*
+			// plan; quality is what the budget buys).
+			best = sp.RandomState()
+			bestCost = o.eval.Cost(best)
+		}
+		results = append(results, plan.Result{Perm: best, Cost: bestCost})
+	}
+	pl := plan.Assemble(o.eval, results)
+	if multi && o.opts.OnImprove != nil {
+		o.opts.OnImprove(pl.TotalCost, o.budget.Used())
+	}
+	return pl, nil
+}
+
+func orderComponentsBySize(st *estimate.Stats, comps [][]catalog.RelID) {
+	size := func(comp []catalog.RelID) float64 {
+		s := 0.0
+		for _, r := range comp {
+			s += st.Cardinality(r)
+		}
+		return s
+	}
+	// Insertion sort by descending total cardinality (few components).
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && size(comps[j]) > size(comps[j-1]); j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+}
+
+// tracker keeps the incumbent best of one component run and fires the
+// improvement callback.
+type tracker struct {
+	best      plan.Perm
+	bestCost  float64
+	ok        bool
+	budget    *cost.Budget
+	onImprove func(float64, int64)
+}
+
+func newTracker(b *cost.Budget, onImprove func(float64, int64)) *tracker {
+	return &tracker{bestCost: math.Inf(1), budget: b, onImprove: onImprove}
+}
+
+func (t *tracker) offer(p plan.Perm, c float64) {
+	if !t.ok || c < t.bestCost {
+		t.best, t.bestCost, t.ok = p, c, true
+		if t.onImprove != nil {
+			t.onImprove(c, t.budget.Used())
+		}
+	}
+}
+
+// runComponent dispatches one strategy over one component's search space.
+func (o *Optimizer) runComponent(m Method, sp *search.Space, onImprove func(float64, int64)) (plan.Perm, float64, bool) {
+	t := newTracker(o.budget, onImprove)
+	switch m {
+	case II:
+		o.iterativeImprovement(sp, t, search.RandomStarts{Space: sp})
+	case SA:
+		o.annealFrom(sp, t, sp.RandomState())
+	case SAA:
+		aug := heuristics.NewAugmentation(o.eval, sp.Relations(), o.opts.Criterion)
+		start, ok := aug.NextStart()
+		if !ok {
+			start = sp.RandomState()
+		}
+		o.annealFrom(sp, t, start)
+	case SAK:
+		// The KBZ state is expensive to produce; stream every root's
+		// order through the incumbent so SAK has *an* answer at any
+		// stop time, then anneal from the best of them.
+		kbz := heuristics.NewKBZ(o.eval, sp.Relations(), o.opts.Weight)
+		for !o.budget.Exhausted() {
+			p, more := kbz.NextStart()
+			if !more {
+				break
+			}
+			t.offer(p, o.eval.Cost(p))
+		}
+		start := t.best
+		if !t.ok {
+			start = sp.RandomState()
+			t.offer(start, o.eval.Cost(start))
+		}
+		o.annealFrom(sp, t, start)
+	case IAI:
+		aug := heuristics.NewAugmentation(o.eval, sp.Relations(), o.opts.Criterion)
+		o.iterativeImprovement(sp, t, chainStarts{aug, search.RandomStarts{Space: sp}})
+	case IKI:
+		kbz := heuristics.NewKBZ(o.eval, sp.Relations(), o.opts.Weight)
+		o.iterativeImprovement(sp, t, chainStarts{kbz, search.RandomStarts{Space: sp}})
+	case IAL:
+		o.ial(sp, t)
+	case AGI:
+		aug := heuristics.NewAugmentation(o.eval, sp.Relations(), o.opts.Criterion)
+		o.generateThenImprove(sp, t, aug)
+	case KBI:
+		kbz := heuristics.NewKBZ(o.eval, sp.Relations(), o.opts.Weight)
+		o.generateThenImprove(sp, t, kbz)
+	case AugOnly:
+		aug := heuristics.NewAugmentation(o.eval, sp.Relations(), o.opts.Criterion)
+		o.generateOnly(t, aug)
+	case KBZOnly:
+		kbz := heuristics.NewKBZ(o.eval, sp.Relations(), o.opts.Weight)
+		o.generateOnly(t, kbz)
+	case TPO:
+		o.twoPhase(sp, t)
+	case PW:
+		o.perturbationWalk(sp, t)
+	case GA:
+		best, c, ok := search.Genetic(sp, search.DefaultGAConfig(), t.offer)
+		if ok {
+			t.offer(best, c)
+		}
+	case TS:
+		best, c, ok := search.Tabu(sp, search.DefaultTabuConfig(), t.offer)
+		if ok {
+			t.offer(best, c)
+		}
+	default:
+		return nil, 0, false
+	}
+	return t.best, t.bestCost, t.ok
+}
+
+// chainStarts concatenates two start-state sources.
+type chainStarts struct{ first, then search.StartStater }
+
+func (c chainStarts) NextStart() (plan.Perm, bool) {
+	if p, ok := c.first.NextStart(); ok {
+		return p, true
+	}
+	return c.then.NextStart()
+}
+
+// iterativeImprovement runs II repeatedly from the start source until
+// the budget is exhausted, tracking the best local minimum. This is the
+// II / IAI / IKI engine.
+func (o *Optimizer) iterativeImprovement(sp *search.Space, t *tracker, starts search.StartStater) {
+	for !o.budget.Exhausted() {
+		start, more := starts.NextStart()
+		if !more {
+			return
+		}
+		c := o.eval.Cost(start)
+		t.offer(start, c)
+		endState, endCost := search.ImproveRunObserved(sp, o.opts.IIConfig, start, c, t.offer)
+		t.offer(endState, endCost)
+	}
+}
+
+// generateThenImprove evaluates every state the heuristic generates
+// directly (no descent), then spends the remaining budget on II from
+// random states. This is the AGI / KBI engine.
+func (o *Optimizer) generateThenImprove(sp *search.Space, t *tracker, gen search.StartStater) {
+	for !o.budget.Exhausted() {
+		p, more := gen.NextStart()
+		if !more {
+			break
+		}
+		t.offer(p, o.eval.Cost(p))
+	}
+	o.iterativeImprovement(sp, t, search.RandomStarts{Space: sp})
+}
+
+// generateOnly evaluates each state the heuristic produces and stops:
+// the pure-heuristic baselines of Tables 1 and 2.
+func (o *Optimizer) generateOnly(t *tracker, gen search.StartStater) {
+	for !o.budget.Exhausted() {
+		p, more := gen.NextStart()
+		if !more {
+			return
+		}
+		t.offer(p, o.eval.Cost(p))
+	}
+}
+
+// perturbationWalk implements [SG88]'s perturbation walk: accept every
+// valid move, remember the best state visited. No descent — the random
+// baseline the 1988 paper showed both II and SA dominate.
+func (o *Optimizer) perturbationWalk(sp *search.Space, t *tracker) {
+	cur := sp.RandomState()
+	curCost := o.eval.Cost(cur)
+	t.offer(cur, curCost)
+	for !o.budget.Exhausted() {
+		next, nextCost, ok := sp.Neighbor(cur)
+		if !ok {
+			cur = sp.RandomState()
+			curCost = o.eval.Cost(cur)
+			t.offer(cur, curCost)
+			continue
+		}
+		cur, curCost = next, nextCost
+		t.offer(cur, curCost)
+	}
+}
+
+// twoPhase implements the 2PO extension (Ioannidis & Kang 1990): spend
+// a fraction of the budget on II runs from random starts, then anneal
+// from the best local minimum with a cool starting temperature (small
+// InitAccept) so SA only explores the neighborhood of the minimum.
+func (o *Optimizer) twoPhase(sp *search.Space, t *tracker) {
+	phase1 := o.budget.Limit() / 2
+	for !o.budget.Exhausted() && (o.budget.Limit() <= 0 || o.budget.Used() < phase1) {
+		start := sp.RandomState()
+		c := o.eval.Cost(start)
+		t.offer(start, c)
+		endState, endCost := search.ImproveRunObserved(sp, o.opts.IIConfig, start, c, t.offer)
+		t.offer(endState, endCost)
+	}
+	if !t.ok {
+		start := sp.RandomState()
+		t.offer(start, o.eval.Cost(start))
+	}
+	saCfg := o.opts.SAConfig
+	saCfg.InitAccept = 0.05 // low temperature: stay near the minimum
+	best, bestCost := search.AnnealObserved(sp, saCfg, t.best, t.bestCost, t.offer)
+	t.offer(best, bestCost)
+}
+
+// annealFrom prices the start state and runs simulated annealing from
+// it. This is the SA / SAA / SAK engine.
+func (o *Optimizer) annealFrom(sp *search.Space, t *tracker, start plan.Perm) {
+	c := o.eval.Cost(start)
+	t.offer(start, c)
+	best, bestCost := search.AnnealObserved(sp, o.opts.SAConfig, start, c, t.offer)
+	t.offer(best, bestCost)
+}
+
+// ial implements IAL: II over the augmentation states, then repeated
+// local-improvement passes on the best local minimum (the ladder picks
+// the largest affordable (c,o) strategy), and finally — the paper leaves
+// the tail unspecified — II from random states with any leftover budget.
+func (o *Optimizer) ial(sp *search.Space, t *tracker) {
+	aug := heuristics.NewAugmentation(o.eval, sp.Relations(), o.opts.Criterion)
+	for !o.budget.Exhausted() {
+		start, more := aug.NextStart()
+		if !more {
+			break
+		}
+		c := o.eval.Cost(start)
+		t.offer(start, c)
+		endState, endCost := search.ImproveRunObserved(sp, o.opts.IIConfig, start, c, t.offer)
+		t.offer(endState, endCost)
+	}
+	for t.ok && !o.budget.Exhausted() {
+		strat, ok := heuristics.ChooseStrategy(o.budget.Remaining(), len(t.best))
+		if !ok {
+			break
+		}
+		improved, improvedCost := heuristics.LocalImprove(o.eval, strat, t.best, t.bestCost)
+		if improvedCost >= t.bestCost {
+			break
+		}
+		t.offer(improved, improvedCost)
+	}
+	o.iterativeImprovement(sp, t, search.RandomStarts{Space: sp})
+}

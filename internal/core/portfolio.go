@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/plan"
+)
+
+// PortfolioResult is the outcome of one portfolio member.
+type PortfolioResult struct {
+	Method Method
+	Plan   *plan.Plan
+	// Units is the budget the member consumed.
+	Units int64
+	Err   error
+}
+
+// Portfolio runs several strategies concurrently on the same query,
+// each in its own goroutine with its own optimizer, statistics and an
+// equal slice of the total budget, and returns the cheapest plan along
+// with every member's outcome.
+//
+// The paper's finding is that no single method dominates at every
+// budget (AGI small, IAI large); a portfolio hedges that choice at the
+// price of splitting the budget. On a multicore machine the members
+// run in parallel, so wall-clock time matches a single member's.
+//
+// totalUnits ≤ 0 means each member gets an unlimited budget (only
+// sensible for the finite heuristics AUG/KBZ).
+func Portfolio(q *catalog.Query, model cost.Model, totalUnits int64, seed int64, opts Options, methods ...Method) (*plan.Plan, []PortfolioResult, error) {
+	if len(methods) == 0 {
+		return nil, nil, errors.New("core: portfolio needs at least one method")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	results := make([]PortfolioResult, len(methods))
+	var wg sync.WaitGroup
+	for i, m := range methods {
+		wg.Add(1)
+		go func(i int, m Method) {
+			defer wg.Done()
+			var budget *cost.Budget
+			if totalUnits > 0 {
+				budget = cost.NewBudget(totalUnits / int64(len(methods)))
+			} else {
+				budget = cost.Unlimited()
+			}
+			// Each member gets its own clone (NewOptimizer normalizes in
+			// place) and an independent RNG stream.
+			rng := rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x517cc1b727220a95))
+			memberOpts := opts
+			memberOpts.OnImprove = nil // per-member trajectories are not merged
+			o, err := NewOptimizer(q.Clone(), model, budget, rng, memberOpts)
+			if err != nil {
+				results[i] = PortfolioResult{Method: m, Err: err}
+				return
+			}
+			pl, err := o.Run(m)
+			results[i] = PortfolioResult{Method: m, Plan: pl, Units: budget.Used(), Err: err}
+		}(i, m)
+	}
+	wg.Wait()
+
+	best := -1
+	bestCost := math.Inf(1)
+	var firstErr error
+	for i, r := range results {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: portfolio member %v: %w", r.Method, r.Err)
+			}
+			continue
+		}
+		if r.Plan.TotalCost < bestCost {
+			best, bestCost = i, r.Plan.TotalCost
+		}
+	}
+	if best < 0 {
+		return nil, results, firstErr
+	}
+	return results[best].Plan, results, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"joinopt/internal/cost"
+)
+
+func TestPortfolioPicksBestMember(t *testing.T) {
+	q := benchQuery(15, 51)
+	total := cost.UnitsFor(9, 15) * 3
+	best, results, err := Portfolio(q, cost.NewMemoryModel(), total, 7, Options{},
+		IAI, AGI, SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	min := math.Inf(1)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%v: %v", r.Method, r.Err)
+		}
+		if len(r.Plan.Order()) != 16 {
+			t.Fatalf("%v: incomplete plan", r.Method)
+		}
+		if r.Plan.TotalCost < min {
+			min = r.Plan.TotalCost
+		}
+		// Each member respects its budget slice.
+		slack := int64(16*4) + 16*16
+		if r.Units > total/3+slack {
+			t.Fatalf("%v overshot its slice: %d of %d", r.Method, r.Units, total/3)
+		}
+	}
+	if best.TotalCost != min {
+		t.Fatalf("portfolio returned %g, member min is %g", best.TotalCost, min)
+	}
+}
+
+func TestPortfolioDeterministic(t *testing.T) {
+	q := benchQuery(12, 53)
+	run := func() float64 {
+		best, _, err := Portfolio(q.Clone(), cost.NewMemoryModel(), cost.UnitsFor(3, 12)*2, 5, Options{}, IAI, II)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.TotalCost
+	}
+	if run() != run() {
+		t.Fatal("portfolio not deterministic per seed")
+	}
+}
+
+func TestPortfolioErrors(t *testing.T) {
+	q := benchQuery(5, 55)
+	if _, _, err := Portfolio(q, cost.NewMemoryModel(), 1000, 1, Options{}); err == nil {
+		t.Fatal("empty portfolio accepted")
+	}
+	bad := benchQuery(5, 57)
+	bad.Relations[0].Cardinality = -1
+	if _, _, err := Portfolio(bad, cost.NewMemoryModel(), 1000, 1, Options{}, IAI); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestPWIsWorstButValid(t *testing.T) {
+	q := benchQuery(15, 59)
+	run := func(m Method) float64 {
+		budget := cost.NewBudget(cost.UnitsFor(3, 15))
+		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := opt.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Evaluator().Valid(pl.Order()) {
+			t.Fatalf("%v produced an invalid plan", m)
+		}
+		return pl.TotalCost
+	}
+	pw := run(PW)
+	iai := run(IAI)
+	if pw < iai {
+		t.Logf("note: PW (%g) beat IAI (%g) on this seed — rare but possible", pw, iai)
+	}
+	if m, err := ParseMethod("PW"); err != nil || m != PW {
+		t.Fatal("PW not parseable")
+	}
+}

@@ -1,0 +1,117 @@
+package cost
+
+import "time"
+
+// Budget is the deterministic substitute for the paper's wall-clock time
+// limits. The optimizer simulations in the paper are "completely CPU
+// bound" and dominated by cost-function evaluations, so we meter those:
+// every single-join cost computation debits one work unit. A paper time
+// limit of t·N² corresponds to t·N²·UnitScale units (see UnitsFor).
+//
+// A Budget is shared by reference among all phases of a composite
+// strategy so the whole strategy respects one limit, exactly as a single
+// wall clock would.
+type Budget struct {
+	limit int64
+	used  int64
+	// deadline, when non-zero, exhausts the budget at a wall-clock
+	// instant as well — the practitioner's stop condition, layered on
+	// top of the deterministic unit meter.
+	deadline time.Time
+	// checkEvery controls how often Exhausted consults the clock (every
+	// 2^k charges, amortizing the time.Now call).
+	sinceCheck int64
+	timedOut   bool
+}
+
+// UnitScale converts the paper's time coefficient into work units:
+// limit(t, N) = t · N² · UnitScale. The default is calibrated so that the
+// qualitative behaviour of the paper's Figures 4–6 (II/AGI ahead at small
+// t, IAI ahead from t ≈ 1.5–1.8 on, convergence by t = 9) appears at the
+// same coefficients.
+const UnitScale = 5
+
+// UnitsFor returns the work-unit budget equivalent to the paper's time
+// limit t·N² for a query with n joins.
+func UnitsFor(t float64, n int) int64 {
+	u := t * float64(n) * float64(n) * UnitScale
+	if u < 1 {
+		return 1
+	}
+	return int64(u)
+}
+
+// NewBudget returns a budget of the given number of work units. A
+// non-positive limit means unlimited.
+func NewBudget(units int64) *Budget {
+	return &Budget{limit: units}
+}
+
+// Unlimited returns a budget that never exhausts.
+func Unlimited() *Budget { return &Budget{limit: 0} }
+
+// WithDeadline attaches a wall-clock deadline: the budget also exhausts
+// when the deadline passes, whichever comes first. Determinism is lost
+// for the timed-out portion — use the unit limit alone for reproducible
+// experiments and the deadline for production latency control.
+func (b *Budget) WithDeadline(d time.Duration) *Budget {
+	b.deadline = time.Now().Add(d)
+	return b
+}
+
+// Charge debits n units.
+func (b *Budget) Charge(n int64) {
+	b.used += n
+	b.sinceCheck += n
+}
+
+// deadlineCheckInterval spaces out time.Now calls: the clock is
+// consulted at most once per this many charged units.
+const deadlineCheckInterval = 256
+
+// Exhausted reports whether the budget has run out (unit limit or
+// deadline).
+func (b *Budget) Exhausted() bool {
+	if b.limit > 0 && b.used >= b.limit {
+		return true
+	}
+	if b.timedOut {
+		return true
+	}
+	if !b.deadline.IsZero() && b.sinceCheck >= deadlineCheckInterval {
+		b.sinceCheck = 0
+		if !time.Now().Before(b.deadline) {
+			b.timedOut = true
+			return true
+		}
+	}
+	return false
+}
+
+// Used returns the units consumed so far.
+func (b *Budget) Used() int64 { return b.used }
+
+// Limit returns the configured limit (0 = unlimited).
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Remaining returns the units left, or a negative value when unlimited.
+func (b *Budget) Remaining() int64 {
+	if b.limit <= 0 {
+		return -1
+	}
+	r := b.limit - b.used
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Reset clears consumption (and any deadline state) and sets a new
+// limit.
+func (b *Budget) Reset(units int64) {
+	b.limit = units
+	b.used = 0
+	b.deadline = time.Time{}
+	b.sinceCheck = 0
+	b.timedOut = false
+}

@@ -1,0 +1,140 @@
+package cost
+
+import (
+	"errors"
+	"math"
+)
+
+// Calibration fits the main-memory model's coefficients to measured
+// join executions — the discipline behind the paper's cost model
+// ([Swa89a] is "A Validated Cost Model": its constants came from
+// measurements, not guesses). Collect samples with
+// engine.CalibrationSamples, fit with Calibrate, and optimize with a
+// model whose ratios reflect the machine at hand.
+
+// JoinSample is one measured join: operand/result sizes and the
+// measured execution cost (any unit — seconds, ticks; only ratios
+// matter).
+type JoinSample struct {
+	Outer, Inner, Result float64
+	Measured             float64
+}
+
+// Calibrate least-squares-fits measured = B·inner + P·outer + R·result
+// (no intercept) and returns the model normalized so Probe = 1 —
+// absolute scale is meaningless to plan comparison, ratios are
+// everything. Requires at least three samples with non-degenerate
+// variation; coefficients are clamped to a small positive floor so the
+// fitted model stays monotone.
+func Calibrate(samples []JoinSample) (*MemoryModel, error) {
+	if len(samples) < 3 {
+		return nil, errors.New("cost: calibration needs at least 3 samples")
+	}
+	// Normal equations AᵀA x = Aᵀy for x = (B, P, R) over rows
+	// (inner, outer, result).
+	var ata [3][3]float64
+	var aty [3]float64
+	for _, s := range samples {
+		row := [3]float64{s.Inner, s.Outer, s.Result}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			aty[i] += row[i] * s.Measured
+		}
+	}
+	x, err := solve3(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize to Probe = 1, clamping to keep monotonicity.
+	probe := x[1]
+	if probe <= 0 {
+		// Fall back to normalizing by the largest coefficient.
+		probe = math.Max(x[0], math.Max(x[1], x[2]))
+		if probe <= 0 {
+			return nil, errors.New("cost: calibration produced no positive coefficient")
+		}
+	}
+	clamp := func(v float64) float64 {
+		v /= probe
+		if v < 1e-3 {
+			return 1e-3
+		}
+		return v
+	}
+	return &MemoryModel{Build: clamp(x[0]), Probe: clamp(x[1]), Result: clamp(x[2])}, nil
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with
+// partial pivoting.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, error) {
+	var x [3]float64
+	// Augment.
+	m := [3][4]float64{}
+	for i := 0; i < 3; i++ {
+		copy(m[i][:3], a[i][:])
+		m[i][3] = b[i]
+	}
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return x, errors.New("cost: calibration system is singular (samples lack variation)")
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		x[i] = m[i][3] / m[i][i]
+	}
+	return x, nil
+}
+
+// FitQuality returns the coefficient of determination R² of the model
+// against the samples (1 = perfect fit).
+func FitQuality(m *MemoryModel, samples []JoinSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s.Measured
+	}
+	mean /= float64(len(samples))
+	ssTot, ssRes := 0.0, 0.0
+	// The calibrated model is normalized (Probe = 1), so fit a single
+	// global scale factor first: s* = Σ(pred·meas)/Σ(pred²).
+	num, den := 0.0, 0.0
+	for _, s := range samples {
+		p := m.JoinCost(s.Outer, s.Inner, s.Result)
+		num += p * s.Measured
+		den += p * p
+	}
+	scale := 1.0
+	if den > 0 {
+		scale = num / den
+	}
+	for _, s := range samples {
+		p := scale * m.JoinCost(s.Outer, s.Inner, s.Result)
+		ssRes += (s.Measured - p) * (s.Measured - p)
+		ssTot += (s.Measured - mean) * (s.Measured - mean)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

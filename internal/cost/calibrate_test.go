@@ -1,0 +1,79 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthetic samples from known coefficients (exact, deterministic).
+func syntheticSamples(build, probe, result float64, noise float64, rng *rand.Rand) []JoinSample {
+	var out []JoinSample
+	for _, o := range []float64{100, 1000, 5000, 20000} {
+		for _, i := range []float64{50, 800, 4000} {
+			for _, r := range []float64{10, 600, 9000} {
+				m := build*i + probe*o + result*r
+				if noise > 0 {
+					m *= 1 + noise*(rng.Float64()*2-1)
+				}
+				out = append(out, JoinSample{Outer: o, Inner: i, Result: r, Measured: m})
+			}
+		}
+	}
+	return out
+}
+
+func TestCalibrateRecoversExactCoefficients(t *testing.T) {
+	samples := syntheticSamples(2.5, 1.0, 0.75, 0, nil)
+	m, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized to Probe = 1: ratios must match exactly.
+	if math.Abs(m.Probe-1) > 1e-9 || math.Abs(m.Build-2.5) > 1e-6 || math.Abs(m.Result-0.75) > 1e-6 {
+		t.Fatalf("fit %+v, want ratios 2.5/1/0.75", m)
+	}
+	if q := FitQuality(m, samples); q < 1-1e-9 {
+		t.Fatalf("exact data R² = %g", q)
+	}
+}
+
+func TestCalibrateHandlesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := syntheticSamples(3, 1, 0.5, 0.2, rng)
+	m, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Build < 1.5 || m.Build > 6 {
+		t.Fatalf("noisy build estimate %g far from 3", m.Build)
+	}
+	if q := FitQuality(m, samples); q < 0.8 {
+		t.Fatalf("noisy R² = %g", q)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	// Degenerate: all rows identical → singular system.
+	same := make([]JoinSample, 5)
+	for i := range same {
+		same[i] = JoinSample{Outer: 10, Inner: 10, Result: 10, Measured: 30}
+	}
+	if _, err := Calibrate(same); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestFitQualityDegenerate(t *testing.T) {
+	m := NewMemoryModel()
+	if FitQuality(m, nil) != 0 {
+		t.Fatal("empty fit quality")
+	}
+	same := []JoinSample{{1, 1, 1, 5}, {1, 1, 1, 5}}
+	if FitQuality(m, same) != 0 {
+		t.Fatal("zero-variance fit quality should be 0")
+	}
+}

@@ -1,0 +1,121 @@
+// Package cost defines the plan cost models and the work-unit budget that
+// substitutes for the paper's wall-clock optimization time limits.
+//
+// Two models are provided, mirroring the paper's §6: a main-memory
+// hash-join CPU model (after Swami's validated main-memory model) and a
+// disk-based Grace-hash-join I/O model (after Bratbergsengen, VLDB 1984).
+// Both expose a single method costing one join given the outer, inner and
+// result sizes, so a plan's cost is the sum over its N joins.
+package cost
+
+import "math"
+
+// Model prices a single hash join. Implementations must be monotone in
+// all three arguments.
+type Model interface {
+	// JoinCost returns the cost of joining an outer operand of outer
+	// tuples with an inner base relation of inner tuples producing
+	// result tuples.
+	JoinCost(outer, inner, result float64) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// MemoryModel is the main-memory hash-join CPU cost model: building a
+// hash table on the inner, probing it with the outer, and materializing
+// the result are each linear in the respective sizes.
+//
+// The default coefficients reflect that building (hashing + inserting) is
+// somewhat more expensive per tuple than probing, and producing a result
+// tuple costs about as much as probing. Absolute values only set the
+// unit; relative plan order depends on ratios alone.
+type MemoryModel struct {
+	Build, Probe, Result float64
+}
+
+// NewMemoryModel returns the default-calibrated main-memory model.
+func NewMemoryModel() *MemoryModel {
+	return &MemoryModel{Build: 2.0, Probe: 1.0, Result: 1.0}
+}
+
+// JoinCost implements Model.
+func (m *MemoryModel) JoinCost(outer, inner, result float64) float64 {
+	return m.Build*inner + m.Probe*outer + m.Result*result
+}
+
+// Name implements Model.
+func (m *MemoryModel) Name() string { return "memory" }
+
+// DiskModel is a Grace-hash-join I/O cost model similar to
+// Bratbergsengen's: when the inner's hash table fits in memory the join
+// reads both operands once and writes the result; otherwise both operands
+// are partitioned to disk and re-read, adding two I/Os per overflow page,
+// recursively if a partition still overflows.
+type DiskModel struct {
+	// TupleBytes is the (uniform) width of a tuple in bytes.
+	TupleBytes float64
+	// PageBytes is the disk page size in bytes.
+	PageBytes float64
+	// MemoryPages is the number of buffer-pool pages available to a join.
+	MemoryPages float64
+	// Fudge is the hash-table space expansion factor (F in the
+	// literature): the inner fits iff pages(inner)·Fudge ≤ MemoryPages.
+	Fudge float64
+	// CPUWeight prices the per-tuple CPU work relative to one I/O
+	// (small; keeps the model strictly monotone in result size even
+	// when page counts tie).
+	CPUWeight float64
+}
+
+// NewDiskModel returns the default-calibrated disk model: 100-byte
+// tuples, 4 KiB pages, a 500-page (~2 MB) buffer pool and the customary
+// fudge factor 1.4.
+func NewDiskModel() *DiskModel {
+	return &DiskModel{
+		TupleBytes:  100,
+		PageBytes:   4096,
+		MemoryPages: 500,
+		Fudge:       1.4,
+		CPUWeight:   0.001,
+	}
+}
+
+// Pages converts a tuple count to occupied pages (at least one for a
+// non-empty operand).
+func (m *DiskModel) Pages(tuples float64) float64 {
+	if tuples <= 0 {
+		return 0
+	}
+	p := math.Ceil(tuples * m.TupleBytes / m.PageBytes)
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// JoinCost implements Model. Intermediate (outer) operands are assumed
+// pipelined from the previous join when they fit in memory and spooled to
+// disk otherwise; base relations are always read.
+func (m *DiskModel) JoinCost(outer, inner, result float64) float64 {
+	pOuter := m.Pages(outer)
+	pInner := m.Pages(inner)
+	pResult := m.Pages(result)
+	cpu := m.CPUWeight * (outer + inner + result)
+
+	io := pInner + pOuter // read both operands once
+	// Partitioning passes: each pass writes and re-reads both operands,
+	// and each pass multiplies the effective memory by the fan-out
+	// (MemoryPages-1 partitions per pass).
+	need := pInner * m.Fudge
+	avail := m.MemoryPages
+	fanout := m.MemoryPages - 1
+	for need > avail && fanout > 1 {
+		io += 2 * (pInner + pOuter)
+		avail *= fanout
+	}
+	io += pResult // write the result
+	return io + cpu
+}
+
+// Name implements Model.
+func (m *DiskModel) Name() string { return "disk" }

@@ -1,0 +1,163 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMemoryModelArithmetic(t *testing.T) {
+	m := &MemoryModel{Build: 2, Probe: 1, Result: 1}
+	got := m.JoinCost(10, 20, 30)
+	if got != 2*20+10+30 {
+		t.Fatalf("got %g, want 80", got)
+	}
+	if m.Name() != "memory" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestMemoryModelMonotone(t *testing.T) {
+	m := NewMemoryModel()
+	f := func(a, b, c, da, db, dc uint16) bool {
+		o, i, r := float64(a), float64(b), float64(c)
+		base := m.JoinCost(o, i, r)
+		return m.JoinCost(o+float64(da), i, r) >= base &&
+			m.JoinCost(o, i+float64(db), r) >= base &&
+			m.JoinCost(o, i, r+float64(dc)) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskModelPages(t *testing.T) {
+	m := NewDiskModel() // 100-byte tuples, 4096-byte pages
+	if got := m.Pages(0); got != 0 {
+		t.Fatalf("pages(0)=%g", got)
+	}
+	if got := m.Pages(1); got != 1 {
+		t.Fatalf("pages(1)=%g, want 1", got)
+	}
+	if got := m.Pages(41); got != 2 { // 4100 bytes → 2 pages
+		t.Fatalf("pages(41)=%g, want 2", got)
+	}
+}
+
+func TestDiskModelInMemoryJoin(t *testing.T) {
+	m := NewDiskModel()
+	// Inner fits easily: pages(1000 tuples)=25, fudge 1.4 → 35 ≤ 500.
+	got := m.JoinCost(1000, 1000, 1000)
+	wantIO := m.Pages(1000)*2 + m.Pages(1000)
+	wantCPU := m.CPUWeight * 3000
+	if math.Abs(got-(wantIO+wantCPU)) > 1e-9 {
+		t.Fatalf("in-memory grace join: got %g, want %g", got, wantIO+wantCPU)
+	}
+}
+
+func TestDiskModelPartitioningKicksIn(t *testing.T) {
+	m := NewDiskModel()
+	// Inner of 10^6 tuples = 24414 pages ≫ 500-page memory: one
+	// partitioning pass adds 2(pInner+pOuter) I/Os.
+	small := m.JoinCost(1000, 1000, 1000)
+	big := m.JoinCost(1000, 1e6, 1000)
+	// Compare against a hypothetical without partitioning.
+	noPart := m.Pages(1000) + m.Pages(1e6) + m.Pages(1000) + m.CPUWeight*(1000+1e6+1000)
+	if big <= noPart {
+		t.Fatalf("partitioning not charged: big=%g noPart=%g", big, noPart)
+	}
+	if big <= small {
+		t.Fatal("bigger inner not more expensive")
+	}
+}
+
+func TestDiskModelMonotone(t *testing.T) {
+	m := NewDiskModel()
+	f := func(a, b, c, d uint16) bool {
+		o, i, r := float64(a)+1, float64(b)+1, float64(c)+1
+		return m.JoinCost(o+float64(d), i, r) >= m.JoinCost(o, i, r) &&
+			m.JoinCost(o, i+float64(d), r) >= m.JoinCost(o, i, r) &&
+			m.JoinCost(o, i, r+float64(d)) >= m.JoinCost(o, i, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "disk" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestBudgetBasics(t *testing.T) {
+	b := NewBudget(10)
+	if b.Exhausted() {
+		t.Fatal("fresh budget exhausted")
+	}
+	b.Charge(4)
+	if b.Used() != 4 || b.Remaining() != 6 {
+		t.Fatalf("used=%d remaining=%d", b.Used(), b.Remaining())
+	}
+	b.Charge(7)
+	if !b.Exhausted() {
+		t.Fatal("over-charged budget not exhausted")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("remaining clamps at 0, got %d", b.Remaining())
+	}
+	b.Reset(5)
+	if b.Exhausted() || b.Used() != 0 || b.Limit() != 5 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	b := Unlimited()
+	b.Charge(1 << 40)
+	if b.Exhausted() {
+		t.Fatal("unlimited budget exhausted")
+	}
+	if b.Remaining() >= 0 {
+		t.Fatalf("unlimited remaining should be negative, got %d", b.Remaining())
+	}
+}
+
+func TestUnitsFor(t *testing.T) {
+	if got := UnitsFor(9, 50); got != int64(9*50*50*UnitScale) {
+		t.Fatalf("UnitsFor(9,50)=%d", got)
+	}
+	if got := UnitsFor(0, 0); got != 1 {
+		t.Fatalf("degenerate UnitsFor should floor at 1, got %d", got)
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	b := NewBudget(0).WithDeadline(5 * time.Millisecond)
+	if b.Exhausted() {
+		t.Fatal("fresh deadline budget exhausted")
+	}
+	// Burn charges until past the deadline.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for !b.Exhausted() {
+		b.Charge(64)
+		if time.Now().After(deadline) {
+			t.Fatal("deadline budget never exhausted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Once timed out, it stays exhausted.
+	if !b.Exhausted() {
+		t.Fatal("timed-out budget reported un-exhausted")
+	}
+	b.Reset(10)
+	if b.Exhausted() {
+		t.Fatal("reset did not clear the deadline")
+	}
+}
+
+func TestBudgetUnitLimitStillWinsWithDeadline(t *testing.T) {
+	b := NewBudget(10).WithDeadline(time.Hour)
+	b.Charge(11)
+	if !b.Exhausted() {
+		t.Fatal("unit limit ignored when a deadline is set")
+	}
+}

@@ -1,0 +1,225 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// The paper restricts its search to outer linear (left-deep) join trees
+// and notes that validating this restriction — "the assumption that a
+// significant fraction of the join trees with low processing cost is to
+// be found in the space of outer linear join trees" — is an open
+// problem (§2). This file provides the instrument: an exact dynamic
+// program over *bushy* trees for small queries, so the left-deep
+// optimum can be compared against the unrestricted optimum.
+
+// MaxBushyRelations bounds the bushy DP (it enumerates all 3^n
+// subset splits).
+const MaxBushyRelations = 16
+
+// BushyNode is a node of a bushy join tree: either a leaf (a base
+// relation) or an inner join of two subtrees.
+type BushyNode struct {
+	// Rel is the base relation for leaves (Left == nil).
+	Rel catalog.RelID
+	// Left and Right are the join operands for inner nodes.
+	Left, Right *BushyNode
+	// Size is the estimated result cardinality of this subtree.
+	Size float64
+}
+
+// IsLeaf reports whether the node is a base relation.
+func (n *BushyNode) IsLeaf() bool { return n.Left == nil }
+
+// String renders the tree in parenthesized infix form.
+func (n *BushyNode) String() string {
+	var b strings.Builder
+	n.format(&b)
+	return b.String()
+}
+
+func (n *BushyNode) format(b *strings.Builder) {
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "R%d", n.Rel)
+		return
+	}
+	b.WriteByte('(')
+	n.Left.format(b)
+	b.WriteString(" ⋈ ")
+	n.Right.format(b)
+	b.WriteByte(')')
+}
+
+// Relations appends the leaf relations of the subtree in left-to-right
+// order.
+func (n *BushyNode) Relations(dst []catalog.RelID) []catalog.RelID {
+	if n.IsLeaf() {
+		return append(dst, n.Rel)
+	}
+	dst = n.Left.Relations(dst)
+	return n.Right.Relations(dst)
+}
+
+// BushyOptimal computes the optimal bushy join tree of one connected
+// component by dynamic programming over subset splits, pricing each
+// join with the evaluator's cost model (outer = left subtree, inner =
+// right subtree; the cheaper orientation is taken). Like Optimal, it
+// requires the static estimator for exactness, and it charges the
+// budget per join priced.
+func BushyOptimal(eval *plan.Evaluator, rels []catalog.RelID) (*BushyNode, float64, error) {
+	n := len(rels)
+	if n == 0 {
+		return nil, 0, errors.New("dp: empty component")
+	}
+	if n > MaxBushyRelations {
+		return nil, 0, ErrTooLarge
+	}
+	st := eval.Stats()
+	g := st.Graph()
+	model := eval.Model()
+	budget := eval.Budget()
+
+	idOf := make([]catalog.RelID, n)
+	copy(idOf, rels)
+	localOf := make(map[catalog.RelID]int, n)
+	for i, r := range idOf {
+		localOf[r] = i
+	}
+	adj := make([]uint32, n)
+	for i, r := range idOf {
+		var nbuf []catalog.RelID
+		nbuf = g.Neighbors(r, nbuf)
+		for _, w := range nbuf {
+			if j, ok := localOf[w]; ok {
+				adj[i] |= 1 << uint(j)
+			}
+		}
+	}
+
+	full := uint32(1)<<uint(n) - 1
+
+	// size[S] is the estimated result size of joining exactly the set S
+	// (well-defined under the static estimator). Computed incrementally:
+	// grow S by its lowest member under the standard formula.
+	size := make([]float64, full+1)
+	inSet := make([]bool, st.Query().NumRelations())
+	for s := uint32(1); s <= full; s++ {
+		low := s & (-s)
+		j := trailingZeros(low)
+		rest := s &^ low
+		if rest == 0 {
+			size[s] = st.Cardinality(idOf[j])
+			continue
+		}
+		setMask(inSet, idOf, rest)
+		size[s] = st.JoinSize(size[rest], inSet, idOf[j])
+	}
+
+	type entry struct {
+		cost  float64
+		split uint32 // left subset of the winning split (0 = leaf)
+	}
+	best := make([]entry, full+1)
+	for s := range best {
+		best[s].cost = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		best[uint32(1)<<uint(i)] = entry{cost: 0}
+	}
+
+	// connected[S]: S has an edge between any proper split? We instead
+	// require each enumerated split pair to be edge-connected to each
+	// other, and both halves to have finite cost (recursively valid).
+	crossEdge := func(a, bmask uint32) bool {
+		for t := a; t != 0; t &= t - 1 {
+			i := trailingZeros(t & (-t))
+			if adj[i]&bmask != 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	for s := uint32(1); s <= full; s++ {
+		if s&(s-1) == 0 {
+			continue
+		}
+		// Enumerate proper subsets of s; consider each unordered split
+		// once by requiring the lowest bit of s to stay in the left.
+		lowBit := s & (-s)
+		for left := (s - 1) & s; left != 0; left = (left - 1) & s {
+			if left&lowBit == 0 {
+				continue
+			}
+			right := s &^ left
+			if right == 0 {
+				continue
+			}
+			if math.IsInf(best[left].cost, 1) || math.IsInf(best[right].cost, 1) {
+				continue
+			}
+			if !crossEdge(left, right) {
+				continue // cross product: not a valid tree
+			}
+			join := math.Min(
+				model.JoinCost(size[left], size[right], size[s]),
+				model.JoinCost(size[right], size[left], size[s]),
+			)
+			budget.Charge(2)
+			c := best[left].cost + best[right].cost + join
+			if c < best[s].cost {
+				best[s] = entry{cost: c, split: left}
+			}
+		}
+	}
+
+	if math.IsInf(best[full].cost, 1) {
+		return nil, 0, errors.New("dp: component is not connected; no valid bushy tree exists")
+	}
+
+	var build func(s uint32) *BushyNode
+	build = func(s uint32) *BushyNode {
+		if s&(s-1) == 0 {
+			return &BushyNode{Rel: idOf[trailingZeros(s)], Size: size[s]}
+		}
+		left := best[s].split
+		return &BushyNode{
+			Left:  build(left),
+			Right: build(s &^ left),
+			Size:  size[s],
+		}
+	}
+	return build(full), best[full].cost, nil
+}
+
+func trailingZeros(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// LeftDeepGap measures the paper's §2 open problem on one component:
+// the ratio of the optimal left-deep cost to the optimal bushy cost
+// (≥ 1; equal to 1 when the left-deep restriction is lossless).
+func LeftDeepGap(eval *plan.Evaluator, rels []catalog.RelID) (float64, error) {
+	_, linear, err := Optimal(eval, rels)
+	if err != nil {
+		return 0, err
+	}
+	_, bushy, err := BushyOptimal(eval, rels)
+	if err != nil {
+		return 0, err
+	}
+	if bushy <= 0 {
+		return 1, nil
+	}
+	return linear / bushy, nil
+}

@@ -1,0 +1,125 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/catalog"
+)
+
+// TestBushyNeverWorseThanLeftDeep: the left-deep space is a subset of
+// the bushy space, so the bushy optimum can never cost more.
+func TestBushyNeverWorseThanLeftDeep(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(sz%8)
+		eval, comp := staticEval(rng, n)
+		gap, err := LeftDeepGap(eval, comp)
+		if err != nil {
+			return false
+		}
+		return gap >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBushyTreeStructure: the winning tree covers each component
+// relation exactly once and its recorded sizes are consistent.
+func TestBushyTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	eval, comp := staticEval(rng, 9)
+	tree, cost, err := BushyOptimal(eval, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatalf("degenerate cost %g", cost)
+	}
+	leaves := tree.Relations(nil)
+	if len(leaves) != len(comp) {
+		t.Fatalf("tree has %d leaves, want %d", len(leaves), len(comp))
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	want := append([]catalog.RelID(nil), comp...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("leaf set %v, want %v", leaves, want)
+		}
+	}
+	if tree.String() == "" || tree.IsLeaf() {
+		t.Fatal("tree rendering broken")
+	}
+}
+
+// TestBushyMatchesLinearOnChains: on a pure chain with strictly
+// shrinking joins the left-deep optimum often matches the bushy one;
+// at minimum the bushy cost must equal the linear cost when n = 2.
+func TestBushyTwoRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	eval, comp := staticEval(rng, 2)
+	_, linear, err := Optimal(eval, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bushy, err := BushyOptimal(eval, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(linear-bushy) > linear*1e-9 {
+		t.Fatalf("n=2: linear %g vs bushy %g", linear, bushy)
+	}
+}
+
+// TestBushyBeatsLinearSomewhere: bushy trees genuinely help on some
+// queries — otherwise the instrument is broken. A "butterfly" query
+// (two selective wings whose small results join in the middle) is the
+// canonical case.
+func TestBushyBeatsLinearSomewhere(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Cardinality: 100000}, // 0: big left hub
+			{Cardinality: 10},     // 1: selective left wing
+			{Cardinality: 100000}, // 2: big right hub
+			{Cardinality: 10},     // 3: selective right wing
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 100000, RightDistinct: 10},
+			{Left: 2, Right: 3, LeftDistinct: 100000, RightDistinct: 10},
+			{Left: 0, Right: 2, LeftDistinct: 100, RightDistinct: 100},
+		},
+	}
+	eval, comp := evalForQuery(q)
+	gap, err := LeftDeepGap(eval, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap <= 1.0+1e-9 {
+		t.Fatalf("butterfly query should favor a bushy tree; gap %g", gap)
+	}
+}
+
+func TestBushyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	eval, _ := staticEval(rng, 4)
+	if _, _, err := BushyOptimal(eval, nil); err == nil {
+		t.Fatal("empty component accepted")
+	}
+	big := make([]catalog.RelID, MaxBushyRelations+1)
+	if _, _, err := BushyOptimal(eval, big); err != ErrTooLarge {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	// Disconnected pair.
+	q := &catalog.Query{
+		Relations: []catalog.Relation{{Cardinality: 5}, {Cardinality: 5}},
+	}
+	deval, _ := evalForQuery(q)
+	if _, _, err := BushyOptimal(deval, []catalog.RelID{0, 1}); err == nil {
+		t.Fatal("disconnected component accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package dp provides the classical baselines the paper positions itself
+// against: exhaustive enumeration of valid join orders (tiny queries
+// only) and System-R-style dynamic programming over valid left-deep
+// trees [SAC+79], whose O(2^N) time/space is exactly why the paper's
+// randomized strategies exist for N ≥ 10.
+//
+// Both baselines return the true optimum over the space of valid outer
+// linear join trees of one connected component, so the test suite uses
+// them as ground truth for the heuristics and search strategies.
+package dp
+
+import (
+	"errors"
+	"math"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// MaxDPRelations bounds the bitmask DP (2^n states); beyond this the
+// memory and time are exactly the infeasibility the paper describes.
+const MaxDPRelations = 22
+
+// ErrTooLarge is returned when a component exceeds the baseline's reach.
+var ErrTooLarge = errors.New("dp: component too large for exact optimization")
+
+// Optimal computes the optimal valid left-deep join order of the given
+// component relations by dynamic programming over connected subsets.
+// Join evaluations debit the evaluator's budget as usual.
+//
+// Exactness requires order-independent size estimates: the evaluator's
+// statistics must be in static mode (estimate.Stats.UseStaticSelectivity)
+// — the same assumption System R's optimizer made. Under the default
+// dynamic estimator the result is still a strong plan but the principle
+// of optimality does not hold on collapsing size trajectories.
+func Optimal(eval *plan.Evaluator, rels []catalog.RelID) (plan.Perm, float64, error) {
+	n := len(rels)
+	if n == 0 {
+		return nil, 0, errors.New("dp: empty component")
+	}
+	if n > MaxDPRelations {
+		return nil, 0, ErrTooLarge
+	}
+	if n == 1 {
+		return plan.Perm{rels[0]}, 0, nil
+	}
+
+	st := eval.Stats()
+	g := st.Graph()
+	model := eval.Model()
+	budget := eval.Budget()
+
+	// Local index <-> RelID mapping.
+	idOf := make([]catalog.RelID, n)
+	copy(idOf, rels)
+	localOf := make(map[catalog.RelID]int, n)
+	for i, r := range idOf {
+		localOf[r] = i
+	}
+
+	// adjacency as local bitmasks
+	adj := make([]uint32, n)
+	for i, r := range idOf {
+		var nbuf []catalog.RelID
+		nbuf = g.Neighbors(r, nbuf)
+		for _, w := range nbuf {
+			if j, ok := localOf[w]; ok {
+				adj[i] |= 1 << uint(j)
+			}
+		}
+	}
+
+	full := uint32(1)<<uint(n) - 1
+	bestCost := make([]float64, full+1)
+	size := make([]float64, full+1)
+	lastRel := make([]int8, full+1)
+	for s := range bestCost {
+		bestCost[s] = math.Inf(1)
+		lastRel[s] = -1
+	}
+
+	// Singletons.
+	for i := 0; i < n; i++ {
+		m := uint32(1) << uint(i)
+		bestCost[m] = 0
+		size[m] = st.Cardinality(idOf[i])
+		lastRel[m] = int8(i)
+	}
+
+	inSet := make([]bool, st.Query().NumRelations())
+	for s := uint32(1); s <= full; s++ {
+		if s&(s-1) == 0 {
+			continue // singleton, handled above
+		}
+		// Consider removing each member j that still leaves s\{j}
+		// reachable and that joins into s\{j}.
+		for j := 0; j < n; j++ {
+			bit := uint32(1) << uint(j)
+			if s&bit == 0 {
+				continue
+			}
+			rest := s &^ bit
+			if math.IsInf(bestCost[rest], 1) {
+				continue // rest not a connected valid prefix
+			}
+			if adj[j]&rest == 0 {
+				continue // would be a cross product
+			}
+			outer := size[rest]
+			// Result size: selectivity of all edges from j into rest.
+			setMask(inSet, idOf, rest)
+			inner := st.Cardinality(idOf[j])
+			result := st.JoinSize(outer, inSet, idOf[j])
+			c := bestCost[rest] + model.JoinCost(outer, inner, result)
+			budget.Charge(1)
+			if c < bestCost[s] {
+				bestCost[s] = c
+				size[s] = result
+				lastRel[s] = int8(j)
+			}
+		}
+	}
+
+	if math.IsInf(bestCost[full], 1) {
+		return nil, 0, errors.New("dp: component is not connected; no valid order exists")
+	}
+
+	// Reconstruct the permutation.
+	out := make(plan.Perm, n)
+	s := full
+	for i := n - 1; i >= 0; i-- {
+		j := lastRel[s]
+		out[i] = idOf[j]
+		s &^= 1 << uint(j)
+	}
+	return out, bestCost[full], nil
+}
+
+func setMask(inSet []bool, idOf []catalog.RelID, mask uint32) {
+	for i := range inSet {
+		inSet[i] = false
+	}
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			inSet[idOf[i]] = true
+		}
+		mask >>= 1
+	}
+}
+
+// MaxExhaustiveRelations bounds exhaustive enumeration (n! orders).
+const MaxExhaustiveRelations = 9
+
+// Exhaustive enumerates every valid permutation of the component and
+// returns the cheapest. Intended for tests (ground truth for DP itself).
+func Exhaustive(eval *plan.Evaluator, rels []catalog.RelID) (plan.Perm, float64, error) {
+	n := len(rels)
+	if n == 0 {
+		return nil, 0, errors.New("dp: empty component")
+	}
+	if n > MaxExhaustiveRelations {
+		return nil, 0, ErrTooLarge
+	}
+	var best plan.Perm
+	bestCost := math.Inf(1)
+	perm := make(plan.Perm, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(perm) == n {
+			if c := eval.Cost(perm); c < bestCost {
+				bestCost = c
+				best = perm.Clone()
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			perm = append(perm, rels[i])
+			if eval.Valid(perm) {
+				used[i] = true
+				rec()
+				used[i] = false
+			}
+			perm = perm[:len(perm)-1]
+		}
+	}
+	rec()
+	if math.IsInf(bestCost, 1) {
+		return nil, 0, errors.New("dp: no valid order exists")
+	}
+	return best, bestCost, nil
+}

@@ -1,0 +1,205 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+)
+
+// staticEval builds an evaluator in static-estimator mode (required for
+// DP exactness) over a random connected query.
+func staticEval(rng *rand.Rand, n int) (*plan.Evaluator, []catalog.RelID) {
+	q := &catalog.Query{}
+	for i := 0; i < n; i++ {
+		q.Relations = append(q.Relations, catalog.Relation{Cardinality: int64(2 + rng.Intn(1000))})
+	}
+	for i := 1; i < n; i++ {
+		q.Predicates = append(q.Predicates, catalog.Predicate{
+			Left: catalog.RelID(rng.Intn(i)), Right: catalog.RelID(i),
+			LeftDistinct:  float64(1 + rng.Intn(100)),
+			RightDistinct: float64(1 + rng.Intn(100)),
+		})
+	}
+	for k := 0; k < n/3; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			q.Predicates = append(q.Predicates, catalog.Predicate{
+				Left: catalog.RelID(a), Right: catalog.RelID(b),
+				LeftDistinct: 11, RightDistinct: 11,
+			})
+		}
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	return eval, g.Components()[0]
+}
+
+// evalForQuery wires an explicit query into a static-mode evaluator.
+func evalForQuery(q *catalog.Query) (*plan.Evaluator, []catalog.RelID) {
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	return eval, g.Components()[0]
+}
+
+// TestDPMatchesExhaustive is the cornerstone: for every random small
+// query, bitmask DP and brute-force enumeration must agree exactly.
+func TestDPMatchesExhaustive(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(sz%6) // up to 8 relations
+		eval, comp := staticEval(rng, n)
+		pd, cd, err := Optimal(eval, comp)
+		if err != nil {
+			return false
+		}
+		pe, ce, err := Exhaustive(eval, comp)
+		if err != nil {
+			return false
+		}
+		if math.Abs(cd-ce) > math.Max(cd, ce)*1e-9 {
+			return false
+		}
+		return eval.Valid(pd) && eval.Valid(pe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPReturnedPermMatchesReturnedCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	eval, comp := staticEval(rng, 10)
+	p, c, err := Optimal(eval, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eval.Cost(p); math.Abs(got-c) > c*1e-9 {
+		t.Fatalf("perm re-prices to %g, DP said %g", got, c)
+	}
+}
+
+func TestDPBeatsEveryRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eval, comp := staticEval(rng, 12)
+	_, c, err := Optimal(eval, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate valid orders greedily and compare.
+	for trial := 0; trial < 50; trial++ {
+		perm := randomValid(rng, eval, comp)
+		if got := eval.Cost(perm); got < c*(1-1e-9) {
+			t.Fatalf("random order %v cheaper than DP optimum: %g < %g", perm, got, c)
+		}
+	}
+}
+
+func randomValid(rng *rand.Rand, eval *plan.Evaluator, comp []catalog.RelID) plan.Perm {
+	remaining := append([]catalog.RelID(nil), comp...)
+	out := plan.Perm{}
+	for len(remaining) > 0 {
+		ok := false
+		rng.Shuffle(len(remaining), func(i, j int) { remaining[i], remaining[j] = remaining[j], remaining[i] })
+		for i, r := range remaining {
+			cand := append(out, r)
+			if eval.Valid(cand) {
+				out = cand
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, remaining[0])
+			remaining = remaining[1:]
+		}
+	}
+	return out
+}
+
+func TestDPSingleRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eval, comp := staticEval(rng, 5)
+	p, c, err := Optimal(eval, comp[:1])
+	if err != nil || len(p) != 1 || c != 0 {
+		t.Fatalf("singleton: %v %g %v", p, c, err)
+	}
+}
+
+func TestDPTooLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	eval, comp := staticEval(rng, 5)
+	big := make([]catalog.RelID, MaxDPRelations+1)
+	copy(big, comp)
+	if _, _, err := Optimal(eval, big); err != ErrTooLarge {
+		t.Fatalf("expected ErrTooLarge, got %v", err)
+	}
+	bigger := make([]catalog.RelID, MaxExhaustiveRelations+1)
+	if _, _, err := Exhaustive(eval, bigger); err != ErrTooLarge {
+		t.Fatalf("expected ErrTooLarge from Exhaustive, got %v", err)
+	}
+}
+
+func TestDPEmptyComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	eval, _ := staticEval(rng, 5)
+	if _, _, err := Optimal(eval, nil); err == nil {
+		t.Fatal("empty component accepted")
+	}
+	if _, _, err := Exhaustive(eval, nil); err == nil {
+		t.Fatal("empty component accepted by Exhaustive")
+	}
+}
+
+func TestDPDisconnectedComponentErrors(t *testing.T) {
+	// Two relations with no predicate between them: no valid order.
+	q := &catalog.Query{
+		Relations: []catalog.Relation{{Cardinality: 10}, {Cardinality: 10}},
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	if _, _, err := Optimal(eval, []catalog.RelID{0, 1}); err == nil {
+		t.Fatal("disconnected 'component' accepted")
+	}
+}
+
+func TestDPChargesBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := &catalog.Query{}
+	for i := 0; i < 8; i++ {
+		q.Relations = append(q.Relations, catalog.Relation{Cardinality: int64(2 + rng.Intn(100))})
+	}
+	for i := 1; i < 8; i++ {
+		q.Predicates = append(q.Predicates, catalog.Predicate{
+			Left: catalog.RelID(i - 1), Right: catalog.RelID(i),
+			LeftDistinct: 5, RightDistinct: 5,
+		})
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	b := cost.NewBudget(1 << 40)
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), b)
+	if _, _, err := Optimal(eval, g.Components()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() == 0 {
+		t.Fatal("DP join evaluations must charge the budget")
+	}
+}

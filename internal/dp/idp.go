@@ -1,0 +1,320 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"joinopt/internal/bushy"
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// IDP implements Iterative Dynamic Programming (IDP-1 of Kossmann &
+// Stocker, TODS 2000) over valid left-deep trees — the classical bridge
+// between the exact DP the paper dismisses as infeasible and the
+// randomized strategies it studies: run exact DP over blocks of at most
+// k relations, freeze the best k-block subplan into a compound block,
+// and iterate until one block remains.
+//
+// Like the other exact baselines this assumes the static estimator
+// (order-independent sizes). Complexity is O(n·C(n,k)·2^k); keep
+// k ≤ 4–5 for n beyond ~30.
+//
+// Frozen blocks behave as materialized intermediate results, so the
+// composed plan is a *bushy* tree (a left-deep spine of left-deep
+// subtrees); flattening it into one left-deep permutation is not
+// possible in general without breaking validity. The returned cost is
+// the bushy-space cost (identical semantics to bushy.Space.Cost, and to
+// the linear evaluator when the tree happens to be a pure spine).
+func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float64, error) {
+	n := len(rels)
+	if n == 0 {
+		return nil, 0, errors.New("dp: empty component")
+	}
+	if k < 2 {
+		return nil, 0, fmt.Errorf("dp: IDP block size %d < 2", k)
+	}
+	if k > MaxDPRelations {
+		k = MaxDPRelations
+	}
+	st := eval.Stats()
+	g := st.Graph()
+	model := eval.Model()
+	budget := eval.Budget()
+
+	// A block is a frozen subplan: its join tree, its estimated result
+	// size, and its accumulated internal cost.
+	type block struct {
+		tree *bushy.Tree
+		size float64
+		cost float64
+		// members marks the base relations covered (for adjacency).
+		members []bool
+	}
+	nrel := st.Query().NumRelations()
+	blocks := make([]*block, 0, n)
+	for _, r := range rels {
+		m := make([]bool, nrel)
+		m[r] = true
+		blocks = append(blocks, &block{
+			tree: &bushy.Tree{Rel: r}, size: st.Cardinality(r), members: m,
+		})
+	}
+
+	// adjacency between blocks: any edge between their member sets.
+	adjacent := func(a, b *block) bool {
+		for r := range a.members {
+			if a.members[r] && g.JoinsInto(catalog.RelID(r), b.members) {
+				return true
+			}
+		}
+		return false
+	}
+	// crossSel multiplies the selectivities of edges from block b into
+	// the union set.
+	crossSel := func(unionSet []bool, unionSize float64, b *block) float64 {
+		sel := 1.0
+		for r := range b.members {
+			if b.members[r] {
+				sel *= st.SelectivityInto(unionSize, unionSet, catalog.RelID(r))
+				// Mark incrementally so multi-relation blocks don't
+				// double-count internal edges.
+				unionSet[r] = true
+			}
+		}
+		// Unmark to restore the caller's set.
+		for r := range b.members {
+			if b.members[r] {
+				unionSet[r] = false
+			}
+		}
+		return sel
+	}
+
+	// blockDP runs exact left-deep DP over the chosen blocks (≤
+	// MaxDPRelations of them), returning the best order, cost and
+	// result size.
+	blockDP := func(chosen []*block) ([]int, float64, float64, bool) {
+		m := len(chosen)
+		full := uint32(1)<<uint(m) - 1
+		bestCost := make([]float64, full+1)
+		size := make([]float64, full+1)
+		last := make([]int8, full+1)
+		for s := range bestCost {
+			bestCost[s] = math.Inf(1)
+			last[s] = -1
+		}
+		unionSet := make([]bool, nrel)
+		for i := 0; i < m; i++ {
+			mask := uint32(1) << uint(i)
+			bestCost[mask] = chosen[i].cost
+			size[mask] = chosen[i].size
+			last[mask] = int8(i)
+		}
+		for s := uint32(1); s <= full; s++ {
+			if s&(s-1) == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				bit := uint32(1) << uint(j)
+				if s&bit == 0 {
+					continue
+				}
+				rest := s &^ bit
+				if math.IsInf(bestCost[rest], 1) {
+					continue
+				}
+				// Adjacency: block j must join some block in rest.
+				connected := false
+				for i := 0; i < m && !connected; i++ {
+					if rest&(1<<uint(i)) != 0 && adjacent(chosen[j], chosen[i]) {
+						connected = true
+					}
+				}
+				if !connected {
+					continue
+				}
+				// Union member set of rest for selectivity.
+				for i := range unionSet {
+					unionSet[i] = false
+				}
+				for i := 0; i < m; i++ {
+					if rest&(1<<uint(i)) != 0 {
+						for r := range chosen[i].members {
+							if chosen[i].members[r] {
+								unionSet[r] = true
+							}
+						}
+					}
+				}
+				sel := crossSel(unionSet, size[rest], chosen[j])
+				result := size[rest] * chosen[j].size * sel
+				c := bestCost[rest] + model.JoinCost(size[rest], chosen[j].size, result)
+				budget.Charge(plan.EvalUnitsPerJoin)
+				if c < bestCost[s] {
+					bestCost[s] = c
+					size[s] = result
+					last[s] = int8(j)
+				}
+			}
+		}
+		if math.IsInf(bestCost[full], 1) {
+			return nil, 0, 0, false
+		}
+		order := make([]int, m)
+		s := full
+		for i := m - 1; i >= 0; i-- {
+			j := last[s]
+			order[i] = int(j)
+			s &^= 1 << uint(j)
+		}
+		return order, bestCost[full], size[full], true
+	}
+
+	// spine assembles a left-deep spine over block trees in DP order.
+	spine := func(chosen []*block, order []int) *bushy.Tree {
+		t := chosen[order[0]].tree
+		for _, bi := range order[1:] {
+			t = &bushy.Tree{Left: t, Right: chosen[bi].tree}
+		}
+		return t
+	}
+	finalCost := func(t *bushy.Tree) float64 {
+		sp := bushy.NewSpace(st, model, eval.Budget(), rels, nil)
+		return sp.Cost(t)
+	}
+
+	for len(blocks) > 1 {
+		if len(blocks) <= k {
+			order, _, _, ok := blockDP(blocks)
+			if !ok {
+				return nil, 0, errors.New("dp: IDP blocks disconnected")
+			}
+			t := spine(blocks, order)
+			return t, finalCost(t), nil
+		}
+		// Freeze the exactly-k connected block subset whose optimal
+		// subplan has the smallest result size (ties by cost). Freezing
+		// by minimum *cost* sounds natural but systematically freezes
+		// tiny cheap blocks whose early consolidation poisons later
+		// joins; minimum result size is the selection that works (it is
+		// also GOO's guiding quantity).
+		bestSubset, bestOrder, bestCost, bestSize := []int(nil), []int(nil), math.Inf(1), math.Inf(1)
+		adjIdx := func(i, j int) bool { return adjacent(blocks[i], blocks[j]) }
+		forEachConnectedSubset(len(blocks), k, adjIdx, func(subset []int) {
+			chosen := make([]*block, len(subset))
+			for i, bi := range subset {
+				chosen[i] = blocks[bi]
+			}
+			order, c, sz, ok := blockDP(chosen)
+			if !ok {
+				return
+			}
+			if sz < bestSize || (sz == bestSize && c < bestCost) {
+				bestSubset = append([]int(nil), subset...)
+				bestOrder = order
+				bestCost = c
+				bestSize = sz
+			}
+		})
+		if bestSubset == nil {
+			return nil, 0, errors.New("dp: IDP found no connected block subset")
+		}
+		// Build the compound block.
+		comp := &block{size: bestSize, cost: bestCost, members: make([]bool, nrel)}
+		chosen := make([]*block, len(bestSubset))
+		for i, bi := range bestSubset {
+			chosen[i] = blocks[bi]
+		}
+		comp.tree = spine(chosen, bestOrder)
+		for _, bi := range bestSubset {
+			for r := range blocks[bi].members {
+				if blocks[bi].members[r] {
+					comp.members[r] = true
+				}
+			}
+		}
+		// Remove the frozen blocks (descending index), add the compound.
+		inSubset := map[int]bool{}
+		for _, bi := range bestSubset {
+			inSubset[bi] = true
+		}
+		next := blocks[:0]
+		for i, b := range blocks {
+			if !inSubset[i] {
+				next = append(next, b)
+			}
+		}
+		blocks = append(next, comp)
+	}
+	t := blocks[0].tree
+	return t, finalCost(t), nil
+}
+
+// forEachConnectedSubset enumerates the connected subsets of exactly k
+// indices from [0, n), invoking f once per subset. Each subset is
+// anchored at its minimum element and grown by adding neighbors with
+// higher indices; a seen-set deduplicates growth orders. Intended for
+// small k (≤ 5) over sparse adjacency.
+func forEachConnectedSubset(n, k int, adj func(i, j int) bool, f func([]int)) {
+	if k < 1 || k > n {
+		return
+	}
+	seen := make(map[string]bool)
+	key := make([]byte, k)
+	subset := make([]int, 0, k)
+	inSet := make([]bool, n)
+
+	var grow func(anchor int)
+	grow = func(anchor int) {
+		if len(subset) == k {
+			// Dedup: subsets are reached in multiple growth orders.
+			sorted := append([]int(nil), subset...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+					sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+				}
+			}
+			for i, v := range sorted {
+				key[i] = byte(v)
+			}
+			ks := string(key)
+			if seen[ks] {
+				return
+			}
+			seen[ks] = true
+			f(sorted)
+			return
+		}
+		for v := anchor + 1; v < n; v++ {
+			if inSet[v] {
+				continue
+			}
+			// v must join some member of the current subset.
+			joins := false
+			for _, u := range subset {
+				if adj(u, v) {
+					joins = true
+					break
+				}
+			}
+			if !joins {
+				continue
+			}
+			subset = append(subset, v)
+			inSet[v] = true
+			grow(anchor)
+			inSet[v] = false
+			subset = subset[:len(subset)-1]
+		}
+	}
+	for a := 0; a+k <= n; a++ {
+		subset = append(subset[:0], a)
+		for i := range inSet {
+			inSet[i] = false
+		}
+		inSet[a] = true
+		grow(a)
+	}
+}

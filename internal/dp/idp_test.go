@@ -1,0 +1,156 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/bushy"
+	"joinopt/internal/catalog"
+)
+
+// leafSet returns the sorted leaf relations of a tree.
+func leafSet(t *bushy.Tree) []catalog.RelID {
+	ls := t.Leaves(nil)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}
+
+// TestIDPFullBlockEqualsDP: with k ≥ n, IDP degenerates to one exact DP
+// round over singletons — a pure left-deep spine whose bushy cost must
+// equal the left-deep optimum.
+func TestIDPFullBlockEqualsDP(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(sz%7)
+		eval, comp := staticEval(rng, n)
+		_, optCost, err := Optimal(eval, comp)
+		if err != nil {
+			return false
+		}
+		tree, idpCost, err := IDP(eval, comp, n+1)
+		if err != nil {
+			return false
+		}
+		if len(leafSet(tree)) != n {
+			return false
+		}
+		return math.Abs(idpCost-optCost) <= optCost*1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIDPSmallBlocks: with small k, IDP yields a complete tree whose
+// cost is bounded below by the bushy optimum and is not wildly worse.
+func TestIDPSmallBlocks(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		eval, comp := staticEval(rng, 12)
+		_, bushyOpt, err := BushyOptimal(eval, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, c, err := IDP(eval, comp, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := leafSet(tree)
+		if len(ls) != len(comp) {
+			t.Fatalf("seed %d: IDP tree covers %d of %d relations", seed, len(ls), len(comp))
+		}
+		for i := 1; i < len(ls); i++ {
+			if ls[i] == ls[i-1] {
+				t.Fatalf("seed %d: duplicate leaf", seed)
+			}
+		}
+		if c < bushyOpt*(1-1e-9) {
+			t.Fatalf("seed %d: IDP (%g) beat the bushy optimum (%g)", seed, c, bushyOpt)
+		}
+		if c > bushyOpt*1e4 {
+			t.Fatalf("seed %d: IDP wildly off: %g vs %g", seed, c, bushyOpt)
+		}
+	}
+}
+
+// TestIDPBeatsRandomFloor: IDP with k=3 should be well below a random
+// valid order.
+func TestIDPBeatsRandomFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eval, comp := staticEval(rng, 14)
+	_, c, err := IDP(eval, comp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 0; i < 10; i++ {
+		perm := randomValid(rng, eval, comp)
+		if cc := eval.Cost(perm); cc > worst {
+			worst = cc
+		}
+	}
+	if c >= worst {
+		t.Fatalf("IDP (%g) no better than the worst random order (%g)", c, worst)
+	}
+}
+
+func TestIDPErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eval, comp := staticEval(rng, 5)
+	if _, _, err := IDP(eval, nil, 3); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, _, err := IDP(eval, comp, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestIDPChargesBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	eval, comp := staticEval(rng, 10)
+	before := eval.Budget().Used()
+	if _, _, err := IDP(eval, comp, 3); err != nil {
+		t.Fatal(err)
+	}
+	if eval.Budget().Used() == before {
+		t.Fatal("IDP charged nothing")
+	}
+}
+
+func TestForEachConnectedSubset(t *testing.T) {
+	// A path 0-1-2-3: connected 2-subsets are the 3 edges; connected
+	// 3-subsets are {0,1,2} and {1,2,3}.
+	adj := func(i, j int) bool {
+		d := i - j
+		return d == 1 || d == -1
+	}
+	var twos, threes [][]int
+	forEachConnectedSubset(4, 2, adj, func(s []int) {
+		twos = append(twos, append([]int(nil), s...))
+	})
+	forEachConnectedSubset(4, 3, adj, func(s []int) {
+		threes = append(threes, append([]int(nil), s...))
+	})
+	if len(twos) != 3 {
+		t.Fatalf("2-subsets: %v", twos)
+	}
+	if len(threes) != 2 {
+		t.Fatalf("3-subsets: %v", threes)
+	}
+	// k > n yields nothing.
+	count := 0
+	forEachConnectedSubset(2, 3, adj, func([]int) { count++ })
+	if count != 0 {
+		t.Fatal("k>n enumerated subsets")
+	}
+	// Star 0-{1,2,3}: the three edges are the only connected 2-subsets.
+	star := func(i, j int) bool { return i == 0 || j == 0 }
+	count = 0
+	forEachConnectedSubset(4, 2, star, func([]int) { count++ })
+	if count != 3 {
+		t.Fatalf("star 2-subsets: %d", count)
+	}
+}

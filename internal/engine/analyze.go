@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+)
+
+// Analyze derives optimizer statistics from materialized data — the
+// ANALYZE of a real system. It scans every relation, counting rows and
+// the exact number of distinct values in each join column, and returns
+// a fresh catalog query with those measured statistics (selections are
+// dropped: the data already reflects them, exactly as the optimizer's
+// effective cardinalities would).
+//
+// Analyze(Generate(q)) ≈ q up to sampling noise in the generator, which
+// the test suite verifies; the round trip is what licenses optimizing
+// real data with synthetic-statistics machinery.
+func (db *Database) Analyze() (*catalog.Query, error) {
+	return db.analyze(0, nil)
+}
+
+// AnalyzeSampled estimates the statistics from a uniform sample of at
+// most sampleRows rows per relation, scaling distinct counts linearly
+// with the sampled fraction (the crude estimator real systems start
+// from; exact counting remains available via Analyze). rng drives the
+// sampling.
+func (db *Database) AnalyzeSampled(sampleRows int, rng *rand.Rand) (*catalog.Query, error) {
+	if sampleRows <= 0 {
+		return nil, errors.New("engine: sampleRows must be positive")
+	}
+	if rng == nil {
+		return nil, errors.New("engine: AnalyzeSampled needs an RNG")
+	}
+	return db.analyze(sampleRows, rng)
+}
+
+func (db *Database) analyze(sampleRows int, rng *rand.Rand) (*catalog.Query, error) {
+	if db.Query == nil || len(db.Rels) == 0 {
+		return nil, errors.New("engine: empty database")
+	}
+	out := &catalog.Query{
+		Relations:  make([]catalog.Relation, len(db.Rels)),
+		Predicates: make([]catalog.Predicate, len(db.Query.Predicates)),
+	}
+	for i, rel := range db.Rels {
+		card := int64(rel.NumRows())
+		if card < 1 {
+			card = 1
+		}
+		out.Relations[i] = catalog.Relation{Name: rel.Name, Cardinality: card}
+	}
+	for pi, p := range db.Query.Predicates {
+		out.Predicates[pi] = catalog.Predicate{
+			Left:          p.Left,
+			Right:         p.Right,
+			LeftDistinct:  db.distinctCount(p.Left, db.joinCol[pi][0], sampleRows, rng),
+			RightDistinct: db.distinctCount(p.Right, db.joinCol[pi][1], sampleRows, rng),
+		}
+	}
+	out.Normalize()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// distinctCount counts (or estimates) the distinct values of one column.
+func (db *Database) distinctCount(rid catalog.RelID, col int, sampleRows int, rng *rand.Rand) float64 {
+	rel := db.Rels[rid]
+	rows := rel.Rows
+	scale := 1.0
+	if sampleRows > 0 && sampleRows < len(rows) {
+		// Uniform sample without replacement.
+		idx := rng.Perm(len(rows))[:sampleRows]
+		sampled := make([]Tuple, sampleRows)
+		for i, j := range idx {
+			sampled[i] = rows[j]
+		}
+		scale = float64(len(rows)) / float64(sampleRows)
+		rows = sampled
+	}
+	seen := make(map[int64]struct{}, len(rows))
+	for _, r := range rows {
+		seen[r[col]] = struct{}{}
+	}
+	d := float64(len(seen)) * scale
+	if d < 1 {
+		d = 1
+	}
+	if d > float64(rel.NumRows()) {
+		d = float64(rel.NumRows())
+	}
+	return d
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"math/rand"
+	"time"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/plan"
+)
+
+// CalibrationSamples measures real two-relation hash joins of varied
+// shapes on this machine and returns (sizes, wall-time) samples for
+// cost.Calibrate. The sweep varies outer size, inner size, and join
+// selectivity independently so the three coefficients are identifiable.
+//
+// Wall-clock measurement is inherently noisy; repeats smooths it (each
+// sample is the minimum of that many runs, the standard noise-robust
+// choice for micro-measurement).
+func CalibrationSamples(rng *rand.Rand, repeats int) ([]cost.JoinSample, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	type shape struct {
+		outer, inner int64
+		distinct     float64
+	}
+	var shapes []shape
+	for _, o := range []int64{500, 2000, 8000} {
+		for _, i := range []int64{500, 2000, 8000} {
+			for _, d := range []float64{50, 500} {
+				shapes = append(shapes, shape{o, i, d})
+			}
+		}
+	}
+	var out []cost.JoinSample
+	for _, sh := range shapes {
+		q := &catalog.Query{
+			Relations: []catalog.Relation{
+				{Name: "outer", Cardinality: sh.outer},
+				{Name: "inner", Cardinality: sh.inner},
+			},
+			Predicates: []catalog.Predicate{
+				{Left: 0, Right: 1, LeftDistinct: sh.distinct, RightDistinct: sh.distinct},
+			},
+		}
+		db, err := Generate(q, rng)
+		if err != nil {
+			return nil, err
+		}
+		best := time.Duration(1<<62 - 1)
+		var st *ExecStats
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			st, err = db.Execute(plan.Perm{0, 1})
+			if err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		out = append(out, cost.JoinSample{
+			Outer:    float64(sh.outer),
+			Inner:    float64(sh.inner),
+			Result:   float64(st.ResultRows),
+			Measured: float64(best.Nanoseconds()),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,334 @@
+// Package engine is a small in-memory relational execution substrate: it
+// materializes synthetic relations consistent with a query's catalog
+// statistics and executes left-deep hash-join plans over them.
+//
+// The paper evaluates optimizers analytically (plan cost, not plan
+// execution), but a downstream user of the library needs to actually run
+// the plans it picks — and the test suite uses the engine to validate
+// that the estimator's intermediate-result sizes track reality and that
+// every valid join order produces the same result.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// Tuple is one row: a value per column.
+type Tuple []int64
+
+// Relation is a materialized base relation. Column 0 is a synthetic row
+// id; join columns are appended per predicate endpoint.
+type Relation struct {
+	Name string
+	// Cols names the columns; Cols[0] is "id".
+	Cols []string
+	// Rows holds the tuples.
+	Rows []Tuple
+}
+
+// NumRows returns the relation's cardinality.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// colIndex returns the index of the named column, or -1.
+func (r *Relation) colIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Database is a set of materialized relations aligned with a query: one
+// relation per catalog entry, with one join column per predicate
+// endpoint.
+type Database struct {
+	Query *catalog.Query
+	Rels  []*Relation
+	// joinCol[p][side] is the column index of predicate p's join column
+	// on each side (0 = left, 1 = right).
+	joinCol [][2]int
+	// selCols[r] lists relation r's selection-column indices (only set
+	// by GenerateUnfiltered; nil means selections were pre-applied).
+	selCols [][]int
+	// PruneColumns enables projection push-down during execution:
+	// intermediate results are narrowed to the join columns later
+	// predicates still need. Identical results, narrower tuples (see
+	// ExecStats.MaxWidth).
+	PruneColumns bool
+}
+
+// Generate materializes a database consistent with the query's
+// statistics: each relation gets its effective cardinality (cardinality
+// after selections — the engine models selections as already applied,
+// exactly as the optimizer's statistics do) and each predicate endpoint
+// gets a join column whose values are drawn uniformly from a domain of
+// the cataloged distinct-value count.
+//
+// Drawing both endpoint columns from the same domain [0, D) realizes a
+// join selectivity close to 1/max(D_left, D_right), matching the
+// estimator's containment assumption.
+func Generate(q *catalog.Query, rng *rand.Rand) (*Database, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q.Normalize()
+	db := &Database{Query: q}
+
+	// Start every relation with its id column.
+	for i := range q.Relations {
+		card := int(q.Relations[i].EffectiveCardinality())
+		if card < 1 {
+			card = 1
+		}
+		rel := &Relation{
+			Name: q.RelationName(catalog.RelID(i)),
+			Cols: []string{"id"},
+			Rows: make([]Tuple, card),
+		}
+		for r := range rel.Rows {
+			rel.Rows[r] = Tuple{int64(r)}
+		}
+		db.Rels = append(db.Rels, rel)
+	}
+
+	// Add one join column per predicate endpoint.
+	db.joinCol = make([][2]int, len(q.Predicates))
+	for pi, p := range q.Predicates {
+		name := fmt.Sprintf("j%d", pi)
+		db.joinCol[pi][0] = addJoinColumn(db.Rels[p.Left], name, p.LeftDistinct, rng)
+		db.joinCol[pi][1] = addJoinColumn(db.Rels[p.Right], name, p.RightDistinct, rng)
+	}
+	return db, nil
+}
+
+// addJoinColumn appends a column of values uniform over [0, distinct)
+// and returns its index. The first `distinct` rows enumerate the domain
+// so the realized distinct count matches the catalog when possible.
+func addJoinColumn(rel *Relation, name string, distinct float64, rng *rand.Rand) int {
+	d := int64(distinct)
+	if d < 1 {
+		d = 1
+	}
+	if d > int64(len(rel.Rows)) {
+		d = int64(len(rel.Rows))
+	}
+	idx := len(rel.Cols)
+	rel.Cols = append(rel.Cols, name)
+	for r := range rel.Rows {
+		var v int64
+		if int64(r) < d {
+			v = int64(r) // guarantee full domain coverage
+		} else {
+			v = rng.Int63n(d)
+		}
+		rel.Rows[r] = append(rel.Rows[r], v)
+	}
+	return idx
+}
+
+// ExecStats reports what an execution did.
+type ExecStats struct {
+	// JoinOutputSizes lists the tuple count after each join, in plan
+	// order (len = number of joins executed).
+	JoinOutputSizes []int
+	// ProbeCount is the total number of hash-table probes.
+	ProbeCount int64
+	// ResultRows is the final result cardinality.
+	ResultRows int
+	// MaxWidth is the widest intermediate tuple (in columns) seen
+	// during execution — what column pruning shrinks.
+	MaxWidth int
+}
+
+// Execute runs a left-deep hash-join plan over the database and returns
+// the final result size along with per-join statistics. Cross-product
+// joins (no predicate between the inner and the current prefix) are
+// executed as nested loops.
+func (db *Database) Execute(order plan.Perm) (*ExecStats, error) {
+	return db.execute(order, true)
+}
+
+// ExecuteNestedLoop runs the same plan with nested-loop joins instead
+// of hash joins. It exists as a reference executor: hash and nested
+// loop must produce identical results, which the test suite verifies.
+func (db *Database) ExecuteNestedLoop(order plan.Perm) (*ExecStats, error) {
+	return db.execute(order, false)
+}
+
+func (db *Database) execute(order plan.Perm, useHash bool) (*ExecStats, error) {
+	if len(order) == 0 {
+		return nil, errors.New("engine: empty plan")
+	}
+	seen := make(map[catalog.RelID]bool, len(order))
+	for _, r := range order {
+		if int(r) < 0 || int(r) >= len(db.Rels) {
+			return nil, fmt.Errorf("engine: relation %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("engine: relation %d appears twice in plan", r)
+		}
+		seen[r] = true
+	}
+	if len(order) != len(db.Rels) {
+		return nil, fmt.Errorf("engine: plan covers %d of %d relations", len(order), len(db.Rels))
+	}
+
+	st := &ExecStats{}
+	cur := db.intermediateFor(order[0])
+	inPrefix := map[catalog.RelID]bool{order[0]: true}
+	for _, rid := range order[1:] {
+		if db.PruneColumns {
+			cur = pruneIntermediate(cur, db.neededColumns(inPrefix))
+		}
+		if cur.width > st.MaxWidth {
+			st.MaxWidth = cur.width
+		}
+		next, err := db.joinStep(cur, inPrefix, rid, st, useHash)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		inPrefix[rid] = true
+		st.JoinOutputSizes = append(st.JoinOutputSizes, len(cur.rows))
+	}
+	if cur.width > st.MaxWidth {
+		st.MaxWidth = cur.width
+	}
+	st.ResultRows = len(cur.rows)
+	return st, nil
+}
+
+// intermediate is a working relation: tuples plus a map from
+// (relation, column) to position.
+type intermediate struct {
+	rows []Tuple
+	// colOf[key] locates a base relation's column inside the tuples.
+	colOf map[colKey]int
+	width int
+}
+
+type colKey struct {
+	rel catalog.RelID
+	col int
+}
+
+func (db *Database) intermediateFor(rid catalog.RelID) *intermediate {
+	rel := db.Rels[rid]
+	im := &intermediate{colOf: make(map[colKey]int), width: len(rel.Cols)}
+	for c := range rel.Cols {
+		im.colOf[colKey{rid, c}] = c
+	}
+	im.rows = rel.Rows
+	return im
+}
+
+// joinKeys collects the (prefix column, inner column) equality pairs
+// between the prefix and relation rid.
+func (db *Database) joinKeys(im *intermediate, inPrefix map[catalog.RelID]bool, rid catalog.RelID) (outerCols, innerCols []int) {
+	for pi, p := range db.Query.Predicates {
+		var prefixSide catalog.RelID
+		var prefixCol, innerCol int
+		switch {
+		case p.Left == rid && inPrefix[p.Right]:
+			prefixSide, prefixCol, innerCol = p.Right, db.joinCol[pi][1], db.joinCol[pi][0]
+		case p.Right == rid && inPrefix[p.Left]:
+			prefixSide, prefixCol, innerCol = p.Left, db.joinCol[pi][0], db.joinCol[pi][1]
+		default:
+			continue
+		}
+		oc, ok := im.colOf[colKey{prefixSide, prefixCol}]
+		if !ok {
+			continue
+		}
+		outerCols = append(outerCols, oc)
+		innerCols = append(innerCols, innerCol)
+	}
+	return outerCols, innerCols
+}
+
+// joinStep joins the current intermediate with base relation rid,
+// either via a hash table on the inner or by nested loops.
+func (db *Database) joinStep(im *intermediate, inPrefix map[catalog.RelID]bool, rid catalog.RelID, st *ExecStats, useHash bool) (*intermediate, error) {
+	inner := db.Rels[rid]
+	outerCols, innerCols := db.joinKeys(im, inPrefix, rid)
+
+	out := &intermediate{colOf: make(map[colKey]int), width: im.width + len(inner.Cols)}
+	for k, v := range im.colOf {
+		out.colOf[k] = v
+	}
+	for c := range inner.Cols {
+		out.colOf[colKey{rid, c}] = im.width + c
+	}
+
+	emit := func(o, i Tuple) {
+		row := make(Tuple, 0, out.width)
+		row = append(row, o...)
+		row = append(row, i...)
+		out.rows = append(out.rows, row)
+	}
+
+	if len(outerCols) == 0 {
+		// Cross product (valid plans avoid this inside a component, but
+		// multi-component plans need it).
+		for _, o := range im.rows {
+			for _, i := range inner.Rows {
+				emit(o, i)
+			}
+		}
+		return out, nil
+	}
+
+	if !useHash {
+		// Nested loops: compare every pair on the join columns.
+		for _, o := range im.rows {
+			st.ProbeCount++
+			for _, in := range inner.Rows {
+				match := true
+				for k := range outerCols {
+					if o[outerCols[k]] != in[innerCols[k]] {
+						match = false
+						break
+					}
+				}
+				if match {
+					emit(o, in)
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Build a hash table on the inner (always the base relation, per the
+	// outer-linear-tree discipline).
+	type key string
+	table := make(map[key][]Tuple, len(inner.Rows))
+	kbuf := make([]byte, 0, 8*len(innerCols))
+	makeKey := func(t Tuple, cols []int) key {
+		kbuf = kbuf[:0]
+		for _, c := range cols {
+			v := t[c]
+			for s := 0; s < 64; s += 8 {
+				kbuf = append(kbuf, byte(v>>uint(s)))
+			}
+		}
+		return key(kbuf)
+	}
+	for _, i := range inner.Rows {
+		k := makeKey(i, innerCols)
+		table[k] = append(table[k], i)
+	}
+	for _, o := range im.rows {
+		st.ProbeCount++
+		k := makeKey(o, outerCols)
+		for _, i := range table[k] {
+			emit(o, i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,444 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/dp"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/workload"
+)
+
+func smallQuery(seed int64, n int) *catalog.Query {
+	// Small cardinalities keep execution fast.
+	spec := workload.Default()
+	spec.Cards = []workload.Bucket{{Lo: 5, Hi: 30, Weight: 1}}
+	// Generous distinct counts keep materialized intermediate results
+	// small enough for fast tests.
+	spec.Distinct = []workload.Bucket{{Lo: 0.5, Hi: 1, Weight: 1}}
+	spec.MaxSelections = 0
+	return spec.Generate(n, rand.New(rand.NewSource(seed)))
+}
+
+func TestGenerateMatchesCatalog(t *testing.T) {
+	q := smallQuery(1, 6)
+	db, err := Generate(q, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Rels) != q.NumRelations() {
+		t.Fatalf("generated %d relations, want %d", len(db.Rels), q.NumRelations())
+	}
+	for i, rel := range db.Rels {
+		want := int(q.Relations[i].EffectiveCardinality())
+		if rel.NumRows() != want {
+			t.Fatalf("relation %d has %d rows, want %d", i, rel.NumRows(), want)
+		}
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	bad := &catalog.Query{Relations: []catalog.Relation{{Cardinality: -1}}}
+	if _, err := Generate(bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestJoinColumnDomainCoverage(t *testing.T) {
+	q := smallQuery(3, 5)
+	db, err := Generate(q, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every join column's values must lie in [0, distinct).
+	for pi, p := range q.Predicates {
+		rel := db.Rels[p.Left]
+		col := db.joinCol[pi][0]
+		d := int64(p.LeftDistinct)
+		if d > int64(rel.NumRows()) {
+			d = int64(rel.NumRows())
+		}
+		for _, row := range rel.Rows {
+			if row[col] < 0 || row[col] >= d {
+				t.Fatalf("predicate %d: value %d outside domain [0,%d)", pi, row[col], d)
+			}
+		}
+	}
+}
+
+// TestExecutionOrderInvariance: the final result cardinality of a valid
+// left-deep plan must not depend on the join order — joins are
+// commutative and associative.
+func TestExecutionOrderInvariance(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%4)
+		q := smallQuery(seed, n)
+		db, err := Generate(q, rand.New(rand.NewSource(seed+1)))
+		if err != nil {
+			return false
+		}
+		g := joingraph.New(q)
+		st := estimate.NewStats(q, g)
+		eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+		comp := g.Components()[0]
+
+		// Identity-ish order: the generator guarantees (0,1,...,n) valid.
+		var id plan.Perm
+		for i := 0; i <= n; i++ {
+			id = append(id, catalog.RelID(i))
+		}
+		if !eval.Valid(id) {
+			return false
+		}
+		st1, err := db.Execute(id)
+		if err != nil {
+			return false
+		}
+		// Optimal order.
+		best, _, err := dp.Optimal(eval, comp)
+		if err != nil {
+			return false
+		}
+		st2, err := db.Execute(best)
+		if err != nil {
+			return false
+		}
+		return st1.ResultRows == st2.ResultRows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateTracksActual: on selection-free queries the static
+// estimator's final size should be within an order of magnitude of the
+// executed result (the containment assumption is exact in expectation
+// for the generator's uniform columns).
+func TestEstimateTracksActual(t *testing.T) {
+	okCount, total := 0, 0
+	for seed := int64(0); seed < 12; seed++ {
+		n := 4
+		q := smallQuery(seed, n)
+		db, err := Generate(q, rand.New(rand.NewSource(seed*31+7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := joingraph.New(q)
+		st := estimate.NewStats(q, g)
+		st.UseStaticSelectivity()
+		var id plan.Perm
+		pre := estimate.NewPrefix(st)
+		for i := 0; i <= n; i++ {
+			id = append(id, catalog.RelID(i))
+			pre.Extend(catalog.RelID(i))
+		}
+		ex, err := db.Execute(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		est := pre.Size()
+		actual := float64(ex.ResultRows)
+		if actual == 0 {
+			if est < 50 {
+				okCount++
+			}
+			continue
+		}
+		if ratio := est / actual; ratio > 0.1 && ratio < 10 {
+			okCount++
+		}
+	}
+	if okCount < total*2/3 {
+		t.Fatalf("estimate tracked actual on only %d/%d queries", okCount, total)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	q := smallQuery(5, 3)
+	db, err := Generate(q, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(nil); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	if _, err := db.Execute(plan.Perm{0, 0, 1, 2}); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+	if _, err := db.Execute(plan.Perm{0, 1}); err == nil {
+		t.Fatal("partial plan accepted")
+	}
+	if _, err := db.Execute(plan.Perm{0, 1, 2, 9}); err == nil {
+		t.Fatal("out-of-range relation accepted")
+	}
+}
+
+func TestCrossProductExecution(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "a", Cardinality: 3},
+			{Name: "b", Cardinality: 4},
+		},
+	}
+	db, err := Generate(q, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Execute(plan.Perm{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultRows != 12 {
+		t.Fatalf("cross product produced %d rows, want 12", st.ResultRows)
+	}
+}
+
+func TestKeyedJoinSelectivity(t *testing.T) {
+	// Two relations joined on a key with D distinct values on both
+	// sides: expected result ≈ n1·n2/D.
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "a", Cardinality: 200},
+			{Name: "b", Cardinality: 200},
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 20, RightDistinct: 20},
+		},
+	}
+	db, err := Generate(q, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Execute(plan.Perm{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 200.0 * 200 / 20
+	if ratio := float64(st.ResultRows) / want; math.Abs(ratio-1) > 0.5 {
+		t.Fatalf("keyed join produced %d rows, expected ≈ %g", st.ResultRows, want)
+	}
+	if st.ProbeCount == 0 {
+		t.Fatal("hash probes not counted")
+	}
+	if len(st.JoinOutputSizes) != 1 || st.JoinOutputSizes[0] != st.ResultRows {
+		t.Fatalf("join output sizes: %v", st.JoinOutputSizes)
+	}
+}
+
+func TestMultiPredicateJoin(t *testing.T) {
+	// A triangle query: executing the third relation applies both its
+	// predicates simultaneously.
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Cardinality: 30}, {Cardinality: 30}, {Cardinality: 30},
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 5, RightDistinct: 5},
+			{Left: 0, Right: 2, LeftDistinct: 5, RightDistinct: 5},
+			{Left: 1, Right: 2, LeftDistinct: 5, RightDistinct: 5},
+		},
+	}
+	db, err := Generate(q, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.Execute(plan.Perm{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Execute(plan.Perm{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ResultRows != b.ResultRows {
+		t.Fatalf("triangle results differ by order: %d vs %d", a.ResultRows, b.ResultRows)
+	}
+}
+
+// TestHashEqualsNestedLoop: the two executors are independent
+// implementations of the same semantics and must agree exactly.
+func TestHashEqualsNestedLoop(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%4)
+		q := smallQuery(seed, n)
+		db, err := Generate(q, rand.New(rand.NewSource(seed+5)))
+		if err != nil {
+			return false
+		}
+		var id plan.Perm
+		for i := 0; i <= n; i++ {
+			id = append(id, catalog.RelID(i))
+		}
+		h, err := db.Execute(id)
+		if err != nil {
+			return false
+		}
+		nl, err := db.ExecuteNestedLoop(id)
+		if err != nil {
+			return false
+		}
+		if h.ResultRows != nl.ResultRows {
+			return false
+		}
+		for i := range h.JoinOutputSizes {
+			if h.JoinOutputSizes[i] != nl.JoinOutputSizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUnfilteredAndExecuteFiltered(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "a", Cardinality: 4000, Selections: []catalog.Selection{{Selectivity: 0.25}}},
+			{Name: "b", Cardinality: 1000},
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 100, RightDistinct: 100},
+		},
+	}
+	db, err := GenerateUnfiltered(q, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base cardinality materialized, not the effective one.
+	if db.Rels[0].NumRows() != 4000 {
+		t.Fatalf("unfiltered rows %d, want 4000", db.Rels[0].NumRows())
+	}
+	st, err := db.ExecuteFiltered(plan.Perm{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: ~1000 surviving rows of a, joined at J=1/100 with 1000
+	// rows of b → ≈ 10000 results. Allow generous sampling noise.
+	want := 0.25 * 4000 * 1000 / 100
+	if ratio := float64(st.ResultRows) / want; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("filtered join %d rows, expected ≈ %g", st.ResultRows, want)
+	}
+	// Unfiltered execution sees ~4x the rows.
+	un, err := db.Execute(plan.Perm{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.ResultRows <= st.ResultRows*2 {
+		t.Fatalf("filtering had no effect: %d vs %d", un.ResultRows, st.ResultRows)
+	}
+}
+
+func TestExecuteFilteredWithoutSelectionsEqualsExecute(t *testing.T) {
+	q := smallQuery(71, 3)
+	db, err := Generate(q, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id plan.Perm
+	for i := 0; i < q.NumRelations(); i++ {
+		id = append(id, catalog.RelID(i))
+	}
+	a, err := db.Execute(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.ExecuteFiltered(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ResultRows != b.ResultRows {
+		t.Fatalf("filtered path diverged with no selections: %d vs %d", a.ResultRows, b.ResultRows)
+	}
+}
+
+func TestFilteredSizesTrackEffectiveCardinality(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "a", Cardinality: 10000, Selections: []catalog.Selection{
+				{Selectivity: 0.5}, {Selectivity: 0.2},
+			}},
+		},
+	}
+	db, err := GenerateUnfiltered(q, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := db.filterRelation(0, db.Rels[0])
+	want := q.Relations[0].EffectiveCardinality() // 1000
+	if ratio := float64(rel.NumRows()) / want; ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("filtered to %d rows, effective cardinality %g", rel.NumRows(), want)
+	}
+}
+
+func TestColumnPruningPreservesResults(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%4)
+		q := smallQuery(seed, n)
+		db, err := Generate(q, rand.New(rand.NewSource(seed+9)))
+		if err != nil {
+			return false
+		}
+		var id plan.Perm
+		for i := 0; i <= n; i++ {
+			id = append(id, catalog.RelID(i))
+		}
+		full, err := db.Execute(id)
+		if err != nil {
+			return false
+		}
+		db.PruneColumns = true
+		pruned, err := db.Execute(id)
+		db.PruneColumns = false
+		if err != nil {
+			return false
+		}
+		if full.ResultRows != pruned.ResultRows {
+			return false
+		}
+		for i := range full.JoinOutputSizes {
+			if full.JoinOutputSizes[i] != pruned.JoinOutputSizes[i] {
+				return false
+			}
+		}
+		return pruned.MaxWidth <= full.MaxWidth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnPruningShrinksWidth(t *testing.T) {
+	// A 6-relation chain accumulates ~2 columns per joined relation
+	// without pruning; with pruning only the frontier join column
+	// survives.
+	q := smallQuery(91, 5)
+	db, err := Generate(q, rand.New(rand.NewSource(92)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id plan.Perm
+	for i := 0; i < q.NumRelations(); i++ {
+		id = append(id, catalog.RelID(i))
+	}
+	full, err := db.Execute(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.PruneColumns = true
+	pruned, err := db.Execute(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.MaxWidth >= full.MaxWidth {
+		t.Fatalf("pruning did not shrink width: %d vs %d", pruned.MaxWidth, full.MaxWidth)
+	}
+}

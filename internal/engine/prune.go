@@ -1,0 +1,59 @@
+package engine
+
+import "joinopt/internal/catalog"
+
+// Column pruning: real executors project away columns as soon as no
+// later operator needs them, keeping intermediate tuples narrow. The
+// engine models it faithfully — before each join, the intermediate
+// result is projected down to the join columns still referenced by
+// predicates whose other side has not been joined yet. Enable with
+// Database.PruneColumns; results are bit-for-bit identical, only tuple
+// widths (and memory) change, which the ExecStats.MaxWidth metric
+// exposes.
+
+// neededColumns collects the (relation, column) pairs an intermediate
+// covering inPrefix must still carry: endpoints of predicates whose
+// other side is outside the prefix.
+func (db *Database) neededColumns(inPrefix map[catalog.RelID]bool) map[colKey]bool {
+	needed := make(map[colKey]bool)
+	for pi, p := range db.Query.Predicates {
+		if inPrefix[p.Left] && !inPrefix[p.Right] {
+			needed[colKey{p.Left, db.joinCol[pi][0]}] = true
+		}
+		if inPrefix[p.Right] && !inPrefix[p.Left] {
+			needed[colKey{p.Right, db.joinCol[pi][1]}] = true
+		}
+	}
+	return needed
+}
+
+// prune projects the intermediate down to the needed columns. The
+// original is untouched; a new intermediate is returned (or the
+// original when nothing can be dropped).
+func pruneIntermediate(im *intermediate, needed map[colKey]bool) *intermediate {
+	// Collect the kept positions in ascending order.
+	keepPos := make([]int, 0, len(needed))
+	keepKey := make([]colKey, 0, len(needed))
+	for k, pos := range im.colOf {
+		if needed[k] {
+			keepPos = append(keepPos, pos)
+			keepKey = append(keepKey, k)
+		}
+	}
+	if len(keepPos) == im.width {
+		return im
+	}
+	out := &intermediate{colOf: make(map[colKey]int, len(keepPos)), width: len(keepPos)}
+	for i, k := range keepKey {
+		out.colOf[k] = i
+	}
+	out.rows = make([]Tuple, len(im.rows))
+	for ri, row := range im.rows {
+		nr := make(Tuple, len(keepPos))
+		for i, pos := range keepPos {
+			nr[i] = row[pos]
+		}
+		out.rows[ri] = nr
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"math/rand"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// GenerateUnfiltered materializes a database at *base* cardinalities —
+// selections are NOT pre-applied. Instead, every selection predicate
+// gets its own column of values uniform in [0, selDomain), and
+// ExecuteFiltered applies the predicate `col < selectivity·selDomain`
+// when each relation is first scanned, exactly as a real executor
+// would. The expected surviving fraction per selection is its
+// selectivity, so filtered scans land near the optimizer's effective
+// cardinalities.
+func GenerateUnfiltered(q *catalog.Query, rng *rand.Rand) (*Database, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q.Normalize()
+	db := &Database{Query: q}
+	for i := range q.Relations {
+		card := int(q.Relations[i].Cardinality)
+		if card < 1 {
+			card = 1
+		}
+		rel := &Relation{
+			Name: q.RelationName(catalog.RelID(i)),
+			Cols: []string{"id"},
+			Rows: make([]Tuple, card),
+		}
+		for r := range rel.Rows {
+			rel.Rows[r] = Tuple{int64(r)}
+		}
+		// One column per selection predicate.
+		for range q.Relations[i].Selections {
+			col := len(rel.Cols)
+			rel.Cols = append(rel.Cols, "s")
+			for r := range rel.Rows {
+				rel.Rows[r] = append(rel.Rows[r], rng.Int63n(selDomain))
+			}
+			_ = col
+		}
+		db.Rels = append(db.Rels, rel)
+	}
+	db.selCols = make([][]int, len(q.Relations))
+	for i, rel := range q.Relations {
+		for si := range rel.Selections {
+			db.selCols[i] = append(db.selCols[i], 1+si)
+		}
+	}
+	// Join columns are appended after selection columns; their distinct
+	// counts are interpreted against post-selection sizes by the
+	// estimator, but for data generation we spread them over the base
+	// rows (uniformity makes the realized selectivity of the join
+	// independent of the selections).
+	db.joinCol = make([][2]int, len(q.Predicates))
+	for pi, p := range q.Predicates {
+		db.joinCol[pi][0] = addJoinColumn(db.Rels[p.Left], "j", p.LeftDistinct, rng)
+		db.joinCol[pi][1] = addJoinColumn(db.Rels[p.Right], "j", p.RightDistinct, rng)
+	}
+	return db, nil
+}
+
+// selDomain is the value domain of selection columns.
+const selDomain = 1 << 20
+
+// ExecuteFiltered runs the plan like Execute, but first applies each
+// relation's selection predicates at scan time (filtering rows whose
+// selection columns fall outside the predicate's accepted range). Only
+// meaningful for databases from GenerateUnfiltered; on databases from
+// Generate (no selection columns) it is identical to Execute.
+func (db *Database) ExecuteFiltered(order plan.Perm) (*ExecStats, error) {
+	if db.selCols == nil {
+		return db.Execute(order)
+	}
+	filtered := &Database{
+		Query:   db.Query,
+		Rels:    make([]*Relation, len(db.Rels)),
+		joinCol: db.joinCol,
+	}
+	for i, rel := range db.Rels {
+		filtered.Rels[i] = db.filterRelation(catalog.RelID(i), rel)
+	}
+	return filtered.Execute(order)
+}
+
+// filterRelation applies relation rid's selections to its rows.
+func (db *Database) filterRelation(rid catalog.RelID, rel *Relation) *Relation {
+	cols := db.selCols[rid]
+	if len(cols) == 0 {
+		return rel
+	}
+	sels := db.Query.Relations[rid].Selections
+	out := &Relation{Name: rel.Name, Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		keep := true
+		for si, col := range cols {
+			threshold := int64(sels[si].Selectivity * selDomain)
+			if row[col] >= threshold {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	if len(out.Rows) == 0 {
+		// Keep at least one row so downstream joins remain exercised
+		// (mirrors the estimator's 1-tuple effective-cardinality floor).
+		out.Rows = append(out.Rows, rel.Rows[0])
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+)
+
+// GenerateSkewed materializes a database like Generate, but draws join
+// column values from a Zipf distribution over [0, D) instead of a
+// uniform one: a few hot values carry most rows, the regime where the
+// flat distinct-count estimator breaks down and histograms earn their
+// keep. zipfS > 1 sets the skew exponent (larger = more skewed).
+func GenerateSkewed(q *catalog.Query, rng *rand.Rand, zipfS float64) (*Database, error) {
+	if zipfS <= 1 {
+		return nil, errors.New("engine: zipf exponent must exceed 1")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q.Normalize()
+	db := &Database{Query: q}
+	for i := range q.Relations {
+		card := int(q.Relations[i].EffectiveCardinality())
+		if card < 1 {
+			card = 1
+		}
+		rel := &Relation{
+			Name: q.RelationName(catalog.RelID(i)),
+			Cols: []string{"id"},
+			Rows: make([]Tuple, card),
+		}
+		for r := range rel.Rows {
+			rel.Rows[r] = Tuple{int64(r)}
+		}
+		db.Rels = append(db.Rels, rel)
+	}
+	db.joinCol = make([][2]int, len(q.Predicates))
+	for pi, p := range q.Predicates {
+		db.joinCol[pi][0] = addZipfColumn(db.Rels[p.Left], p.LeftDistinct, rng, zipfS)
+		db.joinCol[pi][1] = addZipfColumn(db.Rels[p.Right], p.RightDistinct, rng, zipfS)
+	}
+	return db, nil
+}
+
+func addZipfColumn(rel *Relation, distinct float64, rng *rand.Rand, s float64) int {
+	d := uint64(distinct)
+	if d < 1 {
+		d = 1
+	}
+	if d > uint64(len(rel.Rows)) {
+		d = uint64(len(rel.Rows))
+	}
+	idx := len(rel.Cols)
+	rel.Cols = append(rel.Cols, "z")
+	z := rand.NewZipf(rng, s, 1, d-1)
+	for r := range rel.Rows {
+		rel.Rows[r] = append(rel.Rows[r], int64(z.Uint64()))
+	}
+	return idx
+}
+
+// AnalyzeHistograms derives statistics like Analyze and additionally
+// attaches an equi-width histogram with the given bucket count to every
+// predicate endpoint, computed from the actual data. All histograms of
+// one predicate share the domain (the larger side's observed value
+// range) so they are aligned for per-bucket join estimation.
+func (db *Database) AnalyzeHistograms(buckets int) (*catalog.Query, error) {
+	if buckets < 1 {
+		return nil, errors.New("engine: bucket count must be positive")
+	}
+	out, err := db.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	for pi := range out.Predicates {
+		p := &out.Predicates[pi]
+		domain := maxValue(db, p.Left, db.joinCol[pi][0])
+		if m := maxValue(db, p.Right, db.joinCol[pi][1]); m > domain {
+			domain = m
+		}
+		domain++ // values are in [0, max]
+		b := buckets
+		if int64(b) > domain {
+			b = int(domain)
+		}
+		p.LeftHist = db.histogram(p.Left, db.joinCol[pi][0], domain, b)
+		p.RightHist = db.histogram(p.Right, db.joinCol[pi][1], domain, b)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func maxValue(db *Database, rid catalog.RelID, col int) int64 {
+	m := int64(0)
+	for _, row := range db.Rels[rid].Rows {
+		if row[col] > m {
+			m = row[col]
+		}
+	}
+	return m
+}
+
+func (db *Database) histogram(rid catalog.RelID, col int, domain int64, buckets int) *catalog.Histogram {
+	h := &catalog.Histogram{Domain: domain, Counts: make([]float64, buckets)}
+	base := domain / int64(buckets)
+	for _, row := range db.Rels[rid].Rows {
+		b := int(row[col] / base)
+		if b >= buckets {
+			b = buckets - 1 // remainder values land in the last bucket
+		}
+		h.Counts[b]++
+	}
+	return h
+}

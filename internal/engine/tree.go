@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"joinopt/internal/bushy"
+	"joinopt/internal/catalog"
+)
+
+// ExecuteTree runs a bushy join tree: subtrees are evaluated
+// recursively and hash-joined pairwise (building on the smaller side),
+// so plans from dp.BushyOptimal, bushy II, GOO and dp.IDP execute the
+// same way left-deep plans do. Cross products fall back to nested
+// loops. Result cardinalities are shape-independent, which the test
+// suite verifies against the left-deep executor.
+func (db *Database) ExecuteTree(t *bushy.Tree) (*ExecStats, error) {
+	if t == nil {
+		return nil, errors.New("engine: nil tree")
+	}
+	leaves := t.Leaves(nil)
+	seen := make(map[catalog.RelID]bool, len(leaves))
+	for _, r := range leaves {
+		if int(r) < 0 || int(r) >= len(db.Rels) {
+			return nil, fmt.Errorf("engine: relation %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("engine: relation %d appears twice in tree", r)
+		}
+		seen[r] = true
+	}
+	if len(leaves) != len(db.Rels) {
+		return nil, fmt.Errorf("engine: tree covers %d of %d relations", len(leaves), len(db.Rels))
+	}
+	st := &ExecStats{}
+	res, err := db.executeSubtree(t, st)
+	if err != nil {
+		return nil, err
+	}
+	st.ResultRows = len(res.rows)
+	return st, nil
+}
+
+func (db *Database) executeSubtree(t *bushy.Tree, st *ExecStats) (*intermediate, error) {
+	if t.IsLeaf() {
+		return db.intermediateFor(t.Rel), nil
+	}
+	left, err := db.executeSubtree(t.Left, st)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.executeSubtree(t.Right, st)
+	if err != nil {
+		return nil, err
+	}
+	out, err := db.joinIntermediates(left, right, st)
+	if err != nil {
+		return nil, err
+	}
+	st.JoinOutputSizes = append(st.JoinOutputSizes, len(out.rows))
+	if out.width > st.MaxWidth {
+		st.MaxWidth = out.width
+	}
+	return out, nil
+}
+
+// joinIntermediates hash-joins two intermediates on every predicate
+// crossing their relation sets, building on the smaller input.
+func (db *Database) joinIntermediates(a, b *intermediate, st *ExecStats) (*intermediate, error) {
+	// Equality column pairs crossing a↔b.
+	var aCols, bCols []int
+	for pi, p := range db.Query.Predicates {
+		la, okA := a.colOf[colKey{p.Left, db.joinCol[pi][0]}]
+		rb, okB := b.colOf[colKey{p.Right, db.joinCol[pi][1]}]
+		if okA && okB {
+			aCols = append(aCols, la)
+			bCols = append(bCols, rb)
+			continue
+		}
+		lb, okB2 := b.colOf[colKey{p.Left, db.joinCol[pi][0]}]
+		ra, okA2 := a.colOf[colKey{p.Right, db.joinCol[pi][1]}]
+		if okA2 && okB2 {
+			aCols = append(aCols, ra)
+			bCols = append(bCols, lb)
+		}
+	}
+
+	out := &intermediate{colOf: make(map[colKey]int), width: a.width + b.width}
+	for k, v := range a.colOf {
+		out.colOf[k] = v
+	}
+	for k, v := range b.colOf {
+		out.colOf[k] = a.width + v
+	}
+	emit := func(ra, rb Tuple) {
+		row := make(Tuple, 0, out.width)
+		row = append(row, ra...)
+		row = append(row, rb...)
+		out.rows = append(out.rows, row)
+	}
+
+	if len(aCols) == 0 {
+		for _, ra := range a.rows {
+			for _, rb := range b.rows {
+				emit(ra, rb)
+			}
+		}
+		return out, nil
+	}
+
+	// Build on the smaller side.
+	build, probe := a, b
+	buildCols, probeCols := aCols, bCols
+	swapped := false
+	if len(b.rows) < len(a.rows) {
+		build, probe = b, a
+		buildCols, probeCols = bCols, aCols
+		swapped = true
+	}
+	table := make(map[string][]Tuple, len(build.rows))
+	kbuf := make([]byte, 0, 8*len(buildCols))
+	makeKey := func(t Tuple, cols []int) string {
+		kbuf = kbuf[:0]
+		for _, c := range cols {
+			v := t[c]
+			for s := 0; s < 64; s += 8 {
+				kbuf = append(kbuf, byte(v>>uint(s)))
+			}
+		}
+		return string(kbuf)
+	}
+	for _, r := range build.rows {
+		k := makeKey(r, buildCols)
+		table[k] = append(table[k], r)
+	}
+	for _, r := range probe.rows {
+		st.ProbeCount++
+		k := makeKey(r, probeCols)
+		for _, m := range table[k] {
+			if swapped {
+				emit(r, m) // r is from a, m from b
+			} else {
+				emit(m, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/bushy"
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/dp"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+)
+
+// TestTreeSpineEqualsLinear: executing a left spine must give exactly
+// the left-deep executor's result.
+func TestTreeSpineEqualsLinear(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%4)
+		q := smallQuery(seed, n)
+		db, err := Generate(q, rand.New(rand.NewSource(seed+3)))
+		if err != nil {
+			return false
+		}
+		var order plan.Perm
+		for i := 0; i <= n; i++ {
+			order = append(order, catalog.RelID(i))
+		}
+		lin, err := db.Execute(order)
+		if err != nil {
+			return false
+		}
+		tr, err := db.ExecuteTree(bushy.FromPerm(order))
+		if err != nil {
+			return false
+		}
+		return lin.ResultRows == tr.ResultRows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeShapeInvariance: any bushy shape over the same leaves gives
+// the same result cardinality.
+func TestTreeShapeInvariance(t *testing.T) {
+	q := smallQuery(101, 4)
+	db, err := Generate(q, rand.New(rand.NewSource(102)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := bushy.FromPerm(plan.Perm{0, 1, 2, 3, 4})
+	// A genuinely bushy shape: (0⋈1) ⋈ (2⋈(3⋈4)).
+	bushyT := &bushy.Tree{
+		Left: &bushy.Tree{
+			Left:  &bushy.Tree{Rel: 0},
+			Right: &bushy.Tree{Rel: 1},
+		},
+		Right: &bushy.Tree{
+			Left: &bushy.Tree{Rel: 2},
+			Right: &bushy.Tree{
+				Left:  &bushy.Tree{Rel: 3},
+				Right: &bushy.Tree{Rel: 4},
+			},
+		},
+	}
+	a, err := db.ExecuteTree(spine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.ExecuteTree(bushyT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ResultRows != b.ResultRows {
+		t.Fatalf("tree shapes disagree: %d vs %d", a.ResultRows, b.ResultRows)
+	}
+	if b.ProbeCount == 0 || len(b.JoinOutputSizes) != 4 {
+		t.Fatalf("stats missing: %+v", b)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	q := smallQuery(103, 3)
+	db, err := Generate(q, rand.New(rand.NewSource(104)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecuteTree(nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := db.ExecuteTree(bushy.FromPerm(plan.Perm{0, 1})); err == nil {
+		t.Fatal("incomplete tree accepted")
+	}
+	dup := &bushy.Tree{
+		Left:  bushy.FromPerm(plan.Perm{0, 1, 2, 3}),
+		Right: &bushy.Tree{Rel: 0},
+	}
+	if _, err := db.ExecuteTree(dup); err == nil {
+		t.Fatal("duplicate leaf accepted")
+	}
+	oob := &bushy.Tree{
+		Left:  bushy.FromPerm(plan.Perm{0, 1, 2}),
+		Right: &bushy.Tree{Rel: 99},
+	}
+	if _, err := db.ExecuteTree(oob); err == nil {
+		t.Fatal("out-of-range leaf accepted")
+	}
+}
+
+// TestTreeCrossProduct: disconnected leaves join by nested loops.
+func TestTreeCrossProduct(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Cardinality: 3}, {Cardinality: 5},
+		},
+	}
+	db, err := Generate(q, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.ExecuteTree(&bushy.Tree{
+		Left:  &bushy.Tree{Rel: 0},
+		Right: &bushy.Tree{Rel: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultRows != 15 {
+		t.Fatalf("cross product %d rows, want 15", st.ResultRows)
+	}
+}
+
+// TestIDPTreeExecutes: the iterative-DP extension returns bushy trees;
+// they must execute to the same result cardinality as any left-deep
+// order of the same query.
+func TestIDPTreeExecutes(t *testing.T) {
+	q := smallQuery(107, 4)
+	db, err := Generate(q, rand.New(rand.NewSource(108)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	tree, _, err := dp.IDP(eval, g.Components()[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idp, err := db.ExecuteTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order plan.Perm
+	for i := 0; i < q.NumRelations(); i++ {
+		order = append(order, catalog.RelID(i))
+	}
+	lin, err := db.Execute(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idp.ResultRows != lin.ResultRows {
+		t.Fatalf("IDP tree result %d vs linear %d", idp.ResultRows, lin.ResultRows)
+	}
+}

@@ -1,0 +1,376 @@
+// Package experiment implements the paper's evaluation protocol (§6):
+// benchmarks of random queries, per-query optimization under time limits
+// proportional to N², scaling of solution costs by the best cost found at
+// the 9N² limit, coercion of outlying values to 10, and averaging across
+// queries and replicates.
+//
+// Strategies are anytime algorithms, so instead of re-running every
+// method once per time limit, each (query, method, replicate) is run once
+// at the largest limit while the improvement callback records the
+// (cost, work-units) trajectory; the best-at-checkpoint values are then
+// read off the curve. This reproduces the paper's measurements at a
+// fraction of the 5000 CPU-hours it reports.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"joinopt/internal/core"
+	"joinopt/internal/cost"
+	"joinopt/internal/plot"
+	"joinopt/internal/stats"
+	"joinopt/internal/workload"
+)
+
+// Variant is one column of a comparison: a strategy plus its options
+// (Tables 1–2 compare the same strategy under different heuristic
+// criteria, so a method alone does not identify a column).
+type Variant struct {
+	Name   string
+	Method core.Method
+	Opts   core.Options
+}
+
+// Config describes one experiment.
+type Config struct {
+	// Title labels the experiment in reports.
+	Title string
+	// Spec is the query benchmark.
+	Spec workload.Spec
+	// Ns lists the join counts; QueriesPerN queries are generated for
+	// each.
+	Ns          []int
+	QueriesPerN int
+	// Replicates is the number of seeds each (query, variant) pair is
+	// run with (the paper uses 2).
+	Replicates int
+	// Variants are the compared strategies.
+	Variants []Variant
+	// TimeCoeffs are the paper's t values (time limit t·N²), ascending.
+	// The last coefficient anchors the scaling.
+	TimeCoeffs []float64
+	// Model is the cost model (must be safe for concurrent readers;
+	// both built-in models are).
+	Model cost.Model
+	// Seed makes the whole experiment reproducible.
+	Seed int64
+	// Parallelism caps concurrent query tasks (default NumCPU).
+	Parallelism int
+	// Progress, if non-nil, is called after each completed query task.
+	Progress func(done, total int)
+}
+
+// Matrix is the aggregated outcome: mean coerced scaled cost per
+// (variant, time coefficient).
+type Matrix struct {
+	Title      string
+	Variants   []string
+	TimeCoeffs []float64
+	// Scaled[v][t] is the mean coerced scaled cost.
+	Scaled [][]float64
+	// OutlierFrac[v][t] is the fraction of runs coerced to 10.
+	OutlierFrac [][]float64
+	// Queries is the number of (query, replicate) observations per cell.
+	Queries int
+}
+
+// splitmix64 dissolves structured seed tuples into independent streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func deriveSeed(parts ...uint64) int64 {
+	h := uint64(0x51_7c_c1_b7_27_22_0a_95)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return int64(h >> 1)
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Matrix, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	nv := len(cfg.Variants)
+	nt := len(cfg.TimeCoeffs)
+	maxT := cfg.TimeCoeffs[nt-1]
+
+	type task struct {
+		n, qIdx, rep int
+	}
+	var tasks []task
+	for _, n := range cfg.Ns {
+		for q := 0; q < cfg.QueriesPerN; q++ {
+			for r := 0; r < cfg.Replicates; r++ {
+				tasks = append(tasks, task{n, q, r})
+			}
+		}
+	}
+
+	sums := make([][]float64, nv)
+	outliers := make([][]float64, nv)
+	for v := range sums {
+		sums[v] = make([]float64, nt)
+		outliers[v] = make([]float64, nt)
+	}
+	var mu sync.Mutex
+	count := 0
+	done := 0
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var firstErr error
+
+	for _, tk := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(tk task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			bestAt, err := runTask(&cfg, tk.n, tk.qIdx, tk.rep, maxT)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			// Scale by the best final cost across variants.
+			best := math.Inf(1)
+			for v := 0; v < nv; v++ {
+				if bestAt[v][nt-1] < best {
+					best = bestAt[v][nt-1]
+				}
+			}
+			for v := 0; v < nv; v++ {
+				for t := 0; t < nt; t++ {
+					var scaled float64
+					if best > 0 {
+						scaled = stats.CoerceOutlier(bestAt[v][t] / best)
+					} else {
+						// A zero-cost best (single-join degenerate
+						// query): everyone ties.
+						scaled = 1
+					}
+					sums[v][t] += scaled
+					if scaled >= stats.OutlierCeiling {
+						outliers[v][t]++
+					}
+				}
+			}
+			count++
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, len(tasks))
+			}
+		}(tk)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	m := &Matrix{
+		Title:      cfg.Title,
+		TimeCoeffs: cfg.TimeCoeffs,
+		Queries:    count,
+		Scaled:     make([][]float64, nv),
+	}
+	m.OutlierFrac = make([][]float64, nv)
+	for v, vr := range cfg.Variants {
+		m.Variants = append(m.Variants, vr.Name)
+		m.Scaled[v] = make([]float64, nt)
+		m.OutlierFrac[v] = make([]float64, nt)
+		for t := 0; t < nt; t++ {
+			if count > 0 {
+				m.Scaled[v][t] = sums[v][t] / float64(count)
+				m.OutlierFrac[v][t] = outliers[v][t] / float64(count)
+			}
+		}
+	}
+	return m, nil
+}
+
+func validate(cfg *Config) error {
+	if len(cfg.Variants) == 0 {
+		return fmt.Errorf("experiment: no variants")
+	}
+	if len(cfg.Ns) == 0 || cfg.QueriesPerN <= 0 || cfg.Replicates <= 0 {
+		return fmt.Errorf("experiment: empty workload (Ns=%v queries=%d reps=%d)", cfg.Ns, cfg.QueriesPerN, cfg.Replicates)
+	}
+	if len(cfg.TimeCoeffs) == 0 {
+		return fmt.Errorf("experiment: no time coefficients")
+	}
+	if !sort.Float64sAreSorted(cfg.TimeCoeffs) {
+		return fmt.Errorf("experiment: time coefficients must ascend")
+	}
+	if cfg.Model == nil {
+		cfg.Model = cost.NewMemoryModel()
+	}
+	return nil
+}
+
+// runTask optimizes one (query, replicate) with every variant and
+// returns bestAt[variant][coeffIdx]: the incumbent cost at each
+// checkpoint budget.
+func runTask(cfg *Config, n, qIdx, rep int, maxT float64) ([][]float64, error) {
+	qRNG := rand.New(rand.NewSource(deriveSeed(uint64(cfg.Seed), uint64(n), uint64(qIdx), 1)))
+	query := cfg.Spec.Generate(n, qRNG)
+
+	nt := len(cfg.TimeCoeffs)
+	checkpoints := make([]int64, nt)
+	for i, t := range cfg.TimeCoeffs {
+		checkpoints[i] = cost.UnitsFor(t, n)
+	}
+
+	bestAt := make([][]float64, len(cfg.Variants))
+	for v, vr := range cfg.Variants {
+		curve := newCurve(checkpoints)
+		opts := vr.Opts
+		opts.OnImprove = curve.observe
+		budget := cost.NewBudget(cost.UnitsFor(maxT, n))
+		runRNG := rand.New(rand.NewSource(deriveSeed(uint64(cfg.Seed), uint64(n), uint64(qIdx), uint64(rep), uint64(v)+2)))
+		opt, err := core.NewOptimizer(query, cfg.Model, budget, runRNG, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: n=%d q=%d rep=%d variant=%s: %w", n, qIdx, rep, vr.Name, err)
+		}
+		pl, err := opt.Run(vr.Method)
+		if err != nil {
+			return nil, err
+		}
+		curve.finish(pl.TotalCost)
+		bestAt[v] = curve.bestAt
+	}
+	return bestAt, nil
+}
+
+// curve converts an improvement trajectory into best-at-checkpoint
+// values.
+type curve struct {
+	checkpoints []int64
+	bestAt      []float64
+}
+
+func newCurve(checkpoints []int64) *curve {
+	c := &curve{checkpoints: checkpoints, bestAt: make([]float64, len(checkpoints))}
+	for i := range c.bestAt {
+		c.bestAt[i] = math.Inf(1)
+	}
+	return c
+}
+
+// observe records an improvement at the given consumed budget: it lowers
+// every checkpoint at or beyond that point.
+func (c *curve) observe(cost float64, used int64) {
+	for i, cp := range c.checkpoints {
+		if used <= cp && cost < c.bestAt[i] {
+			c.bestAt[i] = cost
+		}
+	}
+}
+
+// finish folds the final plan cost into the last checkpoint (covers
+// multi-component assembly costs reported only at the end).
+func (c *curve) finish(final float64) {
+	last := len(c.bestAt) - 1
+	if final < c.bestAt[last] {
+		c.bestAt[last] = final
+	}
+	// Checkpoints left untouched (no state produced in time) stay +Inf;
+	// the scaler coerces them to the outlier ceiling. Propagate
+	// monotonicity: a later checkpoint can never be worse than an
+	// earlier one.
+	for i := 1; i < len(c.bestAt); i++ {
+		if c.bestAt[i] > c.bestAt[i-1] {
+			c.bestAt[i] = c.bestAt[i-1]
+		}
+	}
+}
+
+// Format renders the matrix as an aligned text table in the paper's
+// layout: one row per time coefficient, one column per variant.
+func (m *Matrix) Format() string {
+	var b strings.Builder
+	if m.Title != "" {
+		fmt.Fprintf(&b, "%s (%d query-replicates)\n", m.Title, m.Queries)
+	}
+	fmt.Fprintf(&b, "%-8s", "Time")
+	for _, v := range m.Variants {
+		fmt.Fprintf(&b, "%10s", v)
+	}
+	b.WriteByte('\n')
+	for t, coeff := range m.TimeCoeffs {
+		fmt.Fprintf(&b, "%-8s", fmt.Sprintf("%gN2", coeff))
+		for v := range m.Variants {
+			fmt.Fprintf(&b, "%10.2f", m.Scaled[v][t])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the matrix as comma-separated values: a header row of
+// variant names, then one row per time coefficient. Suitable for
+// external plotting/analysis tools.
+func (m *Matrix) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_coeff")
+	for _, v := range m.Variants {
+		fmt.Fprintf(&b, ",%s", v)
+	}
+	b.WriteByte('\n')
+	for t, coeff := range m.TimeCoeffs {
+		fmt.Fprintf(&b, "%g", coeff)
+		for v := range m.Variants {
+			fmt.Fprintf(&b, ",%g", m.Scaled[v][t])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart converts the matrix into a plottable figure: one series per
+// variant, mean scaled cost vs time coefficient (the axes of the
+// paper's Figures 4–7).
+func (m *Matrix) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  m.Title,
+		XLabel: "time limit (×N²)",
+		YLabel: "mean scaled cost",
+	}
+	for v, name := range m.Variants {
+		c.Series = append(c.Series, plot.Series{
+			Name: name,
+			X:    append([]float64(nil), m.TimeCoeffs...),
+			Y:    append([]float64(nil), m.Scaled[v]...),
+		})
+	}
+	return c
+}
+
+// BestVariantAt returns the index of the variant with the lowest mean
+// scaled cost at the given time-coefficient index.
+func (m *Matrix) BestVariantAt(t int) int {
+	best := 0
+	for v := range m.Variants {
+		if m.Scaled[v][t] < m.Scaled[best][t] {
+			best = v
+		}
+	}
+	return best
+}

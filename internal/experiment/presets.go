@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+
+	"joinopt/internal/core"
+	"joinopt/internal/cost"
+	"joinopt/internal/heuristics"
+	"joinopt/internal/workload"
+)
+
+// Scale sets the experiment's replicate volume.
+type Scale struct {
+	QueriesPerN int
+	Replicates  int
+	// Ns overrides the preset's join counts when non-nil (used by smoke
+	// tests to keep N small).
+	Ns []int
+}
+
+// FullScale reproduces the paper's protocol: 50 queries per N, two
+// replicates per query.
+var FullScale = Scale{QueriesPerN: 50, Replicates: 2}
+
+// ReducedScale is the default for benches: enough queries for the
+// ordering among methods to be stable, ~50× cheaper than full scale.
+var ReducedScale = Scale{QueriesPerN: 6, Replicates: 1}
+
+// SmokeScale is for unit tests.
+var SmokeScale = Scale{QueriesPerN: 2, Replicates: 1, Ns: []int{10}}
+
+func (s Scale) ns(def []int) []int {
+	if s.Ns != nil {
+		return s.Ns
+	}
+	return def
+}
+
+func ns10to50() []int  { return []int{10, 20, 30, 40, 50} }
+func ns10to100() []int { return []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} }
+
+// methodVariants maps strategies to variants with default options.
+func methodVariants(methods []core.Method) []Variant {
+	vs := make([]Variant, len(methods))
+	for i, m := range methods {
+		vs[i] = Variant{Name: m.String(), Method: m}
+	}
+	return vs
+}
+
+// Table1 compares the five augmentation chooseNext criteria (§4.1):
+// the pure augmentation heuristic under each criterion, plus an IAI
+// anchor column that supplies the best-known baseline the scaled costs
+// divide by (the paper scales by the best cost any method achieves at
+// 9N², which the pure heuristics rarely attain themselves — hence its
+// Table 1 magnitudes of 2.6–6.4).
+func Table1(sc Scale, seed int64) Config {
+	var vs []Variant
+	for _, c := range heuristics.Criteria {
+		vs = append(vs, Variant{
+			Name:   fmt.Sprintf("crit%d", int(c)),
+			Method: core.AugOnly,
+			Opts:   core.Options{Criterion: c},
+		})
+	}
+	vs = append(vs, Variant{Name: "IAI*", Method: core.IAI})
+	return Config{
+		Title:       "Table 1: comparison of criteria in augmentation",
+		Spec:        workload.Default(),
+		Ns:          sc.ns(ns10to50()),
+		QueriesPerN: sc.QueriesPerN,
+		Replicates:  sc.Replicates,
+		Variants:    vs,
+		TimeCoeffs:  []float64{1.5, 3, 6, 9},
+		Model:       cost.NewMemoryModel(),
+		Seed:        seed,
+	}
+}
+
+// Table2 compares the three KBZ spanning-tree weight criteria (§4.2):
+// the pure KBZ heuristic under each weight, plus the IAI anchor column
+// (see Table1 for why).
+func Table2(sc Scale, seed int64) Config {
+	var vs []Variant
+	for _, w := range heuristics.WeightCriteria {
+		vs = append(vs, Variant{
+			Name:   fmt.Sprintf("crit%d", int(w)),
+			Method: core.KBZOnly,
+			Opts:   core.Options{Weight: w},
+		})
+	}
+	vs = append(vs, Variant{Name: "IAI*", Method: core.IAI})
+	return Config{
+		Title:       "Table 2: comparison of criteria in KBZ",
+		Spec:        workload.Default(),
+		Ns:          sc.ns(ns10to50()),
+		QueriesPerN: sc.QueriesPerN,
+		Replicates:  sc.Replicates,
+		Variants:    vs,
+		TimeCoeffs:  []float64{1.5, 3, 6, 9},
+		Model:       cost.NewMemoryModel(),
+		Seed:        seed,
+	}
+}
+
+// Figure4 compares all nine methods on the default benchmark (250
+// queries over N = 10..50 at full scale) under the main-memory model.
+func Figure4(sc Scale, seed int64) Config {
+	return Config{
+		Title:       "Figure 4: comparison of the nine methods",
+		Spec:        workload.Default(),
+		Ns:          sc.ns(ns10to50()),
+		QueriesPerN: sc.QueriesPerN,
+		Replicates:  sc.Replicates,
+		Variants:    methodVariants(core.Methods),
+		TimeCoeffs:  []float64{0.3, 0.6, 1, 1.5, 3, 6, 9},
+		Model:       cost.NewMemoryModel(),
+		Seed:        seed,
+	}
+}
+
+// Figure5 compares the top five methods on the larger benchmark (500
+// queries over N = 10..100 at full scale).
+func Figure5(sc Scale, seed int64) Config {
+	return Config{
+		Title:       "Figure 5: larger benchmark (top five methods)",
+		Spec:        workload.Default(),
+		Ns:          sc.ns(ns10to100()),
+		QueriesPerN: sc.QueriesPerN,
+		Replicates:  sc.Replicates,
+		Variants:    methodVariants(core.TopFive),
+		TimeCoeffs:  []float64{0.3, 0.6, 1, 1.5, 3, 6, 9},
+		Model:       cost.NewMemoryModel(),
+		Seed:        seed,
+	}
+}
+
+// Figure6 zooms into small time limits for IAI, AGI and II, where the
+// paper locates the AGI→IAI crossover near t ≈ 1.8.
+func Figure6(sc Scale, seed int64) Config {
+	return Config{
+		Title:       "Figure 6: small time limits",
+		Spec:        workload.Default(),
+		Ns:          sc.ns(ns10to100()),
+		QueriesPerN: sc.QueriesPerN,
+		Replicates:  sc.Replicates,
+		Variants:    methodVariants([]core.Method{core.IAI, core.AGI, core.II}),
+		TimeCoeffs:  []float64{0.3, 0.6, 0.9, 1.2, 1.5, 1.8, 2.4, 3},
+		Model:       cost.NewMemoryModel(),
+		Seed:        seed,
+	}
+}
+
+// Figure7 repeats the top-five comparison under the disk cost model.
+func Figure7(sc Scale, seed int64) Config {
+	return Config{
+		Title:       "Figure 7: disk cost model (top five methods)",
+		Spec:        workload.Default(),
+		Ns:          sc.ns(ns10to50()),
+		QueriesPerN: sc.QueriesPerN,
+		Replicates:  sc.Replicates,
+		Variants:    methodVariants(core.TopFive),
+		TimeCoeffs:  []float64{0.3, 0.6, 1, 1.5, 3, 6, 9},
+		Model:       cost.NewDiskModel(),
+		Seed:        seed,
+	}
+}
+
+// Table3 returns one config per §5 benchmark variation (1..9), each
+// comparing the top five methods at the 9N² limit only.
+func Table3(sc Scale, seed int64) ([]Config, error) {
+	var cfgs []Config
+	for i := 1; i <= 9; i++ {
+		spec, err := workload.Benchmark(i)
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, Config{
+			Title:       fmt.Sprintf("Table 3 row %d: benchmark %s", i, spec.Name),
+			Spec:        spec,
+			Ns:          sc.ns(ns10to50()),
+			QueriesPerN: sc.QueriesPerN,
+			Replicates:  sc.Replicates,
+			Variants:    methodVariants([]core.Method{core.IAI, core.IAL, core.AGI, core.KBI, core.II}),
+			TimeCoeffs:  []float64{9},
+			Model:       cost.NewMemoryModel(),
+			Seed:        seed,
+		})
+	}
+	return cfgs, nil
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/engine"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/workload"
+)
+
+// QErrorConfig describes an estimator validation run: small queries are
+// materialized and executed, and every intermediate result size is
+// compared against the estimator's prediction. The q-error
+// max(est/act, act/est) is the standard metric (Moerkotte et al.):
+// 1 = perfect, and it multiplies through plans the way errors actually
+// propagate.
+type QErrorConfig struct {
+	// Relations per query (kept small: queries are actually executed).
+	Relations int
+	// Queries is the number of queries measured.
+	Queries int
+	Seed    int64
+}
+
+// DefaultQErrorConfig returns an execution-affordable setup.
+func DefaultQErrorConfig(sc Scale, seed int64) QErrorConfig {
+	q := sc.QueriesPerN * 2
+	if q < 4 {
+		q = 4
+	}
+	return QErrorConfig{Relations: 5, Queries: q, Seed: seed}
+}
+
+// QErrorResult aggregates per-estimator q-error quantiles.
+type QErrorResult struct {
+	// Joins is the number of (join step, query) observations.
+	Joins int
+	// Static and Dynamic hold [median, p90, max] q-errors for the two
+	// estimator modes.
+	Static, Dynamic [3]float64
+}
+
+// RunQError executes the validation.
+func RunQError(cfg QErrorConfig) (*QErrorResult, error) {
+	if cfg.Relations < 2 || cfg.Queries < 1 {
+		return nil, fmt.Errorf("experiment: degenerate q-error config")
+	}
+	// Execution-friendly statistics: modest cardinalities, generous
+	// distinct counts so materialized results stay small.
+	spec := workload.Default()
+	spec.Cards = []workload.Bucket{{Lo: 20, Hi: 120, Weight: 1}}
+	spec.Distinct = []workload.Bucket{{Lo: 0.3, Hi: 1, Weight: 1}}
+	spec.MaxSelections = 0
+
+	var staticErrs, dynErrs []float64
+	joins := 0
+	for qi := 0; qi < cfg.Queries; qi++ {
+		rng := rand.New(rand.NewSource(deriveSeed(uint64(cfg.Seed), uint64(qi), 7)))
+		q := spec.Generate(cfg.Relations-1, rng)
+		db, err := engine.Generate(q, rng)
+		if err != nil {
+			return nil, err
+		}
+		var order plan.Perm
+		for i := 0; i < q.NumRelations(); i++ {
+			order = append(order, catalog.RelID(i))
+		}
+		ex, err := db.Execute(order)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []bool{true, false} {
+			g := joingraph.New(q)
+			st := estimate.NewStats(q, g)
+			if mode {
+				st.UseStaticSelectivity()
+			}
+			pre := estimate.NewPrefix(st)
+			pre.Extend(order[0])
+			for step, r := range order[1:] {
+				_, _, est := pre.Extend(r)
+				actual := float64(ex.JoinOutputSizes[step])
+				qe := qerror(est, actual)
+				if mode {
+					staticErrs = append(staticErrs, qe)
+				} else {
+					dynErrs = append(dynErrs, qe)
+				}
+			}
+		}
+		joins += len(ex.JoinOutputSizes)
+	}
+	out := &QErrorResult{Joins: joins}
+	out.Static = quantiles3(staticErrs)
+	out.Dynamic = quantiles3(dynErrs)
+	return out, nil
+}
+
+// qerror is the symmetric relative error, floored so empty results do
+// not divide by zero.
+func qerror(est, actual float64) float64 {
+	est = math.Max(est, 1)
+	actual = math.Max(actual, 1)
+	return math.Max(est/actual, actual/est)
+}
+
+func quantiles3(xs []float64) [3]float64 {
+	var out [3]float64
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out[0] = s[len(s)/2]
+	out[1] = s[int(float64(len(s)-1)*0.9)]
+	out[2] = s[len(s)-1]
+	return out
+}
+
+// Format renders the result.
+func (r *QErrorResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "estimator q-error vs executed joins (%d observations; 1 = perfect)\n", r.Joins)
+	fmt.Fprintf(&b, "  static  estimator: median %.2f  p90 %.2f  max %.2f\n", r.Static[0], r.Static[1], r.Static[2])
+	fmt.Fprintf(&b, "  dynamic estimator: median %.2f  p90 %.2f  max %.2f\n", r.Dynamic[0], r.Dynamic[1], r.Dynamic[2])
+	return b.String()
+}

@@ -1,0 +1,260 @@
+// Package heuristics implements the three join-ordering heuristics the
+// paper studies: the augmentation heuristic with its five chooseNext
+// criteria (§4.1), the KBZ heuristic of Krishnamurthy, Boral & Zaniolo
+// with its three spanning-tree weight criteria (§4.2), and the local
+// improvement heuristic with its (cluster size, overlap) ladder (§4.3).
+package heuristics
+
+import (
+	"math"
+	"sort"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/estimate"
+	"joinopt/internal/plan"
+)
+
+// Criterion selects the chooseNext rule of the augmentation heuristic
+// (§4.1). The paper's experiments (Table 1) identify CriterionMinSel as
+// the best; it is the default everywhere else.
+type Criterion int
+
+const (
+	// CriterionMinCard picks the frontier relation with the smallest
+	// effective cardinality (criterion 1).
+	CriterionMinCard Criterion = iota + 1
+	// CriterionMaxDegree picks the frontier relation with the highest
+	// degree in the join graph (criterion 2).
+	CriterionMaxDegree
+	// CriterionMinSel picks the frontier relation whose next join has
+	// the smallest combined join selectivity (criterion 3 — the winner).
+	CriterionMinSel
+	// CriterionMinResult picks the frontier relation yielding the
+	// smallest next intermediate result (criterion 4).
+	CriterionMinResult
+	// CriterionMinRank picks the frontier relation with the smallest
+	// KBZ rank (criterion 5).
+	CriterionMinRank
+)
+
+// String names the criterion as in the paper's tables.
+func (c Criterion) String() string {
+	switch c {
+	case CriterionMinCard:
+		return "1:min-card"
+	case CriterionMaxDegree:
+		return "2:max-degree"
+	case CriterionMinSel:
+		return "3:min-selectivity"
+	case CriterionMinResult:
+		return "4:min-result"
+	case CriterionMinRank:
+		return "5:min-rank"
+	}
+	return "?:unknown"
+}
+
+// Criteria lists all five chooseNext criteria in paper order.
+var Criteria = []Criterion{
+	CriterionMinCard, CriterionMaxDegree, CriterionMinSel,
+	CriterionMinResult, CriterionMinRank,
+}
+
+// score returns the criterion's figure of merit for candidate j (lower is
+// better; CriterionMaxDegree is negated so min-selection applies
+// uniformly). curSize is the current intermediate-result size, inSet the
+// prefix membership mask.
+func (c Criterion) score(st *estimate.Stats, curSize float64, inSet []bool, j catalog.RelID) float64 {
+	g := st.Graph()
+	switch c {
+	case CriterionMinCard:
+		return st.Cardinality(j)
+	case CriterionMaxDegree:
+		return -float64(g.Degree(j))
+	case CriterionMinSel:
+		return st.SelectivityInto(curSize, inSet, j)
+	case CriterionMinResult:
+		return curSize * st.Cardinality(j) * st.SelectivityInto(curSize, inSet, j)
+	case CriterionMinRank:
+		// (NᵢNⱼJᵢⱼ − 1) / (0.5·Nᵢ·(Nⱼ/Dⱼ)) — the KBZ rank of the next
+		// join, with Dⱼ the distinct count of j's join column on the
+		// most selective edge into the prefix.
+		nj := st.Cardinality(j)
+		ni := curSize
+		jsel := st.SelectivityInto(curSize, inSet, j)
+		dj := distinctInto(st, inSet, j)
+		denom := 0.5 * ni * (nj / dj)
+		if denom <= 0 {
+			return math.Inf(1)
+		}
+		return (ni*nj*jsel - 1) / denom
+	}
+	return 0
+}
+
+// distinctInto returns the distinct-value count of j's join column on its
+// most selective edge into the prefix set (≥ 1).
+func distinctInto(st *estimate.Stats, inSet []bool, j catalog.RelID) float64 {
+	g := st.Graph()
+	best := 1.0
+	bestSel := math.Inf(1)
+	for _, e := range g.Edges() {
+		var other catalog.RelID
+		var dj float64
+		switch {
+		case e.From == j:
+			other, dj = e.To, e.FromDistinct
+		case e.To == j:
+			other, dj = e.From, e.ToDistinct
+		default:
+			continue
+		}
+		if !inSet[other] {
+			continue
+		}
+		if e.Selectivity < bestSel {
+			bestSel = e.Selectivity
+			best = dj
+		}
+	}
+	if best < 1 {
+		return 1
+	}
+	return best
+}
+
+// Augmentation generates join orders for one component by incrementally
+// choosing the next relation per a criterion (Figure 3 of the paper).
+// One permutation is produced per choice of first relation; first
+// relations are tried in order of increasing cardinality, so up to
+// len(rels) permutations are available.
+type Augmentation struct {
+	stats     *estimate.Stats
+	eval      *plan.Evaluator
+	rels      []catalog.RelID
+	criterion Criterion
+	// firstOrder lists the relations in the order they are used as the
+	// first relation of successive permutations.
+	firstOrder []catalog.RelID
+	next       int
+}
+
+// NewAugmentation prepares an augmentation generator over the component
+// relations rels using the given criterion. The evaluator supplies the
+// statistics and the budget (each chooseNext candidate examination debits
+// one work unit, reflecting that the heuristic's work is size/selectivity
+// arithmetic of the same order as a cost-function term).
+func NewAugmentation(eval *plan.Evaluator, rels []catalog.RelID, criterion Criterion) *Augmentation {
+	a := &Augmentation{
+		stats:      eval.Stats(),
+		eval:       eval,
+		rels:       rels,
+		criterion:  criterion,
+		firstOrder: append([]catalog.RelID(nil), rels...),
+	}
+	sort.SliceStable(a.firstOrder, func(i, j int) bool {
+		ci := a.stats.Cardinality(a.firstOrder[i])
+		cj := a.stats.Cardinality(a.firstOrder[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return a.firstOrder[i] < a.firstOrder[j]
+	})
+	return a
+}
+
+// Remaining returns how many start states the generator can still
+// produce.
+func (a *Augmentation) Remaining() int { return len(a.firstOrder) - a.next }
+
+// NextStart implements search.StartStater: it returns the permutation
+// grown from the next first relation, or ok=false when all first
+// relations have been used.
+func (a *Augmentation) NextStart() (plan.Perm, bool) {
+	if a.next >= len(a.firstOrder) {
+		return nil, false
+	}
+	first := a.firstOrder[a.next]
+	a.next++
+	return a.Generate(first), true
+}
+
+// Reset rewinds the generator to the first start state.
+func (a *Augmentation) Reset() { a.next = 0 }
+
+// Generate builds the permutation grown from the given first relation
+// (Figure 3): repeatedly apply chooseNext over the frontier.
+func (a *Augmentation) Generate(first catalog.RelID) plan.Perm {
+	n := len(a.rels)
+	out := make(plan.Perm, 0, n)
+	prefix := estimate.NewPrefix(a.stats)
+	prefix.Extend(first)
+	out = append(out, first)
+
+	remaining := make([]catalog.RelID, 0, n-1)
+	for _, r := range a.rels {
+		if r != first {
+			remaining = append(remaining, r)
+		}
+	}
+	budget := a.eval.Budget()
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestScore := math.Inf(1)
+		anyFrontier := false
+		for i, j := range remaining {
+			if !prefix.Joins(j) {
+				continue
+			}
+			anyFrontier = true
+			s := a.criterion.score(a.stats, prefix.Size(), prefix.InSet(), j)
+			budget.Charge(1)
+			if s < bestScore || (s == bestScore && (bestIdx < 0 || j < remaining[bestIdx])) {
+				bestScore = s
+				bestIdx = i
+			}
+		}
+		if !anyFrontier {
+			// Disconnected input: fall back to the globally best-scoring
+			// relation so generation terminates (a cross product is
+			// unavoidable here).
+			for i, j := range remaining {
+				s := a.criterion.score(a.stats, prefix.Size(), prefix.InSet(), j)
+				budget.Charge(1)
+				if s < bestScore || bestIdx < 0 {
+					bestScore = s
+					bestIdx = i
+				}
+			}
+		}
+		j := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		prefix.Extend(j)
+		out = append(out, j)
+	}
+	return out
+}
+
+// Best generates every start state, prices each, and returns the
+// cheapest (used when the augmentation heuristic is run standalone).
+func (a *Augmentation) Best() (plan.Perm, float64, bool) {
+	a.Reset()
+	var best plan.Perm
+	bestCost := math.Inf(1)
+	ok := false
+	for {
+		p, more := a.NextStart()
+		if !more {
+			break
+		}
+		c := a.eval.Cost(p)
+		if c < bestCost {
+			best, bestCost, ok = p, c, true
+		}
+		if a.eval.Budget().Exhausted() {
+			break
+		}
+	}
+	return best, bestCost, ok
+}

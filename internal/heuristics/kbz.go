@@ -1,0 +1,287 @@
+package heuristics
+
+import (
+	"math"
+	"sort"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+)
+
+// WeightCriterion selects the edge weight used by KBZ's algorithm G to
+// choose the minimum spanning tree of a cyclic join graph. The paper's
+// Table 2 compares criteria 3–5 of §4.1 and finds criterion 3 (join
+// selectivity) best, matching [KBZ86]'s own suggestion.
+type WeightCriterion int
+
+const (
+	// WeightSelectivity weighs an edge by its join selectivity
+	// (criterion 3 — the winner and the default).
+	WeightSelectivity WeightCriterion = 3
+	// WeightResultSize weighs an edge by the size of the two-way join
+	// result NᵢNⱼJᵢⱼ (criterion 4).
+	WeightResultSize WeightCriterion = 4
+	// WeightRank weighs an edge by the KBZ rank of the two-way join
+	// (criterion 5).
+	WeightRank WeightCriterion = 5
+)
+
+// String names the weight criterion as in Table 2.
+func (w WeightCriterion) String() string {
+	switch w {
+	case WeightSelectivity:
+		return "3:selectivity"
+	case WeightResultSize:
+		return "4:result-size"
+	case WeightRank:
+		return "5:rank"
+	}
+	return "?:unknown"
+}
+
+// WeightCriteria lists the spanning-tree weight criteria in paper order.
+var WeightCriteria = []WeightCriterion{WeightSelectivity, WeightResultSize, WeightRank}
+
+// weightFunc materializes the criterion against the statistics.
+func (w WeightCriterion) weightFunc(st *estimate.Stats) joingraph.WeightFunc {
+	switch w {
+	case WeightResultSize:
+		return func(e joingraph.Edge) float64 {
+			return st.Cardinality(e.From) * st.Cardinality(e.To) * e.Selectivity
+		}
+	case WeightRank:
+		return func(e joingraph.Edge) float64 {
+			ni := st.Cardinality(e.From)
+			nj := st.Cardinality(e.To)
+			dj := math.Max(e.ToDistinct, 1)
+			denom := 0.5 * ni * (nj / dj)
+			if denom <= 0 {
+				return math.Inf(1)
+			}
+			return (ni*nj*e.Selectivity - 1) / denom
+		}
+	default:
+		return joingraph.SelectivityWeight
+	}
+}
+
+// KBZ implements the 3-level heuristic of Krishnamurthy, Boral & Zaniolo
+// (§4.2): algorithm G reduces a cyclic join graph to a minimum spanning
+// tree; algorithm T tries every relation as the root; algorithm R
+// linearizes a rooted tree optimally under an ASI cost function by
+// merging subtree chains in ascending rank order with compound-node
+// normalization (the IKKBZ construction).
+//
+// Hash-join cost functions are not exactly of the ASI form n₁·g(n₂) the
+// KBZ theory requires (the paper makes the same observation about sort
+// merge); algorithm R therefore optimizes the ASI surrogate
+// g(n₂) = 0.5·n₂/D₂ — the denominator of the paper's rank formula — and
+// every candidate order is finally priced with the real cost model when
+// algorithm T compares roots.
+type KBZ struct {
+	stats *estimate.Stats
+	eval  *plan.Evaluator
+	rels  []catalog.RelID
+	tree  *joingraph.Tree
+	// rootOrder lists the candidate roots in the order tried.
+	rootOrder []catalog.RelID
+	next      int
+}
+
+// NewKBZ prepares the heuristic over one component. The spanning tree is
+// chosen with the given weight criterion. Rank computations and chain
+// merges debit the budget (one unit per segment operation), reflecting
+// that KBZ does substantially more work per generated state than
+// augmentation — the paper's explanation for its poor showing at small
+// time limits.
+func NewKBZ(eval *plan.Evaluator, rels []catalog.RelID, weight WeightCriterion) *KBZ {
+	k := &KBZ{
+		stats:     eval.Stats(),
+		eval:      eval,
+		rels:      rels,
+		rootOrder: append([]catalog.RelID(nil), rels...),
+	}
+	sort.SliceStable(k.rootOrder, func(i, j int) bool {
+		ci := k.stats.Cardinality(k.rootOrder[i])
+		cj := k.stats.Cardinality(k.rootOrder[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return k.rootOrder[i] < k.rootOrder[j]
+	})
+	if len(rels) > 0 {
+		g := k.stats.Graph()
+		k.tree = g.MinimumSpanningTree(rels[0], weight.weightFunc(k.stats))
+	}
+	return k
+}
+
+// Remaining returns how many roots are still untried.
+func (k *KBZ) Remaining() int { return len(k.rootOrder) - k.next }
+
+// Reset rewinds the root iteration.
+func (k *KBZ) Reset() { k.next = 0 }
+
+// NextStart implements search.StartStater: the optimal linearization for
+// the next candidate root.
+func (k *KBZ) NextStart() (plan.Perm, bool) {
+	if k.next >= len(k.rootOrder) {
+		return nil, false
+	}
+	root := k.rootOrder[k.next]
+	k.next++
+	return k.Linearize(root), true
+}
+
+// Best runs algorithm T in full: linearize for every root, price each
+// order with the real cost model, return the cheapest.
+func (k *KBZ) Best() (plan.Perm, float64, bool) {
+	k.Reset()
+	var best plan.Perm
+	bestCost := math.Inf(1)
+	ok := false
+	for {
+		p, more := k.NextStart()
+		if !more {
+			break
+		}
+		c := k.eval.Cost(p)
+		if c < bestCost {
+			best, bestCost, ok = p, c, true
+		}
+		if k.eval.Budget().Exhausted() {
+			break
+		}
+	}
+	return best, bestCost, ok
+}
+
+// segment is a compound node of the IKKBZ construction: a maximal run of
+// relations forced to stay contiguous, with the aggregated ASI
+// parameters T (selectivity–cardinality product) and C (surrogate cost).
+type segment struct {
+	rels []catalog.RelID
+	t, c float64
+}
+
+func (s segment) rank() float64 {
+	if s.c <= 0 {
+		return math.Inf(-1)
+	}
+	return (s.t - 1) / s.c
+}
+
+// combine concatenates two segments: T multiplies, C composes as
+// C₁ + T₁·C₂ (the ASI recurrence).
+func combine(a, b segment) segment {
+	return segment{
+		rels: append(append([]catalog.RelID(nil), a.rels...), b.rels...),
+		t:    a.t * b.t,
+		c:    a.c + a.t*b.c,
+	}
+}
+
+// nodeSegment builds the unit segment of a non-root tree node: T is the
+// parent-edge selectivity times the node's cardinality; C is the ASI
+// surrogate cost 0.5·N/D with D the node-side distinct count of the
+// parent edge.
+func (k *KBZ) nodeSegment(v catalog.RelID) segment {
+	e := k.tree.ParentEdge[v]
+	n := k.stats.Cardinality(v)
+	var d float64
+	if e.From == v {
+		d = e.FromDistinct
+	} else {
+		d = e.ToDistinct
+	}
+	if d < 1 {
+		d = 1
+	}
+	return segment{
+		rels: []catalog.RelID{v},
+		t:    e.Selectivity * n,
+		c:    0.5 * n / d,
+	}
+}
+
+// Linearize runs algorithm R on the spanning tree re-rooted at root and
+// returns the resulting permutation.
+func (k *KBZ) Linearize(root catalog.RelID) plan.Perm {
+	tree := k.tree
+	if tree.Root != root {
+		tree = k.tree.Reroot(root)
+	}
+	saved := k.tree
+	k.tree = tree
+	chain := k.linearizeSubtree(root, true)
+	k.tree = saved
+
+	out := make(plan.Perm, 0, len(k.rels))
+	out = append(out, root)
+	for _, s := range chain {
+		out = append(out, s.rels...)
+	}
+	return out
+}
+
+// linearizeSubtree returns the normalized ascending-rank chain of the
+// subtree rooted at v, excluding v itself when isRoot is true (the query
+// root is a fixed head and never merges into a compound node).
+func (k *KBZ) linearizeSubtree(v catalog.RelID, isRoot bool) []segment {
+	budget := k.eval.Budget()
+	children := k.tree.Children[v]
+	chains := make([][]segment, 0, len(children))
+	for _, c := range children {
+		chains = append(chains, k.linearizeSubtree(c, false))
+	}
+	merged := mergeChains(chains, budget.Charge)
+	if isRoot {
+		return merged
+	}
+	// Prepend v's own segment and normalize: the chain must ascend in
+	// rank; any following segment with rank not above its predecessor's
+	// is absorbed into a compound node.
+	out := []segment{k.nodeSegment(v)}
+	for _, s := range merged {
+		out = append(out, s)
+		// Restore ascending ranks: a segment whose rank is below its
+		// predecessor's must stay contiguous with it (Monma–Sidney), so
+		// absorb it into a compound node and re-check upward.
+		for len(out) >= 2 && out[len(out)-1].rank() < out[len(out)-2].rank() {
+			a, b := out[len(out)-2], out[len(out)-1]
+			out = out[:len(out)-2]
+			out = append(out, combine(a, b))
+			budget.Charge(1)
+		}
+	}
+	return out
+}
+
+// mergeChains k-way merges ascending-rank chains into one ascending
+// chain. charge debits one unit per comparison performed.
+func mergeChains(chains [][]segment, charge func(int64)) []segment {
+	var out []segment
+	idx := make([]int, len(chains))
+	for {
+		best := -1
+		bestRank := math.Inf(1)
+		for i, ch := range chains {
+			if idx[i] >= len(ch) {
+				continue
+			}
+			r := ch[idx[i]].rank()
+			charge(1)
+			if best < 0 || r < bestRank {
+				best = i
+				bestRank = r
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, chains[best][idx[best]])
+		idx[best]++
+	}
+}

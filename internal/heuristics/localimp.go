@@ -1,0 +1,218 @@
+package heuristics
+
+import (
+	"math"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/estimate"
+	"joinopt/internal/plan"
+)
+
+// ClusterStrategy is a (cluster size, overlap) pair of the local
+// improvement heuristic (§4.3): sliding windows of c consecutive
+// positions, advanced by c−o, are exhaustively re-permuted.
+type ClusterStrategy struct {
+	Size, Overlap int
+}
+
+// Ladder is the paper's preferred strategy ladder, best first: pick the
+// largest strategy a budget can afford one pass of.
+var Ladder = []ClusterStrategy{{5, 4}, {4, 3}, {3, 2}, {2, 1}, {2, 0}}
+
+// step returns the window advance.
+func (c ClusterStrategy) step() int { return c.Size - c.Overlap }
+
+// passUnits estimates the work units of one pass over a permutation of
+// length n: clusters × permutations(size) × size cost evaluations.
+func (c ClusterStrategy) passUnits(n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	size := c.Size
+	if size > n {
+		size = n
+	}
+	clusters := 1 + (n-size+c.step()-1)/c.step()
+	return int64(clusters) * factorial(size) * int64(size) * plan.EvalUnitsPerJoin
+}
+
+func factorial(n int) int64 {
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
+}
+
+// ChooseStrategy picks the largest ladder strategy whose single pass fits
+// in the remaining budget (ok=false if not even (2,0) fits, or the
+// budget is already exhausted). An unlimited budget affords the top of
+// the ladder.
+func ChooseStrategy(remaining int64, n int) (ClusterStrategy, bool) {
+	if remaining == 0 {
+		return ClusterStrategy{}, false
+	}
+	for _, s := range Ladder {
+		if remaining < 0 || s.passUnits(n) <= remaining {
+			return s, true
+		}
+	}
+	return ClusterStrategy{}, false
+}
+
+// LocalImprove applies the local improvement heuristic to a valid
+// permutation: repeated passes of the chosen (c,o) strategy until a pass
+// makes no change or the budget is exhausted. Strategies with no overlap
+// need only one pass. It returns the improved permutation and its cost;
+// the result is never worse than the input.
+//
+// curCost must be the permutation's current cost (it is not re-priced).
+func LocalImprove(eval *plan.Evaluator, strat ClusterStrategy, p plan.Perm, curCost float64) (plan.Perm, float64) {
+	n := len(p)
+	if n < 2 || strat.Size < 2 {
+		return p, curCost
+	}
+	out := p.Clone()
+	budget := eval.Budget()
+	li := &localImprover{
+		eval:  eval,
+		base:  estimate.NewPrefix(eval.Stats()),
+		fork:  estimate.NewPrefix(eval.Stats()),
+		perm:  out,
+		strat: strat,
+	}
+	bestPerm := out.Clone()
+	bestCost := curCost
+	for !budget.Exhausted() {
+		changed := li.pass()
+		// Re-price the full permutation: under the dynamic estimator a
+		// pass of locally-better windows is not guaranteed to lower the
+		// global cost, and repeated passes could otherwise oscillate
+		// forever on an unlimited budget.
+		passCost := eval.Cost(li.perm)
+		if passCost < bestCost {
+			bestCost = passCost
+			copy(bestPerm, li.perm)
+		} else if changed {
+			break // no global progress this pass; stop
+		}
+		if !changed || strat.Overlap == 0 {
+			break
+		}
+	}
+	return bestPerm, bestCost
+}
+
+type localImprover struct {
+	eval  *plan.Evaluator
+	base  *estimate.Prefix // prefix state before the current cluster
+	fork  *estimate.Prefix // scratch overlay for candidate orders
+	perm  plan.Perm
+	strat ClusterStrategy
+}
+
+// pass slides the cluster window across the permutation once, replacing
+// each window with its best valid re-permutation. Reports whether any
+// window changed.
+//
+// Re-permuting a window cannot affect the *validity* of what follows
+// it: frontier membership depends only on the prefix set. Under the
+// static estimator the suffix cost is also unchanged, so pricing each
+// candidate by its window joins alone is exact; under the dynamic
+// estimator it is a good approximation (the final full re-price in
+// LocalImprove guards the never-worse contract either way).
+func (li *localImprover) pass() bool {
+	n := len(li.perm)
+	model := li.eval.Model()
+	budget := li.eval.Budget()
+	changed := false
+
+	li.base.Reset()
+	start := 0
+	for start < n-1 && !budget.Exhausted() {
+		size := li.strat.Size
+		if start+size > n {
+			size = n - start
+		}
+		if size < 2 {
+			break
+		}
+		window := append([]catalog.RelID(nil), li.perm[start:start+size]...)
+		bestOrder := append([]catalog.RelID(nil), window...)
+		bestCost := math.Inf(1)
+		permute(window, func(cand []catalog.RelID) bool {
+			li.fork.CopyFrom(li.base)
+			cost := 0.0
+			for _, r := range cand {
+				// Validity: every relation must join the prefix (the
+				// very first relation of the query is exempt).
+				if li.fork.Len() > 0 && !li.fork.Joins(r) {
+					return !budget.Exhausted()
+				}
+				outer, inner, result := li.fork.Extend(r)
+				if li.fork.Len() == 1 {
+					continue
+				}
+				cost += model.JoinCost(outer, inner, result)
+				budget.Charge(plan.EvalUnitsPerJoin)
+			}
+			if cost < bestCost {
+				bestCost = cost
+				copy(bestOrder, cand)
+			}
+			return !budget.Exhausted()
+		})
+		if !equalOrder(bestOrder, li.perm[start:start+size]) {
+			copy(li.perm[start:start+size], bestOrder)
+			changed = true
+		}
+		// Advance the base prefix past the window's leading step relations.
+		step := li.strat.step()
+		if step > size {
+			step = size
+		}
+		for i := 0; i < step; i++ {
+			li.base.Extend(li.perm[start+i])
+		}
+		start += step
+	}
+	return changed
+}
+
+func equalOrder(a, b []catalog.RelID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// permute enumerates all permutations of s in place (Heap's algorithm),
+// invoking f for each; f returns false to stop early. s is restored only
+// per Heap's visiting order, so callers must copy what they keep.
+func permute(s []catalog.RelID, f func([]catalog.RelID) bool) {
+	n := len(s)
+	c := make([]int, n)
+	if !f(s) {
+		return
+	}
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				s[0], s[i] = s[i], s[0]
+			} else {
+				s[c[i]], s[i] = s[i], s[c[i]]
+			}
+			if !f(s) {
+				return
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}

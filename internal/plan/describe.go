@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+)
+
+// JoinStep describes one join of a left-deep plan: what is joined, the
+// estimated sizes, the cost, and — when the cost model selects among
+// join methods — which method was chosen.
+type JoinStep struct {
+	// Inner is the base relation joined at this step.
+	Inner catalog.RelID
+	// OuterSize, InnerSize and ResultSize are the estimated operand and
+	// result cardinalities.
+	OuterSize, InnerSize, ResultSize float64
+	// Cost is this join's cost under the evaluator's model.
+	Cost float64
+	// Method names the join method ("hash", "nested-loop", ...); for
+	// single-method models it is the model's name.
+	Method string
+}
+
+// methodChooser is satisfied by cost models that select among join
+// methods per join (cost.Chooser).
+type methodChooser interface {
+	Choose(outer, inner, result float64) (cost.Model, float64)
+}
+
+// Describe prices the permutation step by step, returning one JoinStep
+// per join. No budget is charged: Describe explains an already-chosen
+// plan, it is not part of the optimization loop.
+func Describe(e *Evaluator, p Perm) []JoinStep {
+	if len(p) < 2 {
+		return nil
+	}
+	pre := estimate.NewPrefix(e.Stats())
+	chooser, hasChooser := e.Model().(methodChooser)
+	steps := make([]JoinStep, 0, len(p)-1)
+	for i, r := range p {
+		outer, inner, result := pre.Extend(r)
+		if i == 0 {
+			continue
+		}
+		st := JoinStep{
+			Inner:      r,
+			OuterSize:  outer,
+			InnerSize:  inner,
+			ResultSize: result,
+		}
+		if hasChooser {
+			m, c := chooser.Choose(outer, inner, result)
+			st.Method = m.Name()
+			st.Cost = c
+		} else {
+			st.Method = e.Model().Name()
+			st.Cost = e.Model().JoinCost(outer, inner, result)
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// ExplainDetailed renders the plan with per-join sizes, costs and
+// chosen join methods.
+func (pl *Plan) ExplainDetailed(e *Evaluator, q *catalog.Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: total cost %.6g\n", pl.TotalCost)
+	for ci, c := range pl.Components {
+		fmt.Fprintf(&b, "component %d (cost %.6g):\n", ci, c.Cost)
+		if len(c.Perm) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  scan %s\n", q.RelationName(c.Perm[0]))
+		for _, st := range Describe(e, c.Perm) {
+			fmt.Fprintf(&b, "  ⋈ %-12s [%s]  outer=%.4g inner=%.4g result=%.4g cost=%.6g\n",
+				q.RelationName(st.Inner), st.Method,
+				st.OuterSize, st.InnerSize, st.ResultSize, st.Cost)
+		}
+	}
+	if len(pl.Components) > 1 {
+		fmt.Fprintf(&b, "cross products: cost %.6g\n", pl.CrossCost)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+)
+
+func chooserFixture() (*Evaluator, *catalog.Query) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "big", Cardinality: 100000},
+			{Name: "tiny", Cardinality: 2},
+			{Name: "mid", Cardinality: 5000},
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, Selectivity: 0.5},
+			{Left: 0, Right: 2, Selectivity: 0.001},
+		},
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	return NewEvaluator(st, cost.NewChooser(), cost.Unlimited()), q
+}
+
+func TestDescribeStepsSumToCost(t *testing.T) {
+	e, _ := chooserFixture()
+	p := Perm{0, 1, 2}
+	steps := Describe(e, p)
+	if len(steps) != 2 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	sum := 0.0
+	for _, s := range steps {
+		sum += s.Cost
+	}
+	if total := e.Cost(p); math.Abs(sum-total) > total*1e-9 {
+		t.Fatalf("steps sum %g, plan cost %g", sum, total)
+	}
+}
+
+func TestDescribeChoosesMethods(t *testing.T) {
+	e, _ := chooserFixture()
+	steps := Describe(e, Perm{0, 1, 2})
+	// Joining the 2-tuple relation into a 100k outer: nested loop wins.
+	if steps[0].Inner != 1 || steps[0].Method != "nested-loop" {
+		t.Fatalf("step 0: %+v", steps[0])
+	}
+	for _, s := range steps {
+		if s.Method == "" {
+			t.Fatalf("step without method: %+v", s)
+		}
+		if s.ResultSize <= 0 || s.InnerSize <= 0 {
+			t.Fatalf("degenerate sizes: %+v", s)
+		}
+	}
+}
+
+func TestDescribeSingleMethodModel(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Cardinality: 10}, {Cardinality: 10},
+		},
+		Predicates: []catalog.Predicate{{Left: 0, Right: 1, Selectivity: 0.1}},
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	e := NewEvaluator(estimate.NewStats(q, g), cost.NewMemoryModel(), cost.Unlimited())
+	steps := Describe(e, Perm{0, 1})
+	if steps[0].Method != "memory" {
+		t.Fatalf("method %q", steps[0].Method)
+	}
+}
+
+func TestDescribeDoesNotChargeBudget(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Cardinality: 10}, {Cardinality: 10},
+		},
+		Predicates: []catalog.Predicate{{Left: 0, Right: 1, Selectivity: 0.1}},
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	b := cost.NewBudget(100)
+	e := NewEvaluator(estimate.NewStats(q, g), cost.NewMemoryModel(), b)
+	Describe(e, Perm{0, 1})
+	if b.Used() != 0 {
+		t.Fatalf("Describe charged %d units", b.Used())
+	}
+}
+
+func TestDescribeTrivial(t *testing.T) {
+	e, _ := chooserFixture()
+	if Describe(e, Perm{0}) != nil || Describe(e, nil) != nil {
+		t.Fatal("trivial permutations should describe to nil")
+	}
+}
+
+func TestExplainDetailed(t *testing.T) {
+	e, q := chooserFixture()
+	pl := Assemble(e, []Result{{Perm: Perm{0, 1, 2}, Cost: e.Cost(Perm{0, 1, 2})}})
+	out := pl.ExplainDetailed(e, q)
+	for _, want := range []string{"scan big", "tiny", "nested-loop", "result=", "total cost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("detailed explain missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package plan represents outer linear (left-deep) join trees as
+// permutations of relations, checks their validity (no cross product
+// inside a connected component of the join graph), and prices them
+// against a cost model while metering the optimization budget.
+//
+// Per the paper's §2, each join tree over one component is equivalently a
+// permutation: the inner operand of every join is a base relation and the
+// outer operand is the intermediate result of the prefix. Queries whose
+// join graph has several components are handled by the "postpone cross
+// products as late as possible" heuristic: each component is optimized
+// separately and the component results are then joined by cross products.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+)
+
+// EvalUnitsPerJoin is the budget charge per join inside a cost-function
+// evaluation. A full evaluation step does strictly more work than the
+// single-selectivity scans the heuristics and validity checks pay one
+// unit for: size estimation plus cost-model arithmetic plus, in
+// move-based search, candidate-state construction. The ratio sets the
+// relative speed of heuristic state generation versus move-based
+// descent, which is what positions the paper's AGI→IAI crossover;
+// BenchmarkAblationUnitScale probes the overall budget scale's effect.
+const EvalUnitsPerJoin = 4
+
+// Perm is an ordering of relation IDs: the left-deep join order.
+type Perm []catalog.RelID
+
+// Clone returns a copy of the permutation.
+func (p Perm) Clone() Perm {
+	c := make(Perm, len(p))
+	copy(c, p)
+	return c
+}
+
+// String renders the permutation in the paper's notation, e.g.
+// "(R0 R3 R1 R2)".
+func (p Perm) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, r := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "R%d", r)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Evaluator prices permutations for one query under one cost model,
+// debiting one budget unit per join costed. It is not safe for
+// concurrent use; create one per goroutine.
+type Evaluator struct {
+	stats  *estimate.Stats
+	model  cost.Model
+	budget *cost.Budget
+	prefix *estimate.Prefix
+}
+
+// NewEvaluator returns an evaluator over the query statistics. budget
+// may be cost.Unlimited().
+func NewEvaluator(stats *estimate.Stats, model cost.Model, budget *cost.Budget) *Evaluator {
+	return &Evaluator{
+		stats:  stats,
+		model:  model,
+		budget: budget,
+		prefix: estimate.NewPrefix(stats),
+	}
+}
+
+// Stats returns the underlying statistics.
+func (e *Evaluator) Stats() *estimate.Stats { return e.stats }
+
+// Model returns the cost model.
+func (e *Evaluator) Model() cost.Model { return e.model }
+
+// Budget returns the shared budget.
+func (e *Evaluator) Budget() *cost.Budget { return e.budget }
+
+// Cost prices the permutation: the sum of join costs along the prefix.
+// It charges EvalUnitsPerJoin budget units per join. Validity is not
+// checked; an invalid permutation is priced with the implied cross
+// products.
+func (e *Evaluator) Cost(p Perm) float64 {
+	e.prefix.Reset()
+	total := 0.0
+	for i, r := range p {
+		outer, inner, result := e.prefix.Extend(r)
+		if i == 0 {
+			continue
+		}
+		total += e.model.JoinCost(outer, inner, result)
+		e.budget.Charge(EvalUnitsPerJoin)
+	}
+	return total
+}
+
+// PrefixCost prices only the first k relations of p (k-1 joins),
+// charging EvalUnitsPerJoin units per join. Used by local improvement
+// to price cluster rearrangements cheaply.
+func (e *Evaluator) PrefixCost(p Perm, k int) float64 {
+	if k > len(p) {
+		k = len(p)
+	}
+	e.prefix.Reset()
+	total := 0.0
+	for i := 0; i < k; i++ {
+		outer, inner, result := e.prefix.Extend(p[i])
+		if i == 0 {
+			continue
+		}
+		total += e.model.JoinCost(outer, inner, result)
+		e.budget.Charge(EvalUnitsPerJoin)
+	}
+	return total
+}
+
+// Valid reports whether p is a valid permutation of one component:
+// every relation after the first joins with at least one predecessor.
+// Each per-relation frontier check debits one budget unit — checking
+// validity is adjacency work of the same order as a join-size
+// computation, and it is a real cost of move-based search (most random
+// swaps of a valid permutation are invalid, so descent pays for many
+// checks per accepted move, exactly as wall-clock time charged the
+// paper's optimizers).
+func (e *Evaluator) Valid(p Perm) bool {
+	if len(p) <= 1 {
+		return true
+	}
+	e.prefix.Reset()
+	e.prefix.Extend(p[0])
+	for _, r := range p[1:] {
+		e.budget.Charge(1)
+		if !e.prefix.Joins(r) {
+			return false
+		}
+		e.prefix.Extend(r)
+	}
+	return true
+}
+
+// ValidSuffixFrom reports whether p would remain valid if positions
+// from..len(p)-1 keep their relations, assuming the prefix [0,from) is
+// already known valid. Used to short-circuit move validity checks.
+// Budget is charged per frontier check, as in Valid.
+func (e *Evaluator) ValidSuffixFrom(p Perm, from int) bool {
+	if from <= 0 {
+		return e.Valid(p)
+	}
+	e.prefix.Reset()
+	for i := 0; i < from; i++ {
+		e.prefix.Extend(p[i])
+	}
+	for i := from; i < len(p); i++ {
+		e.budget.Charge(1)
+		if !e.prefix.Joins(p[i]) {
+			return false
+		}
+		e.prefix.Extend(p[i])
+	}
+	return true
+}
+
+// Result carries an optimized permutation of one component with its cost.
+type Result struct {
+	Perm Perm
+	Cost float64
+}
+
+// Plan is a complete query evaluation plan: the per-component join
+// orders (already optimized), the order in which component results are
+// combined by cross products, and the total cost.
+type Plan struct {
+	// Components holds one optimized result per join-graph component, in
+	// combination order (smallest result first, per the postpone-cross-
+	// products heuristic).
+	Components []Result
+	// CrossCost is the cost of the cross-product joins combining the
+	// component results (zero for connected queries).
+	CrossCost float64
+	// TotalCost is the sum of component costs plus CrossCost.
+	TotalCost float64
+}
+
+// Order returns the full relation ordering of the plan: the
+// concatenation of component permutations in combination order.
+func (pl *Plan) Order() Perm {
+	var out Perm
+	for _, c := range pl.Components {
+		out = append(out, c.Perm...)
+	}
+	return out
+}
+
+// Explain renders a human-readable description of the plan.
+func (pl *Plan) Explain(q *catalog.Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: total cost %.6g\n", pl.TotalCost)
+	for i, c := range pl.Components {
+		fmt.Fprintf(&b, "  component %d (cost %.6g): ", i, c.Cost)
+		for j, r := range c.Perm {
+			if j > 0 {
+				b.WriteString(" ⋈ ")
+			}
+			b.WriteString(q.RelationName(r))
+		}
+		b.WriteByte('\n')
+	}
+	if len(pl.Components) > 1 {
+		fmt.Fprintf(&b, "  cross products: cost %.6g\n", pl.CrossCost)
+	}
+	return b.String()
+}
+
+// Assemble combines per-component optimized results into a full plan,
+// pricing the cross products that join the component results. Component
+// results are combined in order of increasing estimated size, which
+// postpones the largest cross products as long as possible.
+func Assemble(e *Evaluator, comps []Result) *Plan {
+	pl := &Plan{Components: append([]Result(nil), comps...)}
+	// Estimated final size of each component result.
+	sizes := make([]float64, len(pl.Components))
+	for i, c := range pl.Components {
+		sizes[i] = componentSize(e.stats, c.Perm)
+	}
+	idx := make([]int, len(pl.Components))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] < sizes[idx[b]] })
+	ordered := make([]Result, len(idx))
+	for i, j := range idx {
+		ordered[i] = pl.Components[j]
+	}
+	pl.Components = ordered
+
+	total := 0.0
+	for _, c := range pl.Components {
+		total += c.Cost
+	}
+	// Cross products between component results.
+	if len(pl.Components) > 1 {
+		acc := componentSize(e.stats, pl.Components[0].Perm)
+		for i := 1; i < len(pl.Components); i++ {
+			sz := componentSize(e.stats, pl.Components[i].Perm)
+			result := acc * sz
+			pl.CrossCost += e.model.JoinCost(acc, sz, result)
+			e.budget.Charge(1)
+			acc = result
+		}
+	}
+	pl.TotalCost = total + pl.CrossCost
+	return pl
+}
+
+// componentSize estimates the result size of a component's permutation.
+func componentSize(s *estimate.Stats, p Perm) float64 {
+	pre := estimate.NewPrefix(s)
+	for _, r := range p {
+		pre.Extend(r)
+	}
+	return pre.Size()
+}

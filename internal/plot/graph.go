@@ -1,0 +1,62 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
+)
+
+// GraphSVG renders a join graph as an SVG with a circular vertex
+// layout: vertices (relations) around a circle, labelled by name, edges
+// drawn with stroke width proportional to −log₁₀(selectivity) so the
+// most selective (most size-reducing) joins stand out.
+func GraphSVG(g *joingraph.Graph, q *catalog.Query) string {
+	const (
+		w, h   = 560, 560
+		radius = 210.0
+	)
+	n := g.NumVertices()
+	cx, cy := float64(w)/2, float64(h)/2
+	pos := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(math.Max(1, float64(n)))
+		pos[i] = [2]float64{cx + radius*math.Cos(a), cy + radius*math.Sin(a)}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	// Edges first (under the vertices).
+	for _, e := range g.Edges() {
+		p1, p2 := pos[e.From], pos[e.To]
+		width := 0.8
+		if e.Selectivity > 0 && e.Selectivity < 1 {
+			width = 0.8 + math.Min(4, -math.Log10(e.Selectivity))
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888" stroke-width="%.2f"><title>J=%.3g</title></line>`+"\n",
+			p1[0], p1[1], p2[0], p2[1], width, e.Selectivity)
+	}
+	// Vertices: radius scaled by log cardinality.
+	for i := 0; i < n; i++ {
+		card := float64(q.Relations[i].Cardinality)
+		r := 4 + 2*math.Log10(math.Max(10, card))
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#1f77b4"><title>%s: %d rows</title></circle>`+"\n",
+			pos[i][0], pos[i][1], r, escape(q.RelationName(catalog.RelID(i))), q.Relations[i].Cardinality)
+		// Label placed outward from the circle center.
+		lx := cx + (pos[i][0]-cx)*1.12
+		ly := cy + (pos[i][1]-cy)*1.12
+		anchor := "middle"
+		if lx > cx+10 {
+			anchor = "start"
+		} else if lx < cx-10 {
+			anchor = "end"
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="11" text-anchor="%s">%s</text>`+"\n",
+			lx, ly+4, fontFamily, anchor, escape(q.RelationName(catalog.RelID(i))))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

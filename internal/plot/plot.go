@@ -1,0 +1,242 @@
+// Package plot renders experiment matrices as figures: SVG line charts
+// (one series per method, scaled cost vs time coefficient — the axes of
+// the paper's Figures 4–7) and compact ASCII charts for terminals.
+// Standard library only.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X, Y []float64
+}
+
+// Chart is a plottable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY plots the y axis in log scale (scaled costs span decades).
+	LogY bool
+}
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	svgW, svgH         = 640, 420
+	marginL, marginR   = 64, 150
+	marginT, marginB   = 44, 48
+	plotW              = svgW - marginL - marginR
+	plotH              = svgH - marginT - marginB
+	tickCount          = 5
+	legendRowH         = 18
+	axisColor          = "#444444"
+	gridColor          = "#dddddd"
+	fontFamily         = "sans-serif"
+	titleSize, lblSize = 15, 12
+)
+
+// bounds computes the data ranges, applying the log transform if set.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					return 0, 0, 0, 0, fmt.Errorf("plot: series %q has non-positive y %g with LogY", s.Name, y)
+				}
+				y = math.Log10(y)
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("plot: no data")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG() (string, error) {
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return "", err
+	}
+	sx := func(x float64) float64 {
+		return marginL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	sy := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgW, svgH, svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="%s" font-size="%d" font-weight="bold">%s</text>`+"\n",
+		marginL, marginT-20, fontFamily, titleSize, escape(c.Title))
+
+	// Gridlines + ticks.
+	for i := 0; i <= tickCount; i++ {
+		fy := ymin + (ymax-ymin)*float64(i)/tickCount
+		py := marginT + plotH - float64(i)/tickCount*plotH
+		val := fy
+		if c.LogY {
+			val = math.Pow(10, fy)
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`+"\n",
+			marginL, py, marginL+plotW, py, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="%s" font-size="%d" text-anchor="end" fill="%s">%s</text>`+"\n",
+			marginL-6, py+4, fontFamily, lblSize, axisColor, trimNum(val))
+	}
+	for i := 0; i <= tickCount; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/tickCount
+		px := marginL + float64(i)/tickCount*plotW
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s"/>`+"\n",
+			px, marginT, px, marginT+plotH, gridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="%s" font-size="%d" text-anchor="middle" fill="%s">%s</text>`+"\n",
+			px, marginT+plotH+16, fontFamily, lblSize, axisColor, trimNum(fx))
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="%s"/>`+"\n",
+		marginL, marginT, plotW, plotH, axisColor)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="%s" font-size="%d" text-anchor="middle" fill="%s">%s</text>`+"\n",
+		marginL+plotW/2, svgH-10, fontFamily, lblSize, axisColor, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-family="%s" font-size="%d" text-anchor="middle" fill="%s" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		marginT+plotH/2, fontFamily, lblSize, axisColor, marginT+plotH/2, escape(c.YLabel))
+
+	// Series + legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n", sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		ly := marginT + si*legendRowH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+plotW+12, ly, marginL+plotW+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="%s" font-size="%d">%s</text>`+"\n",
+			marginL+plotW+40, ly+4, fontFamily, lblSize, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// ASCII renders the chart as a width×height character grid with a
+// one-letter marker per series.
+func (c *Chart) ASCII(width, height int) (string, error) {
+	if width < 24 {
+		width = 24
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return "", err
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	mark := func(s Series, marker byte) {
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = marker
+			}
+		}
+	}
+	var legend []string
+	used := map[byte]bool{}
+	for si, s := range c.Series {
+		marker := byte('A' + si%26)
+		if len(s.Name) > 0 && !used[s.Name[0]] {
+			marker = s.Name[0]
+		}
+		for used[marker] {
+			marker = 'a' + (marker-'a'+1)%26
+		}
+		used[marker] = true
+		mark(s, marker)
+		legend = append(legend, fmt.Sprintf("%c=%s", marker, s.Name))
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	top, bottom := ymax, ymin
+	if c.LogY {
+		top, bottom = math.Pow(10, ymax), math.Pow(10, ymin)
+	}
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7s ", trimNum(top))
+		} else if i == height-1 {
+			label = fmt.Sprintf("%7s ", trimNum(bottom))
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8s+%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%9s%-*s%s\n", "", width-len(trimNum(xmax)), trimNum(xmin), trimNum(xmax))
+	fmt.Fprintf(&b, "  %s\n", strings.Join(legend, "  "))
+	return b.String(), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trimNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

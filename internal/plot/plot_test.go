@@ -1,0 +1,140 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "Figure 4: comparison",
+		XLabel: "time limit (·N²)",
+		YLabel: "mean scaled cost",
+		Series: []Series{
+			{Name: "IAI", X: []float64{0.3, 1, 3, 9}, Y: []float64{4.9, 3.4, 2.2, 1.4}},
+			{Name: "SA", X: []float64{0.3, 1, 3, 9}, Y: []float64{7.8, 7.1, 5.0, 3.3}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Figure 4: comparison", "IAI", "SA",
+		"mean scaled cost", "time limit",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("expected 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestSVGEscapesTitle(t *testing.T) {
+	c := sample()
+	c.Title = `a<b & "c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGLogY(t *testing.T) {
+	c := sample()
+	c.LogY = true
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+	c.Series[0].Y[0] = 0
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("non-positive y accepted under LogY")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	if _, err := (&Chart{}).SVG(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out, err := sample().ASCII(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "I=IAI") || !strings.Contains(out, "S=SA") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "I") || !strings.Contains(out, "S") {
+		t.Fatal("markers missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestASCIIFloorsDimensions(t *testing.T) {
+	if _, err := sample().ASCII(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatSeriesDoesNotDivideByZero(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{2, 2}}}}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ASCII(30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	if trimNum(3) != "3" || trimNum(0.25) != "0.25" || trimNum(1234.5) != "1.23e+03" {
+		t.Fatalf("trimNum: %q %q %q", trimNum(3), trimNum(0.25), trimNum(1234.5))
+	}
+}
+
+func TestGraphSVG(t *testing.T) {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "orders", Cardinality: 100000},
+			{Name: "customers", Cardinality: 500},
+			{Name: "nation", Cardinality: 25},
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, Selectivity: 0.002},
+			{Left: 1, Right: 2, Selectivity: 0.04},
+		},
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	svg := GraphSVG(g, q)
+	for _, want := range []string{"<svg", "orders", "customers", "nation", "<line", "<circle", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("graph svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<line") != 2 || strings.Count(svg, "<circle") != 3 {
+		t.Fatal("wrong element counts")
+	}
+}

@@ -1,0 +1,121 @@
+package qdsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/workload"
+)
+
+const sample = `
+# a three-relation chain
+relation orders    1000000 select 0.1 0.5
+relation customers 50000
+relation nation    25
+
+join orders customers distinct 50000 50000
+join customers nation selectivity 0.04
+`
+
+func TestParseSample(t *testing.T) {
+	q, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 3 || len(q.Predicates) != 2 {
+		t.Fatalf("shape: %d relations, %d predicates", len(q.Relations), len(q.Predicates))
+	}
+	if q.Relations[0].Name != "orders" || q.Relations[0].Cardinality != 1000000 {
+		t.Fatalf("relation 0: %+v", q.Relations[0])
+	}
+	if len(q.Relations[0].Selections) != 2 || q.Relations[0].Selections[1].Selectivity != 0.5 {
+		t.Fatalf("selections: %+v", q.Relations[0].Selections)
+	}
+	if q.Predicates[0].LeftDistinct != 50000 {
+		t.Fatalf("predicate 0: %+v", q.Predicates[0])
+	}
+	if q.Predicates[1].Selectivity != 0.04 {
+		t.Fatalf("predicate 1: %+v", q.Predicates[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"unknown stmt", "frobnicate x", "unknown statement"},
+		{"short relation", "relation a", "needs a name"},
+		{"bad cardinality", "relation a pots", "cardinality"},
+		{"dup relation", "relation a 5\nrelation a 5", "declared twice"},
+		{"select no values", "relation a 5 select", "at least one"},
+		{"bad selectivity", "relation a 5 select x", "selectivity"},
+		{"not select", "relation a 5 filter 0.5", "expected 'select'"},
+		{"short join", "relation a 5\nrelation b 5\njoin a b", "join needs"},
+		{"unknown rel", "relation a 5\njoin a b distinct 1 1", "unknown relation"},
+		{"bad mode", "relation a 5\nrelation b 5\njoin a b on 1 1", "expected 'distinct'"},
+		{"distinct arity", "relation a 5\nrelation b 5\njoin a b distinct 1", "exactly two"},
+		{"selectivity arity", "relation a 5\nrelation b 5\njoin a b selectivity 1 2", "exactly one"},
+		{"bad distinct", "relation a 5\nrelation b 5\njoin a b distinct x 1", "left distinct"},
+		{"invalid query", "relation a -5", "cardinality"}, // catalog validation fires too
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.in)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseReportsLineNumbers(t *testing.T) {
+	_, err := ParseString("relation a 5\n\n# comment\nbogus here")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("line number missing: %v", err)
+	}
+}
+
+// TestFormatRoundTrip: Format(Parse(x)) re-parses to the same query,
+// for generated benchmark queries.
+func TestFormatRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%20)
+		q := workload.Default().Generate(n, rand.New(rand.NewSource(seed)))
+		text := Format(q)
+		back, err := ParseString(text)
+		if err != nil {
+			return false
+		}
+		if len(back.Relations) != len(q.Relations) || len(back.Predicates) != len(q.Predicates) {
+			return false
+		}
+		for i := range q.Relations {
+			if back.Relations[i].Cardinality != q.Relations[i].Cardinality ||
+				len(back.Relations[i].Selections) != len(q.Relations[i].Selections) {
+				return false
+			}
+		}
+		for i := range q.Predicates {
+			a, b := q.Predicates[i], back.Predicates[i]
+			if a.Left != b.Left || a.Right != b.Right ||
+				a.LeftDistinct != b.LeftDistinct || a.RightDistinct != b.RightDistinct {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseValidatesWholeQuery(t *testing.T) {
+	// Structurally fine but semantically invalid (selectivity > 1).
+	_, err := ParseString("relation a 5\nrelation b 5\njoin a b selectivity 2.5")
+	if err == nil {
+		t.Fatal("invalid selectivity accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package qfile
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"joinopt/internal/workload"
+)
+
+// FuzzRead feeds arbitrary bytes to the JSON reader: it must never
+// panic, and anything it accepts must be a valid query that survives a
+// write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"relations":[{"cardinality":5}],"predicates":[]}`))
+	f.Add([]byte(`{"relations":[{"cardinality":5},{"cardinality":9}],
+	  "predicates":[{"left":0,"right":1,"leftDistinct":2,"rightDistinct":3}]}`))
+	var buf bytes.Buffer
+	q := workload.Default().Generate(12, rand.New(rand.NewSource(1)))
+	if err := Write(&buf, q); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid query: %v", err)
+		}
+		var out strings.Builder
+		if err := Write(&out, q); err != nil {
+			t.Fatalf("accepted query failed to serialize: %v", err)
+		}
+		back, err := Read(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Relations) != len(q.Relations) || len(back.Predicates) != len(q.Predicates) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

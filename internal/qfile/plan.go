@@ -1,0 +1,64 @@
+package qfile
+
+import (
+	"encoding/json"
+	"io"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// jsonPlan is the machine-readable rendering of an optimized plan.
+type jsonPlan struct {
+	TotalCost  float64         `json:"totalCost"`
+	Order      []int           `json:"order"`
+	Names      []string        `json:"names"`
+	Components []jsonComponent `json:"components"`
+	CrossCost  float64         `json:"crossCost,omitempty"`
+}
+
+type jsonComponent struct {
+	Cost  float64    `json:"cost"`
+	Order []int      `json:"order"`
+	Steps []jsonStep `json:"steps,omitempty"`
+}
+
+type jsonStep struct {
+	Inner      int     `json:"inner"`
+	Method     string  `json:"method"`
+	OuterSize  float64 `json:"outerSize"`
+	InnerSize  float64 `json:"innerSize"`
+	ResultSize float64 `json:"resultSize"`
+	Cost       float64 `json:"cost"`
+}
+
+// WritePlan serializes an optimized plan as indented JSON, including
+// per-join steps (sizes, costs, chosen join methods) priced by the
+// evaluator.
+func WritePlan(w io.Writer, q *catalog.Query, pl *plan.Plan, eval *plan.Evaluator) error {
+	out := jsonPlan{TotalCost: pl.TotalCost, CrossCost: pl.CrossCost}
+	for _, r := range pl.Order() {
+		out.Order = append(out.Order, int(r))
+		out.Names = append(out.Names, q.RelationName(r))
+	}
+	for _, c := range pl.Components {
+		jc := jsonComponent{Cost: c.Cost}
+		for _, r := range c.Perm {
+			jc.Order = append(jc.Order, int(r))
+		}
+		for _, s := range plan.Describe(eval, c.Perm) {
+			jc.Steps = append(jc.Steps, jsonStep{
+				Inner:      int(s.Inner),
+				Method:     s.Method,
+				OuterSize:  s.OuterSize,
+				InnerSize:  s.InnerSize,
+				ResultSize: s.ResultSize,
+				Cost:       s.Cost,
+			})
+		}
+		out.Components = append(out.Components, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,166 @@
+// Package qfile reads and writes queries as JSON, the interchange
+// format of the cmd/ljqgen and cmd/ljqopt tools.
+//
+// The format is a direct rendering of the catalog types:
+//
+//	{
+//	  "relations": [
+//	    {"name": "orders", "cardinality": 100000,
+//	     "selections": [{"selectivity": 0.1}]},
+//	    ...
+//	  ],
+//	  "predicates": [
+//	    {"left": 0, "right": 1,
+//	     "leftDistinct": 500, "rightDistinct": 500,
+//	     "selectivity": 0}          // 0 = derive from distinct counts
+//	  ]
+//	}
+package qfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"joinopt/internal/catalog"
+)
+
+// jsonQuery mirrors catalog.Query with JSON tags.
+type jsonQuery struct {
+	Relations  []jsonRelation  `json:"relations"`
+	Predicates []jsonPredicate `json:"predicates"`
+}
+
+type jsonRelation struct {
+	Name        string          `json:"name,omitempty"`
+	Cardinality int64           `json:"cardinality"`
+	Selections  []jsonSelection `json:"selections,omitempty"`
+}
+
+type jsonSelection struct {
+	Selectivity float64 `json:"selectivity"`
+}
+
+type jsonPredicate struct {
+	Left          int            `json:"left"`
+	Right         int            `json:"right"`
+	LeftDistinct  float64        `json:"leftDistinct,omitempty"`
+	RightDistinct float64        `json:"rightDistinct,omitempty"`
+	Selectivity   float64        `json:"selectivity,omitempty"`
+	LeftHist      *jsonHistogram `json:"leftHist,omitempty"`
+	RightHist     *jsonHistogram `json:"rightHist,omitempty"`
+}
+
+type jsonHistogram struct {
+	Domain int64     `json:"domain"`
+	Counts []float64 `json:"counts"`
+}
+
+func histToJSON(h *catalog.Histogram) *jsonHistogram {
+	if h == nil {
+		return nil
+	}
+	return &jsonHistogram{Domain: h.Domain, Counts: append([]float64(nil), h.Counts...)}
+}
+
+func histFromJSON(j *jsonHistogram) *catalog.Histogram {
+	if j == nil {
+		return nil
+	}
+	return &catalog.Histogram{Domain: j.Domain, Counts: append([]float64(nil), j.Counts...)}
+}
+
+func toJSON(q *catalog.Query) *jsonQuery {
+	out := &jsonQuery{}
+	for _, r := range q.Relations {
+		jr := jsonRelation{Name: r.Name, Cardinality: r.Cardinality}
+		for _, s := range r.Selections {
+			jr.Selections = append(jr.Selections, jsonSelection{Selectivity: s.Selectivity})
+		}
+		out.Relations = append(out.Relations, jr)
+	}
+	for _, p := range q.Predicates {
+		out.Predicates = append(out.Predicates, jsonPredicate{
+			Left: int(p.Left), Right: int(p.Right),
+			LeftDistinct: p.LeftDistinct, RightDistinct: p.RightDistinct,
+			Selectivity: p.Selectivity,
+			LeftHist:    histToJSON(p.LeftHist),
+			RightHist:   histToJSON(p.RightHist),
+		})
+	}
+	return out
+}
+
+func fromJSON(j *jsonQuery) *catalog.Query {
+	q := &catalog.Query{}
+	for _, r := range j.Relations {
+		cr := catalog.Relation{Name: r.Name, Cardinality: r.Cardinality}
+		for _, s := range r.Selections {
+			cr.Selections = append(cr.Selections, catalog.Selection{Selectivity: s.Selectivity})
+		}
+		q.Relations = append(q.Relations, cr)
+	}
+	for _, p := range j.Predicates {
+		q.Predicates = append(q.Predicates, catalog.Predicate{
+			Left: catalog.RelID(p.Left), Right: catalog.RelID(p.Right),
+			LeftDistinct: p.LeftDistinct, RightDistinct: p.RightDistinct,
+			Selectivity: p.Selectivity,
+			LeftHist:    histFromJSON(p.LeftHist),
+			RightHist:   histFromJSON(p.RightHist),
+		})
+	}
+	return q
+}
+
+// Write serializes the query as indented JSON.
+func Write(w io.Writer, q *catalog.Query) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(q))
+}
+
+// Read parses and validates a query.
+func Read(r io.Reader) (*catalog.Query, error) {
+	var j jsonQuery
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("qfile: %w", err)
+	}
+	q := fromJSON(&j)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q.Normalize()
+	return q, nil
+}
+
+// WriteFile writes the query to a file path ("-" = stdout).
+func WriteFile(path string, q *catalog.Query) error {
+	if path == "-" {
+		return Write(os.Stdout, q)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, q); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a query from a file path ("-" = stdin).
+func ReadFile(path string) (*catalog.Query, error) {
+	if path == "-" {
+		return Read(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,163 @@
+package qfile
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%30)
+		q := workload.Default().Generate(n, rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := Write(&buf, q); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Relations) != len(q.Relations) || len(got.Predicates) != len(q.Predicates) {
+			return false
+		}
+		for i := range q.Relations {
+			if got.Relations[i].Cardinality != q.Relations[i].Cardinality ||
+				got.Relations[i].Name != q.Relations[i].Name ||
+				len(got.Relations[i].Selections) != len(q.Relations[i].Selections) {
+				return false
+			}
+		}
+		for i := range q.Predicates {
+			if got.Predicates[i] != q.Predicates[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,                                   // syntax error
+		`{"relations": [], "predicates": []}`, // no relations
+		`{"relations": [{"cardinality": -5}], "predicates": []}`,  // bad cardinality
+		`{"relations": [{"cardinality": 5}], "bogusField": true}`, // unknown field
+		`{"relations": [{"cardinality": 5}, {"cardinality": 5}],
+		  "predicates": [{"left": 0, "right": 7, "selectivity": 0.5}]}`, // out of range
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadNormalizes(t *testing.T) {
+	in := `{"relations": [{"cardinality": 10}, {"cardinality": 20}],
+	        "predicates": [{"left": 1, "right": 0, "leftDistinct": 4, "rightDistinct": 8}]}`
+	q, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Predicates[0]
+	if p.Left != 0 || p.Right != 1 {
+		t.Fatal("endpoints not normalized")
+	}
+	if p.Selectivity != 0.125 { // 1/max(8,4) after the endpoint swap
+		t.Fatalf("selectivity %g", p.Selectivity)
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.json")
+	q := workload.Default().Generate(10, rand.New(rand.NewSource(1)))
+	if err := WriteFile(path, q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRelations() != q.NumRelations() {
+		t.Fatal("file round trip lost relations")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRoundTrip(t *testing.T) {
+	q := workload.Default().Generate(3, rand.New(rand.NewSource(2)))
+	q.Predicates[0].LeftHist = &catalog.Histogram{Domain: 40, Counts: []float64{5, 7, 9, 3}}
+	q.Predicates[0].RightHist = &catalog.Histogram{Domain: 40, Counts: []float64{1, 2, 3, 4}}
+	var buf bytes.Buffer
+	if err := Write(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := got.Predicates[0].LeftHist
+	if h == nil || h.Domain != 40 || len(h.Counts) != 4 || h.Counts[2] != 9 {
+		t.Fatalf("left histogram lost: %+v", h)
+	}
+	if got.Predicates[0].RightHist == nil {
+		t.Fatal("right histogram lost")
+	}
+	if got.Predicates[1].LeftHist != nil {
+		t.Fatal("phantom histogram appeared")
+	}
+}
+
+func TestWritePlan(t *testing.T) {
+	q := workload.Default().Generate(4, rand.New(rand.NewSource(7)))
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	perm := plan.Perm{0, 1, 2, 3, 4}
+	pl := plan.Assemble(eval, []plan.Result{{Perm: perm, Cost: eval.Cost(perm)}})
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, q, pl, eval); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["totalCost"].(float64) <= 0 {
+		t.Fatal("total cost missing")
+	}
+	order := decoded["order"].([]any)
+	if len(order) != 5 {
+		t.Fatalf("order length %d", len(order))
+	}
+	comps := decoded["components"].([]any)
+	steps := comps[0].(map[string]any)["steps"].([]any)
+	if len(steps) != 4 {
+		t.Fatalf("steps %d", len(steps))
+	}
+	if steps[0].(map[string]any)["method"].(string) == "" {
+		t.Fatal("step method missing")
+	}
+}

@@ -1,0 +1,60 @@
+package search_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/search"
+)
+
+// exampleSpace wires a deterministic 5-relation chain into a search
+// space with a modest budget.
+func exampleSpace(budget *cost.Budget) *search.Space {
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Cardinality: 1000}, {Cardinality: 20}, {Cardinality: 500},
+			{Cardinality: 80}, {Cardinality: 300},
+		},
+		Predicates: []catalog.Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 20, RightDistinct: 20},
+			{Left: 1, Right: 2, LeftDistinct: 20, RightDistinct: 250},
+			{Left: 2, Right: 3, LeftDistinct: 80, RightDistinct: 80},
+			{Left: 3, Right: 4, LeftDistinct: 80, RightDistinct: 150},
+		},
+	}
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), budget)
+	return search.NewSpace(eval, g.Components()[0], rand.New(rand.NewSource(7)))
+}
+
+// ExampleImproveRun performs one run of iterative improvement (the
+// paper's Figure 1) from a random valid state.
+func ExampleImproveRun() {
+	sp := exampleSpace(cost.Unlimited())
+	start := sp.RandomState()
+	startCost := sp.Evaluator().Cost(start)
+	end, endCost := search.ImproveRun(sp, search.DefaultIIConfig(), start, startCost)
+	fmt.Printf("descended from %.4g to %.4g (valid: %v)\n",
+		startCost, endCost, sp.Evaluator().Valid(end))
+	// Output: descended from 1.778e+04 to 7620 (valid: true)
+}
+
+// ExampleAnneal runs simulated annealing (Figure 2) under a metered
+// budget.
+func ExampleAnneal() {
+	budget := cost.NewBudget(20000)
+	sp := exampleSpace(budget)
+	start := sp.RandomState()
+	best, bestCost := search.Anneal(sp, search.DefaultSAConfig(), start, sp.Evaluator().Cost(start))
+	fmt.Printf("best %.4g within budget %v (valid: %v)\n",
+		bestCost, budget.Used() <= budget.Limit()+64, sp.Evaluator().Valid(best))
+	// Output: best 7620 within budget true (valid: true)
+}

@@ -1,0 +1,196 @@
+// Package search implements the combinatorial optimization machinery of
+// the paper's §3 over the space of valid outer linear join trees: the
+// random state generator, the move set (from Swami & Gupta, SIGMOD 1988),
+// single runs of iterative improvement, and simulated annealing with the
+// Johnson et al. schedule.
+package search
+
+import (
+	"math/rand"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// MoveKind enumerates the move set. Per [SG88], a move perturbs a
+// permutation into an adjacent valid permutation.
+type MoveKind int
+
+const (
+	// MoveSwap exchanges the relations at two random positions.
+	MoveSwap MoveKind = iota
+	// MoveInsert removes the relation at one random position and
+	// reinserts it at another, shifting the relations in between.
+	MoveInsert
+)
+
+// Space is the state space of valid permutations of one join-graph
+// component, with a move set and a random state generator. It is bound
+// to an evaluator (query + cost model + budget) and an RNG.
+type Space struct {
+	eval *plan.Evaluator
+	// rels is the component's relation set.
+	rels []catalog.RelID
+	rng  *rand.Rand
+	// SwapWeight is the probability of proposing a swap (vs insert).
+	// The default move set is swap-only, following [SG88]; insert moves
+	// (SwapWeight < 1) make descent markedly faster and are kept as an
+	// ablation knob (see BenchmarkAblationMoveSet).
+	SwapWeight float64
+	// MaxProposals bounds the attempts to find a *valid* neighbor before
+	// giving up (the state is then reported to have no reachable
+	// neighbor this round).
+	MaxProposals int
+
+	scratch plan.Perm
+	inSet   []bool
+}
+
+// NewSpace returns a search space over the given component relations.
+func NewSpace(eval *plan.Evaluator, rels []catalog.RelID, rng *rand.Rand) *Space {
+	return &Space{
+		eval:         eval,
+		rels:         rels,
+		rng:          rng,
+		SwapWeight:   1.0,
+		MaxProposals: 32,
+		scratch:      make(plan.Perm, len(rels)),
+		inSet:        make([]bool, eval.Stats().Query().NumRelations()),
+	}
+}
+
+// Evaluator returns the bound evaluator.
+func (s *Space) Evaluator() *plan.Evaluator { return s.eval }
+
+// Relations returns the component's relation set.
+func (s *Space) Relations() []catalog.RelID { return s.rels }
+
+// RNG returns the space's random source.
+func (s *Space) RNG() *rand.Rand { return s.rng }
+
+// Size returns the number of relations in the component.
+func (s *Space) Size() int { return len(s.rels) }
+
+// RandomState generates a uniformly seeded valid permutation: a random
+// first relation, then repeatedly a uniform choice among the relations
+// joining the current prefix (the frontier). For a connected component
+// the frontier is never empty before all relations are placed.
+func (s *Space) RandomState() plan.Perm {
+	n := len(s.rels)
+	out := make(plan.Perm, 0, n)
+	if n == 0 {
+		return out
+	}
+	for i := range s.inSet {
+		s.inSet[i] = false
+	}
+	graph := s.eval.Stats().Graph()
+
+	remaining := append([]catalog.RelID(nil), s.rels...)
+	// Pick the first relation uniformly.
+	fi := s.rng.Intn(len(remaining))
+	first := remaining[fi]
+	remaining[fi] = remaining[len(remaining)-1]
+	remaining = remaining[:len(remaining)-1]
+	out = append(out, first)
+	s.inSet[first] = true
+
+	budget := s.eval.Budget()
+	for len(remaining) > 0 {
+		// Collect frontier indices (relations joining the prefix).
+		// Frontier scans are adjacency work and debit the budget like
+		// any other per-relation check.
+		budget.Charge(int64(len(remaining)))
+		frontier := frontierIndices(graph, remaining, s.inSet, nil)
+		var pick int
+		if len(frontier) == 0 {
+			// Disconnected input (cross product inside the "component"):
+			// fall back to a uniform pick so generation still terminates.
+			pick = s.rng.Intn(len(remaining))
+		} else {
+			pick = frontier[s.rng.Intn(len(frontier))]
+		}
+		r := remaining[pick]
+		remaining[pick] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		out = append(out, r)
+		s.inSet[r] = true
+	}
+	return out
+}
+
+// frontierIndices appends to dst the indices into remaining of relations
+// that join at least one relation marked in inSet.
+func frontierIndices(g interface {
+	JoinsInto(catalog.RelID, []bool) bool
+}, remaining []catalog.RelID, inSet []bool, dst []int) []int {
+	for i, r := range remaining {
+		if g.JoinsInto(r, inSet) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Neighbor proposes a valid adjacent state of p and returns it with its
+// cost. It proposes up to MaxProposals random moves, keeping the first
+// valid one; ok is false if none was valid (or the component is too
+// small to move). The returned permutation is freshly allocated.
+func (s *Space) Neighbor(p plan.Perm) (q plan.Perm, cost float64, ok bool) {
+	n := len(p)
+	if n < 2 {
+		return nil, 0, false
+	}
+	for attempt := 0; attempt < s.MaxProposals; attempt++ {
+		copy(s.scratch[:n], p)
+		cand := s.scratch[:n]
+		var low int
+		if s.rng.Float64() < s.SwapWeight {
+			low = s.applySwap(cand)
+		} else {
+			low = s.applyInsert(cand)
+		}
+		if !s.eval.ValidSuffixFrom(cand, low) {
+			continue
+		}
+		q = cand.Clone()
+		return q, s.eval.Cost(q), true
+	}
+	return nil, 0, false
+}
+
+// applySwap swaps two distinct random positions in place and returns the
+// lower of the two (validity must be rechecked from there).
+func (s *Space) applySwap(p plan.Perm) int {
+	n := len(p)
+	i := s.rng.Intn(n)
+	j := s.rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	if i > j {
+		i, j = j, i
+	}
+	p[i], p[j] = p[j], p[i]
+	return i
+}
+
+// applyInsert removes a random position and reinserts it elsewhere,
+// returning the lowest affected position.
+func (s *Space) applyInsert(p plan.Perm) int {
+	n := len(p)
+	from := s.rng.Intn(n)
+	to := s.rng.Intn(n - 1)
+	if to >= from {
+		to++
+	}
+	r := p[from]
+	if from < to {
+		copy(p[from:to], p[from+1:to+1])
+		p[to] = r
+		return from
+	}
+	copy(p[to+1:from+1], p[to:from])
+	p[to] = r
+	return to
+}

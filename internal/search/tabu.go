@@ -1,0 +1,155 @@
+package search
+
+import (
+	"math"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/plan"
+)
+
+// Tabu search over valid join orders (after Morzy, Matysiak & Salza,
+// 1993, who applied tabu search to join ordering) — an extension
+// strategy: unlike II it always moves to the best sampled neighbor,
+// even uphill, and forbids undoing recent swaps via a tabu list, which
+// lets it walk out of local minima deterministically instead of
+// probabilistically (SA).
+
+// TabuConfig tunes the search.
+type TabuConfig struct {
+	// Tenure is the tabu-list length as a multiple of n (default 1).
+	Tenure float64
+	// Candidates is the number of neighbors sampled per step.
+	Candidates int
+	// StallRestart restarts from a fresh random state after this many
+	// steps without improving the incumbent (as a multiple of n).
+	StallRestart float64
+}
+
+// DefaultTabuConfig returns literature-typical parameters.
+func DefaultTabuConfig() TabuConfig {
+	return TabuConfig{Tenure: 1, Candidates: 8, StallRestart: 4}
+}
+
+// pairKey canonicalizes an unordered relation pair.
+type pairKey struct{ a, b catalog.RelID }
+
+func mkPair(a, b catalog.RelID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// Tabu runs tabu search until the budget is exhausted, returning the
+// best state seen. onBest, if non-nil, fires on every incumbent
+// improvement.
+func Tabu(s *Space, cfg TabuConfig, onBest func(plan.Perm, float64)) (plan.Perm, float64, bool) {
+	n := s.Size()
+	if n == 0 {
+		return nil, 0, false
+	}
+	if n == 1 {
+		return plan.Perm{s.Relations()[0]}, 0, true
+	}
+	if cfg.Candidates < 1 {
+		cfg.Candidates = 1
+	}
+	tenure := int(cfg.Tenure * float64(n))
+	if tenure < 2 {
+		tenure = 2
+	}
+	stall := int(cfg.StallRestart * float64(n))
+	if stall < 8 {
+		stall = 8
+	}
+	eval := s.Evaluator()
+	budget := eval.Budget()
+
+	cur := s.RandomState()
+	curCost := eval.Cost(cur)
+	best := cur.Clone()
+	bestCost := curCost
+	if onBest != nil {
+		onBest(best, bestCost)
+	}
+
+	tabuList := make([]pairKey, 0, tenure)
+	tabuSet := make(map[pairKey]int)
+	pushTabu := func(p pairKey) {
+		tabuList = append(tabuList, p)
+		tabuSet[p]++
+		if len(tabuList) > tenure {
+			old := tabuList[0]
+			tabuList = tabuList[1:]
+			if tabuSet[old]--; tabuSet[old] == 0 {
+				delete(tabuSet, old)
+			}
+		}
+	}
+
+	sinceBest := 0
+	for !budget.Exhausted() {
+		// Sample candidate swaps; keep the best admissible one.
+		bestIdx, bestJdx := -1, -1
+		bestCand := plan.Perm(nil)
+		bestCandCost := math.Inf(1)
+		for k := 0; k < cfg.Candidates && !budget.Exhausted(); k++ {
+			i := s.rng.Intn(n)
+			j := s.rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			if i > j {
+				i, j = j, i
+			}
+			cand := cur.Clone()
+			cand[i], cand[j] = cand[j], cand[i]
+			if !eval.ValidSuffixFrom(cand, i) {
+				continue
+			}
+			c := eval.Cost(cand)
+			pair := mkPair(cand[i], cand[j])
+			tabu := tabuSet[pair] > 0
+			// Aspiration: a tabu move that beats the incumbent is
+			// always admissible.
+			if tabu && c >= bestCost {
+				continue
+			}
+			if c < bestCandCost {
+				bestCand, bestCandCost = cand, c
+				bestIdx, bestJdx = i, j
+			}
+		}
+		if bestCand == nil {
+			sinceBest++
+		} else {
+			pushTabu(mkPair(bestCand[bestIdx], bestCand[bestJdx]))
+			cur, curCost = bestCand, bestCandCost
+			if curCost < bestCost {
+				best, bestCost = cur.Clone(), curCost
+				sinceBest = 0
+				if onBest != nil {
+					onBest(best, bestCost)
+				}
+			} else {
+				sinceBest++
+			}
+		}
+		if sinceBest >= stall && !budget.Exhausted() {
+			cur = s.RandomState()
+			curCost = eval.Cost(cur)
+			if curCost < bestCost {
+				best, bestCost = cur.Clone(), curCost
+				if onBest != nil {
+					onBest(best, bestCost)
+				}
+			}
+			tabuList = tabuList[:0]
+			for k := range tabuSet {
+				delete(tabuSet, k)
+			}
+			sinceBest = 0
+		}
+	}
+	return best, bestCost, true
+}

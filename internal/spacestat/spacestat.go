@@ -1,0 +1,205 @@
+// Package spacestat characterizes the solution space of a query — the
+// investigation the paper's §7 reports as ongoing ("The distribution of
+// solution costs in the space of valid solutions is of interest and is
+// being investigated") and the structure §6.4 speculates about ("the
+// solution space has a large number of local minima, with a small but
+// significant fraction of them being deep local minima").
+//
+// Three instruments:
+//
+//   - the cost distribution of uniformly sampled random valid states;
+//   - an estimate of the local-minimum density (states with no
+//     improving neighbor among k sampled moves);
+//   - descent statistics: the depth and end-cost distribution of
+//     iterative-improvement runs from random starts, which is what
+//     "deep minima" means operationally.
+package spacestat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"joinopt/internal/plan"
+	"joinopt/internal/search"
+)
+
+// Config tunes the probes.
+type Config struct {
+	// Samples is the number of random valid states priced for the cost
+	// distribution.
+	Samples int
+	// MinimaProbes is the number of states tested for local minimality.
+	MinimaProbes int
+	// NeighborTrials is the number of sampled neighbors per minimality
+	// test (a state with no improving neighbor among these counts as a
+	// sampled local minimum).
+	NeighborTrials int
+	// Descents is the number of full II runs measured.
+	Descents int
+}
+
+// DefaultConfig returns probe sizes suitable for N ≤ 100 queries.
+func DefaultConfig() Config {
+	return Config{Samples: 500, MinimaProbes: 60, NeighborTrials: 40, Descents: 30}
+}
+
+// Report summarizes one component's solution space.
+type Report struct {
+	// Relations is the component size.
+	Relations int
+	// RandomCosts holds the cost quantiles of random valid states,
+	// scaled by BestKnown: [min, q25, median, q75, max].
+	RandomCosts [5]float64
+	// RandomMean is the mean scaled random-state cost.
+	RandomMean float64
+	// LocalMinimumFrac is the fraction of probed states that were
+	// sampled local minima.
+	LocalMinimumFrac float64
+	// DescentEndCosts holds quantiles of II end costs from random
+	// starts, scaled by BestKnown: [min, q25, median, q75, max].
+	DescentEndCosts [5]float64
+	// DeepMinimaFrac is the fraction of descents ending within 10% of
+	// BestKnown — the "deep minima" of §6.4.
+	DeepMinimaFrac float64
+	// MeanAcceptedMoves is the mean number of improving moves per
+	// descent.
+	MeanAcceptedMoves float64
+	// BestKnown is the scaling anchor: the cheapest cost observed by
+	// any probe.
+	BestKnown float64
+}
+
+// Analyze runs the probes over one search space. The evaluator should
+// carry an unlimited (or very large) budget; probes are measurement,
+// not optimization.
+func Analyze(sp *search.Space, cfg Config, rng *rand.Rand) *Report {
+	eval := sp.Evaluator()
+	r := &Report{Relations: sp.Size()}
+
+	// 1. Random-state cost distribution.
+	randCosts := make([]float64, 0, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		randCosts = append(randCosts, eval.Cost(sp.RandomState()))
+	}
+
+	// 2. Local-minimum density among random states.
+	minima := 0
+	for i := 0; i < cfg.MinimaProbes; i++ {
+		s := sp.RandomState()
+		c := eval.Cost(s)
+		improving := false
+		for k := 0; k < cfg.NeighborTrials; k++ {
+			_, nc, ok := sp.Neighbor(s)
+			if ok && nc < c {
+				improving = true
+				break
+			}
+		}
+		if !improving {
+			minima++
+		}
+	}
+	if cfg.MinimaProbes > 0 {
+		r.LocalMinimumFrac = float64(minima) / float64(cfg.MinimaProbes)
+	}
+
+	// 3. Descent statistics.
+	endCosts := make([]float64, 0, cfg.Descents)
+	accepted := 0
+	iiCfg := search.DefaultIIConfig()
+	for i := 0; i < cfg.Descents; i++ {
+		start := sp.RandomState()
+		startCost := eval.Cost(start)
+		moves := 0
+		_, endCost := search.ImproveRunObserved(sp, iiCfg, start, startCost, func(plan.Perm, float64) {
+			moves++
+		})
+		endCosts = append(endCosts, endCost)
+		accepted += moves
+	}
+	if cfg.Descents > 0 {
+		r.MeanAcceptedMoves = float64(accepted) / float64(cfg.Descents)
+	}
+
+	// Anchor on the best cost seen anywhere.
+	r.BestKnown = minFloat(append(append([]float64{}, randCosts...), endCosts...))
+	if r.BestKnown <= 0 {
+		r.BestKnown = 1
+	}
+	scale := func(xs []float64) {
+		for i := range xs {
+			xs[i] /= r.BestKnown
+		}
+	}
+	scale(randCosts)
+	scale(endCosts)
+	r.RandomCosts = quantiles5(randCosts)
+	r.RandomMean = mean(randCosts)
+	r.DescentEndCosts = quantiles5(endCosts)
+	deep := 0
+	for _, c := range endCosts {
+		if c <= 1.1 {
+			deep++
+		}
+	}
+	if len(endCosts) > 0 {
+		r.DeepMinimaFrac = float64(deep) / float64(len(endCosts))
+	}
+	_ = rng
+	return r
+}
+
+// Format renders the report.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "solution space over %d relations (costs scaled by best known %.4g)\n", r.Relations, r.BestKnown)
+	fmt.Fprintf(&b, "  random states:   min %.3g  q25 %.3g  med %.3g  q75 %.3g  max %.3g  (mean %.3g)\n",
+		r.RandomCosts[0], r.RandomCosts[1], r.RandomCosts[2], r.RandomCosts[3], r.RandomCosts[4], r.RandomMean)
+	fmt.Fprintf(&b, "  sampled local-minimum fraction: %.2f\n", r.LocalMinimumFrac)
+	fmt.Fprintf(&b, "  II descent ends: min %.3g  q25 %.3g  med %.3g  q75 %.3g  max %.3g\n",
+		r.DescentEndCosts[0], r.DescentEndCosts[1], r.DescentEndCosts[2], r.DescentEndCosts[3], r.DescentEndCosts[4])
+	fmt.Fprintf(&b, "  deep minima (within 10%% of best): %.2f of descents; mean accepted moves %.1f\n",
+		r.DeepMinimaFrac, r.MeanAcceptedMoves)
+	return b.String()
+}
+
+func quantiles5(xs []float64) [5]float64 {
+	var out [5]float64
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	out[0], out[1], out[2], out[3], out[4] = s[0], at(0.25), at(0.5), at(0.75), s[len(s)-1]
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+func minFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

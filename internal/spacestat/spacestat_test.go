@@ -1,0 +1,104 @@
+package spacestat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/search"
+	"joinopt/internal/workload"
+)
+
+func spaceFor(n int, seed int64) *search.Space {
+	q := workload.Default().Generate(n, rand.New(rand.NewSource(seed)))
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	return search.NewSpace(eval, g.Components()[0], rand.New(rand.NewSource(seed+1)))
+}
+
+func TestAnalyzeBasicInvariants(t *testing.T) {
+	sp := spaceFor(15, 3)
+	cfg := Config{Samples: 100, MinimaProbes: 20, NeighborTrials: 20, Descents: 10}
+	r := Analyze(sp, cfg, rand.New(rand.NewSource(9)))
+	if r.Relations != 16 {
+		t.Fatalf("relations %d", r.Relations)
+	}
+	if r.BestKnown <= 0 {
+		t.Fatalf("best known %g", r.BestKnown)
+	}
+	// All scaled values ≥ 1 (the anchor is the observed minimum).
+	if r.RandomCosts[0] < 1-1e-9 || r.DescentEndCosts[0] < 1-1e-9 {
+		t.Fatalf("scaled minima below 1: %v %v", r.RandomCosts, r.DescentEndCosts)
+	}
+	// Quantiles are sorted.
+	for i := 1; i < 5; i++ {
+		if r.RandomCosts[i] < r.RandomCosts[i-1] || r.DescentEndCosts[i] < r.DescentEndCosts[i-1] {
+			t.Fatal("quantiles not monotone")
+		}
+	}
+	if r.LocalMinimumFrac < 0 || r.LocalMinimumFrac > 1 || r.DeepMinimaFrac < 0 || r.DeepMinimaFrac > 1 {
+		t.Fatal("fractions out of range")
+	}
+}
+
+// TestDescentBeatsRandom: II descent end states must dominate random
+// states — the premise of the whole paper.
+func TestDescentBeatsRandom(t *testing.T) {
+	sp := spaceFor(20, 5)
+	cfg := Config{Samples: 150, MinimaProbes: 5, NeighborTrials: 10, Descents: 15}
+	r := Analyze(sp, cfg, rand.New(rand.NewSource(1)))
+	if r.DescentEndCosts[2] >= r.RandomCosts[2] {
+		t.Fatalf("median descent end %g not below median random %g",
+			r.DescentEndCosts[2], r.RandomCosts[2])
+	}
+	if r.MeanAcceptedMoves <= 0 {
+		t.Fatal("descents accepted no moves")
+	}
+}
+
+// TestRandomStatesAreRarelyMinimal: a uniformly random valid state of a
+// 20-join query should almost never be a local minimum.
+func TestRandomStatesAreRarelyMinimal(t *testing.T) {
+	sp := spaceFor(20, 7)
+	cfg := Config{Samples: 10, MinimaProbes: 30, NeighborTrials: 60, Descents: 2}
+	r := Analyze(sp, cfg, rand.New(rand.NewSource(2)))
+	if r.LocalMinimumFrac > 0.34 {
+		t.Fatalf("implausibly many random states are local minima: %.2f", r.LocalMinimumFrac)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	sp := spaceFor(12, 9)
+	r := Analyze(sp, Config{Samples: 30, MinimaProbes: 5, NeighborTrials: 5, Descents: 3}, rand.New(rand.NewSource(3)))
+	out := r.Format()
+	for _, want := range []string{"random states", "local-minimum", "II descent", "deep minima"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.Samples <= 0 || c.MinimaProbes <= 0 || c.NeighborTrials <= 0 || c.Descents <= 0 {
+		t.Fatal("degenerate defaults")
+	}
+}
+
+func TestQuantilesAndHelpers(t *testing.T) {
+	q := quantiles5([]float64{5, 1, 3, 2, 4})
+	if q[0] != 1 || q[2] != 3 || q[4] != 5 {
+		t.Fatalf("quantiles %v", q)
+	}
+	if quantiles5(nil) != [5]float64{} {
+		t.Fatal("empty quantiles")
+	}
+	if mean(nil) != 0 || minFloat(nil) != 0 {
+		t.Fatal("empty helpers")
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoerceOutlier(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1},
+		{9.99, 9.99},
+		{10, 10},
+		{1e9, 10},
+		{math.Inf(1), 10},
+		{math.NaN(), 10},
+	}
+	for _, c := range cases {
+		if got := CoerceOutlier(c.in); got != c.want {
+			t.Errorf("CoerceOutlier(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %g", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2.138) > 0.001 {
+		t.Fatalf("stddev %g", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extremes")
+	}
+	if q := Quantile(xs, 0.5); q != 2.5 {
+		t.Fatalf("median %g", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("quantile sorted its input in place")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := 2 + int(n%50)
+		var w Welford
+		xs := make([]float64, count)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			w.Add(xs[i])
+		}
+		if w.N() != int64(count) {
+			return false
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(w.StdDev()-StdDev(xs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty welford variance")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Var() != 0 {
+		t.Fatal("single-sample welford")
+	}
+}

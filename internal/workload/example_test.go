@@ -1,0 +1,39 @@
+package workload_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/workload"
+)
+
+// ExampleSpec_Generate synthesizes one §5 default-benchmark query: the
+// join graph is connected by construction.
+func ExampleSpec_Generate() {
+	q := workload.Default().Generate(20, rand.New(rand.NewSource(42)))
+	g := joingraph.New(q)
+	fmt.Printf("%d relations, %d predicates, %d component(s)\n",
+		q.NumRelations(), len(q.Predicates), len(g.Components()))
+	// Output: 21 relations, 20 predicates, 1 component(s)
+}
+
+// ExampleBenchmark selects one of the nine §5 variations.
+func ExampleBenchmark() {
+	spec, err := workload.Benchmark(8) // star-biased join graphs
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	q := spec.Generate(30, rand.New(rand.NewSource(1)))
+	g := joingraph.New(q)
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(catalog.RelID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("%s: hub degree %d of %d relations\n", spec.Name, maxDeg, q.NumRelations())
+	// Output: graph-star: hub degree 12 of 31 relations
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"joinopt/internal/joingraph"
+)
+
+// FuzzGenerate drives the query generator with arbitrary parameters:
+// every generated query must validate and have a connected join graph,
+// for every benchmark variation.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), 10, 0)
+	f.Add(int64(99), 100, 8)
+	f.Add(int64(-7), 1, 9)
+	f.Fuzz(func(t *testing.T, seed int64, n int, bench int) {
+		if n < 0 {
+			n = -n
+		}
+		n = n % 120 // keep generation fast
+		spec := Default()
+		b := bench % 10
+		if b < 0 {
+			b = -b
+		}
+		if b != 0 {
+			var err error
+			spec, err = Benchmark(b)
+			if err != nil {
+				t.Fatalf("benchmark %d rejected: %v", b, err)
+			}
+		}
+		q := spec.Generate(n, rand.New(rand.NewSource(seed)))
+		if err := q.Validate(); err != nil {
+			t.Fatalf("generated query invalid: %v", err)
+		}
+		if comps := joingraph.New(q).Components(); len(comps) != 1 {
+			t.Fatalf("generated join graph has %d components", len(comps))
+		}
+	})
+}

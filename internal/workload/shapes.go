@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+)
+
+// Shape names a canonical join-graph topology. The follow-on literature
+// (Steinbrunn, Moerkotte & Kemper, VLDB J. 1997) evaluates join-order
+// algorithms on exactly these shapes; they complement the §5 random
+// benchmarks with structured worst/best cases.
+type Shape int
+
+const (
+	// ShapeChain links relation i to i+1: the smallest valid-order
+	// space (2^(n-1) orders).
+	ShapeChain Shape = iota
+	// ShapeStar links every relation to relation 0: the largest
+	// valid-order space ((n-1)! orders) — the data-warehouse shape.
+	ShapeStar
+	// ShapeCycle is a chain with the ends joined.
+	ShapeCycle
+	// ShapeClique joins every pair: maximally cyclic.
+	ShapeClique
+	// ShapeGrid arranges relations in a ⌈√n⌉-wide grid with edges to
+	// the right and below neighbors.
+	ShapeGrid
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ShapeChain:
+		return "chain"
+	case ShapeStar:
+		return "star"
+	case ShapeCycle:
+		return "cycle"
+	case ShapeClique:
+		return "clique"
+	case ShapeGrid:
+		return "grid"
+	}
+	return "unknown"
+}
+
+// Shapes lists all canonical shapes.
+var Shapes = []Shape{ShapeChain, ShapeStar, ShapeCycle, ShapeClique, ShapeGrid}
+
+// GenerateShape synthesizes a query with the given topology over
+// nRelations relations. Cardinalities and distinct counts are drawn
+// from the spec's distributions (selections per the spec as well), so
+// the same statistical regime as the random benchmarks applies — only
+// the graph structure is pinned.
+func (s Spec) GenerateShape(shape Shape, nRelations int, rng *rand.Rand) (*catalog.Query, error) {
+	if nRelations < 2 {
+		return nil, fmt.Errorf("workload: shape needs at least 2 relations, got %d", nRelations)
+	}
+	q := &catalog.Query{Relations: make([]catalog.Relation, nRelations)}
+	for i := 0; i < nRelations; i++ {
+		card := int64(draw(s.Cards, rng))
+		if card < 2 {
+			card = 2
+		}
+		rel := catalog.Relation{Name: fmt.Sprintf("R%d", i), Cardinality: card}
+		if s.MaxSelections > 0 {
+			for k, cnt := 0, rng.Intn(s.MaxSelections+1); k < cnt; k++ {
+				rel.Selections = append(rel.Selections, catalog.Selection{
+					Selectivity: s.SelectivityChoices[rng.Intn(len(s.SelectivityChoices))],
+				})
+			}
+		}
+		q.Relations[i] = rel
+	}
+	link := func(a, b int) {
+		q.Predicates = append(q.Predicates, catalog.Predicate{
+			Left:          catalog.RelID(a),
+			Right:         catalog.RelID(b),
+			LeftDistinct:  distinctCount(s, rng, q.Relations[a].EffectiveCardinality()),
+			RightDistinct: distinctCount(s, rng, q.Relations[b].EffectiveCardinality()),
+		})
+	}
+	switch shape {
+	case ShapeChain:
+		for i := 0; i+1 < nRelations; i++ {
+			link(i, i+1)
+		}
+	case ShapeStar:
+		for i := 1; i < nRelations; i++ {
+			link(0, i)
+		}
+	case ShapeCycle:
+		for i := 0; i+1 < nRelations; i++ {
+			link(i, i+1)
+		}
+		if nRelations > 2 {
+			link(nRelations-1, 0)
+		}
+	case ShapeClique:
+		for i := 0; i < nRelations; i++ {
+			for j := i + 1; j < nRelations; j++ {
+				link(i, j)
+			}
+		}
+	case ShapeGrid:
+		w := 1
+		for w*w < nRelations {
+			w++
+		}
+		for i := 0; i < nRelations; i++ {
+			if (i+1)%w != 0 && i+1 < nRelations {
+				link(i, i+1) // right neighbor
+			}
+			if i+w < nRelations {
+				link(i, i+w) // below neighbor
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown shape %d", int(shape))
+	}
+	q.Normalize()
+	return q, nil
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
+)
+
+func TestShapeEdgeCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := Default()
+	cases := []struct {
+		shape Shape
+		n     int
+		edges int
+	}{
+		{ShapeChain, 10, 9},
+		{ShapeStar, 10, 9},
+		{ShapeCycle, 10, 10},
+		{ShapeClique, 6, 15},
+		{ShapeGrid, 9, 12}, // 3×3 grid: 6 horizontal + 6 vertical
+		{ShapeCycle, 2, 1}, // degenerate cycle = single edge
+	}
+	for _, tc := range cases {
+		q, err := spec.GenerateShape(tc.shape, tc.n, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.shape, err)
+		}
+		if len(q.Predicates) != tc.edges {
+			t.Fatalf("%v n=%d: %d edges, want %d", tc.shape, tc.n, len(q.Predicates), tc.edges)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%v: %v", tc.shape, err)
+		}
+	}
+}
+
+func TestShapesConnectedProperty(t *testing.T) {
+	f := func(seed int64, which uint8, sz uint8) bool {
+		shape := Shapes[int(which)%len(Shapes)]
+		n := 2 + int(sz%20)
+		if shape == ShapeClique && n > 12 {
+			n = 12 // keep clique generation small
+		}
+		rng := rand.New(rand.NewSource(seed))
+		q, err := Default().GenerateShape(shape, n, rng)
+		if err != nil {
+			return false
+		}
+		g := joingraph.New(q)
+		return len(g.Components()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeStarDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q, err := Default().GenerateShape(ShapeStar, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := joingraph.New(q)
+	if g.Degree(0) != 11 {
+		t.Fatalf("hub degree %d", g.Degree(0))
+	}
+	for v := catalog.RelID(1); v < 12; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("leaf %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Default().GenerateShape(ShapeChain, 1, rng); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Default().GenerateShape(Shape(99), 5, rng); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+	if Shape(99).String() != "unknown" {
+		t.Fatal("unknown shape name")
+	}
+	for _, s := range Shapes {
+		if s.String() == "unknown" {
+			t.Fatalf("shape %d unnamed", int(s))
+		}
+	}
+}

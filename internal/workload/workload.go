@@ -1,0 +1,272 @@
+// Package workload synthesizes the random query benchmarks of the
+// paper's §5: a default benchmark plus nine variations covering relation
+// cardinality distributions, distinct-value distributions, and join-graph
+// shapes (denser, star-biased, chain-biased).
+//
+// Every query is generated from an explicit RNG, so a (spec, N, seed)
+// triple is fully reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"joinopt/internal/catalog"
+)
+
+// Bucket is one weighted range of a piecewise distribution: values are
+// drawn uniformly from [Lo, Hi) with probability proportional to Weight.
+// Exact buckets yield exactly Lo.
+type Bucket struct {
+	Lo, Hi float64
+	Weight float64
+	Exact  bool
+}
+
+// draw samples a value from the weighted buckets.
+func draw(buckets []Bucket, rng *rand.Rand) float64 {
+	total := 0.0
+	for _, b := range buckets {
+		total += b.Weight
+	}
+	x := rng.Float64() * total
+	for _, b := range buckets {
+		if x < b.Weight {
+			if b.Exact {
+				return b.Lo
+			}
+			return b.Lo + rng.Float64()*(b.Hi-b.Lo)
+		}
+		x -= b.Weight
+	}
+	last := buckets[len(buckets)-1]
+	if last.Exact {
+		return last.Lo
+	}
+	return last.Lo + rng.Float64()*(last.Hi-last.Lo)
+}
+
+// GraphBias selects the shape bias of the generated spanning tree.
+type GraphBias int
+
+const (
+	// BiasNone links each new relation to a uniformly random earlier one.
+	BiasNone GraphBias = iota
+	// BiasStar links most relations to a small set of hub relations,
+	// producing star-like join graphs (large search space).
+	BiasStar
+	// BiasChain links most relations to their immediate predecessor,
+	// producing chain-like join graphs (small search space).
+	BiasChain
+)
+
+// Spec fully describes one synthetic benchmark.
+type Spec struct {
+	// Name labels the benchmark in reports.
+	Name string
+	// Cards is the relation-cardinality distribution.
+	Cards []Bucket
+	// SelectivityChoices is the list selection selectivities are drawn
+	// from (uniformly).
+	SelectivityChoices []float64
+	// MaxSelections is the maximum number of selection predicates per
+	// relation (count uniform in [0, MaxSelections]).
+	MaxSelections int
+	// Distinct is the distribution of distinct-value counts in join
+	// columns, as a fraction of relation cardinality.
+	Distinct []Bucket
+	// Cutoff is the join cutoff probability: each unlinked relation
+	// pair gains an extra join predicate with this probability.
+	Cutoff float64
+	// Bias shapes the initial spanning tree.
+	Bias GraphBias
+	// BiasStrength is the probability a biased link target is used
+	// instead of a uniform one (star/chain only).
+	BiasStrength float64
+}
+
+// selectivities is the paper's §5 list (0.34 and 0.5 repeated to weight
+// them).
+var selectivities = []float64{
+	0.001, 0.01, 0.1, 0.2, 0.34, 0.34, 0.34,
+	0.34, 0.34, 0.5, 0.5, 0.5, 0.67, 0.8, 1.0,
+}
+
+// Default returns the default benchmark of §5.
+func Default() Spec {
+	return Spec{
+		Name: "default",
+		Cards: []Bucket{
+			{Lo: 10, Hi: 100, Weight: 20},
+			{Lo: 100, Hi: 1000, Weight: 60},
+			{Lo: 1000, Hi: 10000, Weight: 20},
+		},
+		SelectivityChoices: selectivities,
+		MaxSelections:      2,
+		Distinct: []Bucket{
+			{Lo: 0, Hi: 0.2, Weight: 90},
+			{Lo: 0.2, Hi: 1, Weight: 9},
+			{Lo: 1, Weight: 1, Exact: true},
+		},
+		Cutoff: 0.01,
+		Bias:   BiasNone,
+	}
+}
+
+// Benchmark returns variation i in the §5 (and Table 3) numbering,
+// 1 through 9. Benchmarks 1–3 vary cardinalities, 4–6 distinct values,
+// 7–9 the join graph.
+func Benchmark(i int) (Spec, error) {
+	s := Default()
+	switch i {
+	case 1:
+		s.Name = "card-x10"
+		s.Cards = []Bucket{
+			{Lo: 10, Hi: 1e3, Weight: 20},
+			{Lo: 1e3, Hi: 1e4, Weight: 60},
+			{Lo: 1e4, Hi: 1e5, Weight: 20},
+		}
+	case 2:
+		s.Name = "card-uniform-1e4"
+		s.Cards = []Bucket{{Lo: 10, Hi: 1e4, Weight: 1}}
+	case 3:
+		s.Name = "card-uniform-1e5"
+		s.Cards = []Bucket{{Lo: 10, Hi: 1e5, Weight: 1}}
+	case 4:
+		s.Name = "distinct-high"
+		s.Distinct = []Bucket{
+			{Lo: 0, Hi: 0.2, Weight: 80},
+			{Lo: 0.2, Hi: 1, Weight: 16},
+			{Lo: 1, Weight: 4, Exact: true},
+		}
+	case 5:
+		s.Name = "distinct-low"
+		s.Distinct = []Bucket{
+			{Lo: 0, Hi: 0.1, Weight: 90},
+			{Lo: 0.1, Hi: 1, Weight: 9},
+			{Lo: 1, Weight: 1, Exact: true},
+		}
+	case 6:
+		s.Name = "distinct-low-high"
+		s.Distinct = []Bucket{
+			{Lo: 0, Hi: 0.1, Weight: 80},
+			{Lo: 0.1, Hi: 1, Weight: 16},
+			{Lo: 1, Weight: 4, Exact: true},
+		}
+	case 7:
+		s.Name = "graph-dense"
+		s.Cutoff = 0.1
+	case 8:
+		s.Name = "graph-star"
+		s.Bias = BiasStar
+		s.BiasStrength = 0.8
+	case 9:
+		s.Name = "graph-chain"
+		s.Bias = BiasChain
+		s.BiasStrength = 0.9
+	default:
+		return Spec{}, fmt.Errorf("workload: benchmark %d outside 1..9", i)
+	}
+	return s, nil
+}
+
+// Generate synthesizes one query with n joins (n+1 relations) from the
+// spec. The join graph is connected by construction (step 1 of §5), so
+// the identity permutation is always valid; step 2 adds extra predicates
+// with the cutoff probability.
+func (s Spec) Generate(n int, rng *rand.Rand) *catalog.Query {
+	if n < 1 {
+		n = 1
+	}
+	nrel := n + 1
+	q := &catalog.Query{Relations: make([]catalog.Relation, nrel)}
+
+	for i := 0; i < nrel; i++ {
+		card := int64(math.Round(draw(s.Cards, rng)))
+		if card < 2 {
+			card = 2
+		}
+		rel := catalog.Relation{
+			Name:        fmt.Sprintf("R%d", i),
+			Cardinality: card,
+		}
+		maxSel := s.MaxSelections
+		if maxSel > 0 {
+			for k, cnt := 0, rng.Intn(maxSel+1); k < cnt; k++ {
+				sel := s.SelectivityChoices[rng.Intn(len(s.SelectivityChoices))]
+				rel.Selections = append(rel.Selections, catalog.Selection{Selectivity: sel})
+			}
+		}
+		q.Relations[i] = rel
+	}
+
+	linked := make(map[[2]int]bool)
+	addEdge := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || linked[[2]int{a, b}] {
+			return
+		}
+		linked[[2]int{a, b}] = true
+		// Distinct counts are fractions of the cardinality *after*
+		// selections, matching the paper's §2 convention that N_k is
+		// the post-selection cardinality.
+		q.Predicates = append(q.Predicates, catalog.Predicate{
+			Left:          catalog.RelID(a),
+			Right:         catalog.RelID(b),
+			LeftDistinct:  distinctCount(s, rng, q.Relations[a].EffectiveCardinality()),
+			RightDistinct: distinctCount(s, rng, q.Relations[b].EffectiveCardinality()),
+		})
+	}
+
+	// Step 1: connected spanning graph, optionally shape-biased.
+	hubs := nrel / 10
+	if hubs < 1 {
+		hubs = 1
+	}
+	for i := 1; i < nrel; i++ {
+		target := rng.Intn(i)
+		switch s.Bias {
+		case BiasStar:
+			if rng.Float64() < s.BiasStrength {
+				h := rng.Intn(hubs)
+				if h < i {
+					target = h
+				}
+			}
+		case BiasChain:
+			if rng.Float64() < s.BiasStrength {
+				target = i - 1
+			}
+		}
+		addEdge(i, target)
+	}
+
+	// Step 2: extra predicates with the cutoff probability.
+	for i := 0; i < nrel; i++ {
+		for j := i + 1; j < nrel; j++ {
+			if !linked[[2]int{i, j}] && rng.Float64() < s.Cutoff {
+				addEdge(i, j)
+			}
+		}
+	}
+
+	q.Normalize()
+	return q
+}
+
+// distinctCount samples a join-column distinct count for a relation of
+// the given (effective) cardinality.
+func distinctCount(s Spec, rng *rand.Rand, card float64) float64 {
+	f := draw(s.Distinct, rng)
+	d := math.Round(f * card)
+	if d < 1 {
+		d = 1
+	}
+	if d > card {
+		d = math.Max(1, math.Floor(card))
+	}
+	return d
+}

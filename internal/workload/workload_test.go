@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
+)
+
+func TestDefaultSpecShape(t *testing.T) {
+	s := Default()
+	if s.Name != "default" || s.Cutoff != 0.01 || s.Bias != BiasNone {
+		t.Fatalf("default spec: %+v", s)
+	}
+	if len(s.SelectivityChoices) != 15 {
+		t.Fatalf("selectivity list has %d entries, want 15", len(s.SelectivityChoices))
+	}
+}
+
+func TestBenchmarkVariations(t *testing.T) {
+	names := map[int]string{
+		1: "card-x10", 2: "card-uniform-1e4", 3: "card-uniform-1e5",
+		4: "distinct-high", 5: "distinct-low", 6: "distinct-low-high",
+		7: "graph-dense", 8: "graph-star", 9: "graph-chain",
+	}
+	for i, want := range names {
+		s, err := Benchmark(i)
+		if err != nil {
+			t.Fatalf("Benchmark(%d): %v", i, err)
+		}
+		if s.Name != want {
+			t.Fatalf("Benchmark(%d) = %q, want %q", i, s.Name, want)
+		}
+	}
+	if _, err := Benchmark(0); err == nil {
+		t.Fatal("Benchmark(0) accepted")
+	}
+	if _, err := Benchmark(10); err == nil {
+		t.Fatal("Benchmark(10) accepted")
+	}
+}
+
+func TestGeneratedQueriesValidateAndConnect(t *testing.T) {
+	f := func(seed int64, which uint8, sz uint8) bool {
+		n := 5 + int(sz%40)
+		bench := int(which % 10)
+		var spec Spec
+		if bench == 0 {
+			spec = Default()
+		} else {
+			var err error
+			spec, err = Benchmark(bench)
+			if err != nil {
+				return false
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		q := spec.Generate(n, rng)
+		if q.NumRelations() != n+1 {
+			return false
+		}
+		if err := q.Validate(); err != nil {
+			return false
+		}
+		// Step 1 guarantees a connected join graph.
+		g := joingraph.New(q)
+		return len(g.Components()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	spec := Default()
+	q1 := spec.Generate(20, rand.New(rand.NewSource(42)))
+	q2 := spec.Generate(20, rand.New(rand.NewSource(42)))
+	if len(q1.Predicates) != len(q2.Predicates) {
+		t.Fatal("same seed, different predicate counts")
+	}
+	for i := range q1.Predicates {
+		if q1.Predicates[i] != q2.Predicates[i] {
+			t.Fatalf("predicate %d differs", i)
+		}
+	}
+	for i := range q1.Relations {
+		if q1.Relations[i].Cardinality != q2.Relations[i].Cardinality {
+			t.Fatalf("relation %d cardinality differs", i)
+		}
+	}
+}
+
+func TestCardinalityRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spec := Default()
+	for trial := 0; trial < 20; trial++ {
+		q := spec.Generate(30, rng)
+		for _, r := range q.Relations {
+			if r.Cardinality < 2 || r.Cardinality >= 10000+1 {
+				t.Fatalf("default cardinality %d outside [2, 10000]", r.Cardinality)
+			}
+		}
+	}
+	big, _ := Benchmark(3)
+	q := big.Generate(30, rng)
+	seenLarge := false
+	for _, r := range q.Relations {
+		if r.Cardinality > 10000 {
+			seenLarge = true
+		}
+	}
+	if !seenLarge {
+		t.Fatal("benchmark 3 (uniform to 1e5) never produced a large relation")
+	}
+}
+
+func TestDistinctCountsRespectEffectiveCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := Default()
+	for trial := 0; trial < 20; trial++ {
+		q := spec.Generate(25, rng)
+		for _, p := range q.Predicates {
+			le := q.Relations[p.Left].EffectiveCardinality()
+			re := q.Relations[p.Right].EffectiveCardinality()
+			if p.LeftDistinct < 1 || p.LeftDistinct > le+1e-9 {
+				t.Fatalf("left distinct %g outside [1, %g]", p.LeftDistinct, le)
+			}
+			if p.RightDistinct < 1 || p.RightDistinct > re+1e-9 {
+				t.Fatalf("right distinct %g outside [1, %g]", p.RightDistinct, re)
+			}
+		}
+	}
+}
+
+func TestSelectionCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := Default().Generate(50, rng)
+	for i, r := range q.Relations {
+		if len(r.Selections) > 2 {
+			t.Fatalf("relation %d has %d selections, max 2", i, len(r.Selections))
+		}
+		for _, s := range r.Selections {
+			if s.Selectivity <= 0 || s.Selectivity > 1 {
+				t.Fatalf("selection selectivity %g out of range", s.Selectivity)
+			}
+		}
+	}
+}
+
+func TestDenseCutoffAddsEdges(t *testing.T) {
+	n := 40
+	sparseTotal, denseTotal := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		sparse := Default().Generate(n, rand.New(rand.NewSource(seed)))
+		dense7, _ := Benchmark(7)
+		dense := dense7.Generate(n, rand.New(rand.NewSource(seed)))
+		sparseTotal += len(sparse.Predicates)
+		denseTotal += len(dense.Predicates)
+	}
+	if denseTotal <= sparseTotal {
+		t.Fatalf("cutoff 0.1 did not add predicates: %d vs %d", denseTotal, sparseTotal)
+	}
+}
+
+// maxDegree returns the maximum vertex degree of a query's join graph.
+func maxDegree(q *catalog.Query) int {
+	g := joingraph.New(q)
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(catalog.RelID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func TestStarBiasRaisesMaxDegree(t *testing.T) {
+	n := 40
+	star, _ := Benchmark(8)
+	chain, _ := Benchmark(9)
+	starDeg, chainDeg := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		starDeg += maxDegree(star.Generate(n, rand.New(rand.NewSource(seed))))
+		chainDeg += maxDegree(chain.Generate(n, rand.New(rand.NewSource(seed))))
+	}
+	if starDeg <= chainDeg*2 {
+		t.Fatalf("star graphs not hub-heavy: star max-degree sum %d, chain %d", starDeg, chainDeg)
+	}
+}
+
+func TestChainBiasProducesLongPaths(t *testing.T) {
+	chain, _ := Benchmark(9)
+	q := chain.Generate(30, rand.New(rand.NewSource(3)))
+	// With 0.9 chain strength, most relations link to their predecessor:
+	// count consecutive pairs among spanning predicates.
+	consecutive := 0
+	for _, p := range q.Predicates {
+		if p.Right-p.Left == 1 {
+			consecutive++
+		}
+	}
+	if consecutive < 20 {
+		t.Fatalf("only %d consecutive links in a chain-biased graph", consecutive)
+	}
+}
+
+func TestDrawBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	buckets := []Bucket{
+		{Lo: 0, Hi: 1, Weight: 50},
+		{Lo: 10, Hi: 11, Weight: 50},
+		{Lo: 99, Weight: 0, Exact: true},
+	}
+	low, high := 0, 0
+	for i := 0; i < 1000; i++ {
+		v := draw(buckets, rng)
+		switch {
+		case v >= 0 && v < 1:
+			low++
+		case v >= 10 && v < 11:
+			high++
+		case v == 99:
+			t.Fatal("zero-weight bucket drawn")
+		default:
+			t.Fatalf("draw outside buckets: %g", v)
+		}
+	}
+	if low < 400 || high < 400 {
+		t.Fatalf("weights not respected: %d / %d", low, high)
+	}
+}
+
+func TestDrawExactBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	buckets := []Bucket{{Lo: 1, Weight: 1, Exact: true}}
+	for i := 0; i < 10; i++ {
+		if v := draw(buckets, rng); v != 1 {
+			t.Fatalf("exact bucket drew %g", v)
+		}
+	}
+}
+
+func TestGenerateTinyN(t *testing.T) {
+	q := Default().Generate(0, rand.New(rand.NewSource(1)))
+	if q.NumRelations() != 2 {
+		t.Fatalf("n<1 should clamp to 1 join: %d relations", q.NumRelations())
+	}
+}

@@ -1,0 +1,418 @@
+// Package joinopt optimizes large join queries (10–100 joins), the
+// regime where classical dynamic programming is infeasible. It
+// implements the heuristics and combinatorial optimization strategies of
+// Arun Swami's SIGMOD 1989 study "Optimization of Large Join Queries:
+// Combining Heuristics and Combinatorial Techniques" (extending Swami &
+// Gupta, SIGMOD 1988): iterative improvement, simulated annealing, the
+// augmentation and KBZ heuristics, local improvement, and the nine
+// combined strategies the paper compares — of which IAI
+// (augmentation-seeded iterative improvement) and AGI are the
+// recommended defaults.
+//
+// Quick start:
+//
+//	q, _ := joinopt.GenerateBenchmarkQuery(0, 20, 42) // 20-join random query
+//	p, err := joinopt.Optimize(q, joinopt.Options{})   // IAI, memory model, t=9
+//	if err != nil { ... }
+//	fmt.Println(p.Explain())
+//
+// Plans are outer linear (left-deep) join trees using hash joins, per
+// the paper's problem formulation; a plan is simply a join order.
+package joinopt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/core"
+	"joinopt/internal/cost"
+	"joinopt/internal/dp"
+	"joinopt/internal/engine"
+	"joinopt/internal/heuristics"
+	"joinopt/internal/plan"
+	"joinopt/internal/workload"
+)
+
+// Re-exported catalog types: a query is a set of relations (with
+// cardinalities and selection selectivities) and equi-join predicates
+// (with join-column distinct counts or explicit join selectivities).
+type (
+	// Query is a select–project–join query description.
+	Query = catalog.Query
+	// Relation carries one base relation's statistics.
+	Relation = catalog.Relation
+	// Selection is a selection predicate's selectivity.
+	Selection = catalog.Selection
+	// Predicate is an equi-join predicate between two relations.
+	Predicate = catalog.Predicate
+	// RelID indexes a relation within a Query.
+	RelID = catalog.RelID
+	// Histogram is an equi-width join-column frequency histogram; when
+	// both sides of a Predicate carry aligned histograms, the estimator
+	// uses per-bucket join estimation, which tracks skewed data the
+	// flat distinct-count model cannot.
+	Histogram = catalog.Histogram
+)
+
+// Method selects an optimization strategy.
+type Method = core.Method
+
+// The nine strategies of the paper's §4.4. MethodIAI is the paper's
+// overall recommendation; MethodAGI wins at small time budgets.
+const (
+	MethodII  = core.II  // iterative improvement, random starts
+	MethodSA  = core.SA  // simulated annealing, random start
+	MethodSAA = core.SAA // simulated annealing, augmentation start
+	MethodSAK = core.SAK // simulated annealing, KBZ start
+	MethodIAI = core.IAI // II from augmentation starts, then random
+	MethodIKI = core.IKI // II from KBZ starts, then random
+	MethodIAL = core.IAL // IAI + local improvement
+	MethodAGI = core.AGI // augmentation states, then II from random
+	MethodKBI = core.KBI // KBZ states, then II from random
+
+	// MethodTPO is two-phase optimization (II then low-temperature SA),
+	// an extension postdating the paper (Ioannidis & Kang, SIGMOD 1990)
+	// included to demonstrate the framework's extensibility.
+	MethodTPO = core.TPO
+	// MethodGA is a genetic algorithm over valid join orders (Bennett,
+	// Ferris & Ioannidis 1991). Extension.
+	MethodGA = core.GA
+	// MethodTS is tabu search (Morzy et al. 1993). Extension.
+	MethodTS = core.TS
+	// MethodPW is the perturbation walk of [SG88] — the random-walk
+	// floor every real strategy must clear.
+	MethodPW = core.PW
+)
+
+// CostModel prices a single hash join; see NewMemoryCostModel and
+// NewDiskCostModel.
+type CostModel = cost.Model
+
+// NewMemoryCostModel returns the main-memory hash-join CPU cost model.
+func NewMemoryCostModel() CostModel { return cost.NewMemoryModel() }
+
+// NewDiskCostModel returns the Grace-hash-join disk I/O cost model.
+func NewDiskCostModel() CostModel { return cost.NewDiskModel() }
+
+// NewAutoCostModel returns a cost model that selects the cheapest join
+// method per join among hash, nested-loop and sort-merge — the multiple
+// join methods extension the paper's §7 names as future work. Method
+// choice never changes result sizes, so it is separable per join and
+// composes with every optimization strategy unchanged; plans optimized
+// under this model report the chosen method per join in
+// Plan.ExplainDetailed and Plan.Steps.
+func NewAutoCostModel() CostModel { return cost.NewChooser() }
+
+// JoinStep describes one join of a plan: the inner relation, estimated
+// operand/result sizes, join cost, and the chosen join method.
+type JoinStep = plan.JoinStep
+
+// Options configures Optimize. The zero value is the paper's
+// recommendation: IAI under the main-memory model with a 9N² budget.
+type Options struct {
+	// Method is the strategy (default MethodIAI).
+	Method Method
+	// CostModel prices joins (default the main-memory model).
+	CostModel CostModel
+	// TimeCoeff sets the optimization budget to TimeCoeff·N² work units
+	// ×cost.UnitScale, mirroring the paper's time limits (default 9).
+	// Ignored when BudgetUnits is set.
+	TimeCoeff float64
+	// BudgetUnits sets the budget directly in work units (one unit per
+	// single-join cost evaluation). 0 defers to TimeCoeff; negative
+	// means unlimited.
+	BudgetUnits int64
+	// Seed drives all randomized choices; runs are reproducible per
+	// seed. The zero seed is a fixed default, not time-derived.
+	Seed int64
+	// AugmentationCriterion overrides the augmentation chooseNext rule
+	// (1–5 per the paper's §4.1; default 3, minimum join selectivity).
+	AugmentationCriterion int
+	// KBZWeight overrides the KBZ spanning-tree edge weight (3–5 per
+	// §4.2; default 3, join selectivity).
+	KBZWeight int
+	// StaticEstimator disables the estimator's dynamic distinct-value
+	// propagation, falling back to classical fixed per-edge join
+	// selectivities. Plans from OptimalPlan are optimal under the
+	// static model, so set this when comparing against it.
+	StaticEstimator bool
+	// Trace records the optimization trajectory — every improvement of
+	// the incumbent plan, with the budget spent at that point — on
+	// Plan.Trace. Costs a small slice append per improvement.
+	Trace bool
+	// WallTimeLimit additionally stops optimization at a wall-clock
+	// deadline — the production latency control. Reproducibility is
+	// only guaranteed when the unit budget, not the clock, is the
+	// binding limit.
+	WallTimeLimit time.Duration
+}
+
+// TracePoint is one improvement of the incumbent during optimization.
+type TracePoint struct {
+	// Cost is the new incumbent plan cost.
+	Cost float64
+	// Units is the budget consumed when the improvement was found.
+	Units int64
+}
+
+// Plan is an optimized query evaluation plan: a join order with its
+// estimated cost.
+type Plan struct {
+	query *catalog.Query
+	inner *plan.Plan
+	eval  *plan.Evaluator
+	// Units is the number of budget work units the optimization
+	// consumed.
+	Units int64
+	// Trace holds the improvement trajectory when Options.Trace was
+	// set: strictly decreasing costs at increasing budget positions.
+	Trace []TracePoint
+}
+
+// Order returns the left-deep join order over all relations.
+func (p *Plan) Order() []RelID { return p.inner.Order() }
+
+// Cost returns the plan's estimated total cost under the cost model the
+// optimizer used.
+func (p *Plan) Cost() float64 { return p.inner.TotalCost }
+
+// Explain renders a human-readable plan description.
+func (p *Plan) Explain() string { return p.inner.Explain(p.query) }
+
+// ExplainDetailed renders the plan with per-join estimated sizes, costs
+// and chosen join methods.
+func (p *Plan) ExplainDetailed() string { return p.inner.ExplainDetailed(p.eval, p.query) }
+
+// Steps returns the per-join breakdown of the plan's first component
+// (for multi-component plans, use Order/ExplainDetailed).
+func (p *Plan) Steps() []JoinStep {
+	if len(p.inner.Components) == 0 {
+		return nil
+	}
+	return plan.Describe(p.eval, p.inner.Components[0].Perm)
+}
+
+// Optimize finds a low-cost join order for q. The query is validated
+// and normalized; see Options for knobs.
+func Optimize(q *Query, opts Options) (*Plan, error) {
+	model := opts.CostModel
+	if model == nil {
+		model = cost.NewMemoryModel()
+	}
+	n := len(q.Relations) - 1 // the paper's N (number of spanning joins)
+	if n < 1 {
+		n = 1
+	}
+	var budget *cost.Budget
+	switch {
+	case opts.BudgetUnits < 0:
+		budget = cost.Unlimited()
+	case opts.BudgetUnits > 0:
+		budget = cost.NewBudget(opts.BudgetUnits)
+	default:
+		t := opts.TimeCoeff
+		if t <= 0 {
+			t = 9
+		}
+		budget = cost.NewBudget(cost.UnitsFor(t, n))
+	}
+	if opts.WallTimeLimit > 0 {
+		budget.WithDeadline(opts.WallTimeLimit)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x6a6f696e6f7074)) // "joinopt"
+	copts := core.Options{
+		Criterion:       heuristics.Criterion(opts.AugmentationCriterion),
+		Weight:          heuristics.WeightCriterion(opts.KBZWeight),
+		StaticEstimator: opts.StaticEstimator,
+	}
+	var trace []TracePoint
+	if opts.Trace {
+		copts.OnImprove = func(c float64, used int64) {
+			trace = append(trace, TracePoint{Cost: c, Units: used})
+		}
+	}
+	o, err := core.NewOptimizer(q, model, budget, rng, copts)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := o.Run(opts.Method)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{query: q, inner: pl, eval: o.Evaluator(), Units: budget.Used(), Trace: trace}, nil
+}
+
+// OptimizePortfolio runs several strategies concurrently on the query —
+// one goroutine per method, each with an equal slice of the budget and
+// its own random stream — and returns the cheapest plan found. The
+// paper shows no single method dominates at every budget (AGI at small
+// budgets, IAI at large); a portfolio hedges the choice, and on a
+// multicore machine costs no extra wall-clock time.
+func OptimizePortfolio(q *Query, opts Options, methods ...Method) (*Plan, error) {
+	model := opts.CostModel
+	if model == nil {
+		model = cost.NewMemoryModel()
+	}
+	n := len(q.Relations) - 1
+	if n < 1 {
+		n = 1
+	}
+	var total int64
+	switch {
+	case opts.BudgetUnits < 0:
+		total = 0 // unlimited members
+	case opts.BudgetUnits > 0:
+		total = opts.BudgetUnits
+	default:
+		t := opts.TimeCoeff
+		if t <= 0 {
+			t = 9
+		}
+		total = cost.UnitsFor(t, n)
+	}
+	copts := core.Options{
+		Criterion:       heuristics.Criterion(opts.AugmentationCriterion),
+		Weight:          heuristics.WeightCriterion(opts.KBZWeight),
+		StaticEstimator: opts.StaticEstimator,
+	}
+	best, results, err := core.Portfolio(q, model, total, opts.Seed, copts, methods...)
+	if err != nil {
+		return nil, err
+	}
+	var used int64
+	for _, r := range results {
+		used += r.Units
+	}
+	// Rebuild an evaluator for Explain/Steps over the (normalized) query.
+	o, err := core.NewOptimizer(q, model, cost.Unlimited(), nil, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{query: q, inner: best, eval: o.Evaluator(), Units: used}, nil
+}
+
+// OptimalPlan computes the exact optimum join order by dynamic
+// programming over valid left-deep trees — feasible only for small
+// queries (≲ 20 relations per join-graph component), exactly the
+// limitation that motivates the randomized strategies. It returns an
+// error for larger components.
+//
+// The optimum is exact under the static size estimator (dynamic
+// programming requires order-independent estimates, the same assumption
+// System R made); compare it against Optimize runs that also set
+// Options.StaticEstimator.
+func OptimalPlan(q *Query, model CostModel) (*Plan, error) {
+	if model == nil {
+		model = cost.NewMemoryModel()
+	}
+	o, err := core.NewOptimizer(q, model, cost.Unlimited(), nil, core.Options{StaticEstimator: true})
+	if err != nil {
+		return nil, err
+	}
+	eval := o.Evaluator()
+	comps := eval.Stats().Graph().Components()
+	results := make([]plan.Result, 0, len(comps))
+	for _, comp := range comps {
+		perm, c, err := dp.Optimal(eval, comp)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, plan.Result{Perm: perm, Cost: c})
+	}
+	pl := plan.Assemble(eval, results)
+	return &Plan{query: q, inner: pl, eval: eval, Units: eval.Budget().Used()}, nil
+}
+
+// GenerateBenchmarkQuery synthesizes one random query from the paper's
+// §5 benchmarks: benchmark 0 is the default benchmark, 1–9 the
+// variations (cardinality ×3, distinct values ×3, join graph ×3).
+// nJoins is the paper's N (the query has nJoins+1 relations). The same
+// (benchmark, nJoins, seed) always yields the same query.
+func GenerateBenchmarkQuery(benchmark, nJoins int, seed int64) (*Query, error) {
+	var spec workload.Spec
+	if benchmark == 0 {
+		spec = workload.Default()
+	} else {
+		var err error
+		spec, err = workload.Benchmark(benchmark)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if nJoins < 1 {
+		return nil, fmt.Errorf("joinopt: nJoins must be ≥ 1, got %d", nJoins)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return spec.Generate(nJoins, rng), nil
+}
+
+// GenerateShapeQuery synthesizes a query with a canonical join-graph
+// topology — "chain", "star", "cycle", "clique" or "grid" — over
+// nRelations relations, with statistics drawn from the paper's default
+// benchmark distributions. These are the structured complements to the
+// random §5 benchmarks: chains have the smallest valid-order space,
+// stars the largest.
+func GenerateShapeQuery(shape string, nRelations int, seed int64) (*Query, error) {
+	var sh workload.Shape
+	switch shape {
+	case "chain":
+		sh = workload.ShapeChain
+	case "star":
+		sh = workload.ShapeStar
+	case "cycle":
+		sh = workload.ShapeCycle
+	case "clique":
+		sh = workload.ShapeClique
+	case "grid":
+		sh = workload.ShapeGrid
+	default:
+		return nil, fmt.Errorf("joinopt: unknown shape %q (chain|star|cycle|clique|grid)", shape)
+	}
+	return workload.Default().GenerateShape(sh, nRelations, rand.New(rand.NewSource(seed)))
+}
+
+// Database is an in-memory materialization of a query's relations,
+// usable to actually execute optimized plans (see ExecutePlan).
+type Database = engine.Database
+
+// NewDatabase materializes synthetic data consistent with the query's
+// statistics (cardinalities, distinct values), reproducible per seed.
+func NewDatabase(q *Query, seed int64) (*Database, error) {
+	return engine.Generate(q, rand.New(rand.NewSource(seed)))
+}
+
+// AnalyzeDatabase derives fresh optimizer statistics from materialized
+// data — cardinalities and exact join-column distinct counts — like a
+// real system's ANALYZE. The returned query can be optimized directly;
+// use it when the statistics that generated the data are unknown or
+// stale.
+func AnalyzeDatabase(db *Database) (*Query, error) {
+	return db.Analyze()
+}
+
+// AnalyzeDatabaseWithHistograms is AnalyzeDatabase plus equi-width
+// join-column histograms (the given bucket count per column), enabling
+// skew-aware join size estimation.
+func AnalyzeDatabaseWithHistograms(db *Database, buckets int) (*Query, error) {
+	return db.AnalyzeHistograms(buckets)
+}
+
+// NewSkewedDatabase materializes synthetic data like NewDatabase but
+// draws join-column values from a Zipf distribution with exponent
+// zipfS > 1 — heavily repeated hot values, the regime where flat
+// statistics mis-estimate join sizes and histograms pay off.
+func NewSkewedDatabase(q *Query, seed int64, zipfS float64) (*Database, error) {
+	return engine.GenerateSkewed(q, rand.New(rand.NewSource(seed)), zipfS)
+}
+
+// ExecutePlan runs the plan's join order against the database using
+// in-memory hash joins and returns the final result cardinality.
+func ExecutePlan(db *Database, p *Plan) (int, error) {
+	st, err := db.Execute(p.inner.Order())
+	if err != nil {
+		return 0, err
+	}
+	return st.ResultRows, nil
+}

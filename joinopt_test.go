@@ -1,0 +1,313 @@
+package joinopt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOptimizeDefaultsProduceValidPlan(t *testing.T) {
+	q, err := GenerateBenchmarkQuery(0, 15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Order()) != 16 {
+		t.Fatalf("plan covers %d of 16 relations", len(p.Order()))
+	}
+	if p.Cost() <= 0 || math.IsNaN(p.Cost()) {
+		t.Fatalf("cost %g", p.Cost())
+	}
+	if p.Units <= 0 {
+		t.Fatal("no budget consumed")
+	}
+	if p.Explain() == "" {
+		t.Fatal("empty explain")
+	}
+}
+
+func TestOptimizeAllMethods(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 10, 7)
+	for _, m := range []Method{
+		MethodII, MethodSA, MethodSAA, MethodSAK, MethodIAI,
+		MethodIKI, MethodIAL, MethodAGI, MethodKBI,
+	} {
+		p, err := Optimize(q.Clone(), Options{Method: m, TimeCoeff: 1, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(p.Order()) != 11 {
+			t.Fatalf("%v: incomplete plan", m)
+		}
+	}
+}
+
+func TestOptimizeRejectsInvalidQuery(t *testing.T) {
+	bad := &Query{Relations: []Relation{{Cardinality: -1}}}
+	if _, err := Optimize(bad, Options{}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestOptimizeSeedReproducible(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 12, 9)
+	p1, err := Optimize(q.Clone(), Options{Seed: 5, TimeCoeff: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Optimize(q.Clone(), Options{Seed: 5, TimeCoeff: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Cost() != p2.Cost() {
+		t.Fatalf("same seed, different costs: %g vs %g", p1.Cost(), p2.Cost())
+	}
+}
+
+func TestOptimizeBudgetUnitsOverride(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 10, 1)
+	p, err := Optimize(q, Options{BudgetUnits: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Units > 2000+11*8+200 {
+		t.Fatalf("budget override ignored: used %d", p.Units)
+	}
+}
+
+// TestOptimalPlanIsLowerBound: under the static estimator, no strategy
+// can beat the DP optimum.
+func TestOptimalPlanIsLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		q, err := GenerateBenchmarkQuery(0, 9, seed)
+		if err != nil {
+			return false
+		}
+		best, err := OptimalPlan(q.Clone(), nil)
+		if err != nil {
+			return false
+		}
+		p, err := Optimize(q.Clone(), Options{StaticEstimator: true, TimeCoeff: 9, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return p.Cost() >= best.Cost()*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateBenchmarkQuery(t *testing.T) {
+	for b := 0; b <= 9; b++ {
+		q, err := GenerateBenchmarkQuery(b, 12, 3)
+		if err != nil {
+			t.Fatalf("benchmark %d: %v", b, err)
+		}
+		if q.NumRelations() != 13 {
+			t.Fatalf("benchmark %d: %d relations", b, q.NumRelations())
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("benchmark %d: %v", b, err)
+		}
+	}
+	if _, err := GenerateBenchmarkQuery(10, 12, 3); err == nil {
+		t.Fatal("benchmark 10 accepted")
+	}
+	if _, err := GenerateBenchmarkQuery(0, 0, 3); err == nil {
+		t.Fatal("nJoins 0 accepted")
+	}
+}
+
+func TestExecutePlanAgreesAcrossMethods(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 6, 11)
+	// Shrink the data so execution is fast: replace cardinalities.
+	for i := range q.Relations {
+		if q.Relations[i].Cardinality > 50 {
+			q.Relations[i].Cardinality = 50
+		}
+		q.Relations[i].Selections = nil
+	}
+	// Re-derive distinct counts within the new cardinalities.
+	for i := range q.Predicates {
+		p := &q.Predicates[i]
+		if p.LeftDistinct > 50 {
+			p.LeftDistinct = 25
+		}
+		if p.RightDistinct > 50 {
+			p.RightDistinct = 25
+		}
+		p.Selectivity = 0 // re-derive
+	}
+	q.Normalize()
+	db, err := NewDatabase(q, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []int
+	for _, m := range []Method{MethodIAI, MethodII, MethodKBI} {
+		p, err := Optimize(q.Clone(), Options{Method: m, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ExecutePlan(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, n)
+	}
+	if rows[0] != rows[1] || rows[1] != rows[2] {
+		t.Fatalf("different methods returned different result sizes: %v", rows)
+	}
+}
+
+func TestCostModelsSelectable(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 10, 5)
+	pm, err := Optimize(q.Clone(), Options{CostModel: NewMemoryCostModel(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Optimize(q.Clone(), Options{CostModel: NewDiskCostModel(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two models price plans on different scales; both must be
+	// positive and finite.
+	if pm.Cost() <= 0 || pd.Cost() <= 0 {
+		t.Fatal("degenerate costs")
+	}
+}
+
+func TestAugmentationCriterionOption(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 10, 5)
+	for c := 1; c <= 5; c++ {
+		if _, err := Optimize(q.Clone(), Options{AugmentationCriterion: c, TimeCoeff: 1}); err != nil {
+			t.Fatalf("criterion %d: %v", c, err)
+		}
+	}
+}
+
+func TestOptimizePortfolio(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 15, 61)
+	single, err := Optimize(q.Clone(), Options{Method: MethodIAI, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := OptimizePortfolio(q.Clone(), Options{Seed: 2}, MethodIAI, MethodAGI, MethodII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(port.Order()) != 16 {
+		t.Fatalf("portfolio plan covers %d relations", len(port.Order()))
+	}
+	// Sanity only: with a third of the budget each, the portfolio can be
+	// a bit worse than the full-budget single method, but not wildly.
+	if port.Cost() > single.Cost()*20 {
+		t.Fatalf("portfolio wildly worse: %g vs %g", port.Cost(), single.Cost())
+	}
+	if _, err := OptimizePortfolio(q, Options{}); err == nil {
+		t.Fatal("empty portfolio accepted")
+	}
+}
+
+func TestSkewedDatabaseAndHistogramsPublicAPI(t *testing.T) {
+	q := &Query{
+		Relations: []Relation{
+			{Name: "a", Cardinality: 300},
+			{Name: "b", Cardinality: 300},
+		},
+		Predicates: []Predicate{
+			{Left: 0, Right: 1, LeftDistinct: 300, RightDistinct: 300},
+		},
+	}
+	db, err := NewSkewedDatabase(q, 3, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := AnalyzeDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := AnalyzeDatabaseWithHistograms(db, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Predicates[0].LeftHist != nil {
+		t.Fatal("flat analyze attached a histogram")
+	}
+	if hist.Predicates[0].LeftHist == nil {
+		t.Fatal("histogram analyze did not attach one")
+	}
+	if _, err := Optimize(hist, Options{Seed: 1}); err != nil {
+		t.Fatalf("optimizing with histograms: %v", err)
+	}
+}
+
+func TestTraceRecordsTrajectory(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 15, 63)
+	p, err := Optimize(q, Options{Seed: 4, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Trace) == 0 {
+		t.Fatal("trace empty")
+	}
+	for i := 1; i < len(p.Trace); i++ {
+		if p.Trace[i].Cost >= p.Trace[i-1].Cost {
+			t.Fatalf("trace costs not strictly decreasing at %d", i)
+		}
+		if p.Trace[i].Units < p.Trace[i-1].Units {
+			t.Fatalf("trace units not monotone at %d", i)
+		}
+	}
+	if last := p.Trace[len(p.Trace)-1]; math.Abs(last.Cost-p.Cost()) > p.Cost()*1e-9 {
+		t.Fatalf("trace end %g does not match plan cost %g", last.Cost, p.Cost())
+	}
+	// No trace requested → none recorded.
+	p2, err := Optimize(q.Clone(), Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Trace != nil {
+		t.Fatal("unrequested trace recorded")
+	}
+}
+
+func TestWallTimeLimit(t *testing.T) {
+	q, _ := GenerateBenchmarkQuery(0, 30, 71)
+	start := time.Now()
+	// An enormous unit budget bounded by a tiny wall-clock limit: the
+	// clock must stop the run quickly.
+	p, err := Optimize(q, Options{BudgetUnits: 1 << 40, WallTimeLimit: 50 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wall-time limit ignored: ran %v", elapsed)
+	}
+	if len(p.Order()) != 31 {
+		t.Fatal("incomplete plan under deadline")
+	}
+}
+
+func TestGenerateShapeQuery(t *testing.T) {
+	for _, shape := range []string{"chain", "star", "cycle", "clique", "grid"} {
+		q, err := GenerateShapeQuery(shape, 8, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if len(q.Relations) != 8 {
+			t.Fatalf("%s: %d relations", shape, len(q.Relations))
+		}
+		if _, err := Optimize(q, Options{TimeCoeff: 1, Seed: 1}); err != nil {
+			t.Fatalf("%s: optimize: %v", shape, err)
+		}
+	}
+	if _, err := GenerateShapeQuery("triangle", 8, 3); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
