@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -53,8 +54,16 @@ func main() {
 		svgDir   = flag.String("svg", "", "directory to write <experiment>.svg figures into")
 		csvDir   = flag.String("csv", "", "directory to write <experiment>.csv matrices into")
 		ascii    = flag.Bool("ascii", false, "also print an ASCII chart of each figure")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none); in-flight optimizer runs stop at the deadline and return their incumbents")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sc := experiment.ReducedScale
 	if *full {
@@ -72,14 +81,14 @@ func main() {
 		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "table3"}
 	}
 	for _, name := range names {
-		if err := run(name, sc, *seed, *par, *progress, *svgDir, *csvDir, *ascii); err != nil {
+		if err := run(ctx, name, sc, *seed, *par, *progress, *svgDir, *csvDir, *ascii); err != nil {
 			fmt.Fprintf(os.Stderr, "ljqbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(name string, sc experiment.Scale, seed int64, par int, progress bool, svgDir, csvDir string, ascii bool) error {
+func run(ctx context.Context, name string, sc experiment.Scale, seed int64, par int, progress bool, svgDir, csvDir string, ascii bool) error {
 	var cfgs []experiment.Config
 	switch strings.ToLower(name) {
 	case "table1":
@@ -103,11 +112,11 @@ func run(name string, sc experiment.Scale, seed int64, par int, progress bool, s
 	case "space":
 		return runSpace(sc, seed)
 	case "bushy":
-		return runBushy(sc, seed)
+		return runBushy(ctx, sc, seed)
 	case "baselines":
-		return runBaselines(sc, seed)
+		return runBaselines(ctx, sc, seed)
 	case "shapes":
-		return runShapes(sc, seed)
+		return runShapes(ctx, sc, seed)
 	case "qerror":
 		r, err := experiment.RunQError(experiment.DefaultQErrorConfig(sc, seed))
 		if err != nil {
@@ -128,11 +137,12 @@ func run(name string, sc experiment.Scale, seed int64, par int, progress bool, s
 
 	// Table 3 prints as one combined table: rows = benchmarks.
 	if strings.EqualFold(name, "table3") {
-		return runTable3(cfgs, par, progress)
+		return runTable3(ctx, cfgs, par, progress)
 	}
 	for i := range cfgs {
 		cfg := cfgs[i]
 		cfg.Parallelism = par
+		cfg.Context = ctx
 		if progress {
 			cfg.Progress = progressPrinter(cfg.Title)
 		}
@@ -185,13 +195,14 @@ func emitCharts(m *experiment.Matrix, name, svgDir, csvDir string, ascii bool) e
 	return nil
 }
 
-func runTable3(cfgs []experiment.Config, par int, progress bool) error {
+func runTable3(ctx context.Context, cfgs []experiment.Config, par int, progress bool) error {
 	fmt.Printf("Table 3: changing the benchmarks (scaled cost at 9N²)\n")
 	fmt.Printf("%-24s", "Benchmark")
 	first := true
 	for i := range cfgs {
 		cfg := cfgs[i]
 		cfg.Parallelism = par
+		cfg.Context = ctx
 		if progress {
 			cfg.Progress = progressPrinter(cfg.Title)
 		}
@@ -250,7 +261,7 @@ func runSpace(sc experiment.Scale, seed int64) error {
 // queries it reports the exact left-deep/bushy optimality gap (DP); for
 // large ones, left-deep IAI versus bushy iterative improvement at the
 // same 9N² budget.
-func runBushy(sc experiment.Scale, seed int64) error {
+func runBushy(ctx context.Context, sc experiment.Scale, seed int64) error {
 	fmt.Println("left-deep restriction probe (static estimator)")
 	perN := sc.QueriesPerN
 	if perN > 10 {
@@ -290,7 +301,7 @@ func runBushy(sc experiment.Scale, seed int64) error {
 			if err != nil {
 				return err
 			}
-			pl, err := opt.Run(core.IAI)
+			pl, err := opt.RunContext(ctx, core.IAI)
 			if err != nil {
 				return err
 			}
@@ -317,7 +328,7 @@ func runBushy(sc experiment.Scale, seed int64) error {
 // topologies (chain/star/cycle/clique/grid) at a fixed relation count:
 // stars have the largest valid-order space, chains the smallest, so the
 // topology is a second axis of difficulty orthogonal to N.
-func runShapes(sc experiment.Scale, seed int64) error {
+func runShapes(ctx context.Context, sc experiment.Scale, seed int64) error {
 	const nRel = 21 // 20 joins
 	methods := []core.Method{core.IAI, core.AGI, core.II, core.KBI}
 	perN := sc.QueriesPerN
@@ -342,7 +353,7 @@ func runShapes(sc experiment.Scale, seed int64) error {
 				if err != nil {
 					return err
 				}
-				pl, err := opt.Run(m)
+				pl, err := opt.RunContext(ctx, m)
 				if err != nil {
 					return err
 				}
@@ -368,7 +379,7 @@ func runShapes(sc experiment.Scale, seed int64) error {
 // operator ordering and bushy II. All run under the static estimator so
 // the DP-derived baselines are exact in their own space, with 9N²
 // budgets where a budget applies. Scaled per query by the best result.
-func runBaselines(sc experiment.Scale, seed int64) error {
+func runBaselines(ctx context.Context, sc experiment.Scale, seed int64) error {
 	names := []string{"IAI", "GA", "2PO", "PW", "IDP3", "GOO", "bushyII"}
 	perN := sc.QueriesPerN
 	fmt.Println("extension baselines (static estimator, 9N² budgets; mean scaled cost)")
@@ -390,7 +401,7 @@ func runBaselines(sc experiment.Scale, seed int64) error {
 				if err != nil {
 					return math.Inf(1)
 				}
-				pl, err := opt.Run(m)
+				pl, err := opt.RunContext(ctx, m)
 				if err != nil {
 					return math.Inf(1)
 				}

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/core"
@@ -34,6 +36,7 @@ func main() {
 		method    = flag.String("method", "IAI", "strategy: II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI, AUG, KBZ")
 		costName  = flag.String("cost", "memory", "cost model: memory, disk, or auto (per-join method choice)")
 		tcoeff    = flag.Float64("t", 9, "optimization budget coefficient (time limit t·N²)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit per optimization (0 = none); on expiry the incumbent plan is returned, flagged degraded")
 		seed      = flag.Int64("seed", 1, "random seed")
 		all       = flag.Bool("all", false, "run every strategy and print a comparison")
 		detailed  = flag.Bool("detailed", false, "print per-join sizes, costs and chosen methods")
@@ -77,11 +80,15 @@ func main() {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "method\tcost\tunits used")
 		for _, m := range core.Methods {
-			pl, used, err := run(q, m, model, *tcoeff, *seed, n)
+			pl, used, err := run(q, m, model, *tcoeff, *timeout, *seed, n)
 			if err != nil {
 				fail(err)
 			}
-			fmt.Fprintf(w, "%s\t%.6g\t%d\n", m, pl.TotalCost, used)
+			note := ""
+			if pl.Degraded {
+				note = "  (degraded: " + pl.DegradeReason + ")"
+			}
+			fmt.Fprintf(w, "%s\t%.6g\t%d%s\n", m, pl.TotalCost, used, note)
 		}
 		w.Flush()
 		return
@@ -91,7 +98,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	pl, used, err := run(q, m, model, *tcoeff, *seed, n)
+	pl, used, err := run(q, m, model, *tcoeff, *timeout, *seed, n)
 	if err != nil {
 		fail(err)
 	}
@@ -120,15 +127,26 @@ func planStats(q *catalog.Query, model cost.Model) *estimate.Stats {
 	return estimate.NewStats(qc, g)
 }
 
-func run(q *catalog.Query, m core.Method, model cost.Model, tcoeff float64, seed int64, n int) (*plan.Plan, int64, error) {
+func run(q *catalog.Query, m core.Method, model cost.Model, tcoeff float64, timeout time.Duration, seed int64, n int) (*plan.Plan, int64, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	budget := cost.NewBudget(cost.UnitsFor(tcoeff, n))
 	opt, err := core.NewOptimizer(q.Clone(), model, budget, rand.New(rand.NewSource(seed)), core.Options{})
 	if err != nil {
 		return nil, 0, err
 	}
-	pl, err := opt.Run(m)
-	if err != nil {
+	pl, err := opt.RunContext(ctx, m)
+	if pl == nil && err != nil {
 		return nil, 0, err
+	}
+	if err != nil {
+		// Anytime contract: a recovered strategy panic still yields a
+		// (degraded) plan; report the crash but keep going.
+		fmt.Fprintf(os.Stderr, "ljqopt: warning: %v (returning fallback plan)\n", err)
 	}
 	return pl, budget.Used(), nil
 }

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"joinopt/internal/cost"
+	"joinopt/internal/faultinject"
+	"joinopt/internal/plan"
+)
+
+// checkComplete asserts the plan covers all n relations exactly once
+// and is a valid join order per the optimizer's evaluator.
+func checkComplete(t *testing.T, opt *Optimizer, pl *plan.Plan, n int, label string) {
+	t.Helper()
+	if pl == nil {
+		t.Fatalf("%s: nil plan", label)
+	}
+	order := pl.Order()
+	if len(order) != n {
+		t.Fatalf("%s: plan covers %d of %d relations", label, len(order), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, r := range order {
+		if seen[int(r)] {
+			t.Fatalf("%s: duplicate relation %d", label, r)
+		}
+		seen[int(r)] = true
+	}
+	if !opt.Evaluator().Valid(order) {
+		t.Fatalf("%s: invalid join order %v", label, order)
+	}
+}
+
+// TestRunContextImmediateCancellationAllNineStrategies is the anytime
+// acceptance test: with the context already cancelled before RunContext
+// is called, every one of the paper's nine strategies must still return
+// a valid, complete plan, flagged degraded with the cancellation
+// reason.
+func TestRunContextImmediateCancellationAllNineStrategies(t *testing.T) {
+	q := benchQuery(12, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any strategy runs
+	for _, m := range Methods {
+		budget := cost.NewBudget(cost.UnitsFor(9, 12))
+		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(1)), Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		pl, err := opt.RunContext(ctx, m)
+		if err != nil {
+			t.Fatalf("%v: RunContext returned error under cancellation: %v", m, err)
+		}
+		checkComplete(t, opt, pl, 13, m.String())
+		if !pl.Degraded {
+			t.Fatalf("%v: cancelled run not flagged degraded", m)
+		}
+		if pl.DegradeReason != plan.DegradeCancelled {
+			t.Fatalf("%v: degrade reason %q, want %q", m, pl.DegradeReason, plan.DegradeCancelled)
+		}
+	}
+}
+
+// TestRunContextDeadlineStopsUnlimitedRun: II on an unlimited unit
+// budget never stops on its own; the context deadline must stop it and
+// the incumbent must come back flagged degraded.
+func TestRunContextDeadlineStopsUnlimitedRun(t *testing.T) {
+	q := benchQuery(15, 11)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	opt, err := NewOptimizer(q, cost.NewMemoryModel(), cost.Unlimited(), rand.New(rand.NewSource(2)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var pl *plan.Plan
+	go func() {
+		pl, err = opt.RunContext(ctx, II)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("context deadline did not stop an unlimited II run")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, opt, pl, 16, "II")
+	if !pl.Degraded || pl.DegradeReason != plan.DegradeCancelled {
+		t.Fatalf("deadline-stopped run: Degraded=%v reason=%q", pl.Degraded, pl.DegradeReason)
+	}
+	if pl.TotalCost <= 0 || math.IsNaN(pl.TotalCost) || math.IsInf(pl.TotalCost, 0) {
+		t.Fatalf("incumbent cost degenerate: %g", pl.TotalCost)
+	}
+}
+
+// TestRunContextStarvedBudgetFallsBackDeterministically: a budget that
+// is already exhausted on units (not cancelled) yields the
+// augmentation-heuristic fallback, flagged starved, with a finite cost.
+func TestRunContextStarvedBudgetFallsBack(t *testing.T) {
+	q := benchQuery(10, 13)
+	budget := cost.NewBudget(1)
+	budget.Charge(1) // exhausted before the run starts
+	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(3)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := opt.RunContext(context.Background(), II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, opt, pl, 11, "starved II")
+	if !pl.Degraded || pl.DegradeReason != plan.DegradeStarved {
+		t.Fatalf("starved run: Degraded=%v reason=%q", pl.Degraded, pl.DegradeReason)
+	}
+	if math.IsNaN(pl.TotalCost) || math.IsInf(pl.TotalCost, 0) {
+		t.Fatalf("augmentation fallback cost not finite: %g", pl.TotalCost)
+	}
+}
+
+// TestRunContextPanicIncumbentSurvives: a cost-evaluation panic
+// injected mid-run must not lose the incumbent found before the crash.
+// The plan is flagged degraded-panic and the recovered panic comes back
+// as a *PanicError wrapping the injected *faultinject.Fault.
+func TestRunContextPanicIncumbentSurvives(t *testing.T) {
+	q := benchQuery(12, 17)
+	budget := cost.NewBudget(cost.UnitsFor(9, 12))
+	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(5)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{PanicAt: 20})
+	opt.Evaluator().SetFaultInjector(inj)
+	pl, err := opt.RunContext(context.Background(), IAI)
+	if err == nil {
+		t.Fatal("recovered panic not reported")
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T, want *PanicError", err)
+	}
+	var fault *faultinject.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("injected fault not unwrappable from %v", err)
+	}
+	if fault.Kind != faultinject.PanicEval || fault.Eval != 20 {
+		t.Fatalf("unexpected fault %+v", fault)
+	}
+	checkComplete(t, opt, pl, 13, "IAI-panic")
+	if !pl.Degraded || !strings.HasPrefix(pl.DegradeReason, plan.DegradePanic) {
+		t.Fatalf("panic run: Degraded=%v reason=%q", pl.Degraded, pl.DegradeReason)
+	}
+	// 19 evaluations completed before the crash, so a real incumbent
+	// must have survived: finite cost, not the +Inf unknown marker.
+	if math.IsInf(pl.TotalCost, 0) || math.IsNaN(pl.TotalCost) {
+		t.Fatalf("incumbent lost to the panic: cost %g", pl.TotalCost)
+	}
+}
+
+// TestRunContextEveryEvalPanicsStillReturnsPlan: the worst case — every
+// single cost evaluation crashes — must still produce a complete valid
+// plan (the deterministic augmentation fallback, priced +Inf because
+// even pricing it crashes).
+func TestRunContextEveryEvalPanicsStillReturnsPlan(t *testing.T) {
+	q := benchQuery(10, 19)
+	for _, m := range Methods {
+		budget := cost.NewBudget(cost.UnitsFor(3, 10))
+		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(7)), Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		opt.Evaluator().SetFaultInjector(faultinject.New(faultinject.Config{PanicEvery: 1}))
+		pl, _ := opt.RunContext(context.Background(), m)
+		// Remove the injector so the validity check itself can run.
+		opt.Evaluator().SetFaultInjector(nil)
+		checkComplete(t, opt, pl, 11, m.String()+"-allpanic")
+		if !pl.Degraded {
+			t.Fatalf("%v: all-panic run not flagged degraded", m)
+		}
+	}
+}
+
+// TestRunContextNaNCostsDoNotPoison: with every evaluation reporting
+// NaN, the optimizer must not return a NaN-poisoned incumbent as a
+// healthy plan; the run degrades and the order stays valid.
+func TestRunContextNaNCostsDoNotPoison(t *testing.T) {
+	q := benchQuery(10, 23)
+	budget := cost.NewBudget(cost.UnitsFor(3, 10))
+	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(9)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Evaluator().SetFaultInjector(faultinject.New(faultinject.Config{NaNEvery: 1}))
+	pl, err := opt.RunContext(context.Background(), II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Evaluator().SetFaultInjector(nil)
+	checkComplete(t, opt, pl, 11, "II-nan")
+	if !pl.Degraded {
+		t.Fatal("NaN-flooded run not flagged degraded")
+	}
+	if math.IsNaN(pl.TotalCost) {
+		t.Fatal("NaN leaked into the final plan cost")
+	}
+}
+
+// TestRunContextIntermittentNaNRecovers: occasional NaN costs (a real
+// estimator-overflow pattern) must not degrade the run at all — finite
+// evaluations dominate and the incumbent is finite.
+func TestRunContextIntermittentNaNRecovers(t *testing.T) {
+	q := benchQuery(12, 29)
+	budget := cost.NewBudget(cost.UnitsFor(9, 12))
+	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(11)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Evaluator().SetFaultInjector(faultinject.New(faultinject.Config{NaNEvery: 7}))
+	pl, err := opt.RunContext(context.Background(), IAI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Evaluator().SetFaultInjector(nil)
+	checkComplete(t, opt, pl, 13, "IAI-intermittent-nan")
+	if pl.Degraded {
+		t.Fatalf("intermittent NaN degraded the run: %s", pl.DegradeReason)
+	}
+	if math.IsNaN(pl.TotalCost) || math.IsInf(pl.TotalCost, 0) || pl.TotalCost <= 0 {
+		t.Fatalf("degenerate cost %g", pl.TotalCost)
+	}
+}
+
+// TestTrackerRejectsNonFiniteIncumbent is the satellite regression test
+// for the NaN-poisoning bug: the first offer used to be accepted
+// unconditionally, and since `c < NaN` is always false, a NaN first
+// offer froze the incumbent forever.
+func TestTrackerRejectsNonFiniteIncumbent(t *testing.T) {
+	b := cost.Unlimited()
+	improvements := 0
+	tr := newTracker(b, func(float64, int64) { improvements++ })
+
+	pNaN := plan.Perm{0, 1, 2}
+	tr.offer(pNaN, math.NaN())
+	if !tr.ok || tr.finite {
+		t.Fatal("NaN offer should be held only as a last resort")
+	}
+	if improvements != 0 {
+		t.Fatal("NaN offer fired the improvement callback")
+	}
+
+	pGood := plan.Perm{2, 1, 0}
+	tr.offer(pGood, 100)
+	if !tr.finite || tr.bestCost != 100 {
+		t.Fatalf("finite offer did not displace NaN incumbent: cost=%g", tr.bestCost)
+	}
+	if improvements != 1 {
+		t.Fatalf("improvement callback fired %d times, want 1", improvements)
+	}
+
+	// +Inf must not displace a finite incumbent either.
+	tr.offer(pNaN, math.Inf(1))
+	if tr.bestCost != 100 {
+		t.Fatalf("+Inf displaced finite incumbent: %g", tr.bestCost)
+	}
+	// A better finite offer still wins.
+	tr.offer(pNaN, 50)
+	if tr.bestCost != 50 || improvements != 2 {
+		t.Fatalf("finite improvement lost: cost=%g improvements=%d", tr.bestCost, improvements)
+	}
+	// A worse finite offer does not.
+	tr.offer(pGood, 70)
+	if tr.bestCost != 50 {
+		t.Fatalf("worse offer accepted: %g", tr.bestCost)
+	}
+}
+
+// TestPortfolioSurvivorBeatsPanicAndCancel is the portfolio acceptance
+// test: one member panics on its first evaluation, one member is
+// cancelled before it starts, and the third runs clean. The portfolio
+// must return the survivor's valid, NON-degraded plan; the panicking
+// member is recorded in its result Err; the cancelled member still
+// carries a valid degraded plan.
+func TestPortfolioSurvivorBeatsPanicAndCancel(t *testing.T) {
+	q := benchQuery(12, 31)
+	cfg := PortfolioConfig{
+		TotalUnits: cost.UnitsFor(9, 12) * 3,
+		Seed:       7,
+		MemberHook: func(i int, m Method, o *Optimizer) {
+			switch i {
+			case 0: // panicking member
+				o.Evaluator().SetFaultInjector(faultinject.New(faultinject.Config{PanicAt: 1}))
+			case 1: // cancelled member
+				o.Evaluator().Budget().Cancel()
+			}
+		},
+	}
+	best, results, err := PortfolioContext(context.Background(), q, cost.NewMemoryModel(), cfg, IAI, II, AGI)
+	if err != nil {
+		t.Fatalf("portfolio failed despite a healthy member: %v", err)
+	}
+	if best == nil || best.Degraded {
+		t.Fatalf("portfolio best is degraded or nil: %+v", best)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+
+	// Member 0: panicked. Err records it; the salvaged plan is degraded.
+	var perr *PanicError
+	if results[0].Err == nil || !errors.As(results[0].Err, &perr) {
+		t.Fatalf("panicking member Err = %v, want *PanicError", results[0].Err)
+	}
+	if results[0].Plan == nil || !results[0].Plan.Degraded {
+		t.Fatal("panicking member lost its salvaged degraded plan")
+	}
+
+	// Member 1: cancelled. No error, valid degraded plan.
+	if results[1].Err != nil {
+		t.Fatalf("cancelled member errored: %v", results[1].Err)
+	}
+	if results[1].Plan == nil || !results[1].Plan.Degraded || results[1].Plan.DegradeReason != plan.DegradeCancelled {
+		t.Fatalf("cancelled member plan: %+v", results[1].Plan)
+	}
+	if got := len(results[1].Plan.Order()); got != 13 {
+		t.Fatalf("cancelled member plan covers %d of 13 relations", got)
+	}
+
+	// Member 2: the survivor; the portfolio's answer is its plan.
+	if results[2].Err != nil || results[2].Plan == nil || results[2].Plan.Degraded {
+		t.Fatalf("survivor unhealthy: err=%v plan=%+v", results[2].Err, results[2].Plan)
+	}
+	if best.TotalCost != results[2].Plan.TotalCost {
+		t.Fatalf("portfolio answer %g is not the survivor's %g", best.TotalCost, results[2].Plan.TotalCost)
+	}
+	if got := len(best.Order()); got != 13 {
+		t.Fatalf("best plan covers %d of 13 relations", got)
+	}
+}
+
+// TestPortfolioBudgetShareClamped is the satellite regression test for
+// the truncation bug: totalUnits=2 across three members used to
+// truncate to 0 units each, and NewBudget(0) means *unlimited* — a tiny
+// budget silently became infinite (II would then never terminate).
+// With the clamp each member gets 1 unit and stops almost immediately.
+func TestPortfolioBudgetShareClamped(t *testing.T) {
+	q := benchQuery(10, 37)
+	done := make(chan struct{})
+	var results []PortfolioResult
+	var err error
+	go func() {
+		_, results, err = Portfolio(q, cost.NewMemoryModel(), 2, 3, Options{}, II, SA, PW)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("tiny portfolio budget became unlimited: members never terminated")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each member had a 1-unit budget; anything beyond one state's worth
+	// of work means the clamp regressed to unlimited.
+	maxPerState := int64(11*plan.EvalUnitsPerJoin) + 11*11
+	for _, r := range results {
+		if r.Units > 1+maxPerState*4 {
+			t.Fatalf("%v consumed %d units on a 1-unit budget", r.Method, r.Units)
+		}
+		if r.Plan == nil || len(r.Plan.Order()) != 11 {
+			t.Fatalf("%v: incomplete plan under tiny budget", r.Method)
+		}
+	}
+}
+
+// TestPortfolioHedgingCancelsUnboundedMember: with hedging enabled, a
+// fast finite member (AugOnly) finishing under the acceptability
+// threshold must cancel a member that would otherwise run forever (II
+// on an unlimited budget). Without hedging this test cannot terminate.
+func TestPortfolioHedgingCancelsUnboundedMember(t *testing.T) {
+	q := benchQuery(12, 41)
+	backstop, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := PortfolioConfig{
+		TotalUnits: 0, // unlimited per member: II never stops on its own
+		Seed:       9,
+		HedgeCost:  math.MaxFloat64, // any finite plan is acceptable
+	}
+	best, results, err := PortfolioContext(backstop, q, cost.NewMemoryModel(), cfg, AugOnly, II)
+	if backstop.Err() != nil {
+		t.Fatal("hedging did not cancel the unbounded member; backstop deadline fired")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || best.Degraded {
+		t.Fatalf("hedged portfolio best: %+v", best)
+	}
+	if results[0].Plan == nil || results[0].Plan.Degraded {
+		t.Fatal("hedge winner (AugOnly) should be non-degraded")
+	}
+	if results[1].Plan == nil {
+		t.Fatal("cancelled member returned no plan")
+	}
+	if !results[1].Plan.Degraded || results[1].Plan.DegradeReason != plan.DegradeCancelled {
+		t.Fatalf("hedge-cancelled member plan: Degraded=%v reason=%q",
+			results[1].Plan.Degraded, results[1].Plan.DegradeReason)
+	}
+}
+
+// TestPortfolioAllMembersCancelled: cancelling the parent context
+// degrades every member; the portfolio still returns the best degraded
+// plan (anytime contract at the portfolio level).
+func TestPortfolioAllMembersCancelled(t *testing.T) {
+	q := benchQuery(10, 43)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	best, results, err := PortfolioContext(ctx, q, cost.NewMemoryModel(),
+		PortfolioConfig{TotalUnits: cost.UnitsFor(9, 10) * 2, Seed: 11}, IAI, AGI)
+	if err != nil {
+		t.Fatalf("fully-cancelled portfolio returned error despite salvage plans: %v", err)
+	}
+	if best == nil || !best.Degraded {
+		t.Fatalf("expected a degraded salvage plan, got %+v", best)
+	}
+	for _, r := range results {
+		if r.Plan == nil || !r.Plan.Degraded {
+			t.Fatalf("%v: cancelled member plan %+v", r.Method, r.Plan)
+		}
+		if len(r.Plan.Order()) != 11 {
+			t.Fatalf("%v: incomplete salvage plan", r.Method)
+		}
+	}
+}
+
+// TestRunContextNilContext: a nil context behaves like background (the
+// experiment harness passes cfg.Context straight through).
+func TestRunContextNilContext(t *testing.T) {
+	q := benchQuery(8, 47)
+	budget := cost.NewBudget(cost.UnitsFor(3, 8))
+	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(13)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilCtx context.Context
+	pl, err := opt.RunContext(nilCtx, IAI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, opt, pl, 9, "nil-ctx")
+	if pl.Degraded {
+		t.Fatalf("nil-context run degraded: %s", pl.DegradeReason)
+	}
+}
+
+// TestRunBackwardCompatible: the original Run signature still behaves
+// identically for healthy runs — no degradation, deterministic per
+// seed, same plan as RunContext(Background).
+func TestRunBackwardCompatible(t *testing.T) {
+	q := benchQuery(12, 53)
+	run := func(viaCtx bool) float64 {
+		budget := cost.NewBudget(cost.UnitsFor(3, 12))
+		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(15)), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pl *plan.Plan
+		if viaCtx {
+			pl, err = opt.RunContext(context.Background(), IAI)
+		} else {
+			pl, err = opt.Run(IAI)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Degraded {
+			t.Fatal("healthy run flagged degraded")
+		}
+		return pl.TotalCost
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("Run (%g) and RunContext (%g) diverge on the same seed", a, b)
+	}
+}

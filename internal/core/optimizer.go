@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -101,18 +103,74 @@ func NewOptimizer(q *catalog.Query, model cost.Model, budget *cost.Budget, rng *
 // Evaluator exposes the optimizer's plan evaluator (tests and tools).
 func (o *Optimizer) Evaluator() *plan.Evaluator { return o.eval }
 
+// PanicError wraps a panic recovered from a strategy phase. RunContext
+// returns it alongside the degraded fallback plan so callers (the
+// portfolio, a service layer) can record the crash without losing the
+// plan.
+type PanicError struct {
+	Method Method
+	Value  any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: strategy %v panicked: %v", e.Method, e.Value)
+}
+
+// Unwrap exposes a panic value that is itself an error (for example a
+// *faultinject.Fault) to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run executes the strategy and returns the best complete plan found.
 // Queries whose join graph is disconnected are handled per the
 // postpone-cross-products heuristic: each component is optimized
 // separately (the budget is shared) and the results are combined
 // cheapest-first by cross products.
+//
+// Run is RunContext with a background context; see RunContext for the
+// anytime contract.
 func (o *Optimizer) Run(m Method) (*plan.Plan, error) {
+	return o.RunContext(context.Background(), m)
+}
+
+// RunContext is Run under a context: cancelling ctx (or its deadline
+// passing) cancels the optimizer's budget, which stops every phase of
+// the strategy at its next budget poll.
+//
+// RunContext is an *anytime* interface — it always returns a valid,
+// complete plan, never (nil, err):
+//
+//   - On normal completion or ordinary unit-limit exhaustion, the best
+//     plan found; plan.Degraded is false.
+//   - On cancellation, the incumbent at the stop point, flagged
+//     Degraded with reason plan.DegradeCancelled.
+//   - If a strategy phase panics (a cost-model crash, say), the panic
+//     is recovered, the incumbent found before the crash survives, and
+//     the plan is flagged plan.DegradePanic. The recovered panic is
+//     also returned as a *PanicError so callers can log it — the plan
+//     accompanying a non-nil error is still valid.
+//   - If no search result exists at all (zero budget, immediate cancel,
+//     panic on the first evaluation), RunContext falls back through the
+//     deterministic augmentation heuristic and finally a random valid
+//     state (plan.DegradeStarved, unless a panic/cancel reason already
+//     applies).
+func (o *Optimizer) RunContext(ctx context.Context, m Method) (*plan.Plan, error) {
+	if ctx != nil {
+		o.budget.WithContext(ctx)
+	}
 	comps := o.graph.Components()
 	results := make([]plan.Result, 0, len(comps))
 	// Optimize large components first: they dominate cost, so they
 	// deserve the budget when it is tight.
 	orderComponentsBySize(o.stats, comps)
 	multi := len(comps) > 1
+	var panicErr *PanicError
+	starved := false
 	for _, comp := range comps {
 		if len(comp) == 1 {
 			results = append(results, plan.Result{
@@ -131,23 +189,121 @@ func (o *Optimizer) Run(m Method) (*plan.Plan, error) {
 			// cost until assembly; suppress intermediate callbacks.
 			onImprove = nil
 		}
-		best, bestCost, ok := o.runComponent(m, sp, onImprove)
-		if !ok {
-			// Budget exhausted before any state was produced: fall back
-			// to a deterministic valid state so a plan always exists
-			// (the paper's optimizers likewise always return *some*
-			// plan; quality is what the budget buys).
-			best = sp.RandomState()
-			bestCost = o.eval.Cost(best)
+		t := newTracker(o.budget, onImprove)
+		if perr := o.runComponentIsolated(m, sp, t); perr != nil && panicErr == nil {
+			panicErr = perr
+		}
+		best, bestCost := t.best, t.bestCost
+		if !t.ok {
+			// No state was produced at all (budget exhausted or cancelled
+			// before the first evaluation, or the strategy crashed
+			// immediately): fall back to a deterministic valid state so a
+			// plan always exists (the paper's optimizers likewise always
+			// return *some* plan; quality is what the budget buys).
+			best, bestCost = o.fallbackState(sp)
+			starved = true
+		} else if !t.finite {
+			// Only non-finite incumbents (fault-corrupted costs): prefer
+			// the deterministic fallback over a poisoned plan. Its cost
+			// is finite or +Inf (safeCost coerces), never NaN, so NaN
+			// cannot leak into the assembled total.
+			best, bestCost = o.fallbackState(sp)
+			starved = true
 		}
 		results = append(results, plan.Result{Perm: best, Cost: bestCost})
 	}
-	pl := plan.Assemble(o.eval, results)
-	if multi && o.opts.OnImprove != nil {
+	pl := safeAssemble(o.eval, results)
+	switch {
+	case panicErr != nil:
+		pl.Degraded = true
+		pl.DegradeReason = plan.DegradePanic + ": " + fmt.Sprint(panicErr.Value)
+	case o.budget.Cancelled():
+		pl.Degraded = true
+		pl.DegradeReason = plan.DegradeCancelled
+	case starved:
+		pl.Degraded = true
+		pl.DegradeReason = plan.DegradeStarved
+	}
+	if multi && o.opts.OnImprove != nil && isFinite(pl.TotalCost) {
 		o.opts.OnImprove(pl.TotalCost, o.budget.Used())
+	}
+	if panicErr != nil {
+		return pl, panicErr
 	}
 	return pl, nil
 }
+
+// runComponentIsolated runs one component's strategy behind a panic
+// barrier: a crash in search, heuristic or cost-model code is recovered
+// and reported, and the tracker's incumbent survives.
+func (o *Optimizer) runComponentIsolated(m Method, sp *search.Space, t *tracker) (perr *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &PanicError{Method: m, Value: r}
+		}
+	}()
+	o.runComponent(m, sp, t)
+	return nil
+}
+
+// fallbackState produces a valid state for a component when search
+// yielded nothing: first the deterministic augmentation heuristic (the
+// paper's cheapest reliable plan generator), then a random valid state.
+// Each step is panic-isolated so an injected cost-evaluation fault
+// cannot strip the anytime guarantee; a state whose cost cannot be
+// computed is priced +Inf rather than dropped.
+func (o *Optimizer) fallbackState(sp *search.Space) (plan.Perm, float64) {
+	if p, c, ok := o.augmentFallback(sp); ok {
+		return p, c
+	}
+	p := sp.RandomState()
+	return p, o.safeCost(p)
+}
+
+// augmentFallback grows one deterministic augmentation state. ok is
+// false if generation itself crashed.
+func (o *Optimizer) augmentFallback(sp *search.Space) (p plan.Perm, c float64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			p, c, ok = nil, 0, false
+		}
+	}()
+	aug := heuristics.NewAugmentation(o.eval, sp.Relations(), o.opts.Criterion)
+	p, ok = aug.NextStart()
+	if !ok {
+		return nil, 0, false
+	}
+	return p, o.safeCost(p), true
+}
+
+// safeCost prices p, converting a panicking or non-finite evaluation
+// into +Inf (the plan is still returned; only its price is unknown).
+func (o *Optimizer) safeCost(p plan.Perm) (c float64) {
+	defer func() {
+		if recover() != nil {
+			c = math.Inf(1)
+		}
+	}()
+	c = o.eval.Cost(p)
+	if !isFinite(c) {
+		c = math.Inf(1)
+	}
+	return c
+}
+
+// safeAssemble assembles the final plan behind a panic barrier: if
+// pricing the cross products crashes (injected faults), the components
+// are still combined, with the cross cost marked unknown (+Inf).
+func safeAssemble(e *plan.Evaluator, results []plan.Result) (pl *plan.Plan) {
+	defer func() {
+		if recover() != nil {
+			pl = &plan.Plan{Components: results, CrossCost: math.Inf(1), TotalCost: math.Inf(1)}
+		}
+	}()
+	return plan.Assemble(e, results)
+}
+
+func isFinite(c float64) bool { return !math.IsNaN(c) && !math.IsInf(c, 0) }
 
 func orderComponentsBySize(st *estimate.Stats, comps [][]catalog.RelID) {
 	size := func(comp []catalog.RelID) float64 {
@@ -168,9 +324,16 @@ func orderComponentsBySize(st *estimate.Stats, comps [][]catalog.RelID) {
 // tracker keeps the incumbent best of one component run and fires the
 // improvement callback.
 type tracker struct {
-	best      plan.Perm
-	bestCost  float64
-	ok        bool
+	best     plan.Perm
+	bestCost float64
+	ok       bool
+	// finite reports that the incumbent's cost is a real number. A
+	// non-finite offer (NaN/±Inf — estimator overflow or an injected
+	// fault) is held only while no finite incumbent exists; any finite
+	// offer replaces it. Without this guard the unconditional first
+	// accept made NaN sticky: `c < NaN` is always false, so a poisoned
+	// first offer froze the incumbent forever.
+	finite    bool
 	budget    *cost.Budget
 	onImprove func(float64, int64)
 }
@@ -180,17 +343,26 @@ func newTracker(b *cost.Budget, onImprove func(float64, int64)) *tracker {
 }
 
 func (t *tracker) offer(p plan.Perm, c float64) {
-	if !t.ok || c < t.bestCost {
-		t.best, t.bestCost, t.ok = p, c, true
+	if !isFinite(c) {
+		// Keep a non-finite state only as a last resort (so *some* valid
+		// permutation exists), and never report it as an improvement.
+		if !t.ok {
+			t.best, t.bestCost, t.ok = p, c, true
+		}
+		return
+	}
+	if !t.ok || !t.finite || c < t.bestCost {
+		t.best, t.bestCost, t.ok, t.finite = p, c, true, true
 		if t.onImprove != nil {
 			t.onImprove(c, t.budget.Used())
 		}
 	}
 }
 
-// runComponent dispatches one strategy over one component's search space.
-func (o *Optimizer) runComponent(m Method, sp *search.Space, onImprove func(float64, int64)) (plan.Perm, float64, bool) {
-	t := newTracker(o.budget, onImprove)
+// runComponent dispatches one strategy over one component's search
+// space, streaming states into the tracker. An unknown method leaves
+// the tracker empty; the caller's fallback chain takes over.
+func (o *Optimizer) runComponent(m Method, sp *search.Space, t *tracker) {
 	switch m {
 	case II:
 		o.iterativeImprovement(sp, t, search.RandomStarts{Space: sp})
@@ -255,10 +427,7 @@ func (o *Optimizer) runComponent(m Method, sp *search.Space, onImprove func(floa
 		if ok {
 			t.offer(best, c)
 		}
-	default:
-		return nil, 0, false
 	}
-	return t.best, t.bestCost, t.ok
 }
 
 // chainStarts concatenates two start-state sources.

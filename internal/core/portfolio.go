@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,10 +16,44 @@ import (
 // PortfolioResult is the outcome of one portfolio member.
 type PortfolioResult struct {
 	Method Method
-	Plan   *plan.Plan
+	// Plan is the member's plan. Per the anytime contract it is non-nil
+	// even when the member panicked or was cancelled (check
+	// Plan.Degraded); it is nil only if the member's optimizer could not
+	// be constructed at all.
+	Plan *plan.Plan
 	// Units is the budget the member consumed.
 	Units int64
-	Err   error
+	// Err records what went wrong, if anything: a construction error, or
+	// a *PanicError when the member's strategy crashed (the degraded
+	// plan accompanies it).
+	Err error
+}
+
+// PortfolioConfig tunes a portfolio run.
+type PortfolioConfig struct {
+	// TotalUnits is the work-unit budget split evenly across members
+	// (each member's share is clamped to at least 1 unit — an integer
+	// share of 0 would otherwise mean *unlimited*). ≤ 0 means each
+	// member gets an unlimited budget (only sensible for the finite
+	// heuristics AUG/KBZ).
+	TotalUnits int64
+	// Seed derives each member's independent RNG stream.
+	Seed int64
+	// Opts is applied to every member (OnImprove is stripped; per-member
+	// trajectories are not merged).
+	Opts Options
+	// HedgeCost, when > 0, enables hedging: as soon as any member
+	// finishes with a non-degraded plan whose TotalCost is ≤ HedgeCost,
+	// the remaining members are cancelled. Their results are recorded as
+	// degraded plans per the anytime contract. Use it when any plan
+	// under an acceptability threshold is good enough and freeing the
+	// cores beats squeezing out the last few percent.
+	HedgeCost float64
+	// MemberHook, if non-nil, is called with each member's optimizer
+	// after construction and before the run. Fault-injection harnesses
+	// use it to install fault plans or pre-cancel budgets on specific
+	// members; production callers leave it nil.
+	MemberHook func(index int, m Method, o *Optimizer)
 }
 
 // Portfolio runs several strategies concurrently on the same query,
@@ -33,13 +68,55 @@ type PortfolioResult struct {
 //
 // totalUnits ≤ 0 means each member gets an unlimited budget (only
 // sensible for the finite heuristics AUG/KBZ).
+//
+// Portfolio is PortfolioContext with a background context and no
+// hedging.
 func Portfolio(q *catalog.Query, model cost.Model, totalUnits int64, seed int64, opts Options, methods ...Method) (*plan.Plan, []PortfolioResult, error) {
+	return PortfolioContext(context.Background(), q, model,
+		PortfolioConfig{TotalUnits: totalUnits, Seed: seed, Opts: opts}, methods...)
+}
+
+// PortfolioContext is Portfolio under a context, with crash isolation
+// and optional hedging:
+//
+//   - Cancelling ctx cancels every member's budget; each member still
+//     returns a valid (degraded) plan per the RunContext contract.
+//   - Each member runs behind a panic barrier. A member that panics
+//     outside the optimizer's own recovery is recorded as
+//     PortfolioResult.Err while the other members finish undisturbed; a
+//     panic inside a strategy phase additionally carries the member's
+//     salvaged degraded plan.
+//   - With cfg.HedgeCost > 0, the first member to produce an acceptable
+//     plan cancels the rest (see PortfolioConfig.HedgeCost).
+//
+// Selection prefers the cheapest non-degraded finite plan; if every
+// member degraded, the cheapest degraded plan is returned (still valid,
+// still executable) together with the first member error observed. The
+// error is non-nil with a nil plan only if no member produced any plan.
+func PortfolioContext(ctx context.Context, q *catalog.Query, model cost.Model, cfg PortfolioConfig, methods ...Method) (*plan.Plan, []PortfolioResult, error) {
 	if len(methods) == 0 {
 		return nil, nil, errors.New("core: portfolio needs at least one method")
 	}
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Satellite fix: an integer share of 0 (totalUnits < len(methods))
+	// used to flow into cost.NewBudget(0) == unlimited, silently turning
+	// a *small* budget into an *infinite* one per member. Clamp to ≥ 1.
+	share := int64(0)
+	if cfg.TotalUnits > 0 {
+		share = cfg.TotalUnits / int64(len(methods))
+		if share < 1 {
+			share = 1
+		}
+	}
+
+	runCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
 
 	results := make([]PortfolioResult, len(methods))
 	var wg sync.WaitGroup
@@ -47,44 +124,83 @@ func Portfolio(q *catalog.Query, model cost.Model, totalUnits int64, seed int64,
 		wg.Add(1)
 		go func(i int, m Method) {
 			defer wg.Done()
+			// Outer panic barrier: a crash anywhere in the member
+			// (construction, assembly, a bug outside the optimizer's own
+			// phase recovery) must not take down the portfolio.
+			defer func() {
+				if r := recover(); r != nil {
+					results[i] = PortfolioResult{
+						Method: m,
+						Err:    &PanicError{Method: m, Value: r},
+					}
+				}
+			}()
 			var budget *cost.Budget
-			if totalUnits > 0 {
-				budget = cost.NewBudget(totalUnits / int64(len(methods)))
+			if share > 0 {
+				budget = cost.NewBudget(share)
 			} else {
 				budget = cost.Unlimited()
 			}
 			// Each member gets its own clone (NewOptimizer normalizes in
 			// place) and an independent RNG stream.
-			rng := rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x517cc1b727220a95))
-			memberOpts := opts
+			rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(i)+1)*0x517cc1b727220a95))
+			memberOpts := cfg.Opts
 			memberOpts.OnImprove = nil // per-member trajectories are not merged
 			o, err := NewOptimizer(q.Clone(), model, budget, rng, memberOpts)
 			if err != nil {
 				results[i] = PortfolioResult{Method: m, Err: err}
 				return
 			}
-			pl, err := o.Run(m)
+			if cfg.MemberHook != nil {
+				cfg.MemberHook(i, m, o)
+			}
+			pl, err := o.RunContext(runCtx, m)
 			results[i] = PortfolioResult{Method: m, Plan: pl, Units: budget.Used(), Err: err}
+			if cfg.HedgeCost > 0 && pl != nil && !pl.Degraded && pl.TotalCost <= cfg.HedgeCost {
+				// Acceptable plan in hand: stop paying for the others.
+				cancelAll()
+			}
 		}(i, m)
 	}
 	wg.Wait()
 
-	best := -1
-	bestCost := math.Inf(1)
-	var firstErr error
-	for i, r := range results {
-		if r.Err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: portfolio member %v: %w", r.Method, r.Err)
+	pick := func(includeDegraded bool) (int, float64) {
+		best, bestCost := -1, math.Inf(1)
+		for i, r := range results {
+			if r.Plan == nil {
+				continue
 			}
-			continue
+			if r.Plan.Degraded && !includeDegraded {
+				continue
+			}
+			if best < 0 || r.Plan.TotalCost < bestCost {
+				best, bestCost = i, r.Plan.TotalCost
+			}
 		}
-		if r.Plan.TotalCost < bestCost {
-			best, bestCost = i, r.Plan.TotalCost
+		return best, bestCost
+	}
+
+	var firstErr error
+	for _, r := range results {
+		if r.Err != nil {
+			firstErr = fmt.Errorf("core: portfolio member %v: %w", r.Method, r.Err)
+			break
 		}
 	}
-	if best < 0 {
-		return nil, results, firstErr
+
+	if best, _ := pick(false); best >= 0 {
+		// A clean member won: the portfolio as a whole succeeded even if
+		// other members crashed or were cancelled (hedging cancels by
+		// design). Member-level trouble stays visible in results.
+		return results[best].Plan, results, nil
 	}
-	return results[best].Plan, results, nil
+	if best, _ := pick(true); best >= 0 {
+		// Everything degraded; surface the best salvage plus what went
+		// wrong.
+		return results[best].Plan, results, firstErr
+	}
+	if firstErr == nil {
+		firstErr = errors.New("core: portfolio produced no plan")
+	}
+	return nil, results, firstErr
 }

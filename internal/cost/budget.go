@@ -1,6 +1,10 @@
 package cost
 
-import "time"
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
 
 // Budget is the deterministic substitute for the paper's wall-clock time
 // limits. The optimizer simulations in the paper are "completely CPU
@@ -11,17 +15,32 @@ import "time"
 // A Budget is shared by reference among all phases of a composite
 // strategy so the whole strategy respects one limit, exactly as a single
 // wall clock would.
+//
+// Budgets are safe for concurrent use: Charge, Exhausted, Cancel, Used
+// and Remaining may be called from multiple goroutines (a portfolio's
+// members and a watchdog cancelling them, for example). Reset and the
+// With* builders are setup-phase operations: call them before sharing
+// the budget across goroutines.
+//
+// Beyond the deterministic unit meter a budget exhausts on three
+// service-layer stop conditions, whichever fires first:
+//
+//   - the unit limit (NewBudget) — the paper's reproducible stop;
+//   - a wall-clock deadline (WithDeadline) — latency control;
+//   - cancellation (Cancel, or a context.Context via WithContext) —
+//     callers and parent request scopes stopping the run.
 type Budget struct {
-	limit int64
-	used  int64
-	// deadline, when non-zero, exhausts the budget at a wall-clock
+	limit atomic.Int64
+	used  atomic.Int64
+	// deadlineNano, when non-zero, exhausts the budget at a wall-clock
 	// instant as well — the practitioner's stop condition, layered on
 	// top of the deterministic unit meter.
-	deadline time.Time
-	// checkEvery controls how often Exhausted consults the clock (every
-	// 2^k charges, amortizing the time.Now call).
-	sinceCheck int64
-	timedOut   bool
+	deadlineNano atomic.Int64
+	// sinceCheck controls how often Exhausted consults the clock
+	// (amortizing the time.Now call over deadlineCheckInterval charges).
+	sinceCheck atomic.Int64
+	timedOut   atomic.Bool
+	cancelled  atomic.Bool
 }
 
 // UnitScale converts the paper's time coefficient into work units:
@@ -44,74 +63,123 @@ func UnitsFor(t float64, n int) int64 {
 // NewBudget returns a budget of the given number of work units. A
 // non-positive limit means unlimited.
 func NewBudget(units int64) *Budget {
-	return &Budget{limit: units}
+	b := &Budget{}
+	b.limit.Store(units)
+	return b
 }
 
-// Unlimited returns a budget that never exhausts.
-func Unlimited() *Budget { return &Budget{limit: 0} }
+// Unlimited returns a budget that never exhausts on units (it can still
+// be cancelled or deadline-stopped).
+func Unlimited() *Budget { return &Budget{} }
 
 // WithDeadline attaches a wall-clock deadline: the budget also exhausts
 // when the deadline passes, whichever comes first. Determinism is lost
 // for the timed-out portion — use the unit limit alone for reproducible
 // experiments and the deadline for production latency control.
 func (b *Budget) WithDeadline(d time.Duration) *Budget {
-	b.deadline = time.Now().Add(d)
+	b.deadlineNano.Store(time.Now().Add(d).UnixNano())
 	return b
 }
 
+// WithContext ties the budget to a context: when ctx is cancelled (or
+// its deadline passes) the budget is cancelled, which stops every phase
+// of a composite strategy at its next Exhausted poll. The tie is
+// one-way — exhausting the budget does not cancel the context. Calling
+// WithContext with an already-cancelled context cancels immediately.
+func (b *Budget) WithContext(ctx context.Context) *Budget {
+	if ctx == nil {
+		return b
+	}
+	if ctx.Err() != nil {
+		b.Cancel()
+		return b
+	}
+	if ctx.Done() != nil {
+		// AfterFunc fires b.Cancel as soon as ctx is done; the
+		// registration is dropped when ctx completes.
+		context.AfterFunc(ctx, func() { b.Cancel() })
+	}
+	return b
+}
+
+// Cancel marks the budget exhausted immediately. It is safe to call from
+// any goroutine and is idempotent; every strategy phase polling
+// Exhausted stops at its next check. Reset clears the flag.
+func (b *Budget) Cancel() { b.cancelled.Store(true) }
+
+// Cancelled reports whether the budget was stopped by Cancel (directly
+// or via a context from WithContext), as opposed to running out of
+// units or hitting a deadline.
+func (b *Budget) Cancelled() bool { return b.cancelled.Load() }
+
 // Charge debits n units.
 func (b *Budget) Charge(n int64) {
-	b.used += n
-	b.sinceCheck += n
+	b.used.Add(n)
+	b.sinceCheck.Add(n)
 }
 
 // deadlineCheckInterval spaces out time.Now calls: the clock is
 // consulted at most once per this many charged units.
 const deadlineCheckInterval = 256
 
-// Exhausted reports whether the budget has run out (unit limit or
-// deadline).
+// Exhausted reports whether the budget has run out (cancellation, unit
+// limit, or deadline — first stop wins).
 func (b *Budget) Exhausted() bool {
-	if b.limit > 0 && b.used >= b.limit {
+	if b.cancelled.Load() {
 		return true
 	}
-	if b.timedOut {
+	if limit := b.limit.Load(); limit > 0 && b.used.Load() >= limit {
 		return true
 	}
-	if !b.deadline.IsZero() && b.sinceCheck >= deadlineCheckInterval {
-		b.sinceCheck = 0
-		if !time.Now().Before(b.deadline) {
-			b.timedOut = true
-			return true
+	if b.timedOut.Load() {
+		return true
+	}
+	if dl := b.deadlineNano.Load(); dl != 0 {
+		if since := b.sinceCheck.Load(); since >= deadlineCheckInterval {
+			b.sinceCheck.Add(-since)
+			if time.Now().UnixNano() >= dl {
+				b.timedOut.Store(true)
+				return true
+			}
 		}
 	}
 	return false
 }
 
 // Used returns the units consumed so far.
-func (b *Budget) Used() int64 { return b.used }
+func (b *Budget) Used() int64 { return b.used.Load() }
 
 // Limit returns the configured limit (0 = unlimited).
-func (b *Budget) Limit() int64 { return b.limit }
+func (b *Budget) Limit() int64 { return b.limit.Load() }
 
 // Remaining returns the units left, or a negative value when unlimited.
+// A cancelled or timed-out budget has zero units remaining.
 func (b *Budget) Remaining() int64 {
-	if b.limit <= 0 {
+	if b.cancelled.Load() || b.timedOut.Load() {
+		return 0
+	}
+	limit := b.limit.Load()
+	if limit <= 0 {
 		return -1
 	}
-	r := b.limit - b.used
+	r := limit - b.used.Load()
 	if r < 0 {
 		return 0
 	}
 	return r
 }
 
-// Reset clears consumption (and any deadline state) and sets a new
-// limit.
+// Reset clears consumption (and any deadline, timeout and cancellation
+// state) and sets a new limit. Like the With* builders it is a
+// setup-phase operation: do not call it concurrently with users of the
+// budget. A context attached via WithContext fires its cancellation at
+// most once; re-attach with WithContext after Reset if the new run
+// should observe the context too.
 func (b *Budget) Reset(units int64) {
-	b.limit = units
-	b.used = 0
-	b.deadline = time.Time{}
-	b.sinceCheck = 0
-	b.timedOut = false
+	b.limit.Store(units)
+	b.used.Store(0)
+	b.deadlineNano.Store(0)
+	b.sinceCheck.Store(0)
+	b.timedOut.Store(false)
+	b.cancelled.Store(false)
 }

@@ -1,0 +1,134 @@
+package cost
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBudgetConcurrentChargeExhaustedCancel hammers one budget from many
+// goroutines mixing Charge, Exhausted, Used, Remaining and a late
+// Cancel. Run under -race this is the concurrency-safety regression
+// test: the pre-atomic budget had plain int64 fields and raced.
+func TestBudgetConcurrentChargeExhaustedCancel(t *testing.T) {
+	b := NewBudget(1_000_000).WithDeadline(time.Minute)
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20_000; i++ {
+				b.Charge(1)
+				if b.Exhausted() && b.Remaining() == 0 {
+					// plausible consistency probe, no assertion: the point
+					// is the race detector.
+					_ = b.Used()
+				}
+				if w == 0 && i == 10_000 {
+					b.Cancel()
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if !b.Exhausted() {
+		t.Fatal("cancelled budget not exhausted")
+	}
+	if !b.Cancelled() {
+		t.Fatal("Cancelled not observed")
+	}
+	if got := b.Used(); got != workers*20_000 {
+		t.Fatalf("lost charges: used %d, want %d", got, workers*20_000)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("cancelled budget has %d remaining", b.Remaining())
+	}
+}
+
+// TestBudgetFirstStopWins composes all three stop conditions — unit
+// limit, wall-clock deadline, context cancellation — and checks each
+// fires independently of the others (first stop wins).
+func TestBudgetFirstStopWins(t *testing.T) {
+	t.Run("units-first", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		b := NewBudget(10).WithDeadline(time.Hour).WithContext(ctx)
+		b.Charge(10)
+		if !b.Exhausted() {
+			t.Fatal("unit limit did not stop the budget")
+		}
+		if b.Cancelled() {
+			t.Fatal("unit-limit stop misreported as cancellation")
+		}
+	})
+	t.Run("deadline-first", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		b := NewBudget(1 << 40).WithDeadline(-time.Second).WithContext(ctx)
+		// The clock is only consulted every deadlineCheckInterval units.
+		b.Charge(deadlineCheckInterval)
+		if !b.Exhausted() {
+			t.Fatal("expired deadline did not stop the budget")
+		}
+		if b.Cancelled() {
+			t.Fatal("deadline stop misreported as cancellation")
+		}
+	})
+	t.Run("cancel-first", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		b := NewBudget(1 << 40).WithDeadline(time.Hour).WithContext(ctx)
+		if b.Exhausted() {
+			t.Fatal("fresh budget exhausted")
+		}
+		cancel()
+		deadline := time.Now().Add(5 * time.Second)
+		for !b.Exhausted() {
+			if time.Now().After(deadline) {
+				t.Fatal("context cancellation never reached the budget")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if !b.Cancelled() {
+			t.Fatal("context stop not reported as cancellation")
+		}
+	})
+}
+
+// TestBudgetWithContextAlreadyCancelled: attaching a dead context
+// cancels immediately (the zero-budget degradation path depends on it).
+func TestBudgetWithContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Unlimited().WithContext(ctx)
+	if !b.Exhausted() || !b.Cancelled() {
+		t.Fatal("already-cancelled context did not cancel the budget")
+	}
+}
+
+// TestBudgetWithContextBackground: a non-cancellable context must not
+// register anything or stop the budget.
+func TestBudgetWithContextBackground(t *testing.T) {
+	b := NewBudget(100).WithContext(context.Background())
+	b.Charge(1)
+	if b.Exhausted() || b.Cancelled() {
+		t.Fatal("background context stopped the budget")
+	}
+}
+
+// TestBudgetResetClearsCancellation: Reset re-arms a cancelled budget.
+func TestBudgetResetClearsCancellation(t *testing.T) {
+	b := NewBudget(5)
+	b.Cancel()
+	if !b.Exhausted() {
+		t.Fatal("cancel ignored")
+	}
+	b.Reset(5)
+	if b.Exhausted() || b.Cancelled() || b.Used() != 0 {
+		t.Fatal("Reset did not clear cancellation state")
+	}
+}

@@ -13,6 +13,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -64,6 +65,13 @@ type Config struct {
 	Parallelism int
 	// Progress, if non-nil, is called after each completed query task.
 	Progress func(done, total int)
+	// Context, if non-nil, bounds the experiment: when it is cancelled
+	// (or its deadline passes) every in-flight optimizer run stops at
+	// its next budget poll and returns its incumbent, and no new tasks
+	// start. Results computed from cancelled runs are degraded-quality
+	// measurements; Run reports the cancellation as an error after
+	// draining in-flight tasks.
+	Context context.Context
 }
 
 // Matrix is the aggregated outcome: mean coerced scaled cost per
@@ -136,6 +144,14 @@ func Run(cfg Config) (*Matrix, error) {
 	var firstErr error
 
 	for _, tk := range tasks {
+		if cfg.Context != nil && cfg.Context.Err() != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiment: %w", cfg.Context.Err())
+			}
+			mu.Unlock()
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(tk task) {
@@ -249,9 +265,12 @@ func runTask(cfg *Config, n, qIdx, rep int, maxT float64) ([][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: n=%d q=%d rep=%d variant=%s: %w", n, qIdx, rep, vr.Name, err)
 		}
-		pl, err := opt.Run(vr.Method)
+		pl, err := opt.RunContext(cfg.Context, vr.Method)
 		if err != nil {
-			return nil, err
+			// Per the anytime contract a plan accompanies the error
+			// (panic recovery); an experiment measures strategy quality,
+			// so a crashed variant is a hard failure, not a data point.
+			return nil, fmt.Errorf("experiment: n=%d q=%d rep=%d variant=%s: %w", n, qIdx, rep, vr.Name, err)
 		}
 		curve.finish(pl.TotalCost)
 		bestAt[v] = curve.bestAt

@@ -1,0 +1,202 @@
+// Package faultinject provides a deterministic, seeded fault plan for
+// exercising the optimizer's degradation paths: cost-evaluation panics,
+// non-finite (NaN/±Inf) cost corruption, and budget starvation.
+//
+// The injector implements plan.FaultInjector structurally (the Eval
+// method) and is installed on an evaluator with SetFaultInjector; every
+// full cost evaluation then consults the fault plan. Faults fire on a
+// deterministic evaluation-count schedule (the *At / *Every fields) or
+// probabilistically from a seeded stream (the *Prob fields), so a
+// failing test reproduces byte-for-byte from its seed.
+//
+// This is test machinery: the production optimizer path never installs
+// an injector and pays a single nil check per evaluation.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// None: no fault.
+	None Kind = iota
+	// PanicEval: the cost evaluation panics with a *Fault value.
+	PanicEval
+	// NaNCost: the evaluation reports NaN.
+	NaNCost
+	// PosInfCost: the evaluation reports +Inf.
+	PosInfCost
+	// NegInfCost: the evaluation reports -Inf.
+	NegInfCost
+	// Starve: the bound budget is cancelled (simulating a run whose
+	// budget is yanked mid-flight).
+	Starve
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case PanicEval:
+		return "panic"
+	case NaNCost:
+		return "nan-cost"
+	case PosInfCost:
+		return "+inf-cost"
+	case NegInfCost:
+		return "-inf-cost"
+	case Starve:
+		return "starve"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is the value an injected panic carries, so recover sites can
+// distinguish injected crashes from real bugs.
+type Fault struct {
+	Kind Kind
+	// Eval is the 1-based evaluation count at which the fault fired.
+	Eval int64
+}
+
+// Error implements error so a recovered *Fault wraps cleanly.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at evaluation %d", f.Kind, f.Eval)
+}
+
+// Config is the fault plan. The zero value injects nothing. Schedule
+// fields count full cost evaluations (1-based); probability fields draw
+// from a stream seeded by Seed, so runs are reproducible.
+type Config struct {
+	// Seed seeds the probabilistic fault stream (0 is a valid seed).
+	Seed int64
+
+	// PanicAt panics on exactly the k-th evaluation (0 = never).
+	PanicAt int64
+	// PanicEvery panics on every k-th evaluation (0 = never).
+	PanicEvery int64
+	// PanicProb panics with this per-evaluation probability.
+	PanicProb float64
+
+	// NaNAt reports NaN on exactly the k-th evaluation.
+	NaNAt int64
+	// NaNEvery reports NaN on every k-th evaluation.
+	NaNEvery int64
+	// NaNProb reports NaN with this per-evaluation probability.
+	NaNProb float64
+
+	// InfAt reports +Inf on exactly the k-th evaluation.
+	InfAt int64
+	// InfEvery alternates +Inf/-Inf on every k-th evaluation.
+	InfEvery int64
+
+	// StarveAt cancels the bound budget at the k-th evaluation
+	// (0 = never). Requires BindBudget.
+	StarveAt int64
+}
+
+// Canceller is the slice of *cost.Budget the injector needs for
+// starvation faults (an interface so faultinject depends on nothing).
+type Canceller interface{ Cancel() }
+
+// Injector consults a Config on every evaluation. It is safe for
+// concurrent use by multiple evaluators (portfolio members may share
+// one injector; the evaluation counter is global across them).
+type Injector struct {
+	cfg    Config
+	n      atomic.Int64
+	budget atomic.Value // Canceller
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	injected [6]atomic.Int64 // per-Kind fire counts
+}
+
+// New builds an injector for the fault plan.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// BindBudget attaches the budget that Starve faults cancel. Accepts any
+// Canceller (in practice *cost.Budget).
+func (in *Injector) BindBudget(c Canceller) *Injector {
+	in.budget.Store(c)
+	return in
+}
+
+// Evals returns how many evaluations the injector has observed.
+func (in *Injector) Evals() int64 { return in.n.Load() }
+
+// Fired returns how many times faults of the given kind fired.
+func (in *Injector) Fired(k Kind) int64 {
+	if k < 0 || int(k) >= len(in.injected) {
+		return 0
+	}
+	return in.injected[k].Load()
+}
+
+// Eval implements plan.FaultInjector: it advances the evaluation
+// counter, fires any scheduled fault, and returns the (possibly
+// corrupted) cost. PanicEval faults panic with a *Fault.
+func (in *Injector) Eval(cost float64) float64 {
+	k := in.n.Add(1)
+
+	if in.cfg.StarveAt > 0 && k == in.cfg.StarveAt {
+		if c, ok := in.budget.Load().(Canceller); ok && c != nil {
+			in.injected[Starve].Add(1)
+			c.Cancel()
+		}
+	}
+
+	if hits(k, in.cfg.PanicAt, in.cfg.PanicEvery) || in.prob(in.cfg.PanicProb) {
+		in.injected[PanicEval].Add(1)
+		panic(&Fault{Kind: PanicEval, Eval: k})
+	}
+	if hits(k, in.cfg.NaNAt, in.cfg.NaNEvery) || in.prob(in.cfg.NaNProb) {
+		in.injected[NaNCost].Add(1)
+		return math.NaN()
+	}
+	if hits(k, in.cfg.InfAt, 0) {
+		in.injected[PosInfCost].Add(1)
+		return math.Inf(1)
+	}
+	if in.cfg.InfEvery > 0 && k%in.cfg.InfEvery == 0 {
+		// Alternate signs so both ±Inf paths are exercised.
+		if (k/in.cfg.InfEvery)%2 == 0 {
+			in.injected[NegInfCost].Add(1)
+			return math.Inf(-1)
+		}
+		in.injected[PosInfCost].Add(1)
+		return math.Inf(1)
+	}
+	return cost
+}
+
+// hits reports whether the k-th evaluation matches an at/every schedule.
+func hits(k, at, every int64) bool {
+	if at > 0 && k == at {
+		return true
+	}
+	return every > 0 && k%every == 0
+}
+
+// prob draws from the seeded stream; p ≤ 0 never fires and performs no
+// draw (so schedule-only plans stay deterministic across counters).
+func (in *Injector) prob(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v < p
+}

@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"joinopt/internal/cost"
+)
+
+func TestScheduledPanicCarriesFault(t *testing.T) {
+	in := New(Config{PanicAt: 3})
+	if got := in.Eval(1); got != 1 {
+		t.Fatalf("eval 1 corrupted: %g", got)
+	}
+	in.Eval(2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("scheduled panic did not fire")
+		}
+		f, ok := r.(*Fault)
+		if !ok {
+			t.Fatalf("panic value %T, want *Fault", r)
+		}
+		if f.Kind != PanicEval || f.Eval != 3 {
+			t.Fatalf("fault = %+v", f)
+		}
+		var err error = f
+		var asFault *Fault
+		if !errors.As(err, &asFault) {
+			t.Fatal("*Fault does not satisfy errors.As")
+		}
+		if in.Fired(PanicEval) != 1 {
+			t.Fatalf("fired count %d", in.Fired(PanicEval))
+		}
+	}()
+	in.Eval(3)
+}
+
+func TestEverySchedules(t *testing.T) {
+	in := New(Config{NaNEvery: 3})
+	nans := 0
+	for i := 0; i < 9; i++ {
+		if math.IsNaN(in.Eval(7)) {
+			nans++
+		}
+	}
+	if nans != 3 {
+		t.Fatalf("NaNEvery=3 fired %d times in 9 evals", nans)
+	}
+	if in.Evals() != 9 {
+		t.Fatalf("eval count %d", in.Evals())
+	}
+}
+
+func TestInfAlternatesSigns(t *testing.T) {
+	in := New(Config{InfEvery: 2})
+	sawPos, sawNeg := false, false
+	for i := 0; i < 8; i++ {
+		v := in.Eval(1)
+		switch {
+		case math.IsInf(v, 1):
+			sawPos = true
+		case math.IsInf(v, -1):
+			sawNeg = true
+		}
+	}
+	if !sawPos || !sawNeg {
+		t.Fatalf("InfEvery did not alternate: +Inf=%v -Inf=%v", sawPos, sawNeg)
+	}
+}
+
+func TestStarveCancelsBudget(t *testing.T) {
+	b := cost.NewBudget(1 << 30)
+	in := New(Config{StarveAt: 5}).BindBudget(b)
+	for i := 0; i < 4; i++ {
+		in.Eval(1)
+		if b.Exhausted() {
+			t.Fatalf("budget starved early at eval %d", i+1)
+		}
+	}
+	in.Eval(1)
+	if !b.Exhausted() || !b.Cancelled() {
+		t.Fatal("StarveAt did not cancel the budget")
+	}
+	if in.Fired(Starve) != 1 {
+		t.Fatalf("starve fired %d times", in.Fired(Starve))
+	}
+}
+
+// TestProbabilisticDeterminismPerSeed: the same seed must reproduce the
+// same fault stream; different seeds should (overwhelmingly) differ.
+func TestProbabilisticDeterminismPerSeed(t *testing.T) {
+	stream := func(seed int64) []bool {
+		in := New(Config{Seed: seed, NaNProb: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = math.IsNaN(in.Eval(1))
+		}
+		return out
+	}
+	a, b := stream(42), stream(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at eval %d", i)
+		}
+	}
+	c := stream(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-eval streams")
+	}
+}
+
+// TestInjectorConcurrent exercises the injector from several goroutines
+// under -race (portfolio members may share one injector).
+func TestInjectorConcurrent(t *testing.T) {
+	in := New(Config{Seed: 1, NaNEvery: 10, NaNProb: 0.01})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5_000; i++ {
+				_ = in.Eval(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Evals() != 20_000 {
+		t.Fatalf("lost evals: %d", in.Evals())
+	}
+	if in.Fired(NaNCost) < 20_000/10 {
+		t.Fatalf("NaNEvery undercounted: %d", in.Fired(NaNCost))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "none", PanicEval: "panic", NaNCost: "nan-cost",
+		PosInfCost: "+inf-cost", NegInfCost: "-inf-cost", Starve: "starve",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("out-of-range Kind String")
+	}
+}

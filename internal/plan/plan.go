@@ -56,6 +56,18 @@ func (p Perm) String() string {
 	return b.String()
 }
 
+// FaultInjector is an optional test hook an Evaluator consults once per
+// full cost evaluation. Implementations may panic (simulating a crash in
+// cost-model or estimator code) or corrupt the returned cost (NaN/±Inf),
+// and may cancel the budget on the side (starvation). The canonical
+// implementation is internal/faultinject; the interface lives here so
+// the plan package does not depend on the harness.
+type FaultInjector interface {
+	// Eval receives the computed total cost and returns the cost the
+	// evaluator should report. It is called after the budget charge.
+	Eval(cost float64) float64
+}
+
 // Evaluator prices permutations for one query under one cost model,
 // debiting one budget unit per join costed. It is not safe for
 // concurrent use; create one per goroutine.
@@ -64,6 +76,7 @@ type Evaluator struct {
 	model  cost.Model
 	budget *cost.Budget
 	prefix *estimate.Prefix
+	fault  FaultInjector
 }
 
 // NewEvaluator returns an evaluator over the query statistics. budget
@@ -86,6 +99,11 @@ func (e *Evaluator) Model() cost.Model { return e.model }
 // Budget returns the shared budget.
 func (e *Evaluator) Budget() *cost.Budget { return e.budget }
 
+// SetFaultInjector installs (or, with nil, removes) a fault-injection
+// hook consulted on every cost evaluation. Test-only machinery: the
+// production path never sets one.
+func (e *Evaluator) SetFaultInjector(fi FaultInjector) { e.fault = fi }
+
 // Cost prices the permutation: the sum of join costs along the prefix.
 // It charges EvalUnitsPerJoin budget units per join. Validity is not
 // checked; an invalid permutation is priced with the implied cross
@@ -100,6 +118,9 @@ func (e *Evaluator) Cost(p Perm) float64 {
 		}
 		total += e.model.JoinCost(outer, inner, result)
 		e.budget.Charge(EvalUnitsPerJoin)
+	}
+	if e.fault != nil {
+		total = e.fault.Eval(total)
 	}
 	return total
 }
@@ -176,6 +197,22 @@ type Result struct {
 	Cost float64
 }
 
+// Degradation reasons recorded in Plan.DegradeReason. A run can degrade
+// for several reasons at once; the recorded reason is the most severe
+// (panic > cancellation > starvation).
+const (
+	// DegradePanic: a strategy phase panicked; the plan is the incumbent
+	// found before the crash or a heuristic/random fallback.
+	DegradePanic = "panic"
+	// DegradeCancelled: the run was cancelled (context or Budget.Cancel)
+	// before the strategy finished; the plan is the best found so far.
+	DegradeCancelled = "cancelled"
+	// DegradeStarved: the budget was exhausted (or the strategy produced
+	// nothing) before any search result existed; the plan comes from the
+	// deterministic augmentation fallback or a random valid state.
+	DegradeStarved = "starved"
+)
+
 // Plan is a complete query evaluation plan: the per-component join
 // orders (already optimized), the order in which component results are
 // combined by cross products, and the total cost.
@@ -189,6 +226,17 @@ type Plan struct {
 	CrossCost float64
 	// TotalCost is the sum of component costs plus CrossCost.
 	TotalCost float64
+	// Degraded reports that the optimizer could not complete normally —
+	// it was cancelled, a phase panicked, or the budget starved before
+	// any search result existed — and fell back per the anytime
+	// contract. The plan is still valid and executable; Degraded flags
+	// that its quality is whatever the fallback chain could salvage.
+	// Ordinary unit-limit exhaustion is NOT degradation: stopping on
+	// budget is the normal anytime stop.
+	Degraded bool
+	// DegradeReason is one of the Degrade* constants when Degraded, with
+	// optional detail after a ": " separator (e.g. the panic value).
+	DegradeReason string
 }
 
 // Order returns the full relation ordering of the plan: the
@@ -205,6 +253,9 @@ func (pl *Plan) Order() Perm {
 func (pl *Plan) Explain(q *catalog.Query) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: total cost %.6g\n", pl.TotalCost)
+	if pl.Degraded {
+		fmt.Fprintf(&b, "  DEGRADED (%s): the optimizer could not complete normally; this is the fallback plan\n", pl.DegradeReason)
+	}
 	for i, c := range pl.Components {
 		fmt.Fprintf(&b, "  component %d (cost %.6g): ", i, c.Cost)
 		for j, r := range c.Perm {
