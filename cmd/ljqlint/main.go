@@ -1,0 +1,161 @@
+// Command ljqlint runs the repository's custom static-analysis suite:
+// five analyzers enforcing the invariants the paper reproduction rests
+// on (budget metering, seeded determinism, float safety, context
+// propagation, goroutine panic isolation). See internal/analysis and
+// DESIGN.md's "Enforced invariants" section.
+//
+// Usage:
+//
+//	go run ./cmd/ljqlint [flags] [patterns...]
+//
+// Patterns are ./... (default, the whole module), directory paths
+// (./internal/plan), or import paths (joinopt/internal/plan). The
+// process exits 1 when any finding survives — CI wires it as a
+// required job, so a finding either gets fixed or gets an
+// //ljqlint:allow directive with a written justification.
+//
+// ljqlint is a standalone driver rather than a `go vet -vettool`
+// because the repository is dependency-free: the analyzers run on a
+// stdlib-only re-implementation of the go/analysis core
+// (internal/analysis). Porting them onto golang.org/x/tools — and
+// gaining vettool integration — is a one-import-line change per
+// analyzer if the dependency is ever admitted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"joinopt/internal/analysis"
+	"joinopt/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ljqlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	verbose := fs.Bool("v", false, "print every package as it is checked")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ljqlint [flags] [patterns...]\n\npatterns default to ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range suite.Entries() {
+			fmt.Fprintf(stdout, "%-14s %s\n", e.Analyzer.Name, e.Analyzer.Doc)
+		}
+		return 0
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "ljqlint:", err)
+		return 2
+	}
+	pkgs, err := resolvePatterns(loader, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "ljqlint:", err)
+		return 2
+	}
+
+	total := 0
+	checked := 0
+	for _, ip := range pkgs {
+		analyzers := suite.For(ip)
+		if len(analyzers) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(ip)
+		if err != nil {
+			fmt.Fprintln(stderr, "ljqlint:", err)
+			return 2
+		}
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "ljqlint:", err)
+			return 2
+		}
+		checked++
+		if *verbose {
+			fmt.Fprintf(stderr, "ljqlint: %s: %d finding(s)\n", ip, len(findings))
+		}
+		for _, f := range findings {
+			rel := f.Position.Filename
+			if r, err := filepath.Rel(loader.ModuleRoot(), rel); err == nil {
+				rel = r
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n",
+				rel, f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "ljqlint: %d finding(s) across %d package(s)\n", total, checked)
+		return 1
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "ljqlint: clean (%d package(s))\n", checked)
+	}
+	return 0
+}
+
+// resolvePatterns expands command-line patterns into sorted import
+// paths. Supported: "./..." and "dir/...", plain directories, and
+// import paths.
+func resolvePatterns(loader *analysis.Loader, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(ip string) {
+		if !seen[ip] {
+			seen[ip] = true
+			out = append(out, ip)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			if root == "." || root == "" {
+				root = loader.ModuleRoot()
+			}
+			ips, err := loader.LocalPackages(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, ip := range ips {
+				add(ip)
+			}
+		case strings.HasPrefix(pat, loader.ModulePath()):
+			add(pat)
+		default:
+			abs, err := filepath.Abs(pat)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(loader.ModuleRoot(), abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("pattern %q is outside the module", pat)
+			}
+			if rel == "." {
+				add(loader.ModulePath())
+			} else {
+				add(loader.ModulePath() + "/" + filepath.ToSlash(rel))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,119 @@
+// Package analysis is a self-contained static-analysis framework for
+// the ljqlint suite: a stdlib-only re-implementation of the core of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic), plus a
+// package loader and a deterministic runner.
+//
+// Why not depend on x/tools? The repository is intentionally
+// zero-dependency (go.mod has no requires), and the subset of the
+// framework the suite needs — syntax + full type information per
+// package, diagnostics with positions, testdata fixtures — is small
+// and stable. The types here mirror the x/tools API shape closely
+// enough that the analyzers would port to the real framework by
+// changing one import line; see cmd/ljqlint for the driver.
+//
+// The suite's five analyzers live in subpackages (budgetcharge,
+// detrand, floatsafe, ctxflow, panicguard); internal/analysis/suite
+// maps them onto the repository's packages; and
+// internal/analysis/analysistest runs them over `// want` annotated
+// fixtures.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer (the subset without facts
+// and analyzer dependencies, which the suite does not need).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ljqlint:allow directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: first line is a summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer with one type-checked package and a sink
+// for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers a diagnostic. Analyzers normally use Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the runner.
+	Analyzer string
+}
+
+// Finding is a diagnostic resolved to a concrete file position.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// Run applies each analyzer to the package and returns the surviving
+// findings: diagnostics suppressed by //ljqlint:allow directives (see
+// directive.go) are dropped. Findings are sorted by position then
+// analyzer name, so output is deterministic.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			posn := pkg.Fset.Position(d.Pos)
+			if sup.allows(name, posn, d.Pos) {
+				return
+			}
+			out = append(out, Finding{Position: posn, Analyzer: name, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

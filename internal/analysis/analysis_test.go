@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string // nil means "not a directive"
+	}{
+		{"//ljqlint:allow detrand -- map copy", []string{"detrand"}},
+		{"//ljqlint:allow detrand,floatsafe -- both", []string{"detrand", "floatsafe"}},
+		{"//ljqlint:allow detrand, floatsafe -- spaced list", []string{"detrand", "floatsafe"}},
+		{"//ljqlint:allow all -- blanket", []string{"all"}},
+		{"//ljqlint:allow detrand", []string{"detrand"}}, // reason missing: parsed, reviewers catch it
+		{"//ljqlint:allowdetrand -- glued", nil},
+		{"//ljqlint:allow -- no names", nil},
+		{"// ordinary comment", nil},
+		{"//ljqlint:deny detrand", nil},
+	}
+	for _, c := range cases {
+		got := parseDirective(c.text)
+		if c.want == nil {
+			if got != nil {
+				t.Errorf("parseDirective(%q) = %v, want nil", c.text, got)
+			}
+			continue
+		}
+		var names []string
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		want := append([]string(nil), c.want...)
+		sort.Strings(want)
+		if !reflect.DeepEqual(names, want) {
+			t.Errorf("parseDirective(%q) = %v, want %v", c.text, names, want)
+		}
+	}
+}
+
+const suppressionSrc = `package p
+
+// describe is annotated at function scope.
+//
+//ljqlint:allow detrand -- whole function is order-insensitive
+func describe() {
+	_ = 1 // line 7
+}
+
+func other() {
+	//ljqlint:allow floatsafe -- line above
+	_ = 2 // line 12: suppressed by the directive on 11
+	_ = 3 //ljqlint:allow budgetcharge -- same line
+	_ = 4 // line 14: not suppressed
+}
+`
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestSuppressionScopes(t *testing.T) {
+	fset, f := parseOne(t, suppressionSrc)
+	sup := collectSuppressions(fset, []*ast.File{f})
+
+	// Find positions by line.
+	posAt := func(line int) (token.Position, token.Pos) {
+		var found token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || found != token.NoPos {
+				return false
+			}
+			if fset.Position(n.Pos()).Line == line {
+				found = n.Pos()
+				return false
+			}
+			return true
+		})
+		if found == token.NoPos {
+			t.Fatalf("no node on line %d", line)
+		}
+		return fset.Position(found), found
+	}
+
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{7, "detrand", true},       // inside describe's body: func-doc scope
+		{7, "floatsafe", false},    // func-doc names only detrand
+		{12, "floatsafe", true},    // directive on the line above
+		{13, "budgetcharge", true}, // trailing same-line directive
+		{14, "budgetcharge", false},
+		{14, "detrand", false}, // other() has no func-scope allowance
+	}
+	for _, c := range cases {
+		posn, pos := posAt(c.line)
+		if got := sup.allows(c.analyzer, posn, pos); got != c.want {
+			t.Errorf("line %d analyzer %s: allows = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestRunSortsAndSuppresses(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(loader.ModulePath() + "/internal/analysis/invariant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A toy analyzer that reports every function declaration.
+	toy := &Analyzer{
+		Name: "toy",
+		Doc:  "reports every function declaration",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						p.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	findings, err := Run(pkg, []*Analyzer{toy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("toy analyzer found no functions in the invariant package")
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Position.Filename > b.Position.Filename ||
+			(a.Position.Filename == b.Position.Filename && a.Position.Line > b.Position.Line) {
+			t.Fatalf("findings not sorted: %v before %v", a.Position, b.Position)
+		}
+	}
+	for _, f := range findings {
+		if f.Analyzer != "toy" {
+			t.Fatalf("finding attributed to %q, want toy", f.Analyzer)
+		}
+	}
+}
+
+func TestLoaderExcludesDebugTaggedFiles(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(loader.ModulePath() + "/internal/analysis/invariant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if name == "" {
+			continue
+		}
+		if base := name[len(name)-len("enabled_debug.go"):]; base == "enabled_debug.go" {
+			t.Fatal("loader included the ljqdebug-tagged file in a default build")
+		}
+	}
+	// Enabled must type-check to the release-build constant.
+	obj := pkg.Types.Scope().Lookup("Enabled")
+	if obj == nil {
+		t.Fatal("invariant.Enabled not found")
+	}
+}

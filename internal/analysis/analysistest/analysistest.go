@@ -1,0 +1,133 @@
+// Package analysistest runs ljqlint analyzers over annotated fixture
+// packages, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkg>/ (GOPATH-style). Expected
+// diagnostics are declared in the fixture source with trailing
+// comments of the form
+//
+//	x := f() // want `regexp` `another regexp`
+//
+// Each backquoted regexp must match one diagnostic reported on that
+// line, and every reported diagnostic must be matched by exactly one
+// expectation. Fixture packages may import real module packages
+// (e.g. joinopt/internal/cost) — they resolve against the enclosing
+// module — as well as sibling fixture packages under src/.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"joinopt/internal/analysis"
+)
+
+// Run loads each fixture package below dir/src and applies the
+// analyzer, comparing diagnostics against // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("testdata dir: %v", err)
+	}
+	loader.SetFixtureRoot(filepath.Join(abs, "src"))
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			p, err := loader.Load(pkg)
+			if err != nil {
+				t.Fatalf("load %s: %v", pkg, err)
+			}
+			findings, err := analysis.Run(p, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("run %s: %v", pkg, err)
+			}
+			check(t, p, findings)
+		})
+	}
+}
+
+// expectation is one // want regexp.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile("// want((?: +`[^`]*`)+)\\s*$")
+var backquoted = regexp.MustCompile("`[^`]*`")
+
+func collectExpectations(t *testing.T, p *analysis.Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment: %s",
+							p.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				posn := p.Fset.Position(c.Pos())
+				for _, q := range backquoted.FindAllString(m[1], -1) {
+					pat := q[1 : len(q)-1]
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+						continue
+					}
+					exps = append(exps, &expectation{file: posn.Filename, line: posn.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+func check(t *testing.T, p *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	exps := collectExpectations(t, p)
+	for _, f := range findings {
+		if !claim(exps, f.Position, f.Message) {
+			t.Errorf("unexpected diagnostic: %v", f)
+		}
+	}
+	for _, e := range exps {
+		if !e.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+func claim(exps []*expectation, posn token.Position, msg string) bool {
+	for _, e := range exps {
+		if !e.used && e.file == posn.Filename && e.line == posn.Line && e.rx.MatchString(msg) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// MustFindings is a convenience for driver tests: it fails unless the
+// findings include one whose message matches pattern.
+func MustFindings(t *testing.T, findings []analysis.Finding, pattern string) {
+	t.Helper()
+	rx := regexp.MustCompile(pattern)
+	for _, f := range findings {
+		if rx.MatchString(f.Message) {
+			return
+		}
+	}
+	t.Errorf("no finding matching %q in %v", pattern, findings)
+}

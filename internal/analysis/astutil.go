@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the object called by call: a *types.Func for direct
+// function and method calls (including method values through a
+// selector), or nil for indirect calls through variables, conversions
+// and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	return FuncOf(info, ast.Unparen(call.Fun))
+}
+
+// FuncOf resolves an expression naming a function or method (an
+// identifier or selector) to its *types.Func, or nil.
+func FuncOf(info *types.Info, e ast.Expr) *types.Func {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[x.Sel] // package-qualified identifier
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the function or method pkgPath.name
+// (for methods, the receiver's package is matched; the receiver type
+// itself is not constrained).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsTopLevelPkgFunc reports whether fn is a package-level function (not
+// a method) of pkgPath.
+func IsTopLevelPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// WalkFuncs traverses every function declaration and function literal
+// in the file, invoking visit with the function node (an *ast.FuncDecl
+// or *ast.FuncLit) and its body. Nested literals are visited after
+// their enclosing function.
+func WalkFuncs(file *ast.File, visit func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn, fn.Body)
+		}
+		return true
+	})
+}
+
+// ContainsCallTo reports whether the subtree contains a direct call to
+// (or a method-value reference of) a function for which match returns
+// true. Method values matter: passing budget.Charge as a callback is
+// as much "metering" as calling it.
+func ContainsCallTo(info *types.Info, root ast.Node, match func(*types.Func) bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn := Callee(info, x); fn != nil && match(fn) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if fn := FuncOf(info, x); fn != nil && match(fn) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// IsFloat reports whether t's underlying type (after named-type
+// unwrapping) is a floating-point basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

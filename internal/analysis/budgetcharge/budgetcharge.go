@@ -1,0 +1,123 @@
+// Package budgetcharge defines an analyzer enforcing the optimizer's
+// work-accounting invariant: every unit of cost-evaluation work is
+// debited against the shared cost.Budget.
+//
+// The paper's experimental methodology compares strategies at equal
+// *work*, with budgets proportional to N² substituting for its
+// wall-clock limits. That comparison is meaningless if any code path
+// evaluates join costs or extends size-estimation prefixes without
+// charging the meter: the unmetered strategy looks faster than it is,
+// silently, on every run. The analyzer makes the discipline mechanical:
+//
+//   - a call to a cost-model JoinCost method (package internal/cost),
+//     or to (*estimate.Prefix).Extend (the per-join size-estimation
+//     step), is "metered work";
+//   - every top-level function whose body performs metered work must
+//     also charge the budget — contain a call to, or reference of,
+//     (*cost.Budget).Charge — anywhere in the same function (closures
+//     inside the function count, and passing budget.Charge as a
+//     callback counts as metering).
+//
+// Functions that deliberately price plans outside the optimization
+// loop (plan explainers, assembly-time sizing) acknowledge it with
+// an //ljqlint:allow budgetcharge directive carrying a justification.
+//
+// The check is intentionally intra-function and lexical: it cannot
+// prove the charge amount is *correct*, only that the author thought
+// about metering at all. Experience (PR 1's hand-found accounting
+// bugs) says that is the failure mode worth gating.
+package budgetcharge
+
+import (
+	"go/ast"
+	"go/types"
+
+	"joinopt/internal/analysis"
+)
+
+const (
+	costPkg     = "joinopt/internal/cost"
+	estimatePkg = "joinopt/internal/estimate"
+)
+
+// Analyzer is the budgetcharge analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetcharge",
+	Doc:  "cost-model and size-estimation work must debit the shared cost.Budget",
+	Run:  run,
+}
+
+// isMeteredWork reports whether fn is a call target that performs
+// budget-metered work.
+func isMeteredWork(fn *types.Func) bool {
+	// Any JoinCost method of the cost package: the cost.Model interface
+	// method and every concrete model's implementation.
+	if analysis.IsPkgFunc(fn, costPkg, "JoinCost") {
+		return true
+	}
+	// The per-join size-estimation step.
+	return analysis.IsPkgFunc(fn, estimatePkg, "Extend")
+}
+
+// isCharge reports whether fn is (*cost.Budget).Charge.
+func isCharge(fn *types.Func) bool {
+	return analysis.IsPkgFunc(fn, costPkg, "Charge")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var metered []*ast.CallExpr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := analysis.Callee(pass.TypesInfo, call); fn != nil && isMeteredWork(fn) {
+					metered = append(metered, call)
+				}
+				return true
+			})
+			if len(metered) == 0 {
+				continue
+			}
+			if analysis.ContainsCallTo(pass.TypesInfo, fd.Body, isCharge) {
+				continue
+			}
+			for _, call := range metered {
+				fn := analysis.Callee(pass.TypesInfo, call)
+				pass.Reportf(call.Pos(),
+					"%s performs metered work (%s.%s) but never charges the budget; call Budget.Charge or annotate with //ljqlint:allow budgetcharge -- <why>",
+					funcLabel(fd), fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
+	return nil
+}
+
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+			return t + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(x.X)
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(x.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(x.X)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package budgetcharge_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/budgetcharge"
+)
+
+func TestBudgetCharge(t *testing.T) {
+	analysistest.Run(t, "testdata", budgetcharge.Analyzer, "budgettest")
+}

@@ -1,0 +1,65 @@
+// Package budgettest exercises the budgetcharge analyzer: metered
+// work (cost.Model.JoinCost, estimate.Prefix.Extend) must be
+// accompanied by a Budget.Charge in the same top-level function.
+package budgettest
+
+import (
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+)
+
+// unmeteredModel prices a join without ever charging: flagged.
+func unmeteredModel(m cost.Model, b *cost.Budget) float64 {
+	return m.JoinCost(100, 10, 1000) // want `unmeteredModel performs metered work \(cost.JoinCost\) but never charges the budget`
+}
+
+// unmeteredConcrete bypasses the interface; still flagged.
+func unmeteredConcrete(m *cost.MemoryModel) float64 {
+	return m.JoinCost(100, 10, 1000) // want `unmeteredConcrete performs metered work \(cost.JoinCost\) but never charges the budget`
+}
+
+// unmeteredExtend extends an estimation prefix without charging.
+func unmeteredExtend(p *estimate.Prefix, r catalog.RelID) float64 {
+	_, _, result := p.Extend(r) // want `unmeteredExtend performs metered work \(estimate.Extend\) but never charges the budget`
+	return result
+}
+
+// metered charges in the same function: ok.
+func metered(m cost.Model, b *cost.Budget) float64 {
+	b.Charge(1)
+	return m.JoinCost(100, 10, 1000)
+}
+
+// meteredInClosure does the work inside a closure that charges; the
+// lexical containment rule accepts it.
+func meteredInClosure(m cost.Model, b *cost.Budget) float64 {
+	total := 0.0
+	f := func() {
+		total += m.JoinCost(100, 10, 1000)
+		b.Charge(1)
+	}
+	f()
+	return total
+}
+
+// meteredByCallback passes Budget.Charge as a callback — the metering
+// reference counts even without a direct call.
+func meteredByCallback(m cost.Model, b *cost.Budget, apply func(func(int64))) float64 {
+	apply(b.Charge)
+	return m.JoinCost(100, 10, 1000)
+}
+
+// describeOnly prices a plan outside the optimization loop and says so.
+//
+//ljqlint:allow budgetcharge -- explain path, not part of the search loop
+func describeOnly(m cost.Model) float64 {
+	return m.JoinCost(100, 10, 1000)
+}
+
+func lineDirective(m cost.Model) float64 {
+	return m.JoinCost(2, 2, 4) //ljqlint:allow budgetcharge -- test-only pricing
+}
+
+// noWork never performs metered work: nothing to report.
+func noWork(b *cost.Budget) { b.Charge(0) }

@@ -1,0 +1,146 @@
+// Package ctxflow defines an analyzer enforcing PR 1's cancellation
+// contract: context flows down the call tree, it is never minted
+// mid-flight.
+//
+// The anytime optimizer stops because a context reached the budget
+// (cost.Budget.WithContext). A context.Background() in library code
+// severs that chain: everything below it becomes uncancellable and the
+// service layer's deadline silently stops propagating. The analyzer
+// flags:
+//
+//   - any call to context.Background() or context.TODO() in a checked
+//     package, except the nil-normalization idiom `ctx =
+//     context.Background()` (re-seating an explicitly nil context
+//     parameter keeps the API tolerant without breaking a live chain).
+//     Public compatibility wrappers (Run → RunContext) that genuinely
+//     start a fresh chain annotate with //ljqlint:allow ctxflow;
+//   - a context.Context parameter that the function body never uses:
+//     accepting a context and dropping it is the same severed chain
+//     wearing a contract-shaped costume.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"joinopt/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must propagate: no context.Background/TODO in library code, no dropped ctx parameters",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		checkBackgroundCalls(pass, file)
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkUnusedCtxParam(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkBackgroundCalls flags context.Background/TODO calls outside the
+// nil-normalization idiom.
+func checkBackgroundCalls(pass *analysis.Pass, file *ast.File) {
+	// First collect the allowed positions: calls appearing as the sole
+	// RHS of an assignment to an *existing* context variable
+	// (`ctx = context.Background()`, the nil-guard idiom). A fresh
+	// definition (`ctx := context.Background()`) is not exempt.
+	allowed := map[*ast.CallExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id] // Uses, not Defs: must pre-exist
+		if obj == nil || !isContextType(obj.Type()) {
+			return true
+		}
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			allowed[call] = true
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if !analysis.IsPkgFunc(fn, "context", "Background") && !analysis.IsPkgFunc(fn, "context", "TODO") {
+			return true
+		}
+		if allowed[call] {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s severs the cancellation chain; thread the caller's ctx through (compat wrappers annotate //ljqlint:allow ctxflow -- <why a fresh chain>)",
+			fn.Name())
+		return true
+	})
+}
+
+// checkUnusedCtxParam flags ctx parameters the body never reads.
+func checkUnusedCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !usedIn(pass, fd.Body, obj) {
+				pass.Reportf(name.Pos(),
+					"context parameter %s is never used: propagate it into the calls below or rename it _ to declare the drop",
+					name.Name)
+			}
+		}
+	}
+}
+
+func usedIn(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

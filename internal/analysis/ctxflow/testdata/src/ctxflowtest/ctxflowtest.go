@@ -1,0 +1,58 @@
+// Package ctxflowtest exercises the ctxflow analyzer.
+package ctxflowtest
+
+import "context"
+
+func worker(ctx context.Context) error { return ctx.Err() }
+
+// severed checks its own ctx but mints a fresh one for the callee:
+// the call below it is uncancellable. Flagged.
+func severed(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return worker(context.Background()) // want `context.Background severs the cancellation chain`
+}
+
+// minted defines a new context from scratch: flagged (`:=` is not the
+// nil-guard idiom).
+func minted() error {
+	ctx := context.Background() // want `context.Background severs the cancellation chain`
+	return worker(ctx)
+}
+
+// todoCall is equally severed: flagged.
+func todoCall() error {
+	return worker(context.TODO()) // want `context.TODO severs the cancellation chain`
+}
+
+// nilGuard re-seats an explicitly nil ctx parameter: allowed.
+func nilGuard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return worker(ctx)
+}
+
+// compatWrapper starts a fresh chain on purpose and says so.
+func compatWrapper() error {
+	return worker(context.Background()) //ljqlint:allow ctxflow -- public no-context compatibility entry point
+}
+
+// propagated threads ctx through: ok.
+func propagated(ctx context.Context) error {
+	return worker(ctx)
+}
+
+// dropped accepts a ctx and ignores it: flagged.
+func dropped(ctx context.Context, n int) int { // want `context parameter ctx is never used`
+	return n * 2
+}
+
+// declaredDrop renames the parameter _: ok.
+func declaredDrop(_ context.Context, n int) int { return n * 2 }
+
+// usedInClosure counts as use: ok.
+func usedInClosure(ctx context.Context) func() error {
+	return func() error { return worker(ctx) }
+}

@@ -1,0 +1,133 @@
+// Package detrand defines an analyzer enforcing the optimizer's
+// reproducibility invariant: a fixed seed must reproduce an identical
+// search trajectory, byte for byte.
+//
+// Every experiment in the reproduction (and every training signal a
+// learned optimizer would extract from it) assumes that running a
+// strategy twice with the same seed and budget visits the same states
+// in the same order. Three constructs silently break that:
+//
+//   - the global top-level math/rand functions (rand.Intn, rand.Shuffle,
+//     ...), which draw from a process-global, possibly racy source that
+//     the run's seed does not control — use a seeded *rand.Rand;
+//   - time.Now / time.Since in decision paths, which leak wall-clock
+//     into the trajectory (the budget's deadline support is the single
+//     sanctioned exception, annotated at its definition);
+//   - ranging over a map in ordering-sensitive code: Go randomizes map
+//     iteration order per run, so any value that depends on the order
+//     keys were visited differs between identically-seeded runs.
+//     Collect the keys, sort them, and range over the slice.
+//
+// `for range m` without iteration variables only counts iterations and
+// observes no order; it is allowed. Order-insensitive folds (pure
+// commutative aggregation) do exist, but proving commutativity is
+// beyond a linter — annotate those with
+// //ljqlint:allow detrand -- <why the fold is order-insensitive>.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"joinopt/internal/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand, wall-clock reads, and map iteration in ordering-sensitive optimizer code",
+	Run:  run,
+}
+
+// seededConstructors are the math/rand functions that *build* seeded
+// generators rather than drawing from the global source.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *rand.Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			case *ast.RangeStmt:
+				checkRange(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		// Methods on *rand.Rand are seeded and fine; only package-level
+		// draws hit the global source.
+		if !analysis.IsTopLevelPkgFunc(fn, fn.Pkg().Path()) || seededConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s draws from the process-wide source and breaks seeded determinism; use a seeded *rand.Rand",
+			fn.Pkg().Name(), fn.Name())
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			pass.Reportf(call.Pos(),
+				"time.%s leaks wall-clock into an ordering-sensitive path; trajectories must be reproducible from the seed and budget alone",
+				fn.Name())
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if rng.X == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// `for range m {}` (and blank-only bindings) observes no key
+	// order: allowed.
+	key, value := bound(rng.Key), bound(rng.Value)
+	if !key && !value {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is nondeterministic and this range binds %s; sort the keys into a slice first (or annotate //ljqlint:allow detrand -- <why order-insensitive>)",
+		boundVars(key, value))
+}
+
+// bound reports whether the range clause binds e to a non-blank name.
+func bound(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+		return false
+	}
+	return true
+}
+
+func boundVars(key, value bool) string {
+	switch {
+	case key && value:
+		return "key and value"
+	case key:
+		return "the key"
+	default:
+		return "the value"
+	}
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detrandtest")
+}

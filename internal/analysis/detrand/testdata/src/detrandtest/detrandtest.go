@@ -1,0 +1,78 @@
+// Package detrandtest exercises the detrand analyzer.
+package detrandtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// globalDraws use the process-wide source: all flagged.
+func globalDraws() int {
+	n := rand.Intn(10)                 // want `global rand.Intn draws from the process-wide source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand.Shuffle draws from the process-wide source`
+	return n + rand.Int()              // want `global rand.Int draws from the process-wide source`
+}
+
+// seeded uses an explicit generator: ok (including the constructors).
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return rng.Intn(10) + int(z.Uint64())
+}
+
+// wallClock reads the clock in a decision path: flagged.
+func wallClock() int64 {
+	t := time.Now()             // want `time.Now leaks wall-clock`
+	return int64(time.Since(t)) // want `time.Since leaks wall-clock`
+}
+
+// duration constants and arithmetic are fine.
+func durations(d time.Duration) time.Duration { return d + time.Second }
+
+// mapOrder ranges a map binding the key: flagged.
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic and this range binds the key`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapOrderValue binds only the value: still order-sensitive, flagged.
+func mapOrderValue(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want `map iteration order is nondeterministic and this range binds the value`
+		last = v
+	}
+	return last
+}
+
+// mapCount binds nothing: iteration count only, allowed.
+func mapCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// mapAllowed is an acknowledged order-insensitive fold.
+func mapAllowed(m map[string]int) int {
+	sum := 0
+	//ljqlint:allow detrand -- commutative sum, order-insensitive
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceRange is fine.
+func sliceRange(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

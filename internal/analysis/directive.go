@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding can be acknowledged in source with
+//
+//	//ljqlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The directive suppresses matching diagnostics in one of three
+// scopes:
+//
+//   - on the same line as the diagnostic (trailing comment);
+//   - on the line immediately above the diagnostic;
+//   - in the doc comment of a function declaration: suppresses every
+//     matching diagnostic inside that function's body.
+//
+// The reason after " -- " is mandatory by convention (ljqlint does not
+// enforce it mechanically, reviewers do): an allow without a recorded
+// justification defeats the point of the gate.
+const directivePrefix = "//ljqlint:allow"
+
+type span struct {
+	file       string
+	start, end token.Pos
+	names      map[string]bool
+}
+
+type suppressions struct {
+	// byLine maps file:line to the analyzer names allowed on that line.
+	byLine map[string]map[string]bool
+	// standalone maps file:line to the names from directives that are
+	// alone on their line (no code before the comment). Only these
+	// extend to the line below — a trailing directive covers just its
+	// own line, so an allow never silently leaks onto the next
+	// statement.
+	standalone map[string]map[string]bool
+	// spans are function-scoped allowances.
+	spans []span
+}
+
+// parseDirective extracts the analyzer names from one comment, or nil
+// if the comment is not an ljqlint directive.
+func parseDirective(text string) map[string]bool {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. //ljqlint:allowfoo
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	names := map[string]bool{}
+	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if f != "" {
+			names[f] = true
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	return names
+}
+
+func lineKey(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// Small manual itoa to avoid fmt in the hot path.
+	if line == 0 {
+		b.WriteByte('0')
+	} else {
+		var buf [12]byte
+		i := len(buf)
+		for line > 0 {
+			i--
+			buf[i] = byte('0' + line%10)
+			line /= 10
+		}
+		b.Write(buf[i:])
+	}
+	return b.String()
+}
+
+// collectSuppressions scans the package's comments for directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{
+		byLine:     map[string]map[string]bool{},
+		standalone: map[string]map[string]bool{},
+	}
+	for _, f := range files {
+		fileName := fset.Position(f.Pos()).Filename
+		codeBefore := earliestCodePosByLine(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseDirective(c.Text)
+				if names == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				key := lineKey(fileName, line)
+				if s.byLine[key] == nil {
+					s.byLine[key] = map[string]bool{}
+				}
+				for n := range names {
+					s.byLine[key][n] = true
+				}
+				if first, ok := codeBefore[line]; !ok || first >= c.Pos() {
+					if s.standalone[key] == nil {
+						s.standalone[key] = map[string]bool{}
+					}
+					for n := range names {
+						s.standalone[key][n] = true
+					}
+				}
+			}
+		}
+		// Function-scoped: directive inside a FuncDecl's doc comment.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			merged := map[string]bool{}
+			for _, c := range fd.Doc.List {
+				for n := range parseDirective(c.Text) {
+					merged[n] = true
+				}
+			}
+			if len(merged) > 0 {
+				s.spans = append(s.spans, span{
+					file:  fileName,
+					start: fd.Body.Pos(),
+					end:   fd.Body.End(),
+					names: merged,
+				})
+			}
+		}
+	}
+	return s
+}
+
+// earliestCodePosByLine records, per line, the position of the first
+// non-comment token. Used to distinguish a standalone directive comment
+// line from a directive trailing code.
+func earliestCodePosByLine(fset *token.FileSet, f *ast.File) map[int]token.Pos {
+	out := map[int]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		line := fset.Position(n.Pos()).Line
+		if p, ok := out[line]; !ok || n.Pos() < p {
+			out[line] = n.Pos()
+		}
+		return true
+	})
+	return out
+}
+
+// allows reports whether a diagnostic from the named analyzer at the
+// given position is suppressed.
+func (s *suppressions) allows(name string, posn token.Position, pos token.Pos) bool {
+	if m := s.byLine[lineKey(posn.Filename, posn.Line)]; m[name] || m["all"] {
+		return true
+	}
+	if m := s.standalone[lineKey(posn.Filename, posn.Line-1)]; m[name] || m["all"] {
+		return true
+	}
+	for _, sp := range s.spans {
+		if sp.file == posn.Filename && sp.start <= pos && pos < sp.end && (sp.names[name] || sp.names["all"]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+// Package floatsafe defines an analyzer guarding the cost model's
+// float arithmetic against the two failure modes that corrupt strategy
+// comparisons silently: exact equality on computed floats, and
+// unguarded non-finite values at cost boundaries.
+//
+// PR 1's tracker bug is the canonical motivation: a NaN produced by an
+// injected cost fault froze the incumbent forever, because `c <
+// bestCost` is always false when bestCost is NaN — and nothing ever
+// tested for it. The analyzer enforces:
+//
+//   - no == / != between two *computed* float expressions. Comparing
+//     against a float constant (x == 0, the exact sentinel idiom) is
+//     allowed: constants are exactly representable sentinels, computed
+//     values are not. Deliberate exact tie-breaks acknowledge the risk
+//     with //ljqlint:allow floatsafe -- <why exact equality is right>;
+//   - no float-keyed maps (NaN keys are unretrievable, and float keys
+//     make iteration-order hazards worse) and no switch on a float tag;
+//   - every exported method or function named exactly "Cost" that
+//     returns float64 — the metered pricing boundary of a search space
+//     or evaluator — must guard non-finite results: lexically contain a
+//     call to math.IsNaN / math.IsInf, or to the
+//     internal/analysis/invariant helpers (whose ljqdebug-gated checks
+//     compile away in release builds).
+package floatsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"joinopt/internal/analysis"
+)
+
+const invariantPkg = "joinopt/internal/analysis/invariant"
+
+// Analyzer is the floatsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatsafe",
+	Doc:  "forbid exact equality on computed floats and require NaN/Inf guards at cost boundaries",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkEquality(pass, x)
+			case *ast.MapType:
+				checkMapKey(pass, x)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, x)
+			case *ast.FuncDecl:
+				checkCostBoundary(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isComputedFloat reports whether e is a float-typed expression that is
+// not a compile-time constant.
+func isComputedFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return analysis.IsFloat(tv.Type) && tv.Value == nil
+}
+
+func checkEquality(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isComputedFloat(pass, b.X) && isComputedFloat(pass, b.Y) {
+		pass.Reportf(b.OpPos,
+			"%s between two computed floats is almost never exact (and always false against NaN); compare with an ordering or annotate //ljqlint:allow floatsafe -- <why exact>",
+			b.Op)
+	}
+}
+
+func checkMapKey(pass *analysis.Pass, mt *ast.MapType) {
+	tv, ok := pass.TypesInfo.Types[mt.Key]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if analysis.IsFloat(tv.Type) {
+		pass.Reportf(mt.Pos(),
+			"float-keyed map: a NaN key can be inserted but never retrieved, and float keys amplify iteration-order hazards; key by a discrete quantity")
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	if isComputedFloat(pass, sw.Tag) {
+		pass.Reportf(sw.Tag.Pos(),
+			"switch on a computed float compares with exact equality per case; use if/else with ordered comparisons")
+	}
+}
+
+// checkCostBoundary enforces the non-finite guard on exported Cost
+// entry points.
+func checkCostBoundary(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !fd.Name.IsExported() || fd.Name.Name != "Cost" {
+		return
+	}
+	if !returnsFloat64(pass, fd) {
+		return
+	}
+	if analysis.ContainsCallTo(pass.TypesInfo, fd.Body, isFiniteGuard) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported cost boundary %s returns float64 without a non-finite guard; check math.IsNaN/math.IsInf or use invariant.Finite so NaN cannot poison the incumbent",
+		fd.Name.Name)
+}
+
+func returnsFloat64(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, f := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if ok && tv.Type != nil && analysis.IsFloat(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFiniteGuard(fn *types.Func) bool {
+	if analysis.IsPkgFunc(fn, "math", "IsNaN") || analysis.IsPkgFunc(fn, "math", "IsInf") {
+		return true
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == invariantPkg
+}

@@ -1,0 +1,12 @@
+package floatsafe_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/floatsafe"
+)
+
+func TestFloatSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", floatsafe.Analyzer, "floatsafetest")
+}

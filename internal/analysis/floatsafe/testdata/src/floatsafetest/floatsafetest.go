@@ -1,0 +1,80 @@
+// Package floatsafetest exercises the floatsafe analyzer.
+package floatsafetest
+
+import (
+	"math"
+
+	"joinopt/internal/analysis/invariant"
+)
+
+// computedEquality compares two computed floats exactly: flagged.
+func computedEquality(a, b float64) bool {
+	return a*2 == b+1 // want `== between two computed floats is almost never exact`
+}
+
+func computedInequality(a, b float64) bool {
+	return a != b // want `!= between two computed floats is almost never exact`
+}
+
+// sentinelCompare against a constant is the exact-sentinel idiom: ok.
+func sentinelCompare(a float64) bool {
+	return a == 0 || a != 1
+}
+
+// tieBreak acknowledges a deliberate exact tie-break.
+func tieBreak(score, best float64, i, j int) bool {
+	return score < best || (score == best && i < j) //ljqlint:allow floatsafe -- deterministic exact tie-break on equal scores
+}
+
+// intEquality is not a float comparison: ok.
+func intEquality(a, b int) bool { return a == b }
+
+// floatKeyed declares a float-keyed map: flagged.
+func floatKeyed() map[float64]int { // want `float-keyed map`
+	return nil
+}
+
+// floatSwitch switches on a computed float: flagged.
+func floatSwitch(v float64) int {
+	switch v * 2 { // want `switch on a computed float`
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// space is a toy cost boundary.
+type space struct{ c float64 }
+
+// Cost guards non-finite results with math.IsNaN: ok.
+func (s *space) Cost() float64 {
+	if math.IsNaN(s.c) {
+		return math.Inf(1)
+	}
+	return s.c
+}
+
+// unguarded is a toy evaluator whose boundary forgets the guard.
+type unguarded struct{ c float64 }
+
+// Cost returns a float with no guard: flagged.
+func (u *unguarded) Cost() float64 { // want `exported cost boundary Cost returns float64 without a non-finite guard`
+	return u.c * 2
+}
+
+// guardedByInvariant uses the ljqdebug-gated helper: ok.
+type guardedByInvariant struct{ c float64 }
+
+// Cost delegates the guard to invariant.Finite.
+func (g *guardedByInvariant) Cost() float64 {
+	total := g.c * 2
+	if invariant.Enabled {
+		invariant.Finite(total, "toy cost")
+	}
+	return total
+}
+
+// cost (unexported) is not a boundary: ok.
+type inner struct{ c float64 }
+
+func (i *inner) cost() float64 { return i.c }

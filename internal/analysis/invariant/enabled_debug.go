@@ -1,0 +1,7 @@
+//go:build ljqdebug
+
+package invariant
+
+// Enabled is true under the ljqdebug build tag: assertions evaluate
+// and panic on violation.
+const Enabled = true

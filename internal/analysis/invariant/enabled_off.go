@@ -1,0 +1,7 @@
+//go:build !ljqdebug
+
+package invariant
+
+// Enabled is false in release builds: every `if invariant.Enabled`
+// block is dead code and compiles away entirely.
+const Enabled = false

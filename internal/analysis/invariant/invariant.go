@@ -1,0 +1,75 @@
+// Package invariant provides build-tag-gated runtime assertions for
+// the optimizer's hot paths.
+//
+// Release builds must pay nothing for assertions: plan.Evaluator.Cost
+// runs millions of times per experiment. The package therefore exposes
+// a compile-time constant, Enabled, that is false by default and true
+// only under `-tags ljqdebug`. The calling convention is
+//
+//	if invariant.Enabled {
+//	    invariant.Finite(total, "evaluator total cost")
+//	}
+//
+// With Enabled a false constant, the compiler removes the whole guarded
+// block — arguments are never evaluated, the branch never exists in the
+// binary. BenchmarkGuardOverhead (invariant_bench_test.go) pins this:
+// the guarded loop compiles to the same code as the bare loop.
+//
+// The floatsafe analyzer recognizes calls into this package as
+// non-finite guards at cost boundaries, tying the static gate
+// (ljqlint) to the dynamic one (ljqdebug test builds). CI runs the
+// test suite both ways.
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assert panics with a formatted message when cond is false and the
+// ljqdebug tag is set. Call it only behind `if invariant.Enabled` so
+// release builds do not even evaluate the arguments.
+func Assert(cond bool, format string, args ...any) {
+	if Enabled && !cond {
+		panic(violation(fmt.Sprintf(format, args...)))
+	}
+}
+
+// Finite panics when v is NaN or ±Inf and the ljqdebug tag is set.
+// what names the quantity for the panic message.
+func Finite(v float64, what string) {
+	if Enabled && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		panic(violation(fmt.Sprintf("%s is non-finite: %v", what, v)))
+	}
+}
+
+// NotNaN panics when v is NaN and the ljqdebug tag is set. Use it at
+// boundaries where +Inf is a legitimate saturation value (estimator
+// overflow, degraded-plan pricing) but NaN never is: NaN poisons every
+// downstream comparison (PR 1's incumbent-freeze bug).
+func NotNaN(v float64, what string) {
+	if Enabled && math.IsNaN(v) {
+		panic(violation(what + " is NaN"))
+	}
+}
+
+// NonNegative panics when v < 0 or v is NaN and the ljqdebug tag is
+// set. Costs and cardinalities are never negative.
+func NonNegative(v float64, what string) {
+	if Enabled && !(v >= 0) {
+		panic(violation(fmt.Sprintf("%s is negative or NaN: %v", what, v)))
+	}
+}
+
+// violation is the panic payload, distinguishable from ordinary panics
+// by tests and by the optimizer's panic barriers.
+type violation string
+
+func (v violation) Error() string { return "invariant violated: " + string(v) }
+
+// IsViolation reports whether a recovered panic value originated from
+// this package.
+func IsViolation(r any) bool {
+	_, ok := r.(violation)
+	return ok
+}

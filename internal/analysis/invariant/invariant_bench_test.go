@@ -1,0 +1,36 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/invariant"
+)
+
+// The zero-overhead claim, measurable: in a default build the guarded
+// loop and the bare loop must compile to the same code (compare
+// BenchmarkGuardedSum with BenchmarkBareSum — both should report the
+// same ns/op; under -tags ljqdebug the guarded one pays the checks).
+//
+//	go test -bench=Sum -benchtime=100000000x ./internal/analysis/invariant
+//	go test -bench=Sum -benchtime=100000000x -tags ljqdebug ./internal/analysis/invariant
+
+var sink float64
+
+func BenchmarkBareSum(b *testing.B) {
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += float64(i&7) * 1.5
+	}
+	sink = s
+}
+
+func BenchmarkGuardedSum(b *testing.B) {
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += float64(i&7) * 1.5
+		if invariant.Enabled {
+			invariant.Finite(s, "running sum")
+		}
+	}
+	sink = s
+}

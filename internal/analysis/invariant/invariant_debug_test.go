@@ -1,0 +1,61 @@
+//go:build ljqdebug
+
+package invariant_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"joinopt/internal/analysis/invariant"
+)
+
+// Run with: go test -tags ljqdebug ./internal/analysis/invariant
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic containing %q", want)
+		}
+		if !invariant.IsViolation(r) {
+			t.Fatalf("panic %v is not an invariant violation", r)
+		}
+		err, ok := r.(error)
+		if !ok || !strings.Contains(err.Error(), want) {
+			t.Fatalf("panic %v does not mention %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestEnabledUnderTag(t *testing.T) {
+	if !invariant.Enabled {
+		t.Fatal("invariant.Enabled must be true under -tags ljqdebug")
+	}
+}
+
+func TestAssertFires(t *testing.T) {
+	invariant.Assert(true, "fine")
+	mustPanic(t, "budget went negative", func() {
+		invariant.Assert(false, "budget went negative: %d", -1)
+	})
+}
+
+func TestFiniteFires(t *testing.T) {
+	invariant.Finite(1.5, "cost")
+	mustPanic(t, "cost is non-finite", func() { invariant.Finite(math.NaN(), "cost") })
+	mustPanic(t, "cost is non-finite", func() { invariant.Finite(math.Inf(-1), "cost") })
+}
+
+func TestNotNaNFires(t *testing.T) {
+	invariant.NotNaN(math.Inf(1), "saturated cost") // +Inf allowed
+	mustPanic(t, "model cost is NaN", func() { invariant.NotNaN(math.NaN(), "model cost") })
+}
+
+func TestNonNegativeFires(t *testing.T) {
+	invariant.NonNegative(0, "cardinality")
+	mustPanic(t, "is negative or NaN", func() { invariant.NonNegative(-0.5, "cardinality") })
+	mustPanic(t, "is negative or NaN", func() { invariant.NonNegative(math.NaN(), "cardinality") })
+}

@@ -1,0 +1,44 @@
+//go:build !ljqdebug
+
+package invariant_test
+
+import (
+	"math"
+	"testing"
+
+	"joinopt/internal/analysis/invariant"
+)
+
+// TestDisabledByDefault pins the release-build contract: Enabled is a
+// false constant and no assertion ever fires, whatever it is fed.
+func TestDisabledByDefault(t *testing.T) {
+	if invariant.Enabled {
+		t.Fatal("invariant.Enabled must be false without the ljqdebug tag")
+	}
+	// None of these may panic in a release build.
+	invariant.Assert(false, "must not fire")
+	invariant.Finite(math.NaN(), "must not fire")
+	invariant.Finite(math.Inf(1), "must not fire")
+	invariant.NotNaN(math.NaN(), "must not fire")
+	invariant.NonNegative(-1, "must not fire")
+}
+
+// TestGuardedBlockNotExecuted pins the calling convention: with
+// Enabled false, the guard block (including argument evaluation) is
+// never entered.
+func TestGuardedBlockNotExecuted(t *testing.T) {
+	evaluated := false
+	poison := func() float64 { evaluated = true; return math.NaN() }
+	if invariant.Enabled {
+		invariant.Finite(poison(), "never evaluated")
+	}
+	if evaluated {
+		t.Fatal("guard block ran in a release build")
+	}
+}
+
+func TestIsViolationFalseForOtherPanics(t *testing.T) {
+	if invariant.IsViolation("some panic") || invariant.IsViolation(nil) {
+		t.Fatal("IsViolation must only recognize invariant panics")
+	}
+}

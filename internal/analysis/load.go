@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Loader parses and type-checks packages of one module (plus, for
+// fixture tests, packages under an extra source root) using only the
+// standard library: module-local imports are resolved against the
+// module directory tree, everything else falls back to the stdlib
+// source importer. All packages share one FileSet so positions compose.
+//
+// The loader is not safe for concurrent use.
+type Loader struct {
+	fset *token.FileSet
+	// moduleRoot is the directory containing go.mod; modulePath its
+	// declared module path.
+	moduleRoot, modulePath string
+	// extraRoot, when set, resolves import paths that are neither
+	// module-local nor stdlib against extraRoot/<importPath>
+	// (GOPATH-style, used by analysistest fixtures).
+	extraRoot string
+	std       types.ImporterFrom
+	pkgs      map[string]*Package
+	loading   map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at (or above) dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		fset:       fset,
+		moduleRoot: root,
+		modulePath: path,
+		std:        std,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// SetFixtureRoot installs a GOPATH-style src root for fixture imports.
+func (l *Loader) SetFixtureRoot(dir string) { l.extraRoot = dir }
+
+// ModulePath returns the module path of the loaded module.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// ModuleRoot returns the directory containing go.mod.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// Fset returns the shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModule walks up from dir to the first go.mod and parses its
+// module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module") {
+					p := strings.TrimSpace(strings.TrimPrefix(line, "module"))
+					p = strings.Trim(p, `"`)
+					if p == "" {
+						break
+					}
+					return d, p, nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+	}
+}
+
+// dirFor maps an import path to a source directory, or "" when the
+// path is not module-local (and not under the fixture root).
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.modulePath {
+		return l.moduleRoot
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest))
+	}
+	if l.extraRoot != "" {
+		d := filepath.Join(l.extraRoot, filepath.FromSlash(importPath))
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d
+		}
+	}
+	return ""
+}
+
+// Load parses and type-checks the package with the given import path
+// (module-local or fixture-root), memoized.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	dir := l.dirFor(importPath)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: import path %q is not module-local", importPath)
+	}
+	return l.loadDir(dir, importPath)
+}
+
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := GoFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// loaderImporter adapts Loader to types.Importer for the checker's
+// import resolution: module-local (and fixture) packages recurse into
+// the loader, everything else goes to the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// GoFilesIn lists the buildable non-test Go files of dir in sorted
+// order, honoring //go:build constraints under the default build
+// context (so e.g. ljqdebug-tagged files are excluded, exactly as in
+// a default `go build`).
+func GoFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LocalPackages walks the module tree under root (a directory inside
+// the module) and returns the import paths of every directory holding
+// buildable Go files, skipping testdata, hidden directories, and
+// vendor. This is the loader-native equivalent of the `./...` pattern.
+func (l *Loader) LocalPackages(root string) ([]string, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != abs && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := GoFilesIn(path)
+		if err != nil || len(names) == 0 {
+			return nil //nolint:nilerr // unreadable dir: skip, like go list -e
+		}
+		rel, err := filepath.Rel(l.moduleRoot, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.modulePath)
+		} else {
+			out = append(out, l.modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

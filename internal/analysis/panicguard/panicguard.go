@@ -1,0 +1,148 @@
+// Package panicguard defines an analyzer preserving PR 1's isolation
+// contract: every goroutine launched in the optimizer's service layer
+// must install a recover barrier.
+//
+// A panic in a goroutine with no deferred recover kills the whole
+// process — portfolio members, the experiment harness's parallel
+// tasks, everything. PR 1 established the contract (each portfolio
+// member runs behind `defer func(){ if r := recover(); ... }()`); this
+// analyzer keeps it true as the codebase grows. For every `go`
+// statement it requires that the launched function — a function
+// literal, or a same-package named function — lexically contains a
+// deferred recover: a `defer` whose callee is a function literal
+// calling the recover built-in, or a same-package named function that
+// does.
+//
+// Goroutines whose target the analyzer cannot see into (method values
+// from other packages, function-typed variables) are flagged too: an
+// unverifiable barrier is treated as a missing one. Wrap the call in a
+// literal with its own recover, or annotate
+// //ljqlint:allow panicguard -- <who recovers and where>.
+package panicguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"joinopt/internal/analysis"
+)
+
+// Analyzer is the panicguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicguard",
+	Doc:  "goroutines in optimizer service packages must install a deferred recover barrier",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index same-package function declarations by object, so `go
+	// helper()` and `defer cleanup()` can be resolved to bodies.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, decls, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) {
+	body := launchedBody(pass, decls, gs.Call.Fun)
+	if body == nil {
+		pass.Reportf(gs.Pos(),
+			"cannot verify a recover barrier in this goroutine's target; launch a function literal with `defer func(){ if r := recover(); ... }()` (or annotate //ljqlint:allow panicguard -- <who recovers>)")
+		return
+	}
+	if hasDeferredRecover(pass, decls, body) {
+		return
+	}
+	pass.Reportf(gs.Pos(),
+		"goroutine has no deferred recover barrier; a panic here kills the process — the service layer's isolation contract requires `defer func(){ if r := recover(); ... }()`")
+}
+
+// launchedBody resolves the body of the function started by a go
+// statement, or nil when it is not visible in this package.
+func launchedBody(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, fun ast.Expr) *ast.BlockStmt {
+	switch x := ast.Unparen(fun).(type) {
+	case *ast.FuncLit:
+		return x.Body
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			if fd, ok := decls[obj]; ok {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn := analysis.FuncOf(pass.TypesInfo, x); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasDeferredRecover reports whether body contains a defer whose
+// target (a literal, or a same-package function) calls recover.
+func hasDeferredRecover(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		switch fn := ast.Unparen(ds.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if callsRecover(pass, fn.Body) {
+				found = true
+			}
+		default:
+			if f := analysis.FuncOf(pass.TypesInfo, ds.Call.Fun); f != nil {
+				if fd, ok := decls[f]; ok && callsRecover(pass, fd.Body) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRecover reports whether the subtree calls the recover built-in.
+func callsRecover(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package panicguard_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/panicguard"
+)
+
+func TestPanicGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", panicguard.Analyzer, "panicguardtest")
+}

@@ -1,0 +1,69 @@
+// Package panicguardtest exercises the panicguard analyzer.
+package panicguardtest
+
+import "sync"
+
+// unguarded launches a bare goroutine: flagged.
+func unguarded(work func()) {
+	go work() // want `cannot verify a recover barrier`
+}
+
+// unguardedLit has a visible body but no barrier: flagged.
+func unguardedLit(wg *sync.WaitGroup) {
+	go func() { // want `goroutine has no deferred recover barrier`
+		defer wg.Done()
+		doWork()
+	}()
+}
+
+// guarded installs the canonical barrier: ok.
+func guarded(wg *sync.WaitGroup, errs chan<- any) {
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				errs <- r
+			}
+		}()
+		doWork()
+	}()
+}
+
+// barrier is a shared recover helper.
+func barrier() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// guardedByHelper defers a same-package recover helper: ok.
+func guardedByHelper() {
+	go func() {
+		defer barrier()
+		doWork()
+	}()
+}
+
+// namedWorker contains its own barrier, launched by name: ok.
+func namedWorker() {
+	defer barrier()
+	doWork()
+}
+
+func launchNamed() {
+	go namedWorker()
+}
+
+// namedUnguarded has no barrier: flagged at the launch site.
+func namedUnguarded() { doWork() }
+
+func launchNamedUnguarded() {
+	go namedUnguarded() // want `goroutine has no deferred recover barrier`
+}
+
+// acknowledged documents an external barrier.
+func acknowledged(run func()) {
+	go run() //ljqlint:allow panicguard -- callee installs its own barrier, verified in its package
+}
+
+func doWork() {}

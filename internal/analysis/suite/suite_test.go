@@ -1,0 +1,109 @@
+package suite_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis"
+	"joinopt/internal/analysis/suite"
+)
+
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		importPath string
+		want       map[string]bool // analyzer name -> expected in scope
+	}{
+		{"joinopt", map[string]bool{
+			"budgetcharge": false, "detrand": true, "floatsafe": true,
+			"ctxflow": true, "panicguard": true,
+		}},
+		{"joinopt/internal/plan", map[string]bool{
+			"budgetcharge": true, "detrand": true, "floatsafe": true,
+			"ctxflow": true, "panicguard": true,
+		}},
+		{"joinopt/internal/engine", map[string]bool{
+			"budgetcharge": false, "detrand": true,
+		}},
+		{"joinopt/internal/analysis", map[string]bool{
+			"budgetcharge": false, "detrand": false, "floatsafe": true,
+			"ctxflow": true, "panicguard": false,
+		}},
+		{"joinopt/internal/analysis/invariant", map[string]bool{
+			"detrand": false, "panicguard": false, "floatsafe": true,
+		}},
+		{"joinopt/cmd/joinopt", map[string]bool{
+			"budgetcharge": false, "detrand": false, "floatsafe": false,
+		}},
+	}
+	for _, c := range cases {
+		got := map[string]bool{}
+		for _, a := range suite.For(c.importPath) {
+			got[a.Name] = true
+		}
+		for name, want := range c.want {
+			if got[name] != want {
+				t.Errorf("%s: analyzer %s in scope = %v, want %v",
+					c.importPath, name, got[name], want)
+			}
+		}
+	}
+}
+
+func TestEntriesCoverAllFiveAnalyzers(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range suite.Entries() {
+		if e.Analyzer == nil || e.InScope == nil {
+			t.Fatal("entry with nil analyzer or scope")
+		}
+		names[e.Analyzer.Name] = true
+	}
+	for _, want := range []string{"budgetcharge", "detrand", "floatsafe", "ctxflow", "panicguard"} {
+		if !names[want] {
+			t.Errorf("suite is missing analyzer %s", want)
+		}
+	}
+	if len(names) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(names))
+	}
+}
+
+// TestRepositoryIsClean runs the whole suite over the whole module —
+// the same check CI's ljqlint job performs. Every finding must either
+// be fixed or carry an //ljqlint:allow directive with a justification;
+// a failure here means a new violation crept in.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the full module is slow; skipped with -short")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LocalPackages(loader.ModuleRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ip := range pkgs {
+		analyzers := suite.For(ip)
+		if len(analyzers) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(ip)
+		if err != nil {
+			t.Fatalf("load %s: %v", ip, err)
+		}
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("run %s: %v", ip, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s:%d:%d: %s (%s)",
+				f.Position.Filename, f.Position.Line, f.Position.Column,
+				f.Message, f.Analyzer)
+			total++
+		}
+	}
+	if total > 0 {
+		t.Logf("%d finding(s); fix them or annotate //ljqlint:allow with a reason", total)
+	}
+}

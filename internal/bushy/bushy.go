@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"joinopt/internal/analysis/invariant"
 	"joinopt/internal/catalog"
 	"joinopt/internal/cost"
 	"joinopt/internal/estimate"
@@ -133,6 +134,11 @@ func (s *Space) Budget() *cost.Budget { return s.budget }
 // dynamic mode. Charges plan.EvalUnitsPerJoin per internal node.
 func (s *Space) Cost(t *Tree) float64 {
 	c, _ := s.costAndSize(t)
+	// +Inf is legitimate saturation on estimator overflow; NaN would
+	// poison every downstream incumbent comparison.
+	if invariant.Enabled {
+		invariant.NotNaN(c, "bushy tree cost")
+	}
 	return c
 }
 

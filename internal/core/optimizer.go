@@ -135,6 +135,7 @@ func (e *PanicError) Unwrap() error {
 // Run is RunContext with a background context; see RunContext for the
 // anytime contract.
 func (o *Optimizer) Run(m Method) (*plan.Plan, error) {
+	//ljqlint:allow ctxflow -- public no-context compatibility wrapper: Run is documented as RunContext with a fresh background chain; callers wanting cancellation use RunContext
 	return o.RunContext(context.Background(), m)
 }
 

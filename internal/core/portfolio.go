@@ -72,6 +72,7 @@ type PortfolioConfig struct {
 // Portfolio is PortfolioContext with a background context and no
 // hedging.
 func Portfolio(q *catalog.Query, model cost.Model, totalUnits int64, seed int64, opts Options, methods ...Method) (*plan.Plan, []PortfolioResult, error) {
+	//ljqlint:allow ctxflow -- public no-context compatibility wrapper: documented as PortfolioContext with a fresh background chain; callers wanting cancellation use PortfolioContext
 	return PortfolioContext(context.Background(), q, model,
 		PortfolioConfig{TotalUnits: totalUnits, Seed: seed, Opts: opts}, methods...)
 }

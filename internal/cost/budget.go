@@ -77,6 +77,7 @@ func Unlimited() *Budget { return &Budget{} }
 // for the timed-out portion — use the unit limit alone for reproducible
 // experiments and the deadline for production latency control.
 func (b *Budget) WithDeadline(d time.Duration) *Budget {
+	//ljqlint:allow detrand -- sanctioned wall-clock: WithDeadline's contract (documented above) trades determinism for latency control; reproducible runs use the unit limit alone
 	b.deadlineNano.Store(time.Now().Add(d).UnixNano())
 	return b
 }
@@ -137,6 +138,7 @@ func (b *Budget) Exhausted() bool {
 	if dl := b.deadlineNano.Load(); dl != 0 {
 		if since := b.sinceCheck.Load(); since >= deadlineCheckInterval {
 			b.sinceCheck.Add(-since)
+			//ljqlint:allow detrand -- sanctioned wall-clock: deadline polling only runs when WithDeadline opted out of determinism
 			if time.Now().UnixNano() >= dl {
 				b.timedOut.Store(true)
 				return true

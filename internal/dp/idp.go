@@ -211,6 +211,7 @@ func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float6
 			if !ok {
 				return
 			}
+			//ljqlint:allow floatsafe -- exact tie intended: equal sizes come from identical estimator arithmetic, and the secondary cost ordering breaks the tie deterministically
 			if sz < bestSize || (sz == bestSize && c < bestCost) {
 				bestSubset = append([]int(nil), subset...)
 				bestOrder = order

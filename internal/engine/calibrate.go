@@ -51,11 +51,13 @@ func CalibrationSamples(rng *rand.Rand, repeats int) ([]cost.JoinSample, error) 
 		best := time.Duration(1<<62 - 1)
 		var st *ExecStats
 		for r := 0; r < repeats; r++ {
+			//ljqlint:allow detrand -- calibration measures real execution time by design; its samples feed the fitted cost model, not a seeded trajectory
 			start := time.Now()
 			st, err = db.Execute(plan.Perm{0, 1})
 			if err != nil {
 				return nil, err
 			}
+			//ljqlint:allow detrand -- calibration measures real execution time by design
 			if d := time.Since(start); d < best {
 				best = d
 			}

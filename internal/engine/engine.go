@@ -259,6 +259,7 @@ func (db *Database) joinStep(im *intermediate, inPrefix map[catalog.RelID]bool, 
 	outerCols, innerCols := db.joinKeys(im, inPrefix, rid)
 
 	out := &intermediate{colOf: make(map[colKey]int), width: im.width + len(inner.Cols)}
+	//ljqlint:allow detrand -- map-to-map copy: positions are values, not derived from iteration order, so the result is order-insensitive
 	for k, v := range im.colOf {
 		out.colOf[k] = v
 	}

@@ -1,6 +1,10 @@
 package engine
 
-import "joinopt/internal/catalog"
+import (
+	"sort"
+
+	"joinopt/internal/catalog"
+)
 
 // Column pruning: real executors project away columns as soon as no
 // later operator needs them, keeping intermediate tuples narrow. The
@@ -31,14 +35,26 @@ func (db *Database) neededColumns(inPrefix map[catalog.RelID]bool) map[colKey]bo
 // original is untouched; a new intermediate is returned (or the
 // original when nothing can be dropped).
 func pruneIntermediate(im *intermediate, needed map[colKey]bool) *intermediate {
-	// Collect the kept positions in ascending order.
-	keepPos := make([]int, 0, len(needed))
-	keepKey := make([]colKey, 0, len(needed))
+	// Collect the kept (position, key) pairs and sort them by position:
+	// the map iteration order is random, and the column layout of the
+	// pruned intermediate must not depend on it (detrand).
+	type keep struct {
+		pos int
+		key colKey
+	}
+	keeps := make([]keep, 0, len(needed))
+	//ljqlint:allow detrand -- collection loop only: the pairs are sorted by position immediately below, so iteration order cannot leak into the layout
 	for k, pos := range im.colOf {
 		if needed[k] {
-			keepPos = append(keepPos, pos)
-			keepKey = append(keepKey, k)
+			keeps = append(keeps, keep{pos, k})
 		}
+	}
+	sort.Slice(keeps, func(i, j int) bool { return keeps[i].pos < keeps[j].pos })
+	keepPos := make([]int, 0, len(keeps))
+	keepKey := make([]colKey, 0, len(keeps))
+	for _, kp := range keeps {
+		keepPos = append(keepPos, kp.pos)
+		keepKey = append(keepKey, kp.key)
 	}
 	if len(keepPos) == im.width {
 		return im

@@ -86,9 +86,11 @@ func (db *Database) joinIntermediates(a, b *intermediate, st *ExecStats) (*inter
 	}
 
 	out := &intermediate{colOf: make(map[colKey]int), width: a.width + b.width}
+	//ljqlint:allow detrand -- map-to-map copy: positions are values, not derived from iteration order, so the result is order-insensitive
 	for k, v := range a.colOf {
 		out.colOf[k] = v
 	}
+	//ljqlint:allow detrand -- map-to-map copy with a fixed width offset; order-insensitive for the same reason
 	for k, v := range b.colOf {
 		out.colOf[k] = a.width + v
 	}

@@ -157,6 +157,18 @@ func Run(cfg Config) (*Matrix, error) {
 		go func(tk task) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// A panicking task must not kill the whole experiment
+			// process: convert the panic into the run's first error
+			// (panicguard).
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiment: task n=%d q=%d rep=%d panicked: %v", tk.n, tk.qIdx, tk.rep, r)
+					}
+					mu.Unlock()
+				}
+			}()
 			bestAt, err := runTask(&cfg, tk.n, tk.qIdx, tk.rep, maxT)
 			mu.Lock()
 			defer mu.Unlock()

@@ -155,8 +155,15 @@ func NewAugmentation(eval *plan.Evaluator, rels []catalog.RelID, criterion Crite
 	sort.SliceStable(a.firstOrder, func(i, j int) bool {
 		ci := a.stats.Cardinality(a.firstOrder[i])
 		cj := a.stats.Cardinality(a.firstOrder[j])
-		if ci != cj {
-			return ci < cj
+		// Ordered comparisons instead of a float != so that a NaN
+		// cardinality (impossible, but cheap to be safe against) falls
+		// through to the deterministic RelID tie-break rather than
+		// making the comparator inconsistent.
+		if ci < cj {
+			return true
+		}
+		if cj < ci {
+			return false
 		}
 		return a.firstOrder[i] < a.firstOrder[j]
 	})
@@ -209,6 +216,7 @@ func (a *Augmentation) Generate(first catalog.RelID) plan.Perm {
 			anyFrontier = true
 			s := a.criterion.score(a.stats, prefix.Size(), prefix.InSet(), j)
 			budget.Charge(1)
+			//ljqlint:allow floatsafe -- exact tie only: both scores come from the same arithmetic over identical inputs, and ties break by RelID for determinism
 			if s < bestScore || (s == bestScore && (bestIdx < 0 || j < remaining[bestIdx])) {
 				bestScore = s
 				bestIdx = i

@@ -106,8 +106,14 @@ func NewKBZ(eval *plan.Evaluator, rels []catalog.RelID, weight WeightCriterion) 
 	sort.SliceStable(k.rootOrder, func(i, j int) bool {
 		ci := k.stats.Cardinality(k.rootOrder[i])
 		cj := k.stats.Cardinality(k.rootOrder[j])
-		if ci != cj {
-			return ci < cj
+		// Ordered comparisons instead of a float != keep the comparator
+		// consistent even against NaN and fall through to the RelID
+		// tie-break deterministically.
+		if ci < cj {
+			return true
+		}
+		if cj < ci {
+			return false
 		}
 		return k.rootOrder[i] < k.rootOrder[j]
 	})

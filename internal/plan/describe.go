@@ -34,6 +34,8 @@ type methodChooser interface {
 // Describe prices the permutation step by step, returning one JoinStep
 // per join. No budget is charged: Describe explains an already-chosen
 // plan, it is not part of the optimization loop.
+//
+//ljqlint:allow budgetcharge -- explain path, documented above as uncharged: it reports on a finished plan and never runs inside the metered search loop
 func Describe(e *Evaluator, p Perm) []JoinStep {
 	if len(p) < 2 {
 		return nil

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"joinopt/internal/analysis/invariant"
 	"joinopt/internal/catalog"
 	"joinopt/internal/cost"
 	"joinopt/internal/estimate"
@@ -119,6 +120,12 @@ func (e *Evaluator) Cost(p Perm) float64 {
 		total += e.model.JoinCost(outer, inner, result)
 		e.budget.Charge(EvalUnitsPerJoin)
 	}
+	// +Inf is legitimate saturation (estimator overflow), NaN never is.
+	// Asserted before fault injection: injected NaN is the test
+	// machinery's deliberate poison and must pass through.
+	if invariant.Enabled {
+		invariant.NotNaN(total, "evaluator total cost")
+	}
 	if e.fault != nil {
 		total = e.fault.Eval(total)
 	}
@@ -141,6 +148,9 @@ func (e *Evaluator) PrefixCost(p Perm, k int) float64 {
 		}
 		total += e.model.JoinCost(outer, inner, result)
 		e.budget.Charge(EvalUnitsPerJoin)
+	}
+	if invariant.Enabled {
+		invariant.NotNaN(total, "evaluator prefix cost")
 	}
 	return total
 }
@@ -314,6 +324,8 @@ func Assemble(e *Evaluator, comps []Result) *Plan {
 }
 
 // componentSize estimates the result size of a component's permutation.
+//
+//ljqlint:allow budgetcharge -- assembly-time sizing outside the search loop; charging here would perturb the Used() counts the determinism tests pin
 func componentSize(s *estimate.Stats, p Perm) float64 {
 	pre := estimate.NewPrefix(s)
 	for _, r := range p {

@@ -74,9 +74,11 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
 	if points == 0 {
 		return 0, 0, 0, 0, fmt.Errorf("plot: no data")
 	}
+	//ljqlint:allow floatsafe -- degenerate-range guard: equality here means "all points share one x", the only case that needs widening; approximate equality would mangle valid narrow ranges
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//ljqlint:allow floatsafe -- degenerate-range guard, as above for y
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
@@ -235,6 +237,7 @@ func escape(s string) string {
 }
 
 func trimNum(v float64) string {
+	//ljqlint:allow floatsafe -- exact integrality test: v == Trunc(v) is the idiomatic "is this float a whole number" check for axis labels
 	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
 		return fmt.Sprintf("%d", int64(v))
 	}

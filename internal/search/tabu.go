@@ -145,9 +145,7 @@ func Tabu(s *Space, cfg TabuConfig, onBest func(plan.Perm, float64)) (plan.Perm,
 				}
 			}
 			tabuList = tabuList[:0]
-			for k := range tabuSet {
-				delete(tabuSet, k)
-			}
+			clear(tabuSet)
 			sinceBest = 0
 		}
 	}

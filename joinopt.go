@@ -175,7 +175,11 @@ type Plan struct {
 func (p *Plan) Order() []RelID { return p.inner.Order() }
 
 // Cost returns the plan's estimated total cost under the cost model the
-// optimizer used.
+// optimizer used. +Inf is a documented value: degraded plans (panic
+// recovery, estimator overflow) are priced at +Inf so they always lose
+// incumbent comparisons; the accessor passes it through unmodified.
+//
+//ljqlint:allow floatsafe -- accessor over a value already guarded at the evaluator boundary; +Inf is the documented degraded-plan price and must not be masked here
 func (p *Plan) Cost() float64 { return p.inner.TotalCost }
 
 // Explain renders a human-readable plan description.
