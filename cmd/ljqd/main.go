@@ -1,0 +1,134 @@
+// Command ljqd is the join-order optimizer daemon: it serves
+// optimization over HTTP, amortizing the paper's N²-budget search
+// across repeated query shapes through a canonical-fingerprint plan
+// cache with request coalescing.
+//
+// Usage:
+//
+//	ljqd -addr :8080 -method IAI -cost memory -t 9
+//
+//	# optimize a JSON query (the cmd/ljqgen / internal/qfile format)
+//	ljqgen -n 20 | curl -s --data-binary @- localhost:8080/optimize
+//
+//	# optimize a DSL query (see internal/qdsl)
+//	curl -s --data-binary @q.dsl 'localhost:8080/optimize?format=dsl'
+//
+//	# operational status: cache hits/misses, in-flight work, uptime
+//	curl -s localhost:8080/statusz
+//
+// The daemon sheds load with 503 + Retry-After when the in-flight
+// limiter's queue deadline passes, answers oversized bodies with 413,
+// and drains in-flight optimizations on SIGINT/SIGTERM before exiting
+// (the anytime optimizer returns incumbent plans to cancelled
+// requests, flagged degraded, per the contract in DESIGN.md).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"joinopt/internal/core"
+	"joinopt/internal/cost"
+	"joinopt/internal/plancache"
+	"joinopt/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		method       = flag.String("method", "IAI", "strategy: II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI, ...")
+		costName     = flag.String("cost", "memory", "cost model: memory, disk, or auto")
+		tcoeff       = flag.Float64("t", 9, "optimization budget coefficient (t·N² work units per miss)")
+		seed         = flag.Int64("seed", 1, "optimizer seed (served plans are deterministic per fingerprint)")
+		maxBody      = flag.Int64("max-body", 1<<20, "maximum request body bytes (oversized bodies get 413)")
+		maxInflight  = flag.Int64("max-inflight", 256, "in-flight optimization capacity in join units")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "how long a request may wait for capacity before 503")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request optimization deadline")
+		cacheSize    = flag.Int("cache-size", 4096, "plan cache capacity (entries)")
+		cacheShards  = flag.Int("cache-shards", 16, "plan cache shard count (rounded up to a power of two)")
+		costAware    = flag.Bool("cache-cost-aware", true, "cost-aware admission: don't evict expensive plans for cheap ones")
+		grace        = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	m, err := core.ParseMethod(*method)
+	if err != nil {
+		fail(err)
+	}
+	var model cost.Model
+	switch *costName {
+	case "memory":
+		model = cost.NewMemoryModel()
+	case "disk":
+		model = cost.NewDiskModel()
+	case "auto":
+		model = cost.NewChooser()
+	default:
+		fail(fmt.Errorf("unknown cost model %q", *costName))
+	}
+
+	srv := serve.New(serve.Config{
+		Method:           m,
+		Model:            model,
+		TCoeff:           *tcoeff,
+		Seed:             *seed,
+		MaxBodyBytes:     *maxBody,
+		MaxInFlightJoins: *maxInflight,
+		QueueTimeout:     *queueTimeout,
+		RequestTimeout:   *reqTimeout,
+		Cache: plancache.Config{
+			Capacity:  *cacheSize,
+			Shards:    *cacheShards,
+			CostAware: *costAware,
+		},
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("ljqd: listener panicked: %v", r)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ljqd: serving on %s (method=%s cost=%s t=%g cache=%d)\n",
+			*addr, m, model.Name(), *tcoeff, *cacheSize)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "ljqd: shutdown signal; draining in-flight optimizations")
+		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "ljqd: drain incomplete: %v\n", err)
+			_ = hs.Close()
+		}
+	}
+	fmt.Fprintln(os.Stderr, "ljqd: bye")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ljqd: %v\n", err)
+	os.Exit(1)
+}

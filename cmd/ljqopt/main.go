@@ -7,6 +7,7 @@
 //	ljqgen -n 40 | ljqopt                         # IAI, memory model, t=9
 //	ljqopt -query q.json -method AGI -t 1.5
 //	ljqopt -query q.json -cost disk -seed 3 -all  # compare all methods
+//	ljqopt -query q.json -fingerprint             # print the ljqd cache key
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"joinopt/internal/cost"
 	"joinopt/internal/engine"
 	"joinopt/internal/estimate"
+	"joinopt/internal/fingerprint"
 	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 	"joinopt/internal/qdsl"
@@ -42,6 +44,7 @@ func main() {
 		detailed  = flag.Bool("detailed", false, "print per-join sizes, costs and chosen methods")
 		jsonOut   = flag.Bool("json", false, "emit the plan as JSON (order, per-join steps, costs)")
 		calibrate = flag.Bool("calibrate", false, "measure real joins on this machine and print a fitted memory cost model, then exit")
+		fpOnly    = flag.Bool("fingerprint", false, "print the query's canonical fingerprint (the ljqd plan-cache key) and exit")
 	)
 	flag.Parse()
 
@@ -59,6 +62,10 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+	if *fpOnly {
+		fmt.Println(fingerprint.Of(q))
+		return
 	}
 	var model cost.Model
 	switch *costName {

@@ -1,0 +1,461 @@
+// Package fingerprint computes a canonical, collision-resistant
+// identity for a catalog.Query: the cache key of the serving layer
+// (internal/plancache, internal/serve).
+//
+// The fingerprint is invariant under relation relabeling and join-edge
+// ordering — two queries that differ only by a permutation of RelIDs
+// (and the induced renumbering of predicate endpoints, in any order)
+// hash equal — while any change to a cardinality, a selection or join
+// selectivity, a distinct count, a histogram, or the join-graph shape
+// changes the hash (modulo SHA-256 collisions).
+//
+// Canonicalization is iterated neighborhood refinement over the join
+// graph (Weisfeiler–Leman color refinement): each relation starts with
+// a color derived from its exact statistics (cardinality, sorted
+// selection selectivities), and rounds replace every color with a hash
+// of itself plus the sorted multiset of (edge statistics, neighbor
+// color) over incident join predicates. When the stable partition still
+// holds ties — symmetric queries: identical leaves of a star, say —
+// individualization-refinement resolves them: each tied relation is
+// distinguished in turn, refinement re-runs, and the lexicographically
+// smallest canonical encoding wins. The final fingerprint is the
+// SHA-256 of the canonical byte encoding (exact statistics written in
+// canonical relation order, predicates sorted by canonical endpoints).
+//
+// Everything is deterministic and label-free: no map iteration order,
+// no wall clock, no randomness (the detrand analyzer is in force).
+package fingerprint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"joinopt/internal/catalog"
+)
+
+// Size is the fingerprint length in bytes (SHA-256).
+const Size = 32
+
+// Fingerprint is the canonical identity of a query shape: equal for
+// isomorphic queries, distinct (collision-resistantly) otherwise.
+type Fingerprint [Size]byte
+
+// String renders the full fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short renders the first eight bytes as hex — the operator-friendly
+// prefix used in logs and status pages.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:8]) }
+
+// Parse decodes a full-length hex fingerprint (as printed by String).
+func Parse(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("fingerprint: %w", err)
+	}
+	if len(b) != Size {
+		return f, fmt.Errorf("fingerprint: want %d hex bytes, got %d", Size, len(b))
+	}
+	copy(f[:], b)
+	return f, nil
+}
+
+// Of returns the canonical fingerprint of q. The query is cloned and
+// normalized internally; q itself is not mutated.
+func Of(q *catalog.Query) Fingerprint {
+	f, _ := Canonical(q)
+	return f
+}
+
+// Canonical returns the fingerprint together with the canonical
+// relation order: order[i] is the original RelID placed at canonical
+// position i. The order is what lets a cached plan (stored in
+// canonical coordinates) be translated into any isomorphic query's
+// labeling. q is not mutated.
+func Canonical(q *catalog.Query) (Fingerprint, []catalog.RelID) {
+	qc := q.Clone()
+	qc.Normalize()
+	g := buildGraph(qc)
+	enc, ord := g.canonicalize()
+	order := make([]catalog.RelID, len(ord))
+	for i, v := range ord {
+		order[i] = catalog.RelID(v)
+	}
+	return sha256.Sum256(enc), order
+}
+
+// CanonicalQuery returns the fingerprint, the canonical order, and the
+// canonically relabeled query itself: relations appear in canonical
+// order (position i holds the original relation order[i], name kept),
+// predicate endpoints are renumbered and the predicate list is sorted
+// canonically. Optimizing the canonical query instead of the original
+// makes the search trajectory — and hence the cached plan — a pure
+// function of the fingerprint and seed, independent of how the client
+// happened to label its relations.
+func CanonicalQuery(q *catalog.Query) (Fingerprint, []catalog.RelID, *catalog.Query) {
+	f, order := Canonical(q)
+	qc := q.Clone()
+	qc.Normalize()
+	n := len(qc.Relations)
+	pos := make([]int, n)
+	for i, old := range order {
+		pos[old] = i
+	}
+	out := &catalog.Query{
+		Relations:  make([]catalog.Relation, n),
+		Predicates: make([]catalog.Predicate, len(qc.Predicates)),
+	}
+	for i, old := range order {
+		out.Relations[i] = qc.Relations[old]
+	}
+	for i, p := range qc.Predicates {
+		np := p
+		np.Left = catalog.RelID(pos[p.Left])
+		np.Right = catalog.RelID(pos[p.Right])
+		np.Normalize() // restore Left < Right, swapping sides if needed
+		out.Predicates[i] = np
+	}
+	sortPredicates(out.Predicates)
+	return f, order, out
+}
+
+// sortPredicates orders predicates by (Left, Right, selectivity bits,
+// distinct bits) — a total, label-free order once endpoints are
+// canonical positions.
+func sortPredicates(ps []catalog.Predicate) {
+	sort.SliceStable(ps, func(a, b int) bool {
+		pa, pb := &ps[a], &ps[b]
+		if pa.Left != pb.Left {
+			return pa.Left < pb.Left
+		}
+		if pa.Right != pb.Right {
+			return pa.Right < pb.Right
+		}
+		if sa, sb := math.Float64bits(pa.Selectivity), math.Float64bits(pb.Selectivity); sa != sb {
+			return sa < sb
+		}
+		if la, lb := math.Float64bits(pa.LeftDistinct), math.Float64bits(pb.LeftDistinct); la != lb {
+			return la < lb
+		}
+		return math.Float64bits(pa.RightDistinct) < math.Float64bits(pb.RightDistinct)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Internal machinery: join graph with hashed statistics, WL refinement,
+// individualization-refinement, canonical encoding.
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// mix folds one 64-bit word into an FNV-1a state, byte by byte.
+func mix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func mixFloat(h uint64, f float64) uint64 { return mix(h, math.Float64bits(f)) }
+
+// halfEdge is one predicate seen from one endpoint.
+type halfEdge struct {
+	to int
+	// mySide/otherSide hash the endpoint-local statistics (distinct
+	// count, histogram); sel hashes the join selectivity. Orientation
+	// matters: a predicate with asymmetric distinct counts must
+	// contribute differently to its two endpoints.
+	mySide, otherSide uint64
+	sel               uint64
+}
+
+type graph struct {
+	q   *catalog.Query
+	n   int
+	adj [][]halfEdge
+	// initial per-vertex colors from exact relation statistics.
+	init []uint64
+	// searchBudget bounds individualization-refinement: the number of
+	// individualizations tried across the whole search. Each tied cell
+	// always gets at least its first candidate, so canonicalization
+	// terminates regardless; the budget only caps how exhaustively
+	// highly symmetric queries are disambiguated.
+	searchBudget int
+}
+
+func histHash(h *catalog.Histogram) uint64 {
+	acc := fnvOffset
+	if h == nil {
+		return mix(acc, 0xdead)
+	}
+	acc = mix(acc, uint64(h.Domain))
+	acc = mix(acc, uint64(len(h.Counts)))
+	for _, c := range h.Counts {
+		acc = mixFloat(acc, c)
+	}
+	return acc
+}
+
+func sideHash(distinct float64, h *catalog.Histogram) uint64 {
+	acc := fnvOffset
+	acc = mixFloat(acc, distinct)
+	acc = mix(acc, histHash(h))
+	return acc
+}
+
+func buildGraph(q *catalog.Query) *graph {
+	n := len(q.Relations)
+	g := &graph{q: q, n: n, adj: make([][]halfEdge, n), init: make([]uint64, n), searchBudget: 256}
+	for _, p := range q.Predicates {
+		l, r := int(p.Left), int(p.Right)
+		ls := sideHash(p.LeftDistinct, p.LeftHist)
+		rs := sideHash(p.RightDistinct, p.RightHist)
+		sel := mixFloat(fnvOffset, p.Selectivity)
+		g.adj[l] = append(g.adj[l], halfEdge{to: r, mySide: ls, otherSide: rs, sel: sel})
+		g.adj[r] = append(g.adj[r], halfEdge{to: l, mySide: rs, otherSide: ls, sel: sel})
+	}
+	for v, rel := range q.Relations {
+		acc := fnvOffset
+		acc = mix(acc, uint64(rel.Cardinality))
+		sels := make([]uint64, 0, len(rel.Selections))
+		for _, s := range rel.Selections {
+			sels = append(sels, math.Float64bits(s.Selectivity))
+		}
+		sortU64(sels)
+		acc = mix(acc, uint64(len(sels)))
+		for _, s := range sels {
+			acc = mix(acc, s)
+		}
+		g.init[v] = acc
+	}
+	return g
+}
+
+func sortU64(s []uint64) {
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+}
+
+// refineStep computes one WL round: each color becomes a hash of
+// itself and the sorted multiset of (edge statistics, neighbor color).
+func (g *graph) refineStep(colors, out []uint64, scratch []uint64) {
+	for v := 0; v < g.n; v++ {
+		contrib := scratch[:0]
+		for _, he := range g.adj[v] {
+			h := fnvOffset
+			h = mix(h, he.mySide)
+			h = mix(h, he.otherSide)
+			h = mix(h, he.sel)
+			h = mix(h, colors[he.to])
+			contrib = append(contrib, h)
+		}
+		sortU64(contrib)
+		acc := mix(fnvOffset, colors[v])
+		acc = mix(acc, uint64(len(contrib)))
+		for _, c := range contrib {
+			acc = mix(acc, c)
+		}
+		out[v] = acc
+	}
+}
+
+// classes counts distinct colors.
+func classes(colors []uint64) int {
+	s := append([]uint64(nil), colors...)
+	sortU64(s)
+	k := 0
+	for i, c := range s {
+		if i == 0 || c != s[i-1] {
+			k++
+		}
+	}
+	return k
+}
+
+// refineToStable iterates refinement until the number of color classes
+// stops growing (at most n rounds). colors is consumed; the returned
+// slice is freshly allocated state.
+func (g *graph) refineToStable(colors []uint64) []uint64 {
+	cur := append([]uint64(nil), colors...)
+	next := make([]uint64, g.n)
+	scratch := make([]uint64, 0, 8)
+	k := classes(cur)
+	for round := 0; round < g.n; round++ {
+		g.refineStep(cur, next, scratch)
+		nk := classes(next)
+		cur, next = next, cur
+		if nk == k {
+			break
+		}
+		k = nk
+	}
+	return cur
+}
+
+// firstTiedCell returns the members of the first (by color value)
+// color class with more than one vertex, or nil if the partition is
+// discrete. Member order within the cell follows vertex index — it
+// only determines the order candidates are *tried* in, never the
+// result (all candidates are explored and the minimum encoding wins,
+// budget permitting).
+func firstTiedCell(colors []uint64) []int {
+	type vc struct {
+		v int
+		c uint64
+	}
+	vs := make([]vc, len(colors))
+	for v, c := range colors {
+		vs[v] = vc{v, c}
+	}
+	sort.Slice(vs, func(a, b int) bool {
+		if vs[a].c != vs[b].c {
+			return vs[a].c < vs[b].c
+		}
+		return vs[a].v < vs[b].v
+	})
+	for i := 0; i < len(vs); {
+		j := i
+		for j < len(vs) && vs[j].c == vs[i].c {
+			j++
+		}
+		if j-i > 1 {
+			cell := make([]int, 0, j-i)
+			for k := i; k < j; k++ {
+				cell = append(cell, vs[k].v)
+			}
+			return cell
+		}
+		i = j
+	}
+	return nil
+}
+
+// orderFromDiscrete sorts vertices by their (all-distinct) colors.
+func orderFromDiscrete(colors []uint64) []int {
+	ord := make([]int, len(colors))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return colors[ord[a]] < colors[ord[b]] })
+	return ord
+}
+
+// canonicalize produces the canonical encoding and relation order via
+// individualization-refinement.
+func (g *graph) canonicalize() ([]byte, []int) {
+	budget := g.searchBudget
+	return g.search(g.init, &budget)
+}
+
+func (g *graph) search(colors []uint64, budget *int) ([]byte, []int) {
+	stable := g.refineToStable(colors)
+	cell := firstTiedCell(stable)
+	if cell == nil {
+		ord := orderFromDiscrete(stable)
+		return g.encode(ord), ord
+	}
+	var bestEnc []byte
+	var bestOrd []int
+	for _, v := range cell {
+		if bestEnc != nil && *budget <= 0 {
+			break
+		}
+		*budget--
+		indiv := append([]uint64(nil), stable...)
+		// Individualize v: give it a color derived from, but distinct
+		// from, its cell color.
+		indiv[v] = mix(mix(fnvOffset, indiv[v]), 0x1d1d)
+		enc, ord := g.search(indiv, budget)
+		if bestEnc == nil || bytes.Compare(enc, bestEnc) < 0 {
+			bestEnc, bestOrd = enc, ord
+		}
+	}
+	return bestEnc, bestOrd
+}
+
+// encode writes the exact query statistics under the given relation
+// order: relations in order with cardinality and sorted selection
+// selectivities, then predicates renumbered to canonical positions,
+// sides oriented low-position-first, sorted bytewise. Two isomorphic
+// queries produce identical encodings under their canonical orders;
+// any statistic or shape difference produces different bytes.
+func (g *graph) encode(ord []int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("ljqfp1")
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	writeU64(uint64(g.n))
+	writeU64(uint64(len(g.q.Predicates)))
+
+	pos := make([]int, g.n)
+	for i, v := range ord {
+		pos[v] = i
+	}
+	for _, v := range ord {
+		rel := &g.q.Relations[v]
+		writeU64(uint64(rel.Cardinality))
+		sels := make([]uint64, 0, len(rel.Selections))
+		for _, s := range rel.Selections {
+			sels = append(sels, math.Float64bits(s.Selectivity))
+		}
+		sortU64(sels)
+		writeU64(uint64(len(sels)))
+		for _, s := range sels {
+			writeU64(s)
+		}
+	}
+
+	recs := make([][]byte, 0, len(g.q.Predicates))
+	for _, p := range g.q.Predicates {
+		a, b := pos[p.Left], pos[p.Right]
+		ad, bd := p.LeftDistinct, p.RightDistinct
+		ah, bh := p.LeftHist, p.RightHist
+		if a > b {
+			a, b = b, a
+			ad, bd = bd, ad
+			ah, bh = bh, ah
+		}
+		var rb bytes.Buffer
+		w := func(v uint64) {
+			var x [8]byte
+			binary.BigEndian.PutUint64(x[:], v)
+			rb.Write(x[:])
+		}
+		w(uint64(a))
+		w(uint64(b))
+		w(math.Float64bits(p.Selectivity))
+		w(math.Float64bits(ad))
+		w(math.Float64bits(bd))
+		for _, h := range []*catalog.Histogram{ah, bh} {
+			if h == nil {
+				w(0)
+				continue
+			}
+			w(1)
+			w(uint64(h.Domain))
+			w(uint64(len(h.Counts)))
+			for _, c := range h.Counts {
+				w(math.Float64bits(c))
+			}
+		}
+		recs = append(recs, rb.Bytes())
+	}
+	sort.Slice(recs, func(a, b int) bool { return bytes.Compare(recs[a], recs[b]) < 0 })
+	for _, r := range recs {
+		buf.Write(r)
+	}
+	return buf.Bytes()
+}

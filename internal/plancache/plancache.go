@@ -1,0 +1,416 @@
+// Package plancache is the serving layer's memory of past
+// optimizations: a sharded LRU cache of optimized plans keyed by
+// canonical query fingerprint (internal/fingerprint), with a
+// hand-rolled singleflight layer that coalesces concurrent misses for
+// the same key into exactly one optimizer run.
+//
+// Design points:
+//
+//   - Sharding: a power-of-two number of shards, each with its own
+//     mutex, LRU list and in-flight table; the shard is selected from
+//     the first fingerprint bytes, so contention scales with
+//     concurrency, not with cache size.
+//   - Singleflight: the first miss for a key becomes the leader and
+//     runs the compute function on a worker goroutine (behind a
+//     recover barrier); every concurrent request for the same key —
+//     including the leader — waits for either the shared result or its
+//     own context, whichever comes first. Losers therefore still honor
+//     their own deadlines: a waiter whose context expires returns
+//     ctx.Err() immediately while the flight continues for the others.
+//   - Cost-aware admission: optionally, an entry is only admitted by
+//     evicting a victim whose recorded search budget is not larger
+//     than the candidate's — a plan that took 10M units to find is not
+//     displaced by one that took 10k. If no admissible victim is found
+//     within the scan window the candidate is simply not cached (it is
+//     still returned to its requesters).
+//   - Degraded plans (cancelled, panicked, starved runs — see the
+//     anytime contract in internal/plan) are never admitted unless
+//     AdmitDegraded is set: a plan truncated by one caller's deadline
+//     must not become every future caller's answer.
+//
+// Statistics are atomic counters (hits, misses, coalesced waiters,
+// evictions, admission rejections) plus per-shard sizes, snapshotted
+// by Stats for /statusz and expvar export.
+package plancache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"joinopt/internal/fingerprint"
+	"joinopt/internal/plan"
+)
+
+// Key is the cache key: a canonical query fingerprint.
+type Key = fingerprint.Fingerprint
+
+// Entry is one cached optimization result. Plan permutations are
+// expressed in *canonical* relation coordinates (position i of the
+// fingerprint's canonical order), so one entry serves every query
+// isomorphic to the one that populated it; the serve layer translates
+// back into each requester's labeling.
+type Entry struct {
+	// Fingerprint is the key the entry is stored under.
+	Fingerprint Key
+	// Plan is the optimized plan in canonical coordinates.
+	Plan *plan.Plan
+	// BudgetUsed is the number of budget units the optimizer spent
+	// finding the plan — the entry's replacement-resistance weight
+	// under cost-aware admission.
+	BudgetUsed int64
+}
+
+// Config tunes a cache.
+type Config struct {
+	// Capacity is the total entry budget across shards (default 1024,
+	// minimum 1 per shard).
+	Capacity int
+	// Shards is rounded up to a power of two (default 16).
+	Shards int
+	// CostAware enables cost-aware admission: an incoming entry may
+	// only evict a victim whose BudgetUsed does not exceed its own.
+	CostAware bool
+	// AdmissionScan is how many LRU-end entries are considered as
+	// eviction victims under CostAware before the candidate is
+	// rejected (default 4).
+	AdmissionScan int
+	// AdmitDegraded admits plans flagged Degraded (default false:
+	// degraded plans are returned to their requesters but not cached).
+	AdmitDegraded bool
+}
+
+func (c *Config) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	c.Shards = ceilPow2(c.Shards)
+	if c.AdmissionScan <= 0 {
+		c.AdmissionScan = 4
+	}
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Stats is an atomic snapshot of cache counters, JSON-ready for
+// /statusz and expvar.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	Rejected  uint64 `json:"rejected"`
+	Entries   int    `json:"entries"`
+	InFlight  int    `json:"inFlight"`
+	Shards    []int  `json:"shardEntries"`
+}
+
+// Cache is a sharded LRU plan cache with request coalescing. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	shards   []shard
+	mask     uint64
+	perShard int
+
+	costAware     bool
+	admissionScan int
+	admitDegraded bool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// New builds a cache from cfg (zero value = defaults).
+func New(cfg Config) *Cache {
+	cfg.fill()
+	per := cfg.Capacity / cfg.Shards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{
+		shards:        make([]shard, cfg.Shards),
+		mask:          uint64(cfg.Shards - 1),
+		perShard:      per,
+		costAware:     cfg.CostAware,
+		admissionScan: cfg.AdmissionScan,
+		admitDegraded: cfg.AdmitDegraded,
+	}
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	return c
+}
+
+func (c *Cache) shardOf(k Key) *shard {
+	// The fingerprint is a cryptographic hash; its first bytes are
+	// uniformly distributed, so they select the shard directly.
+	idx := (uint64(k[0]) | uint64(k[1])<<8 | uint64(k[2])<<16 | uint64(k[3])<<24) & c.mask
+	return &c.shards[idx]
+}
+
+// Get returns the cached entry, if present, bumping its recency.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	n, ok := s.items[k]
+	if ok {
+		s.moveFront(n)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return n.entry, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put inserts e under its fingerprint, applying the admission policy.
+// It reports whether the entry was admitted.
+func (c *Cache) Put(e *Entry) bool {
+	if e == nil || e.Plan == nil {
+		return false
+	}
+	if e.Plan.Degraded && !c.admitDegraded {
+		c.rejected.Add(1)
+		return false
+	}
+	s := c.shardOf(e.Fingerprint)
+	s.mu.Lock()
+	admitted := c.insertLocked(s, e)
+	s.mu.Unlock()
+	return admitted
+}
+
+// insertLocked performs insert-with-eviction under the shard lock.
+func (c *Cache) insertLocked(s *shard, e *Entry) bool {
+	if n, ok := s.items[e.Fingerprint]; ok {
+		// Refresh in place: a newer optimization of the same shape
+		// replaces the old plan (keep the larger budget weight — the
+		// shape has had that much search spent on it in total).
+		if e.BudgetUsed > n.entry.BudgetUsed {
+			n.entry = e
+		} else {
+			old := n.entry
+			n.entry = &Entry{Fingerprint: old.Fingerprint, Plan: e.Plan, BudgetUsed: old.BudgetUsed}
+		}
+		s.moveFront(n)
+		return true
+	}
+	if len(s.items) >= c.perShard {
+		victim := s.evictionVictim(c.costAware, c.admissionScan, e.BudgetUsed)
+		if victim == nil {
+			c.rejected.Add(1)
+			return false
+		}
+		s.remove(victim)
+		delete(s.items, victim.entry.Fingerprint)
+		c.evictions.Add(1)
+	}
+	n := &node{entry: e}
+	s.items[e.Fingerprint] = n
+	s.pushFront(n)
+	return true
+}
+
+// GetOrCompute returns the entry for k, computing it at most once per
+// concurrent burst: one caller becomes the leader (its compute runs on
+// a worker goroutine under the leader's ctx), the rest coalesce onto
+// the shared result. Coalesced losers still honor their own ctx: if a
+// waiter's ctx expires first, its GetOrCompute returns ctx.Err() while
+// the flight continues for the remaining waiters. The leader instead
+// waits for its flight to resolve — the flight runs under the leader's
+// ctx, so its deadline bounds the computation transitively (compute
+// functions must be ctx-aware, as core.Optimizer.RunContext is).
+//
+// hit reports a cache hit; shared reports that the result came from a
+// flight started by another request.
+func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(ctx context.Context) (*Entry, error)) (e *Entry, hit, shared bool, err error) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	if n, ok := s.items[k]; ok {
+		s.moveFront(n)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return n.entry, true, false, nil
+	}
+	if fl, ok := s.flights[k]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		return c.wait(ctx, fl, true)
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[k] = fl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// The panic barrier required of singleflight workers:
+				// a crash in compute must resolve the flight (waiters
+				// would otherwise hang forever) and surface as an
+				// error, not kill the process.
+				fl.err = fmt.Errorf("plancache: compute panicked: %v", r)
+				c.finish(s, k, fl)
+			}
+		}()
+		fl.entry, fl.err = compute(ctx)
+		c.finish(s, k, fl)
+	}()
+	// The leader waits for its own flight unconditionally: the flight
+	// runs under the leader's ctx, so a deadline stops the computation
+	// itself (the anytime optimizer returns its incumbent, flagged
+	// degraded) and the flight resolves promptly — racing ctx here
+	// would discard that incumbent. Only coalesced waiters race their
+	// own deadline against someone else's flight.
+	<-fl.done
+	return fl.entry, false, false, fl.err
+}
+
+// finish publishes a flight's result: admits the entry, removes the
+// flight, and wakes every waiter. Idempotence is not needed — each
+// flight finishes exactly once (the recover path only runs when the
+// normal path did not).
+func (c *Cache) finish(s *shard, k Key, fl *flight) {
+	s.mu.Lock()
+	if fl.err == nil && fl.entry != nil && fl.entry.Plan != nil &&
+		(!fl.entry.Plan.Degraded || c.admitDegraded) {
+		c.insertLocked(s, fl.entry)
+	} else if fl.err == nil && fl.entry != nil {
+		c.rejected.Add(1)
+	}
+	delete(s.flights, k)
+	s.mu.Unlock()
+	close(fl.done)
+}
+
+// wait blocks until the flight resolves or ctx expires, whichever is
+// first.
+func (c *Cache) wait(ctx context.Context, fl *flight, shared bool) (*Entry, bool, bool, error) {
+	select {
+	case <-fl.done:
+		return fl.entry, false, shared, fl.err
+	case <-ctx.Done():
+		return nil, false, shared, ctx.Err()
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+		Shards:    make([]int, len(c.shards)),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Shards[i] = len(s.items)
+		st.Entries += len(s.items)
+		st.InFlight += len(s.flights)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.items)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------
+
+// flight is one in-progress computation shared by its waiters. entry
+// and err are written once, before done is closed; waiters read them
+// only after <-done (the close is the happens-before edge).
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// node is an intrusive LRU list node.
+type node struct {
+	prev, next *node
+	entry      *Entry
+}
+
+// shard is one lock domain: an LRU list (sentinel ring), its index,
+// and the in-flight table.
+type shard struct {
+	mu      sync.Mutex
+	items   map[Key]*node
+	flights map[Key]*flight
+	head    node // sentinel: head.next = most recent, head.prev = LRU
+}
+
+func (s *shard) init() {
+	s.items = make(map[Key]*node)
+	s.flights = make(map[Key]*flight)
+	s.head.next = &s.head
+	s.head.prev = &s.head
+}
+
+func (s *shard) pushFront(n *node) {
+	n.prev = &s.head
+	n.next = s.head.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+func (s *shard) remove(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+func (s *shard) moveFront(n *node) {
+	s.remove(n)
+	s.pushFront(n)
+}
+
+// evictionVictim picks the entry to displace: the LRU entry, unless
+// cost-aware admission is on, in which case the first of the scan-many
+// least-recent entries whose BudgetUsed does not exceed the
+// candidate's. nil means the candidate should be rejected.
+func (s *shard) evictionVictim(costAware bool, scan int, candidateBudget int64) *node {
+	lru := s.head.prev
+	if lru == &s.head {
+		return nil
+	}
+	if !costAware {
+		return lru
+	}
+	n := lru
+	for i := 0; i < scan && n != &s.head; i++ {
+		if n.entry.BudgetUsed <= candidateBudget {
+			return n
+		}
+		n = n.prev
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package plancache
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"joinopt/internal/plan"
+)
+
+// key fabricates a distinct fingerprint from an integer.
+func key(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	k[2] = byte(i >> 16)
+	k[31] = 0xaa
+	return k
+}
+
+func entry(i int, budget int64) *Entry {
+	return &Entry{
+		Fingerprint: key(i),
+		Plan:        &plan.Plan{TotalCost: float64(i)},
+		BudgetUsed:  budget,
+	}
+}
+
+func TestPutGetLRU(t *testing.T) {
+	c := New(Config{Capacity: 4, Shards: 1})
+	for i := 0; i < 4; i++ {
+		if !c.Put(entry(i, 10)) {
+			t.Fatalf("entry %d not admitted", i)
+		}
+	}
+	// Touch 0 so 1 becomes LRU; insert 4 and expect 1 evicted.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	if !c.Put(entry(4, 10)) {
+		t.Fatal("entry 4 not admitted")
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("LRU entry 1 should have been evicted")
+	}
+	for _, i := range []int{0, 2, 3, 4} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("entry %d should be cached", i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", st.Entries)
+	}
+}
+
+func TestCostAwareAdmission(t *testing.T) {
+	c := New(Config{Capacity: 2, Shards: 1, CostAware: true, AdmissionScan: 2})
+	c.Put(entry(0, 1000))
+	c.Put(entry(1, 2000))
+	// A cheap candidate may not displace expensive incumbents.
+	if c.Put(entry(2, 10)) {
+		t.Fatal("cheap candidate displaced an expensive incumbent")
+	}
+	if c.Stats().Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+	// An expensive candidate evicts the LRU (entry 0).
+	if !c.Put(entry(3, 5000)) {
+		t.Fatal("expensive candidate rejected")
+	}
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("entry 0 should have been evicted")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("entry 1 should survive")
+	}
+}
+
+func TestDegradedNotAdmitted(t *testing.T) {
+	c := New(Config{Capacity: 4, Shards: 1})
+	e := entry(0, 10)
+	e.Plan.Degraded = true
+	e.Plan.DegradeReason = plan.DegradeCancelled
+	if c.Put(e) {
+		t.Fatal("degraded plan admitted")
+	}
+	ca := New(Config{Capacity: 4, Shards: 1, AdmitDegraded: true})
+	if !ca.Put(e) {
+		t.Fatal("AdmitDegraded cache refused degraded plan")
+	}
+}
+
+func TestGetOrComputeFlow(t *testing.T) {
+	c := New(Config{Capacity: 8, Shards: 2})
+	ctx := context.Background()
+	calls := 0
+	compute := func(context.Context) (*Entry, error) {
+		calls++
+		return entry(7, 42), nil
+	}
+	e, hit, shared, err := c.GetOrCompute(ctx, key(7), compute)
+	if err != nil || hit || shared || e == nil || e.BudgetUsed != 42 {
+		t.Fatalf("first call: e=%v hit=%v shared=%v err=%v", e, hit, shared, err)
+	}
+	e, hit, _, err = c.GetOrCompute(ctx, key(7), compute)
+	if err != nil || !hit || e == nil {
+		t.Fatalf("second call: hit=%v err=%v", hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestGetOrComputeError(t *testing.T) {
+	c := New(Config{Capacity: 8, Shards: 1})
+	boom := errors.New("boom")
+	_, _, _, err := c.GetOrCompute(context.Background(), key(1), func(context.Context) (*Entry, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Errors are not cached: the next call recomputes.
+	e, hit, _, err := c.GetOrCompute(context.Background(), key(1), func(context.Context) (*Entry, error) {
+		return entry(1, 5), nil
+	})
+	if err != nil || hit || e == nil {
+		t.Fatalf("retry after error: e=%v hit=%v err=%v", e, hit, err)
+	}
+}
+
+func TestGetOrComputePanicIsolated(t *testing.T) {
+	c := New(Config{Capacity: 8, Shards: 1})
+	_, _, _, err := c.GetOrCompute(context.Background(), key(2), func(context.Context) (*Entry, error) {
+		panic("injected crash")
+	})
+	if err == nil {
+		t.Fatal("panic did not surface as an error")
+	}
+	// The flight must be cleared so the key is computable again.
+	e, _, _, err := c.GetOrCompute(context.Background(), key(2), func(context.Context) (*Entry, error) {
+		return entry(2, 5), nil
+	})
+	if err != nil || e == nil {
+		t.Fatalf("key wedged after panic: %v", err)
+	}
+}
+
+// TestWaiterHonorsOwnDeadline: a coalesced waiter with a short deadline
+// must not wait for a slow flight.
+func TestWaiterHonorsOwnDeadline(t *testing.T) {
+	c := New(Config{Capacity: 8, Shards: 1})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // test goroutine barrier (panicguard)
+		defer close(leaderDone)
+		_, _, _, _ = c.GetOrCompute(context.Background(), key(3), func(context.Context) (*Entry, error) {
+			<-release
+			return entry(3, 9), nil
+		})
+	}()
+	// Wait until the flight is registered.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, shared, err := c.GetOrCompute(ctx, key(3), func(context.Context) (*Entry, error) {
+		t.Error("waiter must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want DeadlineExceeded", err)
+	}
+	if !shared {
+		t.Fatal("waiter should have been coalesced")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("waiter did not honor its own deadline promptly")
+	}
+	close(release)
+	<-leaderDone
+	// The flight's result must still have been cached for future hits.
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("flight result was not cached after waiter timeout")
+	}
+}
+
+// TestSingleflightStress hammers the cache from 32 goroutines with
+// overlapping fingerprints and asserts exactly one compute per key and
+// no lost deadlines. Run under -race in CI.
+func TestSingleflightStress(t *testing.T) {
+	const (
+		goroutines = 32
+		keys       = 8
+		rounds     = 25
+	)
+	c := New(Config{Capacity: 256, Shards: 4})
+	var computes [keys]atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer func() {
+				if r := recover(); r != nil {
+					errs <- fmt.Errorf("goroutine %d panicked: %v", g, r)
+				}
+				wg.Done()
+			}()
+			<-gate
+			for r := 0; r < rounds; r++ {
+				ki := (g + r) % keys
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				e, _, _, err := c.GetOrCompute(ctx, key(ki), func(context.Context) (*Entry, error) {
+					computes[ki].Add(1)
+					time.Sleep(time.Duration(ki%3) * time.Millisecond)
+					return entry(ki, int64(100+ki)), nil
+				})
+				cancel()
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				if e == nil || e.Fingerprint != key(ki) {
+					errs <- fmt.Errorf("goroutine %d round %d: wrong entry", g, r)
+					return
+				}
+			}
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for ki := 0; ki < keys; ki++ {
+		if n := computes[ki].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want exactly 1", ki, n)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d", st.Misses, keys)
+	}
+	if st.Hits+st.Coalesced+st.Misses != goroutines*rounds {
+		t.Errorf("hits(%d)+coalesced(%d)+misses(%d) != %d requests",
+			st.Hits, st.Coalesced, st.Misses, goroutines*rounds)
+	}
+}
+
+// TestShardDistribution: hash-distributed fingerprints spread across
+// shards (the shard selector reads the fingerprint's leading bytes,
+// which for real keys — SHA-256 outputs — are uniform).
+func TestShardDistribution(t *testing.T) {
+	c := New(Config{Capacity: 4096, Shards: 8})
+	for i := 0; i < 512; i++ {
+		k := Key(sha256.Sum256([]byte{byte(i), byte(i >> 8)}))
+		c.Put(&Entry{Fingerprint: k, Plan: &plan.Plan{}, BudgetUsed: 1})
+	}
+	st := c.Stats()
+	for i, n := range st.Shards {
+		if n == 0 {
+			t.Errorf("shard %d received no entries", i)
+		}
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := New(Config{Capacity: 1024})
+	k := key(5)
+	c.Put(&Entry{Fingerprint: k, Plan: &plan.Plan{TotalCost: 1}, BudgetUsed: 100})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(k); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkGetOrComputeHit(b *testing.B) {
+	c := New(Config{Capacity: 1024})
+	k := key(6)
+	ctx := context.Background()
+	c.Put(&Entry{Fingerprint: k, Plan: &plan.Plan{TotalCost: 1}, BudgetUsed: 100})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, _, err := c.GetOrCompute(ctx, k, func(context.Context) (*Entry, error) {
+			b.Fatal("must not compute")
+			return nil, nil
+		})
+		if err != nil || !hit {
+			b.Fatal("miss")
+		}
+	}
+}

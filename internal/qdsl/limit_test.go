@@ -1,0 +1,34 @@
+package qdsl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"joinopt/internal/catalog"
+)
+
+const limitSample = "relation a 100\nrelation b 200\njoin a b selectivity 0.1\n"
+
+func TestParseLimitUnderCap(t *testing.T) {
+	q, err := ParseLimit(strings.NewReader(limitSample), int64(len(limitSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 2 {
+		t.Fatalf("relations = %d", len(q.Relations))
+	}
+}
+
+func TestParseLimitOverCap(t *testing.T) {
+	_, err := ParseLimit(strings.NewReader(limitSample), 10)
+	if !errors.Is(err, catalog.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestParseLimitNoCap(t *testing.T) {
+	if _, err := ParseLimit(strings.NewReader(limitSample), 0); err != nil {
+		t.Fatal(err)
+	}
+}

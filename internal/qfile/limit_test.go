@@ -1,0 +1,44 @@
+package qfile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"joinopt/internal/catalog"
+)
+
+func sampleJSON(t *testing.T) []byte {
+	t.Helper()
+	q := &catalog.Query{
+		Relations: []catalog.Relation{
+			{Name: "a", Cardinality: 100},
+			{Name: "b", Cardinality: 200},
+		},
+		Predicates: []catalog.Predicate{{Left: 0, Right: 1, Selectivity: 0.1}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadLimitUnderCap(t *testing.T) {
+	b := sampleJSON(t)
+	q, err := ReadLimit(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 2 {
+		t.Fatalf("relations = %d", len(q.Relations))
+	}
+}
+
+func TestReadLimitOverCap(t *testing.T) {
+	b := sampleJSON(t)
+	_, err := ReadLimit(bytes.NewReader(b), int64(len(b))-1)
+	if !errors.Is(err, catalog.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}

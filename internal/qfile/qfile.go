@@ -18,6 +18,7 @@
 package qfile
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -118,6 +119,22 @@ func Write(w io.Writer, q *catalog.Query) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(toJSON(q))
+}
+
+// ReadLimit parses a query from an untrusted reader, refusing inputs
+// larger than max bytes with an error satisfying errors.Is(err,
+// catalog.ErrTooLarge). The serve boundary reads request bodies
+// through this entry point. A non-positive max means no cap.
+func ReadLimit(r io.Reader, max int64) (*catalog.Query, error) {
+	// Slurp through the cap before decoding: json.Decoder stops at the
+	// end of the value and would never read the bytes that breach the
+	// cap (e.g. a trailing newline), silently accepting an oversized
+	// body. Memory use is bounded by max.
+	data, err := io.ReadAll(catalog.CapReader(r, max))
+	if err != nil {
+		return nil, fmt.Errorf("qfile: %w", err)
+	}
+	return Read(bytes.NewReader(data))
 }
 
 // Read parses and validates a query.

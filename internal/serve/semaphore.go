@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// semaphore is a hand-rolled weighted, context-aware counting
+// semaphore (no x/sync dependency — the repository is stdlib-only):
+// the server-wide limiter on in-flight optimization work. Weights are
+// join counts, so one 60-join optimization occupies as much capacity
+// as three 20-join ones. Waiters are FIFO: a heavy request at the head
+// of the queue is not starved by lighter requests slipping past it.
+type semaphore struct {
+	mu       sync.Mutex
+	capacity int64
+	cur      int64
+	waiters  []*semWaiter
+}
+
+type semWaiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+func newSemaphore(capacity int64) *semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &semaphore{capacity: capacity}
+}
+
+// Acquire blocks until n units are available or ctx is done. Requests
+// heavier than the total capacity are clamped to it — a single
+// outsized query is admitted (alone) rather than deadlocked forever.
+func (s *semaphore) Acquire(ctx context.Context, n int64) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.capacity {
+		n = s.capacity
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.cur+n <= s.capacity {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, x := range s.waiters {
+			if x == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				s.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// Not queued anymore: the grant raced the cancellation and we
+		// already own the units. Give them back and report the
+		// cancellation — the caller is abandoning the request.
+		s.cur -= n
+		s.notifyLocked()
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n units (clamped the same way Acquire clamps).
+func (s *semaphore) Release(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.capacity {
+		n = s.capacity
+	}
+	s.mu.Lock()
+	s.cur -= n
+	if s.cur < 0 {
+		s.cur = 0
+	}
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// notifyLocked grants queued waiters in FIFO order while capacity
+// lasts.
+func (s *semaphore) notifyLocked() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.cur+w.n > s.capacity {
+			return
+		}
+		s.cur += w.n
+		s.waiters = s.waiters[1:]
+		close(w.ready)
+	}
+}
+
+// InUse returns the units currently held.
+func (s *semaphore) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Waiting returns the queue length.
+func (s *semaphore) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// Capacity returns the configured capacity.
+func (s *semaphore) Capacity() int64 { return s.capacity }

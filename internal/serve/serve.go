@@ -1,0 +1,382 @@
+// Package serve is the optimizer-as-a-service layer: an HTTP handler
+// that accepts queries (JSON interchange format or the textual DSL),
+// fingerprints them canonically (internal/fingerprint), consults the
+// sharded plan cache (internal/plancache), and on a miss runs the
+// anytime optimizer (core.Optimizer.RunContext) under a per-request
+// deadline and a server-wide weighted concurrency limiter.
+//
+// Contract, request by request:
+//
+//   - POST /optimize: the body (size-capped; oversized bodies get 413)
+//     is parsed, canonicalized and fingerprinted. A cache hit returns
+//     immediately. A miss acquires join-weighted capacity from the
+//     limiter — queueing with a ctx-aware acquire, shedding with
+//     503 + Retry-After when the queue deadline passes — and runs the
+//     optimizer on the *canonical* relabeling of the query, so the
+//     resulting plan (and the cached entry) is a pure function of
+//     (fingerprint, seed, budget). Concurrent duplicate requests
+//     coalesce onto one optimizer run via the cache's singleflight
+//     layer; coalesced waiters still honor their own deadlines.
+//     Responses carry the anytime contract (degraded, degradeReason,
+//     budgetUsed) plus cacheHit, coalesced, and the fingerprint.
+//   - GET /statusz: cache stats, in-flight counts, limiter occupancy
+//     and uptime as JSON.
+//   - GET /healthz: 200 ok (load-balancer liveness).
+//
+// Graceful shutdown is the daemon's job (cmd/ljqd drains in-flight
+// work via http.Server.Shutdown); the handler itself is stateless
+// between requests apart from the cache.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/core"
+	"joinopt/internal/cost"
+	"joinopt/internal/fingerprint"
+	"joinopt/internal/plan"
+	"joinopt/internal/plancache"
+	"joinopt/internal/qdsl"
+	"joinopt/internal/qfile"
+)
+
+// Config tunes a Server. The zero value selects production-ish
+// defaults (IAI, memory model, t=9, 1 MiB bodies, 256 join-units of
+// concurrency, 1s queue deadline, 30s request deadline).
+type Config struct {
+	// Method is the optimization strategy (default IAI, the paper's
+	// overall winner).
+	Method core.Method
+	// Model prices joins (default the memory model). Models must be
+	// stateless/goroutine-safe, as the stock ones are.
+	Model cost.Model
+	// TCoeff is the budget coefficient: each optimization gets
+	// t·N²·UnitScale work units (default 9, the paper's convergence
+	// point).
+	TCoeff float64
+	// Seed seeds each optimization. Together with canonical-form
+	// optimization it makes the served plan a deterministic function
+	// of the fingerprint (default 1).
+	Seed int64
+	// MaxBodyBytes caps request bodies; oversized requests get 413
+	// (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxInFlightJoins is the limiter capacity in join units: the sum
+	// of join counts of concurrently-optimizing requests (default 256).
+	MaxInFlightJoins int64
+	// QueueTimeout bounds how long a request may wait for limiter
+	// capacity before being shed with 503 (default 1s).
+	QueueTimeout time.Duration
+	// RequestTimeout bounds one optimization end to end; the anytime
+	// optimizer returns its incumbent (flagged degraded) at the
+	// deadline (default 30s).
+	RequestTimeout time.Duration
+	// Cache configures the plan cache; ignored if CacheHandle is set.
+	Cache plancache.Config
+	// CacheHandle injects a prebuilt cache (shared across servers, or
+	// instrumented in tests).
+	CacheHandle *plancache.Cache
+}
+
+func (c *Config) fill() {
+	if c.Model == nil {
+		c.Model = cost.NewMemoryModel()
+	}
+	if c.TCoeff <= 0 {
+		c.TCoeff = 9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInFlightJoins <= 0 {
+		c.MaxInFlightJoins = 256
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+}
+
+// errShed marks a request dropped by the limiter's queue deadline.
+var errShed = errors.New("serve: optimization capacity exhausted")
+
+// Server is the optimizer service. Create with New; serve via Handler.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	sem   *semaphore
+	start time.Time
+
+	inFlight  atomic.Int64  // HTTP requests inside /optimize
+	optimizes atomic.Uint64 // optimizer runs started (cache misses that won capacity)
+	shed      atomic.Uint64 // 503s issued by the limiter
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	cache := cfg.CacheHandle
+	if cache == nil {
+		cache = plancache.New(cfg.Cache)
+	}
+	return &Server{
+		cfg:   cfg,
+		cache: cache,
+		sem:   newSemaphore(cfg.MaxInFlightJoins),
+		//ljqlint:allow detrand -- serving-layer uptime bookkeeping; the seeded optimizer trajectory never observes it
+		start: time.Now(),
+	}
+}
+
+// Cache exposes the plan cache (tests, expvar wiring).
+func (s *Server) Cache() *plancache.Cache { return s.cache }
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// OptimizeResponse is the JSON body of a successful POST /optimize.
+type OptimizeResponse struct {
+	// Fingerprint is the canonical query fingerprint (hex): the cache
+	// identity of the query shape.
+	Fingerprint string `json:"fingerprint"`
+	// CacheHit reports the plan came straight from the cache.
+	CacheHit bool `json:"cacheHit"`
+	// Coalesced reports the request shared another request's in-flight
+	// optimization (singleflight).
+	Coalesced bool `json:"coalesced"`
+	// Degraded / DegradeReason / BudgetUsed carry the anytime contract
+	// of the run that produced the plan.
+	Degraded      bool   `json:"degraded"`
+	DegradeReason string `json:"degradeReason,omitempty"`
+	BudgetUsed    int64  `json:"budgetUsed"`
+	// TotalCost and Order describe the plan in the requester's own
+	// relation numbering; Names maps Order through the requester's
+	// relation names.
+	TotalCost float64  `json:"totalCost"`
+	Order     []int    `json:"order"`
+	Names     []string `json:"names"`
+	// Explain is the human-readable plan rendering.
+	Explain string `json:"explain"`
+}
+
+// StatusResponse is the JSON body of GET /statusz.
+type StatusResponse struct {
+	UptimeSeconds    float64         `json:"uptimeSeconds"`
+	InFlightRequests int64           `json:"inFlightRequests"`
+	InFlightJoins    int64           `json:"inFlightJoins"`
+	QueuedRequests   int             `json:"queuedRequests"`
+	CapacityJoins    int64           `json:"capacityJoins"`
+	Optimizations    uint64          `json:"optimizations"`
+	Shed             uint64          `json:"shed"`
+	Cache            plancache.Stats `json:"cache"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	st := StatusResponse{
+		//ljqlint:allow detrand -- serving-layer uptime reporting, outside any seeded trajectory
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		InFlightRequests: s.inFlight.Load(),
+		InFlightJoins:    s.sem.InUse(),
+		QueuedRequests:   s.sem.Waiting(),
+		CapacityJoins:    s.sem.Capacity(),
+		Optimizations:    s.optimizes.Load(),
+		Shed:             s.shed.Load(),
+		Cache:            s.cache.Stats(),
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed; POST a query body", http.StatusMethodNotAllowed)
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	q, err := decodeQuery(r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		if errors.Is(err, catalog.ErrTooLarge) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	fp, order, cq := fingerprint.CanonicalQuery(q)
+	weight := int64(len(cq.Relations) - 1)
+	if weight < 1 {
+		weight = 1
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	entry, hit, shared, err := s.cache.GetOrCompute(ctx, fp, func(ctx context.Context) (*plancache.Entry, error) {
+		return s.optimize(ctx, fp, cq, weight)
+	})
+	switch {
+	case errors.Is(err, errShed):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueTimeout))
+		http.Error(w, "optimizer at capacity; retry later", http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// The *waiter's* deadline passed while another request's
+		// optimization was still running (or the client went away).
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueTimeout))
+		http.Error(w, "request deadline passed before a plan was available",
+			http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	case entry == nil || entry.Plan == nil:
+		http.Error(w, "no plan produced", http.StatusInternalServerError)
+		return
+	}
+
+	// The cached plan lives in canonical coordinates; translate it
+	// into the requester's own relation numbering.
+	pl := translatePlan(entry.Plan, order)
+	resp := OptimizeResponse{
+		Fingerprint:   fp.String(),
+		CacheHit:      hit,
+		Coalesced:     shared,
+		Degraded:      pl.Degraded,
+		DegradeReason: pl.DegradeReason,
+		BudgetUsed:    entry.BudgetUsed,
+		TotalCost:     pl.TotalCost,
+		Explain:       pl.Explain(q),
+	}
+	for _, rel := range pl.Order() {
+		resp.Order = append(resp.Order, int(rel))
+		resp.Names = append(resp.Names, q.RelationName(rel))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// optimize is the cache-miss path: acquire join-weighted capacity
+// (shedding on queue deadline), then run the anytime optimizer on the
+// canonical query under the request context.
+func (s *Server) optimize(ctx context.Context, fp fingerprint.Fingerprint, cq *catalog.Query, weight int64) (*plancache.Entry, error) {
+	qctx, qcancel := context.WithTimeout(ctx, s.cfg.QueueTimeout)
+	err := s.sem.Acquire(qctx, weight)
+	qcancel()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err() // the request itself is dead, not just the queue
+		}
+		return nil, errShed
+	}
+	defer s.sem.Release(weight)
+	s.optimizes.Add(1)
+
+	n := len(cq.Relations) - 1
+	if n < 1 {
+		n = 1
+	}
+	budget := cost.NewBudget(cost.UnitsFor(s.cfg.TCoeff, n))
+	opt, err := core.NewOptimizer(cq.Clone(), s.cfg.Model, budget, rand.New(rand.NewSource(s.cfg.Seed)), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	pl, runErr := opt.RunContext(ctx, s.cfg.Method)
+	if pl == nil {
+		// RunContext's anytime contract makes this unreachable; be
+		// defensive about future regressions.
+		return nil, runErr
+	}
+	// A recovered strategy panic still yields a valid (degraded) plan;
+	// serve it — the plancache's admission policy keeps degraded plans
+	// out of the cache.
+	return &plancache.Entry{Fingerprint: fp, Plan: pl, BudgetUsed: budget.Used()}, nil
+}
+
+// translatePlan maps a plan expressed in canonical relation positions
+// into the requester's RelIDs via the canonical order (order[i] = the
+// requester's relation at canonical position i).
+func translatePlan(pl *plan.Plan, order []catalog.RelID) *plan.Plan {
+	out := &plan.Plan{
+		CrossCost:     pl.CrossCost,
+		TotalCost:     pl.TotalCost,
+		Degraded:      pl.Degraded,
+		DegradeReason: pl.DegradeReason,
+	}
+	for _, c := range pl.Components {
+		perm := make(plan.Perm, len(c.Perm))
+		for i, p := range c.Perm {
+			perm[i] = order[p]
+		}
+		out.Components = append(out.Components, plan.Result{Perm: perm, Cost: c.Cost})
+	}
+	return out
+}
+
+// decodeQuery reads a size-capped query body. The format is the JSON
+// interchange format by default; `?format=dsl` or a Content-Type
+// containing "x-qdsl" selects the textual DSL. Both paths go through
+// the hardened limit readers, so an oversized body surfaces as
+// catalog.ErrTooLarge (→ 413), never as a silently truncated parse.
+func decodeQuery(r *http.Request, maxBytes int64) (*catalog.Query, error) {
+	format := r.URL.Query().Get("format")
+	ct := r.Header.Get("Content-Type")
+	isDSL := format == "dsl" || strings.Contains(ct, "x-qdsl")
+	if format != "" && format != "dsl" && format != "json" {
+		return nil, fmt.Errorf("serve: unknown format %q (want dsl or json)", format)
+	}
+	br := bufio.NewReader(r.Body)
+	if isDSL {
+		return qdsl.ParseLimit(br, maxBytes)
+	}
+	return qfile.ReadLimit(br, maxBytes)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Write errors mean the client went away; nothing useful remains
+	// to be done with the connection.
+	_ = enc.Encode(v)
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
