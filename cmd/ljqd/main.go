@@ -16,6 +16,12 @@
 //	# operational status: cache hits/misses, in-flight work, uptime
 //	curl -s localhost:8080/statusz
 //
+//	# Prometheus metrics (on by default; -metrics=false disables)
+//	curl -s localhost:8080/metrics
+//
+//	# CPU/heap profiling (opt-in; serves net/http/pprof under /debug/pprof/)
+//	ljqd -pprof
+//
 // The daemon sheds load with 503 + Retry-After when the in-flight
 // limiter's queue deadline passes, answers oversized bodies with 413,
 // and drains in-flight optimizations on SIGINT/SIGTERM before exiting
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +45,7 @@ import (
 	"joinopt/internal/cost"
 	"joinopt/internal/plancache"
 	"joinopt/internal/serve"
+	"joinopt/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +63,8 @@ func main() {
 		cacheShards  = flag.Int("cache-shards", 16, "plan cache shard count (rounded up to a power of two)")
 		costAware    = flag.Bool("cache-cost-aware", true, "cost-aware admission: don't evict expensive plans for cheap ones")
 		grace        = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+		metricsOn    = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes internals)")
 	)
 	flag.Parse()
 
@@ -74,6 +84,10 @@ func main() {
 		fail(fmt.Errorf("unknown cost model %q", *costName))
 	}
 
+	var reg *telemetry.Registry
+	if *metricsOn {
+		reg = telemetry.NewRegistry()
+	}
 	srv := serve.New(serve.Config{
 		Method:           m,
 		Model:            model,
@@ -88,11 +102,27 @@ func main() {
 			Shards:    *cacheShards,
 			CostAware: *costAware,
 		},
+		Metrics: reg,
 	})
+
+	handler := srv.Handler()
+	if *pprofOn {
+		// Opt-in profiling: mount the pprof handlers explicitly on our
+		// own mux (importing net/http/pprof for its DefaultServeMux side
+		// effect would expose the endpoints even with -pprof=false).
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

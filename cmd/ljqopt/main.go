@@ -8,6 +8,11 @@
 //	ljqopt -query q.json -method AGI -t 1.5
 //	ljqopt -query q.json -cost disk -seed 3 -all  # compare all methods
 //	ljqopt -query q.json -fingerprint             # print the ljqd cache key
+//	ljqopt -query q.json -trace                   # dump the search trace to stderr
+//
+// The -trace dump is stamped with budget work units, not wall-clock
+// time, so two runs with the same query, seed and budget produce
+// byte-identical traces — diff them to localize a nondeterminism bug.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"joinopt/internal/plan"
 	"joinopt/internal/qdsl"
 	"joinopt/internal/qfile"
+	"joinopt/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +51,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the plan as JSON (order, per-join steps, costs)")
 		calibrate = flag.Bool("calibrate", false, "measure real joins on this machine and print a fitted memory cost model, then exit")
 		fpOnly    = flag.Bool("fingerprint", false, "print the query's canonical fingerprint (the ljqd plan-cache key) and exit")
+		trace     = flag.Bool("trace", false, "dump a budget-stamped search trace to stderr after the run (deterministic per seed)")
+		traceCap  = flag.Int("trace-cap", telemetry.DefaultTraceCapacity, "trace ring capacity: how many most-recent events are retained")
 	)
 	flag.Parse()
 
@@ -83,11 +91,17 @@ func main() {
 		n = 1
 	}
 
+	var tr *telemetry.Tracer
+	if *trace {
+		tr = telemetry.NewTracer(*traceCap)
+	}
+
 	if *all {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "method\tcost\tunits used")
 		for _, m := range core.Methods {
-			pl, used, err := run(q, m, model, *tcoeff, *timeout, *seed, n)
+			tr.Reset() // one trace window per method (nil-safe)
+			pl, used, err := run(q, m, model, *tcoeff, *timeout, *seed, n, tr)
 			if err != nil {
 				fail(err)
 			}
@@ -96,6 +110,7 @@ func main() {
 				note = "  (degraded: " + pl.DegradeReason + ")"
 			}
 			fmt.Fprintf(w, "%s\t%.6g\t%d%s\n", m, pl.TotalCost, used, note)
+			dumpTrace(tr, m.String())
 		}
 		w.Flush()
 		return
@@ -105,10 +120,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	pl, used, err := run(q, m, model, *tcoeff, *timeout, *seed, n)
+	pl, used, err := run(q, m, model, *tcoeff, *timeout, *seed, n, tr)
 	if err != nil {
 		fail(err)
 	}
+	dumpTrace(tr, m.String())
 	switch {
 	case *jsonOut:
 		eval := plan.NewEvaluator(planStats(q, model), model, cost.Unlimited())
@@ -134,7 +150,19 @@ func planStats(q *catalog.Query, model cost.Model) *estimate.Stats {
 	return estimate.NewStats(qc, g)
 }
 
-func run(q *catalog.Query, m core.Method, model cost.Model, tcoeff float64, timeout time.Duration, seed int64, n int) (*plan.Plan, int64, error) {
+// dumpTrace writes the collected search trace to stderr. No-op with a
+// nil tracer (-trace not given).
+func dumpTrace(tr *telemetry.Tracer, method string) {
+	if tr == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- search trace (%s) ---\n", method)
+	if err := tr.WriteText(os.Stderr); err != nil {
+		fail(err)
+	}
+}
+
+func run(q *catalog.Query, m core.Method, model cost.Model, tcoeff float64, timeout time.Duration, seed int64, n int, tr *telemetry.Tracer) (*plan.Plan, int64, error) {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -142,7 +170,7 @@ func run(q *catalog.Query, m core.Method, model cost.Model, tcoeff float64, time
 		defer cancel()
 	}
 	budget := cost.NewBudget(cost.UnitsFor(tcoeff, n))
-	opt, err := core.NewOptimizer(q.Clone(), model, budget, rand.New(rand.NewSource(seed)), core.Options{})
+	opt, err := core.NewOptimizer(q.Clone(), model, budget, rand.New(rand.NewSource(seed)), core.Options{Trace: tr})
 	if err != nil {
 		return nil, 0, err
 	}

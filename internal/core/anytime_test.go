@@ -12,6 +12,7 @@ import (
 	"joinopt/internal/cost"
 	"joinopt/internal/faultinject"
 	"joinopt/internal/plan"
+	"joinopt/internal/testutil"
 )
 
 // checkComplete asserts the plan covers all n relations exactly once
@@ -43,7 +44,7 @@ func checkComplete(t *testing.T, opt *Optimizer, pl *plan.Plan, n int, label str
 // a valid, complete plan, flagged degraded with the cancellation
 // reason.
 func TestRunContextImmediateCancellationAllNineStrategies(t *testing.T) {
-	q := benchQuery(12, 7)
+	q := testutil.BenchQuery(12, 7)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // cancelled before any strategy runs
 	for _, m := range Methods {
@@ -70,7 +71,7 @@ func TestRunContextImmediateCancellationAllNineStrategies(t *testing.T) {
 // budget never stops on its own; the context deadline must stop it and
 // the incumbent must come back flagged degraded.
 func TestRunContextDeadlineStopsUnlimitedRun(t *testing.T) {
-	q := benchQuery(15, 11)
+	q := testutil.BenchQuery(15, 11)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), cost.Unlimited(), rand.New(rand.NewSource(2)), Options{})
@@ -104,7 +105,7 @@ func TestRunContextDeadlineStopsUnlimitedRun(t *testing.T) {
 // is already exhausted on units (not cancelled) yields the
 // augmentation-heuristic fallback, flagged starved, with a finite cost.
 func TestRunContextStarvedBudgetFallsBack(t *testing.T) {
-	q := benchQuery(10, 13)
+	q := testutil.BenchQuery(10, 13)
 	budget := cost.NewBudget(1)
 	budget.Charge(1) // exhausted before the run starts
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(3)), Options{})
@@ -129,7 +130,7 @@ func TestRunContextStarvedBudgetFallsBack(t *testing.T) {
 // The plan is flagged degraded-panic and the recovered panic comes back
 // as a *PanicError wrapping the injected *faultinject.Fault.
 func TestRunContextPanicIncumbentSurvives(t *testing.T) {
-	q := benchQuery(12, 17)
+	q := testutil.BenchQuery(12, 17)
 	budget := cost.NewBudget(cost.UnitsFor(9, 12))
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(5)), Options{})
 	if err != nil {
@@ -168,7 +169,7 @@ func TestRunContextPanicIncumbentSurvives(t *testing.T) {
 // plan (the deterministic augmentation fallback, priced +Inf because
 // even pricing it crashes).
 func TestRunContextEveryEvalPanicsStillReturnsPlan(t *testing.T) {
-	q := benchQuery(10, 19)
+	q := testutil.BenchQuery(10, 19)
 	for _, m := range Methods {
 		budget := cost.NewBudget(cost.UnitsFor(3, 10))
 		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(7)), Options{})
@@ -190,7 +191,7 @@ func TestRunContextEveryEvalPanicsStillReturnsPlan(t *testing.T) {
 // NaN, the optimizer must not return a NaN-poisoned incumbent as a
 // healthy plan; the run degrades and the order stays valid.
 func TestRunContextNaNCostsDoNotPoison(t *testing.T) {
-	q := benchQuery(10, 23)
+	q := testutil.BenchQuery(10, 23)
 	budget := cost.NewBudget(cost.UnitsFor(3, 10))
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(9)), Options{})
 	if err != nil {
@@ -215,7 +216,7 @@ func TestRunContextNaNCostsDoNotPoison(t *testing.T) {
 // estimator-overflow pattern) must not degrade the run at all — finite
 // evaluations dominate and the incumbent is finite.
 func TestRunContextIntermittentNaNRecovers(t *testing.T) {
-	q := benchQuery(12, 29)
+	q := testutil.BenchQuery(12, 29)
 	budget := cost.NewBudget(cost.UnitsFor(9, 12))
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(11)), Options{})
 	if err != nil {
@@ -243,7 +244,7 @@ func TestRunContextIntermittentNaNRecovers(t *testing.T) {
 func TestTrackerRejectsNonFiniteIncumbent(t *testing.T) {
 	b := cost.Unlimited()
 	improvements := 0
-	tr := newTracker(b, func(float64, int64) { improvements++ })
+	tr := newTracker(b, func(float64, int64) { improvements++ }, nil)
 
 	pNaN := plan.Perm{0, 1, 2}
 	tr.offer(pNaN, math.NaN())
@@ -287,7 +288,7 @@ func TestTrackerRejectsNonFiniteIncumbent(t *testing.T) {
 // member is recorded in its result Err; the cancelled member still
 // carries a valid degraded plan.
 func TestPortfolioSurvivorBeatsPanicAndCancel(t *testing.T) {
-	q := benchQuery(12, 31)
+	q := testutil.BenchQuery(12, 31)
 	cfg := PortfolioConfig{
 		TotalUnits: cost.UnitsFor(9, 12) * 3,
 		Seed:       7,
@@ -349,7 +350,7 @@ func TestPortfolioSurvivorBeatsPanicAndCancel(t *testing.T) {
 // budget silently became infinite (II would then never terminate).
 // With the clamp each member gets 1 unit and stops almost immediately.
 func TestPortfolioBudgetShareClamped(t *testing.T) {
-	q := benchQuery(10, 37)
+	q := testutil.BenchQuery(10, 37)
 	done := make(chan struct{})
 	var results []PortfolioResult
 	var err error
@@ -383,7 +384,7 @@ func TestPortfolioBudgetShareClamped(t *testing.T) {
 // threshold must cancel a member that would otherwise run forever (II
 // on an unlimited budget). Without hedging this test cannot terminate.
 func TestPortfolioHedgingCancelsUnboundedMember(t *testing.T) {
-	q := benchQuery(12, 41)
+	q := testutil.BenchQuery(12, 41)
 	backstop, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	cfg := PortfolioConfig{
@@ -417,7 +418,7 @@ func TestPortfolioHedgingCancelsUnboundedMember(t *testing.T) {
 // degrades every member; the portfolio still returns the best degraded
 // plan (anytime contract at the portfolio level).
 func TestPortfolioAllMembersCancelled(t *testing.T) {
-	q := benchQuery(10, 43)
+	q := testutil.BenchQuery(10, 43)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	best, results, err := PortfolioContext(ctx, q, cost.NewMemoryModel(),
@@ -441,7 +442,7 @@ func TestPortfolioAllMembersCancelled(t *testing.T) {
 // TestRunContextNilContext: a nil context behaves like background (the
 // experiment harness passes cfg.Context straight through).
 func TestRunContextNilContext(t *testing.T) {
-	q := benchQuery(8, 47)
+	q := testutil.BenchQuery(8, 47)
 	budget := cost.NewBudget(cost.UnitsFor(3, 8))
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(13)), Options{})
 	if err != nil {
@@ -462,7 +463,7 @@ func TestRunContextNilContext(t *testing.T) {
 // identically for healthy runs — no degradation, deterministic per
 // seed, same plan as RunContext(Background).
 func TestRunBackwardCompatible(t *testing.T) {
-	q := benchQuery(12, 53)
+	q := testutil.BenchQuery(12, 53)
 	run := func(viaCtx bool) float64 {
 		budget := cost.NewBudget(cost.UnitsFor(3, 12))
 		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(15)), Options{})

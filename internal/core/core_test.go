@@ -9,12 +9,8 @@ import (
 	"joinopt/internal/catalog"
 	"joinopt/internal/cost"
 	"joinopt/internal/plan"
-	"joinopt/internal/workload"
+	"joinopt/internal/testutil"
 )
-
-func benchQuery(n int, seed int64) *catalog.Query {
-	return workload.Default().Generate(n, rand.New(rand.NewSource(seed)))
-}
 
 func TestParseMethodRoundTrip(t *testing.T) {
 	for _, m := range Methods {
@@ -32,7 +28,7 @@ func TestParseMethodRoundTrip(t *testing.T) {
 }
 
 func TestAllMethodsProduceValidPlans(t *testing.T) {
-	q := benchQuery(12, 7)
+	q := testutil.BenchQuery(12, 7)
 	all := append([]Method{}, Methods...)
 	all = append(all, AugOnly, KBZOnly)
 	for _, m := range all {
@@ -66,7 +62,7 @@ func TestAllMethodsProduceValidPlans(t *testing.T) {
 }
 
 func TestBudgetRespected(t *testing.T) {
-	q := benchQuery(20, 11)
+	q := testutil.BenchQuery(20, 11)
 	for _, m := range Methods {
 		limit := cost.UnitsFor(1, 20)
 		budget := cost.NewBudget(limit)
@@ -87,7 +83,7 @@ func TestBudgetRespected(t *testing.T) {
 }
 
 func TestDeterministicPerSeed(t *testing.T) {
-	q := benchQuery(15, 13)
+	q := testutil.BenchQuery(15, 13)
 	run := func(seed int64) float64 {
 		budget := cost.NewBudget(cost.UnitsFor(2, 15))
 		opt, _ := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(seed)), Options{})
@@ -100,7 +96,7 @@ func TestDeterministicPerSeed(t *testing.T) {
 }
 
 func TestOnImproveMonotone(t *testing.T) {
-	q := benchQuery(15, 17)
+	q := testutil.BenchQuery(15, 17)
 	last := math.Inf(1)
 	lastUsed := int64(-1)
 	opts := Options{OnImprove: func(c float64, used int64) {
@@ -173,7 +169,7 @@ func TestNilAndInvalidQueries(t *testing.T) {
 }
 
 func TestUnknownMethod(t *testing.T) {
-	q := benchQuery(5, 1)
+	q := testutil.BenchQuery(5, 1)
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), cost.NewBudget(1000), rand.New(rand.NewSource(1)), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +192,7 @@ func TestUnknownMethod(t *testing.T) {
 // the ample budget here is the point of the test, not a convenience.
 func TestIAINeverWorseThanPureAugmentation(t *testing.T) {
 	f := func(seed int64) bool {
-		q := benchQuery(10, seed)
+		q := testutil.BenchQuery(10, seed)
 		run := func(m Method, tcoeff float64) float64 {
 			budget := cost.NewBudget(cost.UnitsFor(tcoeff, 10))
 			opt, _ := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(1)), Options{})
@@ -211,7 +207,7 @@ func TestIAINeverWorseThanPureAugmentation(t *testing.T) {
 }
 
 func TestStaticEstimatorOption(t *testing.T) {
-	q := benchQuery(10, 23)
+	q := testutil.BenchQuery(10, 23)
 	budget := cost.Unlimited()
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, nil, Options{StaticEstimator: true})
 	if err != nil {
@@ -234,7 +230,7 @@ func TestOptionsFillDefaults(t *testing.T) {
 }
 
 func TestTPOExtension(t *testing.T) {
-	q := benchQuery(15, 29)
+	q := testutil.BenchQuery(15, 29)
 	budget := cost.NewBudget(cost.UnitsFor(3, 15))
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(5)), Options{})
 	if err != nil {
@@ -255,7 +251,7 @@ func TestTPOExtension(t *testing.T) {
 // TestTPONotWorseThanSA: 2PO's first phase is plain II, so with the
 // same budget it should rarely lose to raw SA; sanity-check one seed.
 func TestTPONotWorseThanSA(t *testing.T) {
-	q := benchQuery(20, 31)
+	q := testutil.BenchQuery(20, 31)
 	run := func(m Method) float64 {
 		budget := cost.NewBudget(cost.UnitsFor(6, 20))
 		opt, _ := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(7)), Options{})
@@ -272,7 +268,7 @@ func TestTPONotWorseThanSA(t *testing.T) {
 // budget, a strategy that offers every heuristic state plus search can
 // never end worse than the pure heuristic.
 func TestStrategyDominance(t *testing.T) {
-	q := benchQuery(12, 67)
+	q := testutil.BenchQuery(12, 67)
 	run := func(m Method, tcoeff float64) float64 {
 		budget := cost.NewBudget(cost.UnitsFor(tcoeff, 12))
 		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(9)), Options{})
@@ -307,7 +303,7 @@ func TestStrategyDominance(t *testing.T) {
 
 // TestGAMethodThroughOptimizer exercises GA via the strategy dispatch.
 func TestGAMethodThroughOptimizer(t *testing.T) {
-	q := benchQuery(14, 69)
+	q := testutil.BenchQuery(14, 69)
 	budget := cost.NewBudget(cost.UnitsFor(3, 14))
 	opt, err := NewOptimizer(q, cost.NewMemoryModel(), budget, rand.New(rand.NewSource(5)), Options{})
 	if err != nil {
@@ -329,7 +325,7 @@ func TestGAMethodThroughOptimizer(t *testing.T) {
 // (same seed, different move sets → almost surely different outcomes on
 // a tight budget) while keeping plans valid.
 func TestInsertMoveProbOption(t *testing.T) {
-	q := benchQuery(20, 73)
+	q := testutil.BenchQuery(20, 73)
 	run := func(p float64) float64 {
 		budget := cost.NewBudget(cost.UnitsFor(1, 20))
 		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(3)), Options{InsertMoveProb: p})
@@ -356,7 +352,7 @@ func TestInsertMoveProbOption(t *testing.T) {
 // augmentation phase completes and the local-improvement ladder has
 // room to run, covering the (c,o) selection and improvement loop.
 func TestIALRunsLocalImprovementPhase(t *testing.T) {
-	q := benchQuery(10, 81)
+	q := testutil.BenchQuery(10, 81)
 	for _, tcoeff := range []float64{0.5, 3, 30} {
 		budget := cost.NewBudget(cost.UnitsFor(tcoeff, 10))
 		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, rand.New(rand.NewSource(7)), Options{})

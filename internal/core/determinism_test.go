@@ -2,9 +2,12 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"joinopt/internal/cost"
+	"joinopt/internal/telemetry"
+	"joinopt/internal/testutil"
 )
 
 // TestGoldenDeterminism is the strong form of the repeatability claim
@@ -15,7 +18,7 @@ import (
 // stray map-iteration, wall-clock read, or global-rand draw anywhere in
 // the search path shows up here as a diff in one of the two.
 func TestGoldenDeterminism(t *testing.T) {
-	q := benchQuery(15, 29)
+	q := testutil.BenchQuery(15, 29)
 
 	type outcome struct {
 		explain string
@@ -67,7 +70,7 @@ func TestGoldenDeterminism(t *testing.T) {
 // heuristic-seeded, one annealing, one pure-descent strategy), which
 // additionally covers the method-chooser and size-estimation paths.
 func TestGoldenDeterminismDetailed(t *testing.T) {
-	q := benchQuery(12, 31)
+	q := testutil.BenchQuery(12, 31)
 	run := func(m Method) (string, int64) {
 		budget := cost.NewBudget(cost.UnitsFor(2, 12))
 		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget,
@@ -90,5 +93,86 @@ func TestGoldenDeterminismDetailed(t *testing.T) {
 		if used1 != used2 {
 			t.Errorf("%v: budget Used() differs: %d vs %d", m, used1, used2)
 		}
+	}
+}
+
+// TestTraceDeterminism is the observability layer's own repeatability
+// contract: running the same (query, seed, budget, strategy) twice with
+// a tracer attached must produce byte-identical WriteText dumps and
+// identical per-kind event counts. Because every event is stamped with
+// Budget.Used() work units instead of wall-clock time, any divergence
+// here means real nondeterminism in the search path — not jitter.
+func TestTraceDeterminism(t *testing.T) {
+	q := testutil.BenchQuery(14, 43)
+
+	run := func(m Method, seed int64) (string, [telemetry.NumEventKinds]uint64) {
+		tr := telemetry.NewTracer(1 << 14)
+		// t=6 rather than the cheaper t=2 of the golden tests: the GA
+		// spends ~t=2's whole budget pricing its initial population and
+		// would emit no offspring proposals at all.
+		budget := cost.NewBudget(cost.UnitsFor(6, 14))
+		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget,
+			rand.New(rand.NewSource(seed)), Options{Trace: tr})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if _, err := opt.Run(m); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var buf strings.Builder
+		if err := tr.WriteText(&buf); err != nil {
+			t.Fatalf("%v: WriteText: %v", m, err)
+		}
+		return buf.String(), tr.Counts()
+	}
+
+	for _, m := range []Method{II, SA, IAI, AGI, TS, GA} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			dump1, counts1 := run(m, 61)
+			dump2, counts2 := run(m, 61)
+			if dump1 != dump2 {
+				t.Errorf("trace dumps differ across identical seeded runs:\n--- first\n%.2000s\n--- second\n%.2000s", dump1, dump2)
+			}
+			if counts1 != counts2 {
+				t.Errorf("event counts differ across identical seeded runs: %v vs %v", counts1, counts2)
+			}
+			if counts1[telemetry.EvMoveProposed] == 0 {
+				t.Errorf("%v emitted no move-proposed events; wiring is dead", m)
+			}
+			if counts1[telemetry.EvStrategyStart] == 0 || counts1[telemetry.EvStrategyEnd] == 0 {
+				t.Errorf("%v missing strategy start/end events", m)
+			}
+			if counts1[telemetry.EvImprove] == 0 {
+				t.Errorf("%v reported no incumbent improvements on a 14-relation query", m)
+			}
+		})
+	}
+}
+
+// TestTraceNilIsZeroCost pins the nil-tracer contract at the Options
+// level: a run with Trace=nil must behave identically (same plan, same
+// units) to the pre-telemetry behavior — the emission sites are all
+// behind nil checks and must not perturb the trajectory.
+func TestTraceNilIsZeroCost(t *testing.T) {
+	q := testutil.BenchQuery(12, 47)
+	run := func(tr *telemetry.Tracer) (float64, int64) {
+		budget := cost.NewBudget(cost.UnitsFor(2, 12))
+		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget,
+			rand.New(rand.NewSource(3)), Options{Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := opt.Run(IAI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl.TotalCost, budget.Used()
+	}
+	cNil, uNil := run(nil)
+	cTr, uTr := run(telemetry.NewTracer(0))
+	if cNil != cTr || uNil != uTr {
+		t.Fatalf("tracing perturbed the trajectory: cost %g vs %g, units %d vs %d", cNil, cTr, uNil, uTr)
 	}
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"joinopt/internal/cost"
+	"joinopt/internal/dp"
+	"joinopt/internal/workload"
+)
+
+// TestDifferentialOracle is the oracle-backed differential suite: for
+// seeded queries small enough for exact dynamic programming (N ≤ 10),
+// every one of the paper's nine strategies must produce a plan that is
+//
+//   - complete and valid (every relation exactly once, no hidden cross
+//     products beyond what the join graph forces),
+//   - finitely priced,
+//   - never cheaper than the dp.Optimal left-deep optimum (a strategy
+//     undercutting the exact oracle means the cost model is being
+//     evaluated inconsistently somewhere), and
+//   - within a generous sanity ratio of the optimum (metaheuristics on
+//     ≤10 relations with a t=9 budget essentially always land close;
+//     the wide bound is there to catch catastrophic regressions — a
+//     broken neighbor function, a mis-wired estimator — not to assert
+//     convergence luck).
+//
+// The oracle comparison requires the static estimator on both sides:
+// dp.Optimal is exact only when selectivities are order-independent.
+// Strategy plans are re-priced under the oracle's own evaluator so
+// both costs come from the identical cost function.
+func TestDifferentialOracle(t *testing.T) {
+	shapes := []struct {
+		name  string
+		shape workload.Shape
+	}{
+		{"chain", workload.ShapeChain},
+		{"star", workload.ShapeStar},
+		{"cycle", workload.ShapeCycle},
+		{"grid", workload.ShapeGrid},
+	}
+	const (
+		sanityRatio = 100.0 // catastrophic-regression guard, not a convergence assertion
+		slack       = 1e-9  // float re-pricing tolerance on the ≥-optimum side
+	)
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			for _, n := range []int{4, 7, 9} {
+				for _, seed := range []int64{1, 2, 3} {
+					q, err := workload.Default().GenerateShape(sh.shape, n, rand.New(rand.NewSource(seed)))
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: generate: %v", n, seed, err)
+					}
+
+					// Oracle side: exact left-deep optimum under the
+					// static estimator.
+					oracleOpt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), cost.Unlimited(),
+						rand.New(rand.NewSource(seed)), Options{StaticEstimator: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					comps := oracleOpt.graph.Components()
+					if len(comps) != 1 {
+						t.Fatalf("n=%d seed=%d: shape query disconnected (%d components)", n, seed, len(comps))
+					}
+					optPerm, optCost, err := dp.Optimal(oracleOpt.eval, comps[0])
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: dp oracle: %v", n, seed, err)
+					}
+					if len(optPerm) != n || !isFinite(optCost) {
+						t.Fatalf("n=%d seed=%d: degenerate oracle: perm=%d cost=%g", n, seed, len(optPerm), optCost)
+					}
+
+					for _, m := range Methods {
+						budget := cost.NewBudget(cost.UnitsFor(9, n-1))
+						strat, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget,
+							rand.New(rand.NewSource(seed)), Options{StaticEstimator: true})
+						if err != nil {
+							t.Fatal(err)
+						}
+						pl, err := strat.Run(m)
+						if err != nil {
+							t.Errorf("%v n=%d seed=%d: run: %v", m, n, seed, err)
+							continue
+						}
+						if pl == nil || pl.Degraded {
+							t.Errorf("%v n=%d seed=%d: degraded plan (%s)", m, n, seed, pl.DegradeReason)
+							continue
+						}
+						order := pl.Order()
+						if len(order) != n {
+							t.Errorf("%v n=%d seed=%d: plan covers %d of %d relations", m, n, seed, len(order), n)
+							continue
+						}
+						if !oracleOpt.eval.Valid(order) {
+							t.Errorf("%v n=%d seed=%d: invalid order %v (cross product)", m, n, seed, order)
+							continue
+						}
+						// Re-price under the oracle's evaluator so the
+						// comparison uses one cost function.
+						c := oracleOpt.eval.Cost(order)
+						if !isFinite(c) {
+							t.Errorf("%v n=%d seed=%d: non-finite cost %g", m, n, seed, c)
+							continue
+						}
+						if c < optCost*(1-slack) {
+							t.Errorf("%v n=%d seed=%d: plan cost %g undercuts exact optimum %g — inconsistent costing",
+								m, n, seed, c, optCost)
+						}
+						if optCost > 0 && c > optCost*sanityRatio {
+							t.Errorf("%v n=%d seed=%d: plan cost %g is %.1fx the optimum %g (sanity ratio %g)",
+								m, n, seed, c, c/optCost, optCost, sanityRatio)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialOracleRatiosTight complements the wide sanity bound
+// with one aggregate check: across the whole grid above, the *median*
+// strategy plan should be within 2x of the optimum. Individual unlucky
+// (strategy, seed) cells may wander; half of them going bad at once
+// means a real regression.
+func TestDifferentialOracleRatiosTight(t *testing.T) {
+	var ratios []float64
+	for _, shape := range []workload.Shape{workload.ShapeChain, workload.ShapeStar, workload.ShapeCycle, workload.ShapeGrid} {
+		for _, seed := range []int64{1, 2, 3} {
+			n := 8
+			q, err := workload.Default().GenerateShape(shape, n, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracleOpt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), cost.Unlimited(),
+				rand.New(rand.NewSource(seed)), Options{StaticEstimator: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, optCost, err := dp.Optimal(oracleOpt.eval, oracleOpt.graph.Components()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if optCost <= 0 {
+				continue
+			}
+			for _, m := range Methods {
+				budget := cost.NewBudget(cost.UnitsFor(9, n-1))
+				strat, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget,
+					rand.New(rand.NewSource(seed)), Options{StaticEstimator: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl, err := strat.Run(m)
+				if err != nil || pl == nil {
+					t.Fatalf("%v: %v", m, err)
+				}
+				c := oracleOpt.eval.Cost(pl.Order())
+				ratios = append(ratios, c/optCost)
+			}
+		}
+	}
+	if len(ratios) == 0 {
+		t.Fatal("no ratios collected")
+	}
+	// Median without sort.Float64s churn: count how many are ≤ 2.
+	within := 0
+	worst := 0.0
+	for _, r := range ratios {
+		if r <= 2 {
+			within++
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	if within*2 < len(ratios) {
+		t.Fatalf("only %d/%d strategy plans within 2x of the exact optimum (worst %.2fx)", within, len(ratios), worst)
+	}
+	if math.IsInf(worst, 0) || math.IsNaN(worst) {
+		t.Fatalf("non-finite worst ratio")
+	}
+}

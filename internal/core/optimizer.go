@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/cost"
@@ -14,6 +15,7 @@ import (
 	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 	"joinopt/internal/search"
+	"joinopt/internal/telemetry"
 )
 
 // Options tunes a strategy run. The zero value selects the paper's
@@ -42,6 +44,13 @@ type Options struct {
 	// consumed so far. Experiment harnesses use it to read off
 	// best-so-far curves at checkpoint budgets.
 	OnImprove func(cost float64, used int64)
+	// Trace, if non-nil, receives the run's search-trace events
+	// (strategy start/end, move proposed/accepted/rejected, restarts,
+	// incumbent improvements, degradation steps), each stamped with the
+	// budget meter instead of the wall clock, so two runs of the same
+	// seed and budget trace byte-identically. nil (the default) is the
+	// zero-overhead path: every emission site is behind a nil check.
+	Trace *telemetry.Tracer
 }
 
 func (o *Options) fill() {
@@ -181,6 +190,7 @@ func (o *Optimizer) RunContext(ctx context.Context, m Method) (*plan.Plan, error
 			continue
 		}
 		sp := search.NewSpace(o.eval, comp, o.rng)
+		sp.Trace = o.opts.Trace
 		if o.opts.InsertMoveProb > 0 {
 			sp.SwapWeight = 1 - o.opts.InsertMoveProb
 		}
@@ -190,7 +200,7 @@ func (o *Optimizer) RunContext(ctx context.Context, m Method) (*plan.Plan, error
 			// cost until assembly; suppress intermediate callbacks.
 			onImprove = nil
 		}
-		t := newTracker(o.budget, onImprove)
+		t := newTracker(o.budget, onImprove, o.opts.Trace)
 		if perr := o.runComponentIsolated(m, sp, t); perr != nil && panicErr == nil {
 			panicErr = perr
 		}
@@ -225,6 +235,13 @@ func (o *Optimizer) RunContext(ctx context.Context, m Method) (*plan.Plan, error
 		pl.Degraded = true
 		pl.DegradeReason = plan.DegradeStarved
 	}
+	if pl.Degraded {
+		// The final verdict of the degradation ladder. The label keeps
+		// only the reason class (the panic payload may carry addresses,
+		// which would break byte-identical traces).
+		reason, _, _ := strings.Cut(pl.DegradeReason, ":")
+		o.opts.Trace.Emit(telemetry.EvDegrade, o.budget.Used(), reason)
+	}
 	if multi && o.opts.OnImprove != nil && isFinite(pl.TotalCost) {
 		o.opts.OnImprove(pl.TotalCost, o.budget.Used())
 	}
@@ -255,8 +272,10 @@ func (o *Optimizer) runComponentIsolated(m Method, sp *search.Space, t *tracker)
 // computed is priced +Inf rather than dropped.
 func (o *Optimizer) fallbackState(sp *search.Space) (plan.Perm, float64) {
 	if p, c, ok := o.augmentFallback(sp); ok {
+		o.opts.Trace.Emit(telemetry.EvDegrade, o.budget.Used(), "fallback-augmentation")
 		return p, c
 	}
+	o.opts.Trace.Emit(telemetry.EvDegrade, o.budget.Used(), "fallback-random")
 	p := sp.RandomState()
 	return p, o.safeCost(p)
 }
@@ -337,10 +356,11 @@ type tracker struct {
 	finite    bool
 	budget    *cost.Budget
 	onImprove func(float64, int64)
+	trace     *telemetry.Tracer
 }
 
-func newTracker(b *cost.Budget, onImprove func(float64, int64)) *tracker {
-	return &tracker{bestCost: math.Inf(1), budget: b, onImprove: onImprove}
+func newTracker(b *cost.Budget, onImprove func(float64, int64), trace *telemetry.Tracer) *tracker {
+	return &tracker{bestCost: math.Inf(1), budget: b, onImprove: onImprove, trace: trace}
 }
 
 func (t *tracker) offer(p plan.Perm, c float64) {
@@ -357,6 +377,9 @@ func (t *tracker) offer(p plan.Perm, c float64) {
 		if t.onImprove != nil {
 			t.onImprove(c, t.budget.Used())
 		}
+		if tr := t.trace; tr != nil {
+			tr.EmitCost(telemetry.EvImprove, t.budget.Used(), c, "")
+		}
 	}
 }
 
@@ -364,6 +387,15 @@ func (t *tracker) offer(p plan.Perm, c float64) {
 // space, streaming states into the tracker. An unknown method leaves
 // the tracker empty; the caller's fallback chain takes over.
 func (o *Optimizer) runComponent(m Method, sp *search.Space, t *tracker) {
+	if tr := t.trace; tr != nil {
+		tr.Emit(telemetry.EvStrategyStart, o.budget.Used(), m.String())
+		defer func() {
+			// The end event carries the component incumbent (or +Inf if
+			// the strategy produced nothing — the fallback ladder's
+			// problem now).
+			tr.EmitCost(telemetry.EvStrategyEnd, o.budget.Used(), t.bestCost, m.String())
+		}()
+	}
 	switch m {
 	case II:
 		o.iterativeImprovement(sp, t, search.RandomStarts{Space: sp})
@@ -445,10 +477,15 @@ func (c chainStarts) NextStart() (plan.Perm, bool) {
 // the budget is exhausted, tracking the best local minimum. This is the
 // II / IAI / IKI engine.
 func (o *Optimizer) iterativeImprovement(sp *search.Space, t *tracker, starts search.StartStater) {
-	for !o.budget.Exhausted() {
+	for runs := 0; !o.budget.Exhausted(); runs++ {
 		start, more := starts.NextStart()
 		if !more {
 			return
+		}
+		if runs > 0 {
+			if tr := t.trace; tr != nil {
+				tr.Emit(telemetry.EvRestart, o.budget.Used(), "ii-next-start")
+			}
 		}
 		c := o.eval.Cost(start)
 		t.offer(start, c)
@@ -493,6 +530,9 @@ func (o *Optimizer) perturbationWalk(sp *search.Space, t *tracker) {
 	for !o.budget.Exhausted() {
 		next, nextCost, ok := sp.Neighbor(cur)
 		if !ok {
+			if tr := t.trace; tr != nil {
+				tr.Emit(telemetry.EvRestart, o.budget.Used(), "walk-dead-end")
+			}
 			cur = sp.RandomState()
 			curCost = o.eval.Cost(cur)
 			t.offer(cur, curCost)
@@ -509,7 +549,12 @@ func (o *Optimizer) perturbationWalk(sp *search.Space, t *tracker) {
 // InitAccept) so SA only explores the neighborhood of the minimum.
 func (o *Optimizer) twoPhase(sp *search.Space, t *tracker) {
 	phase1 := o.budget.Limit() / 2
-	for !o.budget.Exhausted() && (o.budget.Limit() <= 0 || o.budget.Used() < phase1) {
+	for runs := 0; !o.budget.Exhausted() && (o.budget.Limit() <= 0 || o.budget.Used() < phase1); runs++ {
+		if runs > 0 {
+			if tr := t.trace; tr != nil {
+				tr.Emit(telemetry.EvRestart, o.budget.Used(), "2po-next-start")
+			}
+		}
 		start := sp.RandomState()
 		c := o.eval.Cost(start)
 		t.offer(start, c)

@@ -11,6 +11,7 @@ import (
 	"joinopt/internal/catalog"
 	"joinopt/internal/cost"
 	"joinopt/internal/plan"
+	"joinopt/internal/telemetry"
 )
 
 // PortfolioResult is the outcome of one portfolio member.
@@ -39,9 +40,18 @@ type PortfolioConfig struct {
 	TotalUnits int64
 	// Seed derives each member's independent RNG stream.
 	Seed int64
-	// Opts is applied to every member (OnImprove is stripped; per-member
-	// trajectories are not merged).
+	// Opts is applied to every member (OnImprove and Trace are stripped:
+	// per-member trajectories are not merged, and a tracer shared by
+	// concurrent members would interleave non-deterministically, breaking
+	// the byte-identical-trace guarantee). Member-level start/end events
+	// are instead emitted on Trace at deterministic points — all starts
+	// before the members spawn and all ends after they join, both in
+	// member index order, each end stamped with that member's own
+	// consumed units.
 	Opts Options
+	// Trace, if non-nil, receives the portfolio-level strategy
+	// start/end events described on Opts.
+	Trace *telemetry.Tracer
 	// HedgeCost, when > 0, enables hedging: as soon as any member
 	// finishes with a non-degraded plan whose TotalCost is ≤ HedgeCost,
 	// the remaining members are cancelled. Their results are recorded as
@@ -119,6 +129,12 @@ func PortfolioContext(ctx context.Context, q *catalog.Query, model cost.Model, c
 	runCtx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 
+	if tr := cfg.Trace; tr != nil {
+		for _, m := range methods {
+			tr.Emit(telemetry.EvStrategyStart, 0, "portfolio:"+m.String())
+		}
+	}
+
 	results := make([]PortfolioResult, len(methods))
 	var wg sync.WaitGroup
 	for i, m := range methods {
@@ -147,6 +163,7 @@ func PortfolioContext(ctx context.Context, q *catalog.Query, model cost.Model, c
 			rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(i)+1)*0x517cc1b727220a95))
 			memberOpts := cfg.Opts
 			memberOpts.OnImprove = nil // per-member trajectories are not merged
+			memberOpts.Trace = nil     // see PortfolioConfig.Opts: members must not share a tracer
 			o, err := NewOptimizer(q.Clone(), model, budget, rng, memberOpts)
 			if err != nil {
 				results[i] = PortfolioResult{Method: m, Err: err}
@@ -164,6 +181,16 @@ func PortfolioContext(ctx context.Context, q *catalog.Query, model cost.Model, c
 		}(i, m)
 	}
 	wg.Wait()
+
+	if tr := cfg.Trace; tr != nil {
+		for i, r := range results {
+			c := math.Inf(1)
+			if r.Plan != nil {
+				c = r.Plan.TotalCost
+			}
+			tr.EmitCost(telemetry.EvStrategyEnd, r.Units, c, "portfolio:"+methods[i].String())
+		}
+	}
 
 	pick := func(includeDegraded bool) (int, float64) {
 		best, bestCost := -1, math.Inf(1)

@@ -5,10 +5,11 @@ import (
 	"testing"
 
 	"joinopt/internal/cost"
+	"joinopt/internal/testutil"
 )
 
 func TestPortfolioPicksBestMember(t *testing.T) {
-	q := benchQuery(15, 51)
+	q := testutil.BenchQuery(15, 51)
 	total := cost.UnitsFor(9, 15) * 3
 	best, results, err := Portfolio(q, cost.NewMemoryModel(), total, 7, Options{},
 		IAI, AGI, SA)
@@ -41,7 +42,7 @@ func TestPortfolioPicksBestMember(t *testing.T) {
 }
 
 func TestPortfolioDeterministic(t *testing.T) {
-	q := benchQuery(12, 53)
+	q := testutil.BenchQuery(12, 53)
 	run := func() float64 {
 		best, _, err := Portfolio(q.Clone(), cost.NewMemoryModel(), cost.UnitsFor(3, 12)*2, 5, Options{}, IAI, II)
 		if err != nil {
@@ -55,11 +56,11 @@ func TestPortfolioDeterministic(t *testing.T) {
 }
 
 func TestPortfolioErrors(t *testing.T) {
-	q := benchQuery(5, 55)
+	q := testutil.BenchQuery(5, 55)
 	if _, _, err := Portfolio(q, cost.NewMemoryModel(), 1000, 1, Options{}); err == nil {
 		t.Fatal("empty portfolio accepted")
 	}
-	bad := benchQuery(5, 57)
+	bad := testutil.BenchQuery(5, 57)
 	bad.Relations[0].Cardinality = -1
 	if _, _, err := Portfolio(bad, cost.NewMemoryModel(), 1000, 1, Options{}, IAI); err == nil {
 		t.Fatal("invalid query accepted")
@@ -67,7 +68,7 @@ func TestPortfolioErrors(t *testing.T) {
 }
 
 func TestPWIsWorstButValid(t *testing.T) {
-	q := benchQuery(15, 59)
+	q := testutil.BenchQuery(15, 59)
 	run := func(m Method) float64 {
 		budget := cost.NewBudget(cost.UnitsFor(3, 15))
 		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget, nil, Options{})

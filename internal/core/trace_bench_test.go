@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"joinopt/internal/cost"
+	"joinopt/internal/telemetry"
+	"joinopt/internal/testutil"
+)
+
+// benchRun executes one fully budgeted IAI optimization with the given
+// tracer. The budget, not the tracer, bounds the work, so the two
+// benchmarks below do identical search; the delta is pure
+// instrumentation overhead.
+func benchRun(b *testing.B, tr *telemetry.Tracer) {
+	b.Helper()
+	q := testutil.BenchQuery(20, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		budget := cost.NewBudget(cost.UnitsFor(2, 20))
+		opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), budget,
+			rand.New(rand.NewSource(1)), Options{Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := opt.Run(IAI); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunNilTracer is the zero-overhead baseline: the emission
+// sites compile to one nil pointer check each. Compare against
+// BenchmarkRunActiveTracer to price the instrumentation itself.
+func BenchmarkRunNilTracer(b *testing.B) { benchRun(b, nil) }
+
+// BenchmarkRunActiveTracer prices full move-level tracing (ring
+// append under a mutex per event).
+func BenchmarkRunActiveTracer(b *testing.B) {
+	benchRun(b, telemetry.NewTracer(telemetry.DefaultTraceCapacity))
+}

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"joinopt/internal/catalog"
+	"joinopt/internal/testutil"
 )
 
 // TestBushyNeverWorseThanLeftDeep: the left-deep space is a subset of
@@ -16,7 +17,7 @@ func TestBushyNeverWorseThanLeftDeep(t *testing.T) {
 	f := func(seed int64, sz uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + int(sz%8)
-		eval, comp := staticEval(rng, n)
+		eval, comp := testutil.StaticRandomEval(rng, n)
 		gap, err := LeftDeepGap(eval, comp)
 		if err != nil {
 			return false
@@ -32,7 +33,7 @@ func TestBushyNeverWorseThanLeftDeep(t *testing.T) {
 // relation exactly once and its recorded sizes are consistent.
 func TestBushyTreeStructure(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	eval, comp := staticEval(rng, 9)
+	eval, comp := testutil.StaticRandomEval(rng, 9)
 	tree, cost, err := BushyOptimal(eval, comp)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +63,7 @@ func TestBushyTreeStructure(t *testing.T) {
 // at minimum the bushy cost must equal the linear cost when n = 2.
 func TestBushyTwoRelations(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	eval, comp := staticEval(rng, 2)
+	eval, comp := testutil.StaticRandomEval(rng, 2)
 	_, linear, err := Optimal(eval, comp)
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +95,7 @@ func TestBushyBeatsLinearSomewhere(t *testing.T) {
 			{Left: 0, Right: 2, LeftDistinct: 100, RightDistinct: 100},
 		},
 	}
-	eval, comp := evalForQuery(q)
+	eval, comp := testutil.StaticEval(q)
 	gap, err := LeftDeepGap(eval, comp)
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +107,7 @@ func TestBushyBeatsLinearSomewhere(t *testing.T) {
 
 func TestBushyErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	eval, _ := staticEval(rng, 4)
+	eval, _ := testutil.StaticRandomEval(rng, 4)
 	if _, _, err := BushyOptimal(eval, nil); err == nil {
 		t.Fatal("empty component accepted")
 	}
@@ -118,7 +119,7 @@ func TestBushyErrors(t *testing.T) {
 	q := &catalog.Query{
 		Relations: []catalog.Relation{{Cardinality: 5}, {Cardinality: 5}},
 	}
-	deval, _ := evalForQuery(q)
+	deval, _ := testutil.StaticEval(q)
 	if _, _, err := BushyOptimal(deval, []catalog.RelID{0, 1}); err == nil {
 		t.Fatal("disconnected component accepted")
 	}

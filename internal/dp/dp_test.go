@@ -11,48 +11,8 @@ import (
 	"joinopt/internal/estimate"
 	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
+	"joinopt/internal/testutil"
 )
-
-// staticEval builds an evaluator in static-estimator mode (required for
-// DP exactness) over a random connected query.
-func staticEval(rng *rand.Rand, n int) (*plan.Evaluator, []catalog.RelID) {
-	q := &catalog.Query{}
-	for i := 0; i < n; i++ {
-		q.Relations = append(q.Relations, catalog.Relation{Cardinality: int64(2 + rng.Intn(1000))})
-	}
-	for i := 1; i < n; i++ {
-		q.Predicates = append(q.Predicates, catalog.Predicate{
-			Left: catalog.RelID(rng.Intn(i)), Right: catalog.RelID(i),
-			LeftDistinct:  float64(1 + rng.Intn(100)),
-			RightDistinct: float64(1 + rng.Intn(100)),
-		})
-	}
-	for k := 0; k < n/3; k++ {
-		a, b := rng.Intn(n), rng.Intn(n)
-		if a != b {
-			q.Predicates = append(q.Predicates, catalog.Predicate{
-				Left: catalog.RelID(a), Right: catalog.RelID(b),
-				LeftDistinct: 11, RightDistinct: 11,
-			})
-		}
-	}
-	q.Normalize()
-	g := joingraph.New(q)
-	st := estimate.NewStats(q, g)
-	st.UseStaticSelectivity()
-	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
-	return eval, g.Components()[0]
-}
-
-// evalForQuery wires an explicit query into a static-mode evaluator.
-func evalForQuery(q *catalog.Query) (*plan.Evaluator, []catalog.RelID) {
-	q.Normalize()
-	g := joingraph.New(q)
-	st := estimate.NewStats(q, g)
-	st.UseStaticSelectivity()
-	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
-	return eval, g.Components()[0]
-}
 
 // TestDPMatchesExhaustive is the cornerstone: for every random small
 // query, bitmask DP and brute-force enumeration must agree exactly.
@@ -60,7 +20,7 @@ func TestDPMatchesExhaustive(t *testing.T) {
 	f := func(seed int64, sz uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + int(sz%6) // up to 8 relations
-		eval, comp := staticEval(rng, n)
+		eval, comp := testutil.StaticRandomEval(rng, n)
 		pd, cd, err := Optimal(eval, comp)
 		if err != nil {
 			return false
@@ -81,7 +41,7 @@ func TestDPMatchesExhaustive(t *testing.T) {
 
 func TestDPReturnedPermMatchesReturnedCost(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	eval, comp := staticEval(rng, 10)
+	eval, comp := testutil.StaticRandomEval(rng, 10)
 	p, c, err := Optimal(eval, comp)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +53,7 @@ func TestDPReturnedPermMatchesReturnedCost(t *testing.T) {
 
 func TestDPBeatsEveryRandomOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	eval, comp := staticEval(rng, 12)
+	eval, comp := testutil.StaticRandomEval(rng, 12)
 	_, c, err := Optimal(eval, comp)
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +92,7 @@ func randomValid(rng *rand.Rand, eval *plan.Evaluator, comp []catalog.RelID) pla
 
 func TestDPSingleRelation(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	eval, comp := staticEval(rng, 5)
+	eval, comp := testutil.StaticRandomEval(rng, 5)
 	p, c, err := Optimal(eval, comp[:1])
 	if err != nil || len(p) != 1 || c != 0 {
 		t.Fatalf("singleton: %v %g %v", p, c, err)
@@ -141,7 +101,7 @@ func TestDPSingleRelation(t *testing.T) {
 
 func TestDPTooLarge(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	eval, comp := staticEval(rng, 5)
+	eval, comp := testutil.StaticRandomEval(rng, 5)
 	big := make([]catalog.RelID, MaxDPRelations+1)
 	copy(big, comp)
 	if _, _, err := Optimal(eval, big); err != ErrTooLarge {
@@ -155,7 +115,7 @@ func TestDPTooLarge(t *testing.T) {
 
 func TestDPEmptyComponent(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	eval, _ := staticEval(rng, 5)
+	eval, _ := testutil.StaticRandomEval(rng, 5)
 	if _, _, err := Optimal(eval, nil); err == nil {
 		t.Fatal("empty component accepted")
 	}

@@ -9,6 +9,7 @@ import (
 
 	"joinopt/internal/bushy"
 	"joinopt/internal/catalog"
+	"joinopt/internal/testutil"
 )
 
 // leafSet returns the sorted leaf relations of a tree.
@@ -25,7 +26,7 @@ func TestIDPFullBlockEqualsDP(t *testing.T) {
 	f := func(seed int64, sz uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + int(sz%7)
-		eval, comp := staticEval(rng, n)
+		eval, comp := testutil.StaticRandomEval(rng, n)
 		_, optCost, err := Optimal(eval, comp)
 		if err != nil {
 			return false
@@ -49,7 +50,7 @@ func TestIDPFullBlockEqualsDP(t *testing.T) {
 func TestIDPSmallBlocks(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		eval, comp := staticEval(rng, 12)
+		eval, comp := testutil.StaticRandomEval(rng, 12)
 		_, bushyOpt, err := BushyOptimal(eval, comp)
 		if err != nil {
 			t.Fatal(err)
@@ -80,7 +81,7 @@ func TestIDPSmallBlocks(t *testing.T) {
 // valid order.
 func TestIDPBeatsRandomFloor(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	eval, comp := staticEval(rng, 14)
+	eval, comp := testutil.StaticRandomEval(rng, 14)
 	_, c, err := IDP(eval, comp, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestIDPBeatsRandomFloor(t *testing.T) {
 
 func TestIDPErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	eval, comp := staticEval(rng, 5)
+	eval, comp := testutil.StaticRandomEval(rng, 5)
 	if _, _, err := IDP(eval, nil, 3); err == nil {
 		t.Fatal("empty accepted")
 	}
@@ -110,7 +111,7 @@ func TestIDPErrors(t *testing.T) {
 
 func TestIDPChargesBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	eval, comp := staticEval(rng, 10)
+	eval, comp := testutil.StaticRandomEval(rng, 10)
 	before := eval.Budget().Used()
 	if _, _, err := IDP(eval, comp, 3); err != nil {
 		t.Fatal(err)

@@ -11,40 +11,8 @@ import (
 	"joinopt/internal/estimate"
 	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
+	"joinopt/internal/testutil"
 )
-
-// randomQuery builds a random connected query with n relations.
-func randomQuery(rng *rand.Rand, n int) *catalog.Query {
-	q := &catalog.Query{}
-	for i := 0; i < n; i++ {
-		q.Relations = append(q.Relations, catalog.Relation{Cardinality: int64(2 + rng.Intn(2000))})
-	}
-	for i := 1; i < n; i++ {
-		q.Predicates = append(q.Predicates, catalog.Predicate{
-			Left: catalog.RelID(rng.Intn(i)), Right: catalog.RelID(i),
-			LeftDistinct:  float64(1 + rng.Intn(200)),
-			RightDistinct: float64(1 + rng.Intn(200)),
-		})
-	}
-	for k := 0; k < n/3; k++ {
-		a, b := rng.Intn(n), rng.Intn(n)
-		if a != b {
-			q.Predicates = append(q.Predicates, catalog.Predicate{
-				Left: catalog.RelID(a), Right: catalog.RelID(b),
-				LeftDistinct: 9, RightDistinct: 9,
-			})
-		}
-	}
-	q.Normalize()
-	return q
-}
-
-func evalFor(q *catalog.Query) (*plan.Evaluator, []catalog.RelID) {
-	g := joingraph.New(q)
-	st := estimate.NewStats(q, g)
-	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
-	return eval, g.Components()[0]
-}
 
 // --- Augmentation ---
 
@@ -52,7 +20,7 @@ func TestAugmentationAllCriteriaProduceValidPerms(t *testing.T) {
 	f := func(seed int64, sz uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + int(sz%15)
-		eval, comp := evalFor(randomQuery(rng, n))
+		eval, comp := testutil.Eval(testutil.RandomQuery(rng, n))
 		for _, c := range Criteria {
 			aug := NewAugmentation(eval, comp, c)
 			for {
@@ -74,8 +42,8 @@ func TestAugmentationAllCriteriaProduceValidPerms(t *testing.T) {
 
 func TestAugmentationFirstOrderAscendsByCardinality(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	q := randomQuery(rng, 10)
-	eval, comp := evalFor(q)
+	q := testutil.RandomQuery(rng, 10)
+	eval, comp := testutil.Eval(q)
 	aug := NewAugmentation(eval, comp, CriterionMinSel)
 	st := eval.Stats()
 	prev := -1.0
@@ -94,7 +62,7 @@ func TestAugmentationFirstOrderAscendsByCardinality(t *testing.T) {
 
 func TestAugmentationStreamCountAndReset(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	eval, comp := evalFor(randomQuery(rng, 8))
+	eval, comp := testutil.Eval(testutil.RandomQuery(rng, 8))
 	aug := NewAugmentation(eval, comp, CriterionMinSel)
 	if aug.Remaining() != 8 {
 		t.Fatalf("remaining %d, want 8", aug.Remaining())
@@ -117,7 +85,7 @@ func TestAugmentationStreamCountAndReset(t *testing.T) {
 
 func TestAugmentationBestIsMinOverStates(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	eval, comp := evalFor(randomQuery(rng, 9))
+	eval, comp := testutil.Eval(testutil.RandomQuery(rng, 9))
 	aug := NewAugmentation(eval, comp, CriterionMinSel)
 	min := math.Inf(1)
 	for {
@@ -140,7 +108,7 @@ func TestAugmentationBestIsMinOverStates(t *testing.T) {
 
 func TestAugmentationChargesBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	q := randomQuery(rng, 12)
+	q := testutil.RandomQuery(rng, 12)
 	g := joingraph.New(q)
 	st := estimate.NewStats(q, g)
 	b := cost.NewBudget(1 << 40)
@@ -169,7 +137,7 @@ func TestKBZProducesValidPermsForAllRoots(t *testing.T) {
 	f := func(seed int64, sz uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + int(sz%15)
-		eval, comp := evalFor(randomQuery(rng, n))
+		eval, comp := testutil.Eval(testutil.RandomQuery(rng, n))
 		for _, w := range WeightCriteria {
 			kbz := NewKBZ(eval, comp, w)
 			count := 0
@@ -228,7 +196,7 @@ func TestAlgorithmROptimalUnderSurrogate(t *testing.T) {
 			})
 		}
 		q.Normalize()
-		eval, comp := evalFor(q)
+		eval, comp := testutil.Eval(q)
 		kbz := NewKBZ(eval, comp, WeightSelectivity)
 
 		root := comp[rng.Intn(len(comp))]
@@ -328,7 +296,7 @@ func TestMergeChainsAscending(t *testing.T) {
 
 func TestKBZBestMatchesManualMin(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	eval, comp := evalFor(randomQuery(rng, 10))
+	eval, comp := testutil.Eval(testutil.RandomQuery(rng, 10))
 	kbz := NewKBZ(eval, comp, WeightSelectivity)
 	min := math.Inf(1)
 	for {
@@ -360,7 +328,7 @@ func TestLocalImproveNeverWorsens(t *testing.T) {
 	f := func(seed int64, sz uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 4 + int(sz%12)
-		eval, comp := evalFor(randomQuery(rng, n))
+		eval, comp := testutil.Eval(testutil.RandomQuery(rng, n))
 		// Random valid start: identity over component is valid only if
 		// generated that way; use augmentation's first state instead.
 		aug := NewAugmentation(eval, comp, CriterionMinCard)
@@ -388,7 +356,7 @@ func TestLocalImproveFullWindowFindsComponentOptimum(t *testing.T) {
 	// optimum of the component (under the static estimator, where
 	// window pricing is exact).
 	rng := rand.New(rand.NewSource(31))
-	q := randomQuery(rng, 6)
+	q := testutil.RandomQuery(rng, 6)
 	g := joingraph.New(q)
 	st := estimate.NewStats(q, g)
 	st.UseStaticSelectivity()

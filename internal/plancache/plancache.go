@@ -41,6 +41,7 @@ import (
 
 	"joinopt/internal/fingerprint"
 	"joinopt/internal/plan"
+	"joinopt/internal/telemetry"
 )
 
 // Key is the cache key: a canonical query fingerprint.
@@ -79,6 +80,13 @@ type Config struct {
 	// AdmitDegraded admits plans flagged Degraded (default false:
 	// degraded plans are returned to their requesters but not cached).
 	AdmitDegraded bool
+	// Trace, if non-nil, receives cache hit/miss/coalesce events. Hits
+	// are stamped with the cached entry's BudgetUsed (the work units the
+	// served plan originally cost to find — the cache's whole value
+	// proposition in one number); misses and coalesces carry 0, since no
+	// budget meter exists yet at that point. nil is the zero-overhead
+	// path.
+	Trace *telemetry.Tracer
 }
 
 func (c *Config) fill() {
@@ -125,6 +133,7 @@ type Cache struct {
 	costAware     bool
 	admissionScan int
 	admitDegraded bool
+	trace         *telemetry.Tracer
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -147,6 +156,7 @@ func New(cfg Config) *Cache {
 		costAware:     cfg.CostAware,
 		admissionScan: cfg.AdmissionScan,
 		admitDegraded: cfg.AdmitDegraded,
+		trace:         cfg.Trace,
 	}
 	for i := range c.shards {
 		c.shards[i].init()
@@ -172,9 +182,15 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		if tr := c.trace; tr != nil {
+			tr.Emit(telemetry.EvCacheHit, n.entry.BudgetUsed, "")
+		}
 		return n.entry, true
 	}
 	c.misses.Add(1)
+	if tr := c.trace; tr != nil {
+		tr.Emit(telemetry.EvCacheMiss, 0, "")
+	}
 	return nil, false
 }
 
@@ -245,17 +261,26 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(ctx contex
 		s.moveFront(n)
 		s.mu.Unlock()
 		c.hits.Add(1)
+		if tr := c.trace; tr != nil {
+			tr.Emit(telemetry.EvCacheHit, n.entry.BudgetUsed, "")
+		}
 		return n.entry, true, false, nil
 	}
 	if fl, ok := s.flights[k]; ok {
 		s.mu.Unlock()
 		c.coalesced.Add(1)
+		if tr := c.trace; tr != nil {
+			tr.Emit(telemetry.EvCacheCoalesce, 0, "")
+		}
 		return c.wait(ctx, fl, true)
 	}
 	fl := &flight{done: make(chan struct{})}
 	s.flights[k] = fl
 	s.mu.Unlock()
 	c.misses.Add(1)
+	if tr := c.trace; tr != nil {
+		tr.Emit(telemetry.EvCacheMiss, 0, "")
+	}
 
 	go func() {
 		defer func() {
@@ -328,6 +353,34 @@ func (c *Cache) Stats() Stats {
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// RegisterMetrics exports the cache's atomic counters into reg under
+// the given metric-name prefix (say "ljq_plancache"). The registered
+// readers snapshot the live atomics at scrape time — there is no
+// second bookkeeping path to drift out of sync with Stats.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_hits_total", "Plan cache hits.", c.hits.Load)
+	reg.CounterFunc(prefix+"_misses_total", "Plan cache misses.", c.misses.Load)
+	reg.CounterFunc(prefix+"_coalesced_total", "Requests coalesced onto another request's in-flight optimization.", c.coalesced.Load)
+	reg.CounterFunc(prefix+"_evictions_total", "Entries evicted to admit newer plans.", c.evictions.Load)
+	reg.CounterFunc(prefix+"_rejected_total", "Entries refused admission (degraded plans, cost-aware policy).", c.rejected.Load)
+	reg.GaugeFunc(prefix+"_entries", "Entries currently cached.", func() float64 {
+		return float64(c.Len())
+	})
+	reg.GaugeFunc(prefix+"_inflight_flights", "Singleflight computations currently in progress.", func() float64 {
+		total := 0
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			total += len(s.flights)
+			s.mu.Unlock()
+		}
+		return float64(total)
+	})
 }
 
 // Len returns the current number of cached entries.

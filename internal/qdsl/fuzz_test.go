@@ -1,0 +1,41 @@
+package qdsl
+
+import (
+	"testing"
+)
+
+// FuzzQDSLRoundTrip feeds arbitrary text to the DSL parser: it must
+// never panic, and any query it accepts must reach a print→parse fixed
+// point — Format(Parse(x)) reparsed yields the same Format output.
+// (The first Format is allowed to differ from the raw input: the DSL
+// normalizes names, drops comments, and renders floats in %g. The
+// fixed point is the actual contract: Format's output is itself valid
+// DSL describing the same query.)
+func FuzzQDSLRoundTrip(f *testing.F) {
+	f.Add("relation a 100\nrelation b 200\njoin a b distinct 10 20\n")
+	f.Add("relation a 100 select 0.5\nrelation b 2\njoin a b selectivity 0.01\n")
+	f.Add("# comment\nrelation r0 5\nrelation r1 7\nrelation r2 9\n" +
+		"join r0 r1 distinct 2 3\njoin r1 r2 selectivity 0.25\n")
+	f.Add("relation x 1\n")
+	f.Add("")
+	f.Add("relation a 9e18\nrelation b 1\njoin a b distinct 1e-300 1e300\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseString(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid query: %v", err)
+		}
+		first := Format(q)
+		q2, err := ParseString(first)
+		if err != nil {
+			t.Fatalf("Format produced unparseable DSL: %v\n----\n%s", err, first)
+		}
+		second := Format(q2)
+		if first != second {
+			t.Fatalf("print->parse->print not a fixed point:\n--- first\n%s\n--- second\n%s", first, second)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/plan"
+	"joinopt/internal/telemetry"
 )
 
 // Genetic algorithm over valid join orders — the third classical
@@ -95,6 +96,12 @@ func Genetic(s *Space, cfg GAConfig, onBest func(plan.Perm, float64)) (plan.Perm
 				}
 			}
 			c := eval.Cost(child)
+			if tr := s.Trace; tr != nil {
+				// Offspring are the GA's move proposals; there is no
+				// per-proposal accept/reject — truncation selection at
+				// the next generation plays that role.
+				tr.EmitCost(telemetry.EvMoveProposed, budget.Used(), c, "")
+			}
 			pop[i] = chromosome{child, c}
 			offer(child, c)
 		}

@@ -1,6 +1,9 @@
 package search
 
-import "joinopt/internal/plan"
+import (
+	"joinopt/internal/plan"
+	"joinopt/internal/telemetry"
+)
 
 // IIConfig tunes a single run of iterative improvement.
 type IIConfig struct {
@@ -51,19 +54,29 @@ func ImproveRunObserved(s *Space, cfg IIConfig, start plan.Perm, startCost float
 	threshold := cfg.rejectThreshold(len(cur))
 	rejects := 0
 	budget := s.Evaluator().Budget()
+	tr := s.Trace
 	for rejects < threshold && !budget.Exhausted() {
 		next, nextCost, ok := s.Neighbor(cur)
 		if !ok {
 			break // no valid neighbor reachable; cur is effectively a local minimum
 		}
+		if tr != nil {
+			tr.EmitCost(telemetry.EvMoveProposed, budget.Used(), nextCost, "")
+		}
 		if nextCost < curCost {
 			cur, curCost = next, nextCost
 			rejects = 0
+			if tr != nil {
+				tr.EmitCost(telemetry.EvMoveAccepted, budget.Used(), curCost, "")
+			}
 			if onAccept != nil {
 				onAccept(cur, curCost)
 			}
 		} else {
 			rejects++
+			if tr != nil {
+				tr.Emit(telemetry.EvMoveRejected, budget.Used(), "")
+			}
 		}
 	}
 	return cur, curCost

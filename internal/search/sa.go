@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"joinopt/internal/plan"
+	"joinopt/internal/telemetry"
 )
 
 // SAConfig tunes simulated annealing per the variant of Johnson, Aragon,
@@ -92,6 +93,7 @@ func AnnealObserved(s *Space, cfg SAConfig, start plan.Perm, startCost float64, 
 	frozen := 0
 	rng := s.RNG()
 
+	tr := s.Trace
 	for frozen < cfg.FrozenChains && !budget.Exhausted() {
 		accepted := 0
 		improvedBest := false
@@ -100,10 +102,16 @@ func AnnealObserved(s *Space, cfg SAConfig, start plan.Perm, startCost float64, 
 			if !ok {
 				continue
 			}
+			if tr != nil {
+				tr.EmitCost(telemetry.EvMoveProposed, budget.Used(), nextCost, "")
+			}
 			delta := nextCost - curCost
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 				cur, curCost = next, nextCost
 				accepted++
+				if tr != nil {
+					tr.EmitCost(telemetry.EvMoveAccepted, budget.Used(), curCost, "")
+				}
 				if curCost < bestCost {
 					best, bestCost = cur.Clone(), curCost
 					improvedBest = true
@@ -111,6 +119,8 @@ func AnnealObserved(s *Space, cfg SAConfig, start plan.Perm, startCost float64, 
 						onBest(best, bestCost)
 					}
 				}
+			} else if tr != nil {
+				tr.Emit(telemetry.EvMoveRejected, budget.Used(), "")
 			}
 		}
 		ratio := float64(accepted) / float64(chainLength)

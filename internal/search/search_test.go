@@ -11,36 +11,11 @@ import (
 	"joinopt/internal/estimate"
 	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
+	"joinopt/internal/testutil"
 )
 
-// randomQuery builds a random connected query with n relations.
-func randomQuery(rng *rand.Rand, n int) *catalog.Query {
-	q := &catalog.Query{}
-	for i := 0; i < n; i++ {
-		q.Relations = append(q.Relations, catalog.Relation{Cardinality: int64(2 + rng.Intn(2000))})
-	}
-	for i := 1; i < n; i++ {
-		q.Predicates = append(q.Predicates, catalog.Predicate{
-			Left: catalog.RelID(rng.Intn(i)), Right: catalog.RelID(i),
-			LeftDistinct:  float64(1 + rng.Intn(200)),
-			RightDistinct: float64(1 + rng.Intn(200)),
-		})
-	}
-	for k := 0; k < n/4; k++ {
-		a, b := rng.Intn(n), rng.Intn(n)
-		if a != b {
-			q.Predicates = append(q.Predicates, catalog.Predicate{
-				Left: catalog.RelID(a), Right: catalog.RelID(b),
-				LeftDistinct: 7, RightDistinct: 7,
-			})
-		}
-	}
-	q.Normalize()
-	return q
-}
-
 func newSpace(rng *rand.Rand, n int, budget *cost.Budget) *Space {
-	q := randomQuery(rng, n)
+	q := testutil.RandomQuery(rng, n)
 	g := joingraph.New(q)
 	st := estimate.NewStats(q, g)
 	if budget == nil {

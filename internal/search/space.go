@@ -10,6 +10,7 @@ import (
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/plan"
+	"joinopt/internal/telemetry"
 )
 
 // MoveKind enumerates the move set. Per [SG88], a move perturbs a
@@ -41,6 +42,12 @@ type Space struct {
 	// giving up (the state is then reported to have no reachable
 	// neighbor this round).
 	MaxProposals int
+	// Trace, when non-nil, receives move-level search events stamped
+	// with the budget meter (telemetry's work-unit clock). The nil
+	// default is the zero-overhead fast path: every emission site
+	// guards with a plain nil check, so disabled tracing costs one
+	// predictable branch per event site.
+	Trace *telemetry.Tracer
 
 	scratch plan.Perm
 	inSet   []bool

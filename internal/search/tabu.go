@@ -5,6 +5,7 @@ import (
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/plan"
+	"joinopt/internal/telemetry"
 )
 
 // Tabu search over valid join orders (after Morzy, Matysiak & Salza,
@@ -87,6 +88,7 @@ func Tabu(s *Space, cfg TabuConfig, onBest func(plan.Perm, float64)) (plan.Perm,
 		}
 	}
 
+	tr := s.Trace
 	sinceBest := 0
 	for !budget.Exhausted() {
 		// Sample candidate swaps; keep the best admissible one.
@@ -108,6 +110,9 @@ func Tabu(s *Space, cfg TabuConfig, onBest func(plan.Perm, float64)) (plan.Perm,
 				continue
 			}
 			c := eval.Cost(cand)
+			if tr != nil {
+				tr.EmitCost(telemetry.EvMoveProposed, budget.Used(), c, "")
+			}
 			pair := mkPair(cand[i], cand[j])
 			tabu := tabuSet[pair] > 0
 			// Aspiration: a tabu move that beats the incumbent is
@@ -125,6 +130,9 @@ func Tabu(s *Space, cfg TabuConfig, onBest func(plan.Perm, float64)) (plan.Perm,
 		} else {
 			pushTabu(mkPair(bestCand[bestIdx], bestCand[bestJdx]))
 			cur, curCost = bestCand, bestCandCost
+			if tr != nil {
+				tr.EmitCost(telemetry.EvMoveAccepted, budget.Used(), curCost, "")
+			}
 			if curCost < bestCost {
 				best, bestCost = cur.Clone(), curCost
 				sinceBest = 0
@@ -138,6 +146,9 @@ func Tabu(s *Space, cfg TabuConfig, onBest func(plan.Perm, float64)) (plan.Perm,
 		if sinceBest >= stall && !budget.Exhausted() {
 			cur = s.RandomState()
 			curCost = eval.Cost(cur)
+			if tr != nil {
+				tr.Emit(telemetry.EvRestart, budget.Used(), "tabu-stall")
+			}
 			if curCost < bestCost {
 				best, bestCost = cur.Clone(), curCost
 				if onBest != nil {

@@ -49,6 +49,7 @@ import (
 	"joinopt/internal/plancache"
 	"joinopt/internal/qdsl"
 	"joinopt/internal/qfile"
+	"joinopt/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value selects production-ish
@@ -87,6 +88,12 @@ type Config struct {
 	// CacheHandle injects a prebuilt cache (shared across servers, or
 	// instrumented in tests).
 	CacheHandle *plancache.Cache
+	// Metrics, if non-nil, receives the server's and cache's counters
+	// and a budget-consumption histogram, and enables the GET /metrics
+	// endpoint (Prometheus text exposition). nil disables both — the
+	// hot path then carries no metrics overhead beyond the existing
+	// atomics.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -126,6 +133,9 @@ type Server struct {
 	inFlight  atomic.Int64  // HTTP requests inside /optimize
 	optimizes atomic.Uint64 // optimizer runs started (cache misses that won capacity)
 	shed      atomic.Uint64 // 503s issued by the limiter
+
+	metrics     *telemetry.Registry
+	budgetUsedH *telemetry.Histogram // work units consumed per optimizer run
 }
 
 // New builds a server.
@@ -135,13 +145,38 @@ func New(cfg Config) *Server {
 	if cache == nil {
 		cache = plancache.New(cfg.Cache)
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		cache: cache,
 		sem:   newSemaphore(cfg.MaxInFlightJoins),
 		//ljqlint:allow detrand -- serving-layer uptime bookkeeping; the seeded optimizer trajectory never observes it
 		start: time.Now(),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		s.metrics = reg
+		reg.CounterFunc("ljq_optimizations_total", "Optimizer runs started (cache misses that won limiter capacity).", s.optimizes.Load)
+		reg.CounterFunc("ljq_shed_total", "Requests shed with 503 by the concurrency limiter.", s.shed.Load)
+		reg.GaugeFunc("ljq_inflight_requests", "HTTP requests currently inside /optimize.", func() float64 {
+			return float64(s.inFlight.Load())
+		})
+		reg.GaugeFunc("ljq_inflight_joins", "Join-weighted limiter units currently held.", func() float64 {
+			return float64(s.sem.InUse())
+		})
+		reg.GaugeFunc("ljq_queued_requests", "Requests queued for limiter capacity.", func() float64 {
+			return float64(s.sem.Waiting())
+		})
+		reg.GaugeFunc("ljq_capacity_joins", "Limiter capacity in join units.", func() float64 {
+			return float64(s.sem.Capacity())
+		})
+		// Budget units scale as t·N²·UnitScale, so exponential buckets
+		// spanning a 3-relation toy query (~400 units at t=9) up to a
+		// 100-relation monster (~4.5M) cover the service envelope.
+		s.budgetUsedH = reg.Histogram("ljq_optimize_budget_used_units",
+			"Work units consumed per optimizer run.",
+			telemetry.ExpBuckets(256, 4, 10))
+		cache.RegisterMetrics(reg, "ljq_plancache")
+	}
+	return s
 }
 
 // Cache exposes the plan cache (tests, expvar wiring).
@@ -156,7 +191,22 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if s.metrics != nil {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+	}
 	return mux
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format. Only routed when Config.Metrics is set.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Write errors mean the scraper went away mid-response.
+	_ = s.metrics.WritePrometheus(w)
 }
 
 // OptimizeResponse is the JSON body of a successful POST /optimize.
@@ -318,6 +368,7 @@ func (s *Server) optimize(ctx context.Context, fp fingerprint.Fingerprint, cq *c
 		// defensive about future regressions.
 		return nil, runErr
 	}
+	s.budgetUsedH.Observe(float64(budget.Used())) // nil-safe no-op when metrics are off
 	// A recovered strategy panic still yields a valid (degraded) plan;
 	// serve it — the plancache's admission policy keeps degraded plans
 	// out of the cache.

@@ -15,6 +15,7 @@ import (
 	"joinopt/internal/catalog"
 	"joinopt/internal/plancache"
 	"joinopt/internal/qfile"
+	"joinopt/internal/telemetry"
 	"joinopt/internal/workload"
 )
 
@@ -449,5 +450,73 @@ func BenchmarkOptimizeMiss(b *testing.B) {
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status %d", rec.Code)
 		}
+	}
+}
+
+// TestMetricsEndpoint is the observability smoke contract (CI's
+// ljqd-smoke job scrapes the live daemon the same way): with
+// Config.Metrics set, GET /metrics serves Prometheus text exposition
+// containing the core server and cache series, and the counters move
+// with traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_, ts := newTestServer(t, Config{Metrics: reg})
+
+	// Without traffic the gauges exist but counters are zero.
+	q := workload.Default().Generate(12, rand.New(rand.NewSource(7)))
+	body := queryBody(t, q)
+	if resp, _ := postOptimize(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: status %d", resp.StatusCode)
+	}
+	if resp, _ := postOptimize(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize (hit): status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	for _, series := range []string{
+		"ljq_optimizations_total 1",
+		"ljq_plancache_hits_total 1",
+		"ljq_plancache_misses_total 1",
+		"ljq_plancache_entries 1",
+		"ljq_shed_total 0",
+		"ljq_optimize_budget_used_units_count 1",
+		"ljq_inflight_requests 0",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics missing %q\n----\n%s", series, text)
+		}
+	}
+	if !strings.Contains(text, "# TYPE ljq_optimize_budget_used_units histogram") {
+		t.Errorf("/metrics missing histogram TYPE line\n----\n%s", text)
+	}
+}
+
+// TestMetricsDisabled: without Config.Metrics the endpoint is not
+// routed at all.
+func TestMetricsDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics without registry: status %d, want 404", resp.StatusCode)
 	}
 }

@@ -1,0 +1,440 @@
+// Package telemetry is the reproduction's deterministic observability
+// layer: metrics (atomic counters, gauges and fixed-bucket histograms
+// in a sharded registry with Prometheus-text export) and a
+// budget-indexed search tracer (see tracer.go).
+//
+// Two properties distinguish it from an off-the-shelf metrics library:
+//
+//   - Dependency-free: only the standard library. The whole repository
+//     builds without external modules, and telemetry keeps it that way.
+//   - Deterministic: nothing in this package reads the wall clock or
+//     draws randomness. Trace events are stamped with optimization
+//     *work units* (cost.Budget.Used()), not timestamps, so two runs of
+//     the same seed and budget produce byte-identical traces; the
+//     Prometheus rendering sorts metric names, so two scrapes of
+//     identical counter states produce byte-identical text.
+//
+// The zero-overhead contract: a nil *Tracer is a valid tracer whose
+// methods do nothing, and hot paths additionally guard emissions with a
+// plain nil check so the disabled path costs one predictable branch —
+// bench_test.go's strategy benchmarks are the regression gate.
+package telemetry
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------
+// Metric primitives
+
+// Counter is a monotonically increasing atomic counter. The nil counter
+// is valid and discards updates (the same zero-overhead contract as the
+// nil tracer).
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The nil gauge discards
+// updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram: upper bounds are
+// chosen at construction and never change, so Observe is a binary
+// search plus two atomic adds — no locks, no allocation. Non-finite
+// observations (NaN, ±Inf) are not representable in a float sum and are
+// diverted to a drop counter instead of poisoning the distribution.
+// The nil histogram discards observations.
+type Histogram struct {
+	uppers  []float64 // sorted bucket upper bounds (exclusive of +Inf)
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	dropped atomic.Uint64
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	us := append([]float64(nil), uppers...)
+	sort.Float64s(us)
+	return &Histogram{
+		uppers: us,
+		counts: make([]atomic.Uint64, len(us)+1), // +1 for the +Inf bucket
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped.Add(1)
+		return
+	}
+	// First bucket whose upper bound is >= v (Prometheus `le` buckets).
+	h.counts[sort.SearchFloat64s(h.uppers, v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of (finite) observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Dropped returns the number of non-finite observations diverted away
+// from the distribution.
+func (h *Histogram) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// sampler renders one registered metric's sample lines.
+type sampler interface {
+	sample(b *strings.Builder, fullName string)
+}
+
+type registered struct {
+	fullName string // possibly with a literal {label="..."} suffix
+	baseName string // fullName with the label suffix stripped
+	typ      metricType
+	help     string
+	s        sampler
+}
+
+// registryShards is the shard count of the registry's name index: a
+// small power of two so concurrent registration and scraping from many
+// goroutines contend on different locks. Metric *updates* never touch
+// the registry at all — they are atomics on the metric itself.
+const registryShards = 16
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Create with NewRegistry; safe for concurrent use.
+//
+// Names may carry a literal label suffix (`requests_total{code="200"}`);
+// HELP/TYPE headers are emitted once per base name. Histograms must be
+// label-free (their sample lines synthesize the `le` label).
+type Registry struct {
+	shards [registryShards]regShard
+}
+
+type regShard struct {
+	mu      sync.Mutex
+	metrics map[string]*registered
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].metrics = make(map[string]*registered)
+	}
+	return r
+}
+
+func (r *Registry) shardOf(name string) *regShard {
+	// FNV-1a over the name selects the shard.
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &r.shards[h&(registryShards-1)]
+}
+
+// register get-or-creates a metric entry. make is called under the
+// shard lock to build the metric on first registration.
+func (r *Registry) register(name, help string, typ metricType, make func() sampler) sampler {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	s := r.shardOf(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if got, ok := s.metrics[name]; ok {
+		if got.typ != typ {
+			panic("telemetry: metric " + name + " re-registered as " + typ.String() +
+				" (was " + got.typ.String() + ")")
+		}
+		return got.s
+	}
+	reg := &registered{
+		fullName: name,
+		baseName: baseName(name),
+		typ:      typ,
+		help:     help,
+		s:        make(),
+	}
+	s.metrics[name] = reg
+	return reg.s
+}
+
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter get-or-creates a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, func() sampler { return &Counter{} }).(*Counter)
+}
+
+// Gauge get-or-creates a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, func() sampler { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram get-or-creates a fixed-bucket histogram with the given
+// upper bounds (an implicit +Inf bucket is always appended). The bounds
+// of an existing histogram are not changed.
+func (r *Registry) Histogram(name, help string, uppers []float64) *Histogram {
+	if strings.IndexByte(name, '{') >= 0 {
+		panic("telemetry: histogram " + name + " must be label-free")
+	}
+	return r.register(name, help, typeHistogram, func() sampler { return newHistogram(uppers) }).(*Histogram)
+}
+
+// counterFunc adapts an external atomic (e.g. a plancache stat) into a
+// scraped counter.
+type counterFunc struct{ fn func() uint64 }
+
+// gaugeFunc adapts an external value into a scraped gauge.
+type gaugeFunc struct{ fn func() float64 }
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for subsystems that already keep their own atomic
+// counters (plancache, serve). fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, typeCounter, func() sampler { return counterFunc{fn} })
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time. fn must be
+// safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeGauge, func() sampler { return gaugeFunc{fn} })
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text rendering
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, sorted by name so identical metric states
+// render byte-identically.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var all []*registered
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		//ljqlint:allow detrand -- collection into a slice that is sorted immediately below; the map visit order cannot reach the output
+		for _, reg := range s.metrics {
+			all = append(all, reg)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].baseName != all[j].baseName {
+			return all[i].baseName < all[j].baseName
+		}
+		return all[i].fullName < all[j].fullName
+	})
+
+	var b strings.Builder
+	prevBase := ""
+	for _, reg := range all {
+		if reg.baseName != prevBase {
+			b.WriteString("# HELP ")
+			b.WriteString(reg.baseName)
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(reg.help, "\n", " "))
+			b.WriteByte('\n')
+			b.WriteString("# TYPE ")
+			b.WriteString(reg.baseName)
+			b.WriteByte(' ')
+			b.WriteString(reg.typ.String())
+			b.WriteByte('\n')
+			prevBase = reg.baseName
+		}
+		reg.s.sample(&b, reg.fullName)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Counter) sample(b *strings.Builder, fullName string) {
+	b.WriteString(fullName)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.Value(), 10))
+	b.WriteByte('\n')
+}
+
+func (g *Gauge) sample(b *strings.Builder, fullName string) {
+	b.WriteString(fullName)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(g.Value(), 10))
+	b.WriteByte('\n')
+}
+
+func (f counterFunc) sample(b *strings.Builder, fullName string) {
+	b.WriteString(fullName)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(f.fn(), 10))
+	b.WriteByte('\n')
+}
+
+func (f gaugeFunc) sample(b *strings.Builder, fullName string) {
+	b.WriteString(fullName)
+	b.WriteByte(' ')
+	b.WriteString(FormatFloat(f.fn()))
+	b.WriteByte('\n')
+}
+
+func (h *Histogram) sample(b *strings.Builder, fullName string) {
+	var cum uint64
+	writeBucket := func(le string, v uint64) {
+		b.WriteString(fullName)
+		b.WriteString(`_bucket{le="`)
+		b.WriteString(le)
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatUint(v, 10))
+		b.WriteByte('\n')
+	}
+	for i, ub := range h.uppers {
+		cum += h.counts[i].Load()
+		writeBucket(FormatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	writeBucket("+Inf", cum)
+	b.WriteString(fullName)
+	b.WriteString("_sum ")
+	b.WriteString(FormatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(fullName)
+	b.WriteString("_count ")
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// FormatFloat renders a float the way the trace and metrics output do:
+// shortest round-trippable decimal, with Prometheus-style spellings for
+// the non-finite values.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExpBuckets returns n exponential histogram bucket bounds starting at
+// start and multiplying by factor — the standard shape for work-unit
+// and size distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+	// Get-or-create returns the same instance.
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("counter re-registration returned a different instance")
+	}
+	if r.Gauge("g", "a gauge") != g {
+		t.Fatal("gauge re-registration returned a different instance")
+	}
+}
+
+func TestNilMetricsAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Dropped() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "h")
+}
+
+func TestHistogramBucketsAndDrops(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", h.Dropped())
+	}
+	if got, want := h.Sum(), 0.5+1+5+50+500; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,    // 0.5 and 1 (le is inclusive)
+		`lat_bucket{le="10"} 3`,   // +5
+		`lat_bucket{le="100"} 4`,  // +50
+		`lat_bucket{le="+Inf"} 5`, // +500
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusRenderingSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{code="503"}`, "requests").Add(2)
+	r.Counter(`req_total{code="200"}`, "requests").Add(9)
+	r.Gauge("a_gauge", "alpha").Set(-3)
+	r.CounterFunc("zfunc_total", "from a func", func() uint64 { return 42 })
+	r.GaugeFunc("fgauge", "float gauge", func() float64 { return 2.5 })
+
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("two scrapes of identical state differ:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	// Labelled variants share one HELP/TYPE header and sort by label.
+	if strings.Count(out, "# TYPE req_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE header for req_total:\n%s", out)
+	}
+	i200 := strings.Index(out, `req_total{code="200"} 9`)
+	i503 := strings.Index(out, `req_total{code="503"} 2`)
+	if i200 < 0 || i503 < 0 || i200 > i503 {
+		t.Fatalf("labelled samples missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "zfunc_total 42") || !strings.Contains(out, "fgauge 2.5") {
+		t.Fatalf("func metrics missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a_gauge -3") {
+		t.Fatalf("gauge missing:\n%s", out)
+	}
+}
+
+// TestRegistryConcurrency is the satellite concurrency test: 32 writers
+// hammer counters, gauges, histograms and registration while a scraper
+// renders — run under -race in CI.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const writers = 32
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Errorf("writer panicked: %v", rec)
+				}
+				wg.Done()
+			}()
+			c := r.Counter("shared_total", "shared counter")
+			g := r.Gauge("shared_gauge", "shared gauge")
+			h := r.Histogram("shared_hist", "shared histogram", []float64{10, 100, 1000})
+			own := r.Counter("own_total{w=\""+string(rune('a'+w%26))+"\"}", "per-writer counter")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i))
+				own.Inc()
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Errorf("scrape: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "shared counter").Value(); got != writers*perWriter {
+		t.Fatalf("shared counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Gauge("shared_gauge", "shared gauge").Value(); got != writers*perWriter {
+		t.Fatalf("shared gauge = %d, want %d", got, writers*perWriter)
+	}
+	h := r.Histogram("shared_hist", "shared histogram", []float64{10, 100, 1000})
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	// Each writer observes 0..perWriter-1, so the sum is exact in
+	// float64 (all integers well under 2^53) regardless of order.
+	want := float64(writers) * float64(perWriter*(perWriter-1)) / 2
+	if math.Abs(h.Sum()-want) > 0.5 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(100, 10, 4)
+	want := []float64{100, 1000, 10000, 100000}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{2.5, "2.5"},
+		{1e21, "1e+21"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := FormatFloat(math.NaN()); got != "NaN" {
+		t.Fatalf("FormatFloat(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies one search-trace event. The taxonomy covers the
+// paper's search dynamics (moves, restarts, incumbent improvements),
+// the anytime contract (degradation steps), and the serving layer's
+// cache (hit/miss/singleflight-coalesce).
+type EventKind uint8
+
+const (
+	// EvStrategyStart marks the start of one strategy run over one
+	// join-graph component; the label names the strategy.
+	EvStrategyStart EventKind = iota
+	// EvStrategyEnd marks the end of the run; the cost is the
+	// component incumbent at the stop point (+Inf if none).
+	EvStrategyEnd
+	// EvMoveProposed is a valid neighbor proposal, priced.
+	EvMoveProposed
+	// EvMoveAccepted is a proposal the strategy moved to.
+	EvMoveAccepted
+	// EvMoveRejected is a proposal the strategy declined.
+	EvMoveRejected
+	// EvRestart is a restart from a fresh start state (II's next start,
+	// tabu's stall restart, the perturbation walk's dead ends).
+	EvRestart
+	// EvImprove is an improvement of the component incumbent.
+	EvImprove
+	// EvDegrade is one step of the anytime degradation ladder (fallback
+	// state generation, or the final plan-level degradation verdict);
+	// the label carries the reason.
+	EvDegrade
+	// EvCacheHit / EvCacheMiss / EvCacheCoalesce are plan-cache lookup
+	// outcomes; the label carries the short fingerprint.
+	EvCacheHit
+	EvCacheMiss
+	EvCacheCoalesce
+
+	numEventKinds
+)
+
+// NumEventKinds is the number of distinct event kinds; Counts returns
+// an array of this length, indexed by EventKind.
+const NumEventKinds = int(numEventKinds)
+
+var eventNames = [numEventKinds]string{
+	EvStrategyStart: "strategy-start",
+	EvStrategyEnd:   "strategy-end",
+	EvMoveProposed:  "move-proposed",
+	EvMoveAccepted:  "move-accepted",
+	EvMoveRejected:  "move-rejected",
+	EvRestart:       "restart",
+	EvImprove:       "improve",
+	EvDegrade:       "degrade",
+	EvCacheHit:      "cache-hit",
+	EvCacheMiss:     "cache-miss",
+	EvCacheCoalesce: "cache-coalesce",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k >= numEventKinds {
+		return "event(" + strconv.Itoa(int(k)) + ")"
+	}
+	return eventNames[k]
+}
+
+// Event is one trace record. Units is the emitter's budget consumption
+// (cost.Budget.Used()) at emission time — the deterministic substitute
+// for a timestamp: the same seed and budget reproduce the same unit
+// stamps byte for byte, where wall-clock stamps never would.
+type Event struct {
+	// Seq is the tracer-local emission index (monotonic, starts at 0),
+	// preserved across ring-buffer overwrites so dumps show how far
+	// into the run the retained window starts.
+	Seq uint64
+	// Units is the budget meter reading at emission.
+	Units int64
+	// Kind classifies the event.
+	Kind EventKind
+	// Cost is the event's cost payload when HasCost is set (a proposal
+	// price, an incumbent, a strategy's final best).
+	Cost    float64
+	HasCost bool
+	// Label carries deterministic context: a strategy name, a degrade
+	// reason, a fingerprint prefix. Never a timestamp or address.
+	Label string
+}
+
+// DefaultTraceCapacity is the ring size NewTracer uses for capacity <= 0.
+const DefaultTraceCapacity = 4096
+
+// Tracer is a bounded, budget-indexed event recorder. The ring keeps
+// the most recent capacity events (older ones are counted, not kept);
+// per-kind totals are exact regardless of drops.
+//
+// All methods are safe on a nil *Tracer (they do nothing and return
+// zeros) — the disabled-tracing fast path is a nil check. A non-nil
+// tracer is safe for concurrent use; note that events emitted from
+// multiple goroutines interleave in lock order, so the byte-identical
+// determinism guarantee applies to single-goroutine runs (one
+// optimizer, one budget), which is exactly how `ljqopt -trace` and the
+// determinism tests use it.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest retained event
+	n       int // number of retained events
+	seq     uint64
+	dropped uint64
+	counts  [numEventKinds]uint64
+}
+
+// NewTracer returns a tracer retaining up to capacity events
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Emit records a cost-less event.
+func (t *Tracer) Emit(kind EventKind, units int64, label string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Units: units, Kind: kind, Label: label})
+}
+
+// EmitCost records an event carrying a cost payload.
+func (t *Tracer) EmitCost(kind EventKind, units int64, cost float64, label string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Units: units, Kind: kind, Cost: cost, HasCost: true, Label: label})
+}
+
+func (t *Tracer) push(e Event) {
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	if e.Kind < numEventKinds {
+		t.counts[e.Kind]++
+	}
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = e
+		t.n++
+	} else {
+		t.buf[t.start] = e
+		t.start = (t.start + 1) % len(t.buf)
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many events fell off the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Count returns the exact number of events of the kind emitted over the
+// tracer's lifetime (drops included).
+func (t *Tracer) Count(kind EventKind) uint64 {
+	if t == nil || kind >= numEventKinds {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[kind]
+}
+
+// Counts returns the per-kind lifetime totals, indexed by EventKind.
+// The return type is a comparable array so two snapshots can be
+// checked for equality directly (the determinism tests do).
+func (t *Tracer) Counts() [NumEventKinds]uint64 {
+	if t == nil {
+		return [NumEventKinds]uint64{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts
+}
+
+// Reset clears the ring, the sequence counter and the per-kind totals.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.start, t.n, t.seq, t.dropped = 0, 0, 0, 0
+	t.counts = [numEventKinds]uint64{}
+	t.mu.Unlock()
+}
+
+// WriteText renders a human-readable dump: a header, one line per
+// retained event (sequence, unit stamp, kind, payload), and a per-kind
+// summary. Output is a pure function of the recorded events — no
+// wall-clock, no addresses — so identical runs dump identically.
+func (t *Tracer) WriteText(w io.Writer) error {
+	var b strings.Builder
+	if t == nil {
+		b.WriteString("trace: disabled\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	events := t.Events()
+	t.mu.Lock()
+	dropped := t.dropped
+	counts := t.counts
+	t.mu.Unlock()
+
+	b.WriteString("trace: ")
+	b.WriteString(strconv.Itoa(len(events)))
+	b.WriteString(" events retained, ")
+	b.WriteString(strconv.FormatUint(dropped, 10))
+	b.WriteString(" dropped (ring capacity ")
+	b.WriteString(strconv.Itoa(len(t.buf)))
+	b.WriteString(")\n")
+	for _, e := range events {
+		b.WriteByte('#')
+		pad(&b, strconv.FormatUint(e.Seq, 10), 6)
+		b.WriteString("  [")
+		pad(&b, strconv.FormatInt(e.Units, 10), 9)
+		b.WriteString("u] ")
+		name := e.Kind.String()
+		b.WriteString(name)
+		for i := len(name); i < 15; i++ {
+			b.WriteByte(' ')
+		}
+		if e.HasCost {
+			b.WriteString(" cost=")
+			b.WriteString(FormatFloat(e.Cost))
+		}
+		if e.Label != "" {
+			b.WriteByte(' ')
+			b.WriteString(e.Label)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("totals:")
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		b.WriteByte(' ')
+		b.WriteString(k.String())
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(counts[k], 10))
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// pad right-aligns s to width with spaces.
+func pad(b *strings.Builder, s string, width int) {
+	for i := len(s); i < width; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteString(s)
+}

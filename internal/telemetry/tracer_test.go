@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(EvRestart, 1, "x")
+	tr.EmitCost(EvImprove, 2, 3.5, "")
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Count(EvImprove) != 0 {
+		t.Fatal("nil tracer must read as zero")
+	}
+	if ev := tr.Events(); ev != nil {
+		t.Fatalf("nil tracer events = %v", ev)
+	}
+	var b strings.Builder
+	if err := tr.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "disabled") {
+		t.Fatalf("nil dump = %q", b.String())
+	}
+}
+
+func TestTracerOrderAndPayloads(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(EvStrategyStart, 0, "IAI")
+	tr.EmitCost(EvMoveProposed, 4, 10.5, "")
+	tr.EmitCost(EvMoveAccepted, 4, 10.5, "")
+	tr.EmitCost(EvImprove, 4, 10.5, "")
+	tr.Emit(EvMoveRejected, 8, "")
+	ev := tr.Events()
+	if len(ev) != 5 {
+		t.Fatalf("len = %d, want 5", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if ev[0].Kind != EvStrategyStart || ev[0].Label != "IAI" || ev[0].HasCost {
+		t.Fatalf("bad first event %+v", ev[0])
+	}
+	if !ev[1].HasCost || ev[1].Units != 4 {
+		t.Fatalf("bad proposal event %+v", ev[1])
+	}
+	if tr.Count(EvMoveProposed) != 1 || tr.Count(EvImprove) != 1 {
+		t.Fatal("per-kind counts wrong")
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvMoveRejected, int64(i), "")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	if tr.Count(EvMoveRejected) != 10 {
+		t.Fatalf("lifetime count = %d, want 10", tr.Count(EvMoveRejected))
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("retained event %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Emit(EvRestart, 1, "")
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Count(EvRestart) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	tr.Emit(EvRestart, 1, "")
+	if tr.Events()[0].Seq != 0 {
+		t.Fatal("sequence not reset")
+	}
+}
+
+// TestTracerDumpDeterminism: identical event streams must render
+// byte-identically (the per-run half of the determinism contract; the
+// cross-run half lives in internal/core's trace tests).
+func TestTracerDumpDeterminism(t *testing.T) {
+	mk := func() *Tracer {
+		tr := NewTracer(8)
+		tr.Emit(EvStrategyStart, 0, "II")
+		tr.EmitCost(EvImprove, 12, 99.25, "")
+		tr.Emit(EvRestart, 40, "")
+		tr.EmitCost(EvStrategyEnd, 80, 99.25, "II")
+		return tr
+	}
+	var b1, b2 strings.Builder
+	if err := mk().WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("dumps differ:\n%s---\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	for _, want := range []string{"strategy-start", "improve", "cost=99.25", "totals:", "restart=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracerConcurrency: concurrent emitters under -race; lifetime
+// counts must be exact even with ring drops.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	const writers = 32
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Errorf("emitter panicked: %v", rec)
+				}
+				wg.Done()
+			}()
+			for i := 0; i < per; i++ {
+				tr.EmitCost(EvMoveProposed, int64(i), float64(i), "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Count(EvMoveProposed); got != writers*per {
+		t.Fatalf("count = %d, want %d", got, writers*per)
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("retained = %d, want 64", tr.Len())
+	}
+	if got := tr.Dropped(); got != writers*per-64 {
+		t.Fatalf("dropped = %d, want %d", got, writers*per-64)
+	}
+}

@@ -1,0 +1,88 @@
+// Package testutil holds the seeded query/catalog builders shared by
+// the test suites of search, heuristics, dp and core. Before it
+// existed each package carried its own near-identical copy of
+// randomQuery/staticEval; the copies had drifted in cosmetic ways
+// (edge-density constants, distinct-value ranges) that none of the
+// callers — all property tests over *valid* random inputs — actually
+// depended on. This package is the single canonical version.
+//
+// Everything here is deterministic in the caller-supplied *rand.Rand:
+// no global randomness, no wall-clock, so the builders are safe inside
+// the repo's byte-identical-trace determinism tests.
+package testutil
+
+import (
+	"math/rand"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/cost"
+	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
+	"joinopt/internal/plan"
+	"joinopt/internal/workload"
+)
+
+// RandomQuery builds a random *connected* query with n relations: a
+// random spanning tree (edge i attaches relation i to a random earlier
+// relation) plus about n/4 extra edges, giving graphs that range from
+// trees to moderately cyclic — the regime the paper's strategies are
+// exercised in. Cardinalities are 2..2001, per-side distinct values
+// 1..200.
+func RandomQuery(rng *rand.Rand, n int) *catalog.Query {
+	q := &catalog.Query{}
+	for i := 0; i < n; i++ {
+		q.Relations = append(q.Relations, catalog.Relation{Cardinality: int64(2 + rng.Intn(2000))})
+	}
+	for i := 1; i < n; i++ {
+		q.Predicates = append(q.Predicates, catalog.Predicate{
+			Left: catalog.RelID(rng.Intn(i)), Right: catalog.RelID(i),
+			LeftDistinct:  float64(1 + rng.Intn(200)),
+			RightDistinct: float64(1 + rng.Intn(200)),
+		})
+	}
+	for k := 0; k < n/4; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			q.Predicates = append(q.Predicates, catalog.Predicate{
+				Left: catalog.RelID(a), Right: catalog.RelID(b),
+				LeftDistinct: 7, RightDistinct: 7,
+			})
+		}
+	}
+	q.Normalize()
+	return q
+}
+
+// BenchQuery generates the workload-model query used by core's
+// benchmarks and integration tests (the paper's relation-class mix).
+func BenchQuery(n int, seed int64) *catalog.Query {
+	return workload.Default().Generate(n, rand.New(rand.NewSource(seed)))
+}
+
+// Eval wires q into a memory-model evaluator with an unlimited budget
+// and returns it with the first (usually only) connected component.
+func Eval(q *catalog.Query) (*plan.Evaluator, []catalog.RelID) {
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	return eval, g.Components()[0]
+}
+
+// StaticEval is Eval with the estimator pinned to static selectivity
+// mode — the order-independent regime required for dp.Optimal to be an
+// exact oracle.
+func StaticEval(q *catalog.Query) (*plan.Evaluator, []catalog.RelID) {
+	q.Normalize()
+	g := joingraph.New(q)
+	st := estimate.NewStats(q, g)
+	st.UseStaticSelectivity()
+	eval := plan.NewEvaluator(st, cost.NewMemoryModel(), cost.Unlimited())
+	return eval, g.Components()[0]
+}
+
+// StaticRandomEval composes RandomQuery and StaticEval: a static-mode
+// evaluator over a fresh random connected query.
+func StaticRandomEval(rng *rand.Rand, n int) (*plan.Evaluator, []catalog.RelID) {
+	return StaticEval(RandomQuery(rng, n))
+}
