@@ -1,11 +1,16 @@
 // Command ljqd is the join-order optimizer daemon: it serves
 // optimization over HTTP, amortizing the paper's N²-budget search
 // across repeated query shapes through a canonical-fingerprint plan
-// cache with request coalescing.
+// cache with request coalescing — and, with -cache-dir, across
+// process restarts through a crash-safe journal + snapshot store.
 //
 // Usage:
 //
 //	ljqd -addr :8080 -method IAI -cost memory -t 9
+//
+//	# durable plan cache: recover on start, journal admissions,
+//	# snapshot periodically and on SIGTERM drain
+//	ljqd -cache-dir /var/lib/ljqd
 //
 //	# optimize a JSON query (the cmd/ljqgen / internal/qfile format)
 //	ljqgen -n 20 | curl -s --data-binary @- localhost:8080/optimize
@@ -13,8 +18,14 @@
 //	# optimize a DSL query (see internal/qdsl)
 //	curl -s --data-binary @q.dsl 'localhost:8080/optimize?format=dsl'
 //
-//	# operational status: cache hits/misses, in-flight work, uptime
+//	# operational status: cache + durability counters, in-flight work
 //	curl -s localhost:8080/statusz
+//
+//	# liveness vs readiness: /healthz (and /livez) answer 200 while
+//	# the process is up; /readyz answers 503 during journal replay
+//	# and while the limiter is shedding, so load balancers stop
+//	# routing to a recovering or overloaded daemon
+//	curl -s localhost:8080/readyz
 //
 //	# Prometheus metrics (on by default; -metrics=false disables)
 //	curl -s localhost:8080/metrics
@@ -24,16 +35,17 @@
 //
 // The daemon sheds load with 503 + Retry-After when the in-flight
 // limiter's queue deadline passes, answers oversized bodies with 413,
-// and drains in-flight optimizations on SIGINT/SIGTERM before exiting
-// (the anytime optimizer returns incumbent plans to cancelled
-// requests, flagged degraded, per the contract in DESIGN.md).
+// and on SIGINT/SIGTERM drains in this order: stop accepting →
+// in-flight optimizations finish (the anytime optimizer returns
+// incumbent plans to cancelled requests, flagged degraded) → plan
+// cache snapshot flushed → exit 0.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -43,6 +55,7 @@ import (
 
 	"joinopt/internal/core"
 	"joinopt/internal/cost"
+	"joinopt/internal/persist"
 	"joinopt/internal/plancache"
 	"joinopt/internal/serve"
 	"joinopt/internal/telemetry"
@@ -62,6 +75,8 @@ func main() {
 		cacheSize    = flag.Int("cache-size", 4096, "plan cache capacity (entries)")
 		cacheShards  = flag.Int("cache-shards", 16, "plan cache shard count (rounded up to a power of two)")
 		costAware    = flag.Bool("cache-cost-aware", true, "cost-aware admission: don't evict expensive plans for cheap ones")
+		cacheDir     = flag.String("cache-dir", "", "directory for the durable plan cache (empty = in-memory only)")
+		compactEvery = flag.Int("cache-compact-every", 256, "journal appends between compacting snapshots")
 		grace        = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
 		metricsOn    = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes internals)")
@@ -88,6 +103,31 @@ func main() {
 	if *metricsOn {
 		reg = telemetry.NewRegistry()
 	}
+
+	cache := plancache.New(plancache.Config{
+		Capacity:  *cacheSize,
+		Shards:    *cacheShards,
+		CostAware: *costAware,
+	})
+
+	// Durable cache: recover before serving, then journal admissions.
+	var mgr *persist.Manager
+	if *cacheDir != "" {
+		store, entries, rstats, err := persist.Open(persist.Options{Dir: *cacheDir})
+		if err != nil {
+			// A schema mismatch or unreadable directory is a loud
+			// failure by design: silently serving a cold cache would
+			// hide a deployment mistake.
+			fail(fmt.Errorf("open plan-cache dir %s: %w", *cacheDir, err))
+		}
+		mgr = persist.NewManager(store, cache, *compactEvery)
+		warmed := mgr.Recover(entries, rstats)
+		mgr.Bind()
+		fmt.Fprintf(os.Stderr,
+			"ljqd: recovered %d plans from %s (snapshot %d + journal %d records, %d discarded, %d torn bytes)\n",
+			warmed, *cacheDir, rstats.SnapshotRecords, rstats.JournalRecords, rstats.Discarded, rstats.TornBytes)
+	}
+
 	srv := serve.New(serve.Config{
 		Method:           m,
 		Model:            model,
@@ -97,12 +137,9 @@ func main() {
 		MaxInFlightJoins: *maxInflight,
 		QueueTimeout:     *queueTimeout,
 		RequestTimeout:   *reqTimeout,
-		Cache: plancache.Config{
-			Capacity:  *cacheSize,
-			Shards:    *cacheShards,
-			CostAware: *costAware,
-		},
-		Metrics: reg,
+		CacheHandle:      cache,
+		Metrics:          reg,
+		Persist:          mgr,
 	})
 
 	handler := srv.Handler()
@@ -120,40 +157,29 @@ func main() {
 		handler = mux
 	}
 
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				errc <- fmt.Errorf("ljqd: listener panicked: %v", r)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "ljqd: serving on %s (method=%s cost=%s t=%g cache=%d)\n",
-			*addr, m, model.Name(), *tcoeff, *cacheSize)
-		errc <- hs.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errc:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fail(err)
+	err = serve.RunDaemon(ctx, serve.DaemonConfig{
+		Server:  srv,
+		Addr:    *addr,
+		Handler: handler,
+		Grace:   *grace,
+		OnListen: func(a net.Addr) {
+			fmt.Fprintf(os.Stderr, "ljqd: serving on %s (method=%s cost=%s t=%g cache=%d dir=%q)\n",
+				a, m, model.Name(), *tcoeff, *cacheSize, *cacheDir)
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if mgr != nil {
+		if cerr := mgr.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
-	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "ljqd: shutdown signal; draining in-flight optimizations")
-		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
-		defer cancel()
-		if err := hs.Shutdown(shCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "ljqd: drain incomplete: %v\n", err)
-			_ = hs.Close()
-		}
+	}
+	if err != nil {
+		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "ljqd: bye")
 }

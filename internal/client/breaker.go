@@ -1,0 +1,145 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the half-open circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive retryable failures open the
+	// circuit (default 5; < 0 disables the breaker entirely).
+	Threshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+}
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a half-open circuit breaker over consecutive failures:
+//
+//   - closed: requests flow; Threshold consecutive retryable failures
+//     trip it open.
+//   - open: requests fail fast with ErrCircuitOpen until Cooldown has
+//     elapsed, at which point exactly one probe is admitted
+//     (half-open).
+//   - half-open: the probe's success closes the circuit; its failure
+//     reopens it for another Cooldown. Non-probe requests fail fast
+//     while the probe is in flight.
+//
+// The clock is injected (Config.Now) so tests drive the state machine
+// deterministically.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu            sync.Mutex
+	state         breakerState
+	failures      int
+	openedAt      time.Time
+	probeInFlight bool
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	cfg.fill()
+	return &breaker{cfg: cfg, now: now}
+}
+
+// allow reports whether a request may proceed. When it returns true in
+// the half-open state, the caller holds the single probe slot and must
+// report success or failure.
+func (b *breaker) allow() bool {
+	if b.cfg.Threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			b.probeInFlight = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probeInFlight {
+			return false
+		}
+		b.probeInFlight = true
+		return true
+	}
+}
+
+// success records a request that completed usefully (2xx, or a 4xx
+// that proves the server is alive and judging requests).
+func (b *breaker) success() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probeInFlight = false
+}
+
+// failure records a retryable failure (transport error, 5xx, timeout).
+func (b *breaker) failure() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: reopen for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probeInFlight = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// currentState snapshots the state (status/debugging).
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,481 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"joinopt/internal/faultinject"
+	"joinopt/internal/serve"
+)
+
+// roundTripperFunc adapts a function to http.RoundTripper (the inner
+// transport for Pass outcomes: no network, canned responses).
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// okInner answers every request 200 with a fixed OptimizeResponse.
+func okInner(t *testing.T) http.RoundTripper {
+	t.Helper()
+	body, err := json.Marshal(&serve.OptimizeResponse{
+		Fingerprint: "feedface",
+		TotalCost:   42.5,
+		Order:       []int{2, 0, 1},
+		Explain:     "join(2,0,1)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if r.Body != nil {
+			_, _ = io.Copy(io.Discard, r.Body)
+			_ = r.Body.Close()
+		}
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader(string(body))),
+			Request:    r,
+		}, nil
+	})
+}
+
+// statusInner answers a fixed status code and body.
+func statusInner(code int, body string) http.RoundTripper {
+	return roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if r.Body != nil {
+			_, _ = io.Copy(io.Discard, r.Body)
+			_ = r.Body.Close()
+		}
+		return &http.Response{
+			StatusCode: code,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader(body)),
+			Request:    r,
+		}, nil
+	})
+}
+
+// sleepRecorder captures the delays the client asked to wait, without
+// actually waiting.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (s *sleepRecorder) sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.delays = append(s.delays, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+func (s *sleepRecorder) all() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]time.Duration, len(s.delays))
+	copy(out, s.delays)
+	return out
+}
+
+// neverFires is an After hook whose timer never fires.
+func neverFires(time.Duration) <-chan time.Time { return make(chan time.Time) }
+
+// firesImmediately is an After hook whose timer has already fired.
+func firesImmediately(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- time.Time{}
+	return ch
+}
+
+func newTestClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	if cfg.BaseURL == "" {
+		cfg.BaseURL = "http://ljqd.test"
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetriesThenSucceedsWithDeterministicBackoff(t *testing.T) {
+	const seed = 42
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	rec := &sleepRecorder{}
+	c := newTestClient(t, Config{
+		Transport:   ft,
+		MaxAttempts: 4,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		JitterSeed:  seed,
+		Sleep:       rec.sleep,
+	})
+	resp, err := c.OptimizeDSL(context.Background(), "R(10) S(20) R.x=S.y 0.1")
+	if err != nil {
+		t.Fatalf("OptimizeDSL: %v", err)
+	}
+	if resp.Fingerprint != "feedface" || resp.Explain != "join(2,0,1)" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if got := ft.Log(); len(got) != 3 {
+		t.Fatalf("transport saw %v, want 3 attempts", got)
+	}
+
+	// The two recorded backoffs must equal the seeded jitter stream:
+	// delay_k uniform in [b/2, b), b = Base<<k.
+	rng := rand.New(rand.NewSource(seed))
+	want := make([]time.Duration, 2)
+	for k := range want {
+		b := 100 * time.Millisecond << uint(k)
+		want[k] = b/2 + time.Duration(rng.Float64()*float64(b/2))
+	}
+	got := rec.all()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("backoffs %v, want deterministic %v", got, want)
+	}
+
+	// Same seed, same failures → bit-identical schedule on a second
+	// client (the reproducibility contract).
+	ft2 := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	rec2 := &sleepRecorder{}
+	c2 := newTestClient(t, Config{
+		Transport: ft2, MaxAttempts: 4, BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff: 5 * time.Second, JitterSeed: seed, Sleep: rec2.sleep,
+	})
+	if _, err := c2.OptimizeDSL(context.Background(), "R(10) S(20) R.x=S.y 0.1"); err != nil {
+		t.Fatal(err)
+	}
+	got2 := rec2.all()
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("same seed produced different schedules: %v vs %v", got, got2)
+		}
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	// The server says "2 seconds"; the client's own backoff would be
+	// ~100ms. The recorded delay must be the server's hint.
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Unavailable, RetryAfter: 2},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	rec := &sleepRecorder{}
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 3,
+		BaseBackoff: 100 * time.Millisecond, Sleep: rec.sleep,
+	})
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatalf("OptimizeDSL: %v", err)
+	}
+	got := rec.all()
+	if len(got) != 1 || got[0] != 2*time.Second {
+		t.Fatalf("recorded delays %v, want exactly [2s] (Retry-After wins over backoff)", got)
+	}
+}
+
+func TestRetryAfterCapped(t *testing.T) {
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Unavailable, RetryAfter: 3600},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	rec := &sleepRecorder{}
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 2,
+		RetryAfterCap: 5 * time.Second, Sleep: rec.sleep,
+	})
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.all()
+	if len(got) != 1 || got[0] != 5*time.Second {
+		t.Fatalf("recorded delays %v, want [5s] (capped)", got)
+	}
+}
+
+func TestPermanent4xxDoesNotRetry(t *testing.T) {
+	c := newTestClient(t, Config{
+		Transport: statusInner(http.StatusBadRequest, "parse error at line 1"),
+		Sleep:     (&sleepRecorder{}).sleep,
+	})
+	_, err := c.OptimizeDSL(context.Background(), "not a query")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	// A 4xx is breaker-success: the daemon is alive and judging.
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker %s after 4xx, want closed", st)
+	}
+}
+
+func TestExhaustedWrapsLastError(t *testing.T) {
+	ft := faultinject.NewFlakyTransport(nil,
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+	)
+	c := newTestClient(t, Config{Transport: ft, MaxAttempts: 3, Sleep: (&sleepRecorder{}).sleep})
+	_, err := c.OptimizeDSL(context.Background(), "q")
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if !errors.Is(err, faultinject.ErrDropped) {
+		t.Fatalf("err = %v, want to wrap the transport's last error", err)
+	}
+	if ft.Requests() != 3 {
+		t.Fatalf("transport saw %d requests, want exactly MaxAttempts=3", ft.Requests())
+	}
+}
+
+func Test5xxIsRetryable(t *testing.T) {
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.InternalError},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	c := newTestClient(t, Config{Transport: ft, MaxAttempts: 2, Sleep: (&sleepRecorder{}).sleep})
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatalf("OptimizeDSL after 500→200: %v", err)
+	}
+	if got := ft.Log(); len(got) != 2 || got[0] != faultinject.InternalError {
+		t.Fatalf("trajectory %v, want [500 pass]", got)
+	}
+}
+
+func TestPerAttemptTimeoutRetries(t *testing.T) {
+	// First attempt hangs; the per-attempt timeout must cut it loose
+	// and the retry must succeed — the caller's context stays alive.
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Hang},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 2,
+		PerAttemptTimeout: 20 * time.Millisecond,
+		Sleep:             (&sleepRecorder{}).sleep,
+	})
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatalf("OptimizeDSL after hang→pass: %v", err)
+	}
+	if got := ft.Log(); len(got) != 2 {
+		t.Fatalf("trajectory %v, want hang then pass", got)
+	}
+}
+
+func TestHedgedRequestWinsOverHangingPrimary(t *testing.T) {
+	// The primary hangs; the hedge timer has already fired, so the
+	// secondary launches immediately and its 200 wins. (Hang and Pass
+	// are consumed in scheduler order; either assignment succeeds.)
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Hang},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 1,
+		PerAttemptTimeout: 5 * time.Second,
+		HedgeDelay:        time.Millisecond,
+		After:             firesImmediately,
+		Sleep:             (&sleepRecorder{}).sleep,
+	})
+	resp, err := c.OptimizeDSL(context.Background(), "q")
+	if err != nil {
+		t.Fatalf("hedged OptimizeDSL: %v", err)
+	}
+	if resp.Fingerprint != "feedface" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if n := ft.Requests(); n != 2 {
+		t.Fatalf("transport saw %d requests, want 2 (primary + hedge)", n)
+	}
+}
+
+func TestNoHedgeWhenPrimaryFailsFirst(t *testing.T) {
+	// The hedge timer never fires; a fast primary failure goes straight
+	// to the retry loop — exactly one request per attempt.
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 2,
+		HedgeDelay: time.Hour,
+		After:      neverFires,
+		Sleep:      (&sleepRecorder{}).sleep,
+	})
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.Log(); len(got) != 2 || got[0] != faultinject.Drop || got[1] != faultinject.Pass {
+		t.Fatalf("trajectory %v, want [drop pass] with no hedge", got)
+	}
+}
+
+// fakeClock drives the breaker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestCircuitBreakerTripsProbesAndRecovers(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+	)
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 1, // one physical attempt per call
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 5 * time.Second},
+		Now:     clock.now,
+		Sleep:   (&sleepRecorder{}).sleep,
+	})
+	ctx := context.Background()
+
+	// Two consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := c.OptimizeDSL(ctx, "q"); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("call %d: err = %v, want ErrExhausted", i, err)
+		}
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker %s after %d failures, want open", st, 2)
+	}
+
+	// While open: fail fast, no transport traffic.
+	before := ft.Requests()
+	if _, err := c.OptimizeDSL(ctx, "q"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if ft.Requests() != before {
+		t.Fatal("open breaker let a request reach the transport")
+	}
+
+	// Cooldown elapses; the half-open probe succeeds and closes it.
+	clock.advance(5 * time.Second)
+	ft.Extend(faultinject.Outcome{Kind: faultinject.Pass})
+	if _, err := c.OptimizeDSL(ctx, "q"); err != nil {
+		t.Fatalf("probe call: %v", err)
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", st)
+	}
+
+	// Trip it again; this time the probe fails and it reopens.
+	ft.Extend(
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop}, // the failing probe
+	)
+	for i := 0; i < 2; i++ {
+		if _, err := c.OptimizeDSL(ctx, "q"); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("retrip call %d: %v", i, err)
+		}
+	}
+	clock.advance(5 * time.Second)
+	if _, err := c.OptimizeDSL(ctx, "q"); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("failing probe: err = %v", err)
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker %s after failed probe, want open", st)
+	}
+	// And it fails fast again without waiting out the new cooldown.
+	if _, err := c.OptimizeDSL(ctx, "q"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen after reopen", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 4,
+		Breaker: BreakerConfig{Threshold: -1},
+		Sleep:   (&sleepRecorder{}).sleep,
+	})
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatalf("disabled breaker must never fail fast: %v", err)
+	}
+}
+
+func TestStatusAndReadyProbesSingleAttempt(t *testing.T) {
+	// Probes report the world as-is: a 503 /readyz is an error, not a
+	// retry loop.
+	ft := faultinject.NewFlakyTransport(nil,
+		faultinject.Outcome{Kind: faultinject.Unavailable, RetryAfter: 1},
+	)
+	c := newTestClient(t, Config{Transport: ft, Sleep: (&sleepRecorder{}).sleep})
+	if err := c.Ready(context.Background()); err == nil {
+		t.Fatal("Ready over 503 = nil, want error")
+	}
+	if ft.Requests() != 1 {
+		t.Fatalf("probe made %d requests, want 1", ft.Requests())
+	}
+
+	body, err := json.Marshal(&serve.StatusResponse{Ready: true, CapacityJoins: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := newTestClient(t, Config{Transport: statusInner(http.StatusOK, string(body))})
+	st, err := c2.Status(context.Background())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if !st.Ready || st.CapacityJoins != 256 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestCallerContextCancelStopsRetrying(t *testing.T) {
+	ft := faultinject.NewFlakyTransport(nil,
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 10,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the caller gives up while the client backs off
+			return ctx.Err()
+		},
+	})
+	_, err := c.OptimizeDSL(ctx, "q")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ft.Requests() != 1 {
+		t.Fatalf("client kept retrying after cancel: %d requests", ft.Requests())
+	}
+}

@@ -1,0 +1,286 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"joinopt/internal/vfs"
+)
+
+// This file extends the fault harness from the optimizer's cost path
+// to the durability layer's I/O path: FaultFS wraps a vfs.FS and
+// injects failures — short writes, errors, and whole-process "crashes"
+// — on a deterministic mutating-operation schedule, so the crash-loop
+// tests in internal/persist can kill-and-recover the plan cache at
+// every operation index and reproduce any failure byte-for-byte from
+// its seed.
+//
+// Operation counting: every mutating call — Create, Append, Write,
+// Sync, SyncDir, Rename, Remove — increments one global counter (reads
+// are free: they cannot lose data). The schedule is expressed against
+// that counter, so "crash at op 137" is a precise, replayable point in
+// the store's write history.
+//
+// Crash semantics: at the scheduled op the operation is *torn* — a
+// Write applies only a seeded prefix of its bytes, a Rename happens or
+// not on a seeded coin flip, a Sync fails without syncing — and every
+// subsequent operation fails with ErrCrashed, modeling the process
+// dying mid-syscall. The underlying filesystem retains whatever had
+// been applied; "rebooting" is opening a fresh store over the same
+// inner FS (or calling Reset).
+
+// Injected I/O errors. ErrCrashed marks the simulated power cut;
+// ErrInjectedIO marks a recoverable injected failure.
+var (
+	ErrCrashed    = errors.New("faultinject: filesystem crashed (simulated power cut)")
+	ErrInjectedIO = errors.New("faultinject: injected I/O error")
+)
+
+// FSConfig schedules filesystem faults. The zero value injects
+// nothing. Ops are 1-based and count mutating calls only.
+type FSConfig struct {
+	// Seed drives the torn-write prefix lengths and rename coin flips.
+	Seed int64
+	// CrashAtOp tears the k-th mutating operation and fails every
+	// later one with ErrCrashed (0 = never).
+	CrashAtOp int64
+	// ErrAtOp fails exactly the k-th mutating operation with
+	// ErrInjectedIO, applying nothing (0 = never).
+	ErrAtOp int64
+	// ErrEveryOp fails every k-th mutating operation (0 = never).
+	ErrEveryOp int64
+	// ShortWriteAtOp makes the k-th operation, if it is a Write, apply
+	// only a seeded prefix and return ErrInjectedIO (0 = never).
+	ShortWriteAtOp int64
+}
+
+// FaultFS wraps an inner vfs.FS with the fault schedule. Safe for
+// concurrent use; the op counter is global across files.
+type FaultFS struct {
+	inner vfs.FS
+
+	mu      sync.Mutex
+	cfg     FSConfig
+	rng     *rand.Rand
+	n       int64
+	crashed bool
+}
+
+// NewFaultFS wraps inner with the fault schedule.
+func NewFaultFS(inner vfs.FS, cfg FSConfig) *FaultFS {
+	return &FaultFS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Reset models a reboot: clears the crashed state, rearms the
+// schedule with cfg, and restarts the op counter and seeded stream.
+func (f *FaultFS) Reset(cfg FSConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg = cfg
+	f.rng = rand.New(rand.NewSource(cfg.Seed))
+	f.n = 0
+	f.crashed = false
+}
+
+// Ops returns how many mutating operations have been observed.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Crashed reports whether the simulated power cut has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// verdict is the fault decision for one mutating op.
+type verdict int
+
+const (
+	vOK verdict = iota
+	vErr
+	vShort
+	vCrash // the crash op itself: a torn partial effect applies
+	vDead  // after the crash: nothing touches the disk
+)
+
+// step advances the op counter and decides this op's fate. The seeded
+// draw for torn fractions happens here, under the lock, so the stream
+// is a pure function of the schedule.
+func (f *FaultFS) step() (verdict, float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return vDead, 0
+	}
+	f.n++
+	k := f.n
+	if f.cfg.CrashAtOp > 0 && k == f.cfg.CrashAtOp {
+		f.crashed = true
+		return vCrash, f.rng.Float64()
+	}
+	if (f.cfg.ErrAtOp > 0 && k == f.cfg.ErrAtOp) || (f.cfg.ErrEveryOp > 0 && k%f.cfg.ErrEveryOp == 0) {
+		return vErr, 0
+	}
+	if f.cfg.ShortWriteAtOp > 0 && k == f.cfg.ShortWriteAtOp {
+		return vShort, f.rng.Float64()
+	}
+	return vOK, 0
+}
+
+// faultFile wraps a file handle; Write and Sync are mutating ops.
+type faultFile struct {
+	fs    *FaultFS
+	inner vfs.File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	switch v, frac := w.fs.step(); v {
+	case vErr:
+		return 0, fmt.Errorf("write: %w", ErrInjectedIO)
+	case vDead:
+		return 0, fmt.Errorf("write: %w", ErrCrashed)
+	case vShort, vCrash:
+		// Torn write: a seeded prefix reaches the file, the rest is
+		// lost mid-syscall.
+		n := int(frac * float64(len(p)+1))
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if _, err := w.inner.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		if v == vCrash {
+			return n, fmt.Errorf("write: %w", ErrCrashed)
+		}
+		return n, fmt.Errorf("write: %w", ErrInjectedIO)
+	default:
+		return w.inner.Write(p)
+	}
+}
+
+func (w *faultFile) Sync() error {
+	switch v, _ := w.fs.step(); v {
+	case vErr, vShort:
+		return fmt.Errorf("sync: %w", ErrInjectedIO)
+	case vCrash, vDead:
+		return fmt.Errorf("sync: %w", ErrCrashed)
+	default:
+		return w.inner.Sync()
+	}
+}
+
+// Close is not a mutating op (it neither persists nor loses data in
+// this model); it always passes through.
+func (w *faultFile) Close() error { return w.inner.Close() }
+
+// Create implements vfs.FS.
+func (f *FaultFS) Create(name string) (vfs.File, error) {
+	switch v, frac := f.step(); v {
+	case vErr:
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjectedIO)
+	case vDead:
+		return nil, fmt.Errorf("create %s: %w", name, ErrCrashed)
+	case vCrash:
+		// Coin flip: the file may or may not have been created
+		// (truncated) before the power cut.
+		if frac < 0.5 {
+			if g, err := f.inner.Create(name); err == nil {
+				_ = g.Close()
+			}
+		}
+		return nil, fmt.Errorf("create %s: %w", name, ErrCrashed)
+	default:
+		g, err := f.inner.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		return &faultFile{fs: f, inner: g}, nil
+	}
+}
+
+// Append implements vfs.FS.
+func (f *FaultFS) Append(name string) (vfs.File, error) {
+	switch v, _ := f.step(); v {
+	case vErr:
+		return nil, fmt.Errorf("append %s: %w", name, ErrInjectedIO)
+	case vCrash, vDead:
+		return nil, fmt.Errorf("append %s: %w", name, ErrCrashed)
+	default:
+		g, err := f.inner.Append(name)
+		if err != nil {
+			return nil, err
+		}
+		return &faultFile{fs: f, inner: g}, nil
+	}
+}
+
+// ReadFile implements vfs.FS (reads are never faulted: recovery runs
+// after the reboot, on a healthy filesystem).
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Rename implements vfs.FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	switch v, frac := f.step(); v {
+	case vErr:
+		return fmt.Errorf("rename %s: %w", oldname, ErrInjectedIO)
+	case vDead:
+		return fmt.Errorf("rename %s: %w", oldname, ErrCrashed)
+	case vCrash:
+		// Atomic rename either happened or did not; seeded coin.
+		if frac < 0.5 {
+			_ = f.inner.Rename(oldname, newname)
+		}
+		return fmt.Errorf("rename %s: %w", oldname, ErrCrashed)
+	default:
+		return f.inner.Rename(oldname, newname)
+	}
+}
+
+// Remove implements vfs.FS.
+func (f *FaultFS) Remove(name string) error {
+	switch v, frac := f.step(); v {
+	case vErr:
+		return fmt.Errorf("remove %s: %w", name, ErrInjectedIO)
+	case vDead:
+		return fmt.Errorf("remove %s: %w", name, ErrCrashed)
+	case vCrash:
+		if frac < 0.5 {
+			_ = f.inner.Remove(name)
+		}
+		return fmt.Errorf("remove %s: %w", name, ErrCrashed)
+	default:
+		return f.inner.Remove(name)
+	}
+}
+
+// MkdirAll implements vfs.FS (not counted: directory creation happens
+// once at open, before any history exists worth tearing).
+func (f *FaultFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("mkdir %s: %w", dir, ErrCrashed)
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// SyncDir implements vfs.FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	switch v, _ := f.step(); v {
+	case vErr, vShort:
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjectedIO)
+	case vCrash, vDead:
+		return fmt.Errorf("syncdir %s: %w", dir, ErrCrashed)
+	default:
+		return f.inner.SyncDir(dir)
+	}
+}

@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newReq(t *testing.T, ctx context.Context) *http.Request {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://ljqd.test/optimize", strings.NewReader("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestFlakyTransportPlaysScriptInOrder(t *testing.T) {
+	inner := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		return &http.Response{StatusCode: 200, Header: make(http.Header),
+			Body: io.NopCloser(strings.NewReader("ok")), Request: r}, nil
+	})
+	ft := NewFlakyTransport(inner,
+		Outcome{Kind: Drop},
+		Outcome{Kind: Unavailable, RetryAfter: 7},
+		Outcome{Kind: InternalError},
+	)
+	ctx := context.Background()
+
+	if _, err := ft.RoundTrip(newReq(t, ctx)); !errors.Is(err, ErrDropped) {
+		t.Fatalf("outcome 1 err = %v, want ErrDropped", err)
+	}
+	resp, err := ft.RoundTrip(newReq(t, ctx))
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("outcome 2 = %v/%v, want 503", resp, err)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7", got)
+	}
+	_ = resp.Body.Close()
+	resp, err = ft.RoundTrip(newReq(t, ctx))
+	if err != nil || resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("outcome 3 = %v/%v, want 500", resp, err)
+	}
+	_ = resp.Body.Close()
+
+	// Script exhausted: pass through to the inner transport.
+	resp, err = ft.RoundTrip(newReq(t, ctx))
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("post-script = %v/%v, want inner 200", resp, err)
+	}
+	_ = resp.Body.Close()
+
+	wantLog := []OutcomeKind{Drop, Unavailable, InternalError, Pass}
+	got := ft.Log()
+	if len(got) != len(wantLog) {
+		t.Fatalf("log %v, want %v", got, wantLog)
+	}
+	for i := range wantLog {
+		if got[i] != wantLog[i] {
+			t.Fatalf("log %v, want %v", got, wantLog)
+		}
+	}
+	if ft.Requests() != 4 {
+		t.Fatalf("Requests = %d, want 4", ft.Requests())
+	}
+}
+
+func TestFlakyTransportHangHonorsContext(t *testing.T) {
+	ft := NewFlakyTransport(nil, Outcome{Kind: Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ft.RoundTrip(newReq(t, ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("hang did not release promptly after context expiry")
+	}
+}
+
+func TestFlakyTransportExtend(t *testing.T) {
+	ft := NewFlakyTransport(nil, Outcome{Kind: Drop})
+	ft.Extend(Outcome{Kind: InternalError})
+	ctx := context.Background()
+	if _, err := ft.RoundTrip(newReq(t, ctx)); !errors.Is(err, ErrDropped) {
+		t.Fatal(err)
+	}
+	resp, err := ft.RoundTrip(newReq(t, ctx))
+	if err != nil || resp.StatusCode != 500 {
+		t.Fatalf("extended outcome = %v/%v, want 500", resp, err)
+	}
+	_ = resp.Body.Close()
+}
+
+// roundTripperFunc adapts a function to http.RoundTripper.
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -41,6 +41,17 @@ import (
 // Size is the fingerprint length in bytes (SHA-256).
 const Size = 32
 
+// SchemaVersion identifies the canonical-encoding scheme this package
+// currently produces. Any change to the canonical byte encoding — the
+// statistics written, their order, the refinement procedure — changes
+// what bytes a given query hashes to, which silently invalidates every
+// fingerprint persisted under the old scheme. Bump this constant with
+// any such change: the plan-cache journal (internal/persist) stamps it
+// into its file headers and refuses to replay files written under a
+// different schema, turning a silent cache-poisoning hazard into a
+// loud cold start.
+const SchemaVersion = 1
+
 // Fingerprint is the canonical identity of a query shape: equal for
 // isomorphic queries, distinct (collision-resistantly) otherwise.
 type Fingerprint [Size]byte

@@ -1,0 +1,100 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+
+	"joinopt/internal/plancache"
+	"joinopt/internal/vfs"
+)
+
+// BenchmarkRecovery measures startup recovery (Open: read snapshot +
+// replay journal + post-recovery compaction) as a function of the
+// recovered entry count. This is the number that bounds how long a
+// restarted ljqd answers /readyz with 503 — the recovery-time figure
+// recorded in BENCH_persist.json.
+func BenchmarkRecovery(b *testing.B) {
+	for _, n := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			// Build a realistic directory: a snapshot holding half the
+			// entries and a journal holding the rest.
+			mem := vfs.NewMem()
+			store, _, _, err := Open(Options{Dir: "cache", FS: mem, NoSyncEveryAppend: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			half := make([]*plancache.Entry, 0, n/2)
+			for i := 0; i < n/2; i++ {
+				half = append(half, testEntry(i))
+			}
+			if err := store.Snapshot(half); err != nil {
+				b.Fatal(err)
+			}
+			for i := n / 2; i < n; i++ {
+				if _, err := store.Append(testEntry(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+
+			// Freeze the directory bytes so each iteration recovers the
+			// same state (Open compacts, which would otherwise fold the
+			// journal into the snapshot after the first iteration).
+			frozenSnap, _ := mem.ReadFile("cache/plans.snap")
+			frozenJournal, _ := mem.ReadFile("cache/plans.journal")
+			restore := func() vfs.FS {
+				m := vfs.NewMem()
+				w, _ := m.Create("cache/plans.snap")
+				_, _ = w.Write(frozenSnap)
+				_ = w.Close()
+				w, _ = m.Create("cache/plans.journal")
+				_, _ = w.Write(frozenJournal)
+				_ = w.Close()
+				return m
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fs := restore()
+				b.StartTimer()
+				st, entries, stats, err := Open(Options{Dir: "cache", FS: fs, NoSyncEveryAppend: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Recovered != n {
+					b.Fatalf("recovered %d, want %d", stats.Recovered, n)
+				}
+				_ = entries
+				_ = st.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+		})
+	}
+}
+
+// BenchmarkAppend measures the journal append hot path, with and
+// without the per-record fsync (on vfs.Mem the sync is a no-op, so
+// this isolates the framing + checksum cost).
+func BenchmarkAppend(b *testing.B) {
+	for _, nosync := range []bool{false, true} {
+		b.Run(fmt.Sprintf("nosync=%v", nosync), func(b *testing.B) {
+			store, _, _, err := Open(Options{Dir: "cache", FS: vfs.NewMem(), NoSyncEveryAppend: nosync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			e := testEntry(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Append(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

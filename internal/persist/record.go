@@ -1,0 +1,320 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/fingerprint"
+	"joinopt/internal/plan"
+	"joinopt/internal/plancache"
+)
+
+// File format
+//
+// Both the journal and the snapshot share one layout:
+//
+//	header:  magic[4] version[1] schema[1] reserved[2] crc32(prev 8)[4]
+//	record*: length[4] crc32(payload)[4] payload[length]
+//
+// magic distinguishes the two files ("LJQJ" journal, "LJQS" snapshot),
+// version is the container format version, schema is the fingerprint
+// schema version (fingerprint.SchemaVersion) — plans keyed under a
+// different canonicalization are meaningless, so a mismatch refuses the
+// whole file rather than admitting plans under wrong keys.
+//
+// The record payload is a deterministic binary encoding of one cache
+// entry. Floats are stored as IEEE-754 bit patterns, so a plan round-
+// trips exactly and the daemon serves a byte-identical Explain after a
+// restart. All integers are little-endian; counts are uvarints.
+//
+//	fingerprint[32]
+//	budgetUsed[8]          (uint64 two's-complement of int64)
+//	flags[1]               (bit0: degraded)
+//	reasonLen uvarint, reason bytes
+//	totalCost[8]           (Float64bits)
+//	crossCost[8]           (Float64bits)
+//	ncomp uvarint
+//	ncomp × { cost[8] (Float64bits); plen uvarint; plen × rel uvarint }
+//
+// Decoding is defensive: every length is bounds-checked against hard
+// caps before allocation, trailing bytes are an error, and no input —
+// truncated, bit-flipped, or adversarial — may panic (FuzzJournalReplay
+// enforces this).
+
+const (
+	headerLen = 12
+	frameLen  = 8 // length[4] + crc[4]
+
+	formatVersion = 1
+
+	// MaxRecordBytes caps one record's payload. A plan over the
+	// catalog's relation limit encodes far below this; anything larger
+	// in a length prefix is corruption, not data.
+	MaxRecordBytes = 16 << 20
+
+	// maxComponents / maxPermLen bound decoded allocations. They are
+	// far above anything the optimizer produces (catalog queries top
+	// out at hundreds of relations) while keeping a hostile length
+	// prefix from allocating gigabytes.
+	maxComponents = 1 << 16
+	maxPermLen    = 1 << 20
+	maxReasonLen  = 1 << 12
+)
+
+var (
+	magicJournal  = [4]byte{'L', 'J', 'Q', 'J'}
+	magicSnapshot = [4]byte{'L', 'J', 'Q', 'S'}
+)
+
+// crcTable is the Castagnoli polynomial: hardware-accelerated on
+// amd64/arm64, and the conventional choice for storage checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSchemaMismatch reports a journal or snapshot written under a
+// different fingerprint schema or container format version. Recovery
+// refuses such files loudly (cold start) instead of admitting plans
+// under reinterpreted keys.
+var ErrSchemaMismatch = errors.New("persist: file written under a different schema version")
+
+// errCorrupt marks a record rejected during replay (bad CRC, bad
+// framing, undecodable payload). It is internal: replay truncates at
+// the first corrupt record rather than surfacing the error.
+var errCorrupt = errors.New("persist: corrupt record")
+
+// encodeHeader renders the 12-byte file header for the given magic.
+func encodeHeader(magic [4]byte) []byte {
+	h := make([]byte, headerLen)
+	copy(h[0:4], magic[:])
+	h[4] = formatVersion
+	h[5] = fingerprint.SchemaVersion
+	// h[6:8] reserved, zero.
+	binary.LittleEndian.PutUint32(h[8:12], crc32.Checksum(h[:8], crcTable))
+	return h
+}
+
+// checkHeader validates a file's header. Returns:
+//
+//   - ok=true: header valid, payload starts at headerLen.
+//   - ok=false, err=nil: the header is torn (file shorter than a full
+//     header, or checksum failure on a correct magic) — the file is
+//     treated as empty, which is the crash-mid-creation case.
+//   - err != nil: the file is affirmatively not ours (magic mismatch)
+//     or written under another schema — refuse loudly.
+func checkHeader(data []byte, magic [4]byte) (ok bool, err error) {
+	if len(data) == 0 {
+		return false, nil
+	}
+	n := len(data)
+	if n > headerLen {
+		n = headerLen
+	}
+	// Compare however much magic we have: a torn header still starts
+	// with our magic bytes; anything else is a foreign file.
+	for i := 0; i < n && i < 4; i++ {
+		if data[i] != magic[i] {
+			return false, fmt.Errorf("persist: bad magic %q (not a plan-cache file)", data[:n])
+		}
+	}
+	if len(data) < headerLen {
+		return false, nil // torn header: crash while creating the file
+	}
+	if binary.LittleEndian.Uint32(data[8:12]) != crc32.Checksum(data[:8], crcTable) {
+		return false, nil // torn header write
+	}
+	if data[4] != formatVersion || data[5] != fingerprint.SchemaVersion {
+		return false, fmt.Errorf("%w: file has format=%d schema=%d, this binary speaks format=%d schema=%d",
+			ErrSchemaMismatch, data[4], data[5], formatVersion, fingerprint.SchemaVersion)
+	}
+	return true, nil
+}
+
+// appendFrame appends one framed record (length, crc, payload) to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var f [frameLen]byte
+	binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, f[:]...)
+	return append(dst, payload...)
+}
+
+// encodeEntry renders one cache entry as a record payload.
+func encodeEntry(e *plancache.Entry) []byte {
+	pl := e.Plan
+	buf := make([]byte, 0, 64+16*len(pl.Components))
+	buf = append(buf, e.Fingerprint[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.BudgetUsed))
+	var flags byte
+	if pl.Degraded {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(pl.DegradeReason)))
+	buf = append(buf, pl.DegradeReason...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pl.TotalCost))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pl.CrossCost))
+	buf = binary.AppendUvarint(buf, uint64(len(pl.Components)))
+	for _, c := range pl.Components {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Cost))
+		buf = binary.AppendUvarint(buf, uint64(len(c.Perm)))
+		for _, r := range c.Perm {
+			buf = binary.AppendUvarint(buf, uint64(r))
+		}
+	}
+	return buf
+}
+
+// decoder is a bounds-checked cursor over one record payload.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.b) {
+		return nil, errCorrupt
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) uvarint(max uint64) (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 || v > max {
+		return 0, errCorrupt
+	}
+	d.off += n
+	return v, nil
+}
+
+// decodeEntry parses one record payload. It never panics; any
+// malformed input returns errCorrupt.
+func decodeEntry(payload []byte) (*plancache.Entry, error) {
+	d := &decoder{b: payload}
+	fpb, err := d.bytes(fingerprint.Size)
+	if err != nil {
+		return nil, err
+	}
+	var fp fingerprint.Fingerprint
+	copy(fp[:], fpb)
+	bu, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	flagb, err := d.bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	reasonLen, err := d.uvarint(maxReasonLen)
+	if err != nil {
+		return nil, err
+	}
+	reason, err := d.bytes(int(reasonLen))
+	if err != nil {
+		return nil, err
+	}
+	total, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	cross, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	ncomp, err := d.uvarint(maxComponents)
+	if err != nil {
+		return nil, err
+	}
+	pl := &plan.Plan{
+		TotalCost:     math.Float64frombits(total),
+		CrossCost:     math.Float64frombits(cross),
+		Degraded:      flagb[0]&1 != 0,
+		DegradeReason: string(reason),
+	}
+	totalRels := 0
+	for i := uint64(0); i < ncomp; i++ {
+		costBits, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		plen, err := d.uvarint(maxPermLen)
+		if err != nil {
+			return nil, err
+		}
+		totalRels += int(plen)
+		if totalRels > maxPermLen {
+			return nil, errCorrupt
+		}
+		perm := make(plan.Perm, plen)
+		for j := range perm {
+			r, err := d.uvarint(math.MaxUint32)
+			if err != nil {
+				return nil, err
+			}
+			perm[j] = catalog.RelID(r)
+		}
+		pl.Components = append(pl.Components, plan.Result{Perm: perm, Cost: math.Float64frombits(costBits)})
+	}
+	if d.off != len(payload) {
+		return nil, errCorrupt // trailing garbage: reject the record
+	}
+	return &plancache.Entry{Fingerprint: fp, Plan: pl, BudgetUsed: int64(bu)}, nil
+}
+
+// replay walks the framed records after a validated header, calling
+// emit for each record that passes its checksum and decodes cleanly.
+// It stops — truncating the rest — at the first torn or corrupt
+// record. replay never fails: a damaged file yields the longest valid
+// prefix, per the recovery contract. records counts entries emitted,
+// discarded counts affirmatively-corrupt records hit (0 or 1: replay
+// stops at the first), and tornBytes counts every byte not consumed
+// as a valid record.
+func replay(data []byte, emit func(*plancache.Entry)) (records, discarded, tornBytes int) {
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest == 0 {
+			return records, discarded, 0
+		}
+		if rest < frameLen {
+			return records, discarded, rest // torn frame header
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > MaxRecordBytes {
+			// A length prefix this large is corruption; everything from
+			// here on is untrustworthy.
+			return records, discarded + 1, rest
+		}
+		if rest < frameLen+length {
+			return records, discarded, rest // torn payload
+		}
+		payload := data[off+frameLen : off+frameLen+length]
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			// First bad checksum: truncate here. Bytes past a corrupt
+			// record have no trustworthy framing.
+			return records, discarded + 1, rest
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			// Checksum fine but undecodable: a foreign or future record
+			// kind. Same policy — never admit, truncate the rest.
+			return records, discarded + 1, rest
+		}
+		emit(e)
+		records++
+		off += frameLen + length
+	}
+}

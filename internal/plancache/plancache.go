@@ -34,8 +34,10 @@
 package plancache
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -118,9 +120,26 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	Evictions uint64 `json:"evictions"`
 	Rejected  uint64 `json:"rejected"`
-	Entries   int    `json:"entries"`
-	InFlight  int    `json:"inFlight"`
-	Shards    []int  `json:"shardEntries"`
+	// Warmed counts entries admitted through the recovery path (Warm)
+	// rather than by live optimizations.
+	Warmed   uint64 `json:"warmed"`
+	Entries  int    `json:"entries"`
+	InFlight int    `json:"inFlight"`
+	Shards   []int  `json:"shardEntries"`
+}
+
+// Hooks observe cache mutations, for the durability layer
+// (internal/persist journals admissions and snapshots the surviving
+// set). Hooks run after the shard lock is released — an OnAdmit that
+// fsyncs a journal must not serialize unrelated shards — so a hook
+// observes admissions in per-key order but not in a global total
+// order. Hooks must not call back into the cache for the same key.
+type Hooks struct {
+	// OnAdmit fires after e is admitted (inserted or refreshed in
+	// place). Warm-path admissions (recovery) do not fire it.
+	OnAdmit func(e *Entry)
+	// OnEvict fires after victim is displaced to admit another entry.
+	OnEvict func(victim *Entry)
 }
 
 // Cache is a sharded LRU plan cache with request coalescing. The zero
@@ -134,12 +153,14 @@ type Cache struct {
 	admissionScan int
 	admitDegraded bool
 	trace         *telemetry.Tracer
+	hooks         atomic.Pointer[Hooks]
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
 	evictions atomic.Uint64
 	rejected  atomic.Uint64
+	warmed    atomic.Uint64
 }
 
 // New builds a cache from cfg (zero value = defaults).
@@ -194,6 +215,29 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 	return nil, false
 }
 
+// SetHooks installs (or with a zero Hooks, clears) the mutation
+// observers. Typically called once at startup, after recovery has
+// warmed the cache and before traffic — installing the journal hook
+// first would re-journal every recovered entry.
+func (c *Cache) SetHooks(h Hooks) {
+	c.hooks.Store(&h)
+}
+
+// fireHooks invokes the installed observers for one completed insert,
+// outside the shard lock.
+func (c *Cache) fireHooks(stored, victim *Entry) {
+	h := c.hooks.Load()
+	if h == nil {
+		return
+	}
+	if victim != nil && h.OnEvict != nil {
+		h.OnEvict(victim)
+	}
+	if stored != nil && h.OnAdmit != nil {
+		h.OnAdmit(stored)
+	}
+}
+
 // Put inserts e under its fingerprint, applying the admission policy.
 // It reports whether the entry was admitted.
 func (c *Cache) Put(e *Entry) bool {
@@ -206,13 +250,62 @@ func (c *Cache) Put(e *Entry) bool {
 	}
 	s := c.shardOf(e.Fingerprint)
 	s.mu.Lock()
-	admitted := c.insertLocked(s, e)
+	stored, victim := c.insertLocked(s, e)
 	s.mu.Unlock()
-	return admitted
+	c.fireHooks(stored, victim)
+	return stored != nil
+}
+
+// Warm admits e through the normal admission policy without firing
+// hooks: the recovery path (internal/persist) replays journaled
+// entries through Warm so they are not immediately re-journaled.
+// Degraded plans are still refused (defense in depth: the journal
+// never contains them, but a warmed entry must satisfy the same
+// invariants as an admitted one).
+func (c *Cache) Warm(e *Entry) bool {
+	if e == nil || e.Plan == nil {
+		return false
+	}
+	if e.Plan.Degraded && !c.admitDegraded {
+		c.rejected.Add(1)
+		return false
+	}
+	s := c.shardOf(e.Fingerprint)
+	s.mu.Lock()
+	stored, _ := c.insertLocked(s, e)
+	s.mu.Unlock()
+	if stored != nil {
+		c.warmed.Add(1)
+	}
+	return stored != nil
+}
+
+// Dump returns a copy of the current entry set, sorted by fingerprint
+// bytes. The sort makes persisted snapshots byte-stable: two dumps of
+// the same logical state serialize identically regardless of shard
+// map iteration order. Entries are the live pointers (entries are
+// immutable once admitted); the slice is the caller's.
+func (c *Cache) Dump() []*Entry {
+	var out []*Entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		//ljqlint:allow detrand -- map-order iteration is made deterministic by the fingerprint sort below
+		for _, n := range s.items {
+			out = append(out, n.entry)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return bytes.Compare(out[a].Fingerprint[:], out[b].Fingerprint[:]) < 0
+	})
+	return out
 }
 
 // insertLocked performs insert-with-eviction under the shard lock.
-func (c *Cache) insertLocked(s *shard, e *Entry) bool {
+// stored is the entry now held under the key (nil if admission was
+// refused); victim is the entry evicted to make room, if any.
+func (c *Cache) insertLocked(s *shard, e *Entry) (stored, victim *Entry) {
 	if n, ok := s.items[e.Fingerprint]; ok {
 		// Refresh in place: a newer optimization of the same shape
 		// replaces the old plan (keep the larger budget weight — the
@@ -224,22 +317,23 @@ func (c *Cache) insertLocked(s *shard, e *Entry) bool {
 			n.entry = &Entry{Fingerprint: old.Fingerprint, Plan: e.Plan, BudgetUsed: old.BudgetUsed}
 		}
 		s.moveFront(n)
-		return true
+		return n.entry, nil
 	}
 	if len(s.items) >= c.perShard {
-		victim := s.evictionVictim(c.costAware, c.admissionScan, e.BudgetUsed)
-		if victim == nil {
+		v := s.evictionVictim(c.costAware, c.admissionScan, e.BudgetUsed)
+		if v == nil {
 			c.rejected.Add(1)
-			return false
+			return nil, nil
 		}
-		s.remove(victim)
-		delete(s.items, victim.entry.Fingerprint)
+		s.remove(v)
+		delete(s.items, v.entry.Fingerprint)
 		c.evictions.Add(1)
+		victim = v.entry
 	}
 	n := &node{entry: e}
 	s.items[e.Fingerprint] = n
 	s.pushFront(n)
-	return true
+	return e, victim
 }
 
 // GetOrCompute returns the entry for k, computing it at most once per
@@ -311,16 +405,18 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(ctx contex
 // flight finishes exactly once (the recover path only runs when the
 // normal path did not).
 func (c *Cache) finish(s *shard, k Key, fl *flight) {
+	var stored, victim *Entry
 	s.mu.Lock()
 	if fl.err == nil && fl.entry != nil && fl.entry.Plan != nil &&
 		(!fl.entry.Plan.Degraded || c.admitDegraded) {
-		c.insertLocked(s, fl.entry)
+		stored, victim = c.insertLocked(s, fl.entry)
 	} else if fl.err == nil && fl.entry != nil {
 		c.rejected.Add(1)
 	}
 	delete(s.flights, k)
 	s.mu.Unlock()
 	close(fl.done)
+	c.fireHooks(stored, victim)
 }
 
 // wait blocks until the flight resolves or ctx expires, whichever is
@@ -342,6 +438,7 @@ func (c *Cache) Stats() Stats {
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),
 		Rejected:  c.rejected.Load(),
+		Warmed:    c.warmed.Load(),
 		Shards:    make([]int, len(c.shards)),
 	}
 	for i := range c.shards {

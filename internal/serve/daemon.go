@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DaemonConfig configures RunDaemon, the daemon run loop shared by
+// cmd/ljqd and the drain-ordering tests.
+type DaemonConfig struct {
+	// Server is the optimizer service (required).
+	Server *Server
+	// Addr is the listen address (":8080"; ":0" picks a free port).
+	Addr string
+	// Handler overrides Server.Handler() (pprof wrapping, test
+	// middleware). Optional.
+	Handler http.Handler
+	// Grace bounds the shutdown drain (default 15s).
+	Grace time.Duration
+	// OnListen, if set, receives the bound address before serving
+	// starts (tests bind ":0" and need the port; the daemon logs it).
+	OnListen func(addr net.Addr)
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// RunDaemon serves cfg.Server until ctx is cancelled, then shuts down
+// in the order a load-balanced deployment needs:
+//
+//  1. stop accepting: the listener closes immediately, so new
+//     connections fail over to healthy replicas (readiness has
+//     usually already turned them away);
+//  2. drain: in-flight requests run to completion (bounded by Grace;
+//     the anytime optimizer hands expiring requests their incumbent
+//     plans, flagged degraded);
+//  3. flush: the plan cache is snapshotted through the persistence
+//     manager, so the next start recovers every plan this process
+//     paid for;
+//  4. return nil (the daemon exits 0 on a clean drain).
+//
+// The flush runs after the drain on purpose: plans admitted by the
+// final in-flight requests belong in the snapshot. If the drain
+// overruns Grace the server is force-closed and the flush still runs —
+// a partial flush failure leaves the previous snapshot plus the
+// journal, which recovery handles (that matrix is what the fault
+// filesystem tests pin down).
+func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
+	if cfg.Server == nil {
+		return errors.New("serve: DaemonConfig.Server required")
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	handler := cfg.Handler
+	if handler == nil {
+		handler = cfg.Server.Handler()
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", cfg.Addr, err)
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr())
+	}
+	hs := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		// Listener goroutine panic barrier (panicguard): a crash in
+		// the HTTP stack must surface as a daemon error, not a
+		// process-killing panic from a bare goroutine.
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("serve: listener panicked: %v", r)
+			}
+		}()
+		errc <- hs.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener died on its own; still try to preserve state.
+		if ferr := cfg.Server.Flush(); ferr != nil {
+			cfg.Logf("ljqd: flush after listener failure: %v", ferr)
+		}
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+	}
+
+	cfg.Logf("ljqd: shutdown signal; draining in-flight optimizations")
+	// Readiness goes false first: a load balancer probing /readyz in
+	// the instant before the listener closes sees the drain coming.
+	cfg.Server.SetReady(false)
+
+	// Shutdown needs a context that survives the (already cancelled)
+	// run context but still bounds the drain.
+	//ljqlint:allow ctxflow -- the run ctx is already cancelled; the drain deadline must not inherit that cancellation
+	shCtx, cancel := context.WithTimeout(context.Background(), cfg.Grace)
+	defer cancel()
+	var drainErr error
+	if err := hs.Shutdown(shCtx); err != nil {
+		cfg.Logf("ljqd: drain incomplete after %s: %v", cfg.Grace, err)
+		_ = hs.Close()
+		drainErr = fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+
+	// Snapshot after the drain so the final requests' plans are in it.
+	if err := cfg.Server.Flush(); err != nil {
+		cfg.Logf("ljqd: final snapshot failed: %v (previous snapshot + journal remain recoverable)", err)
+		if drainErr == nil {
+			drainErr = err
+		}
+	} else {
+		cfg.Logf("ljqd: plan cache flushed")
+	}
+	return drainErr
+}

@@ -19,13 +19,25 @@
 //     layer; coalesced waiters still honor their own deadlines.
 //     Responses carry the anytime contract (degraded, degradeReason,
 //     budgetUsed) plus cacheHit, coalesced, and the fingerprint.
-//   - GET /statusz: cache stats, in-flight counts, limiter occupancy
-//     and uptime as JSON.
-//   - GET /healthz: 200 ok (load-balancer liveness).
+//   - GET /statusz: cache stats, in-flight counts, limiter occupancy,
+//     durability counters and uptime as JSON.
+//   - GET /healthz, /livez: 200 ok (load-balancer liveness: the
+//     process is up and serving HTTP).
+//   - GET /readyz: readiness. 503 while startup recovery (journal
+//     replay) is still in progress and for a short window after the
+//     limiter sheds a request — a recovering or overloaded daemon
+//     should stop receiving new traffic without being killed.
 //
-// Graceful shutdown is the daemon's job (cmd/ljqd drains in-flight
-// work via http.Server.Shutdown); the handler itself is stateless
-// between requests apart from the cache.
+// Durability: with Config.Persist set, every admitted plan is
+// journaled through internal/persist and the cache is snapshotted
+// periodically and at drain (Flush), so a restart serves byte-identical
+// plans for previously cached fingerprints instead of triggering a
+// cold re-optimization storm.
+//
+// Graceful shutdown is the daemon's job (RunDaemon / cmd/ljqd drains
+// in-flight work via http.Server.Shutdown, then flushes a final
+// snapshot); the handler itself is stateless between requests apart
+// from the cache.
 package serve
 
 import (
@@ -45,6 +57,7 @@ import (
 	"joinopt/internal/core"
 	"joinopt/internal/cost"
 	"joinopt/internal/fingerprint"
+	"joinopt/internal/persist"
 	"joinopt/internal/plan"
 	"joinopt/internal/plancache"
 	"joinopt/internal/qdsl"
@@ -94,6 +107,16 @@ type Config struct {
 	// hot path then carries no metrics overhead beyond the existing
 	// atomics.
 	Metrics *telemetry.Registry
+	// Persist, if non-nil, is the durability manager bound to the
+	// cache (internal/persist): its recovery and journal counters are
+	// exposed on /statusz and /metrics, and Flush snapshots through it
+	// at drain. The manager must be bound to the same cache passed via
+	// CacheHandle.
+	Persist *persist.Manager
+	// ReadinessShedWindow is how long /readyz keeps answering 503
+	// after the limiter sheds a request (default 5s; load balancers
+	// should back off an overloaded daemon rather than pile on).
+	ReadinessShedWindow time.Duration
 }
 
 func (c *Config) fill() {
@@ -118,6 +141,9 @@ func (c *Config) fill() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.ReadinessShedWindow <= 0 {
+		c.ReadinessShedWindow = 5 * time.Second
+	}
 }
 
 // errShed marks a request dropped by the limiter's queue deadline.
@@ -125,14 +151,23 @@ var errShed = errors.New("serve: optimization capacity exhausted")
 
 // Server is the optimizer service. Create with New; serve via Handler.
 type Server struct {
-	cfg   Config
-	cache *plancache.Cache
-	sem   *semaphore
-	start time.Time
+	cfg     Config
+	cache   *plancache.Cache
+	sem     *semaphore
+	start   time.Time
+	persist *persist.Manager // nil when persistence is off
 
 	inFlight  atomic.Int64  // HTTP requests inside /optimize
 	optimizes atomic.Uint64 // optimizer runs started (cache misses that won capacity)
 	shed      atomic.Uint64 // 503s issued by the limiter
+
+	// notReady is the readiness latch: nonzero while journal replay
+	// (or any other startup work) is still in progress. Inverted so
+	// the zero value of Server-built-by-New is "ready".
+	notReady atomic.Bool
+	// lastShedNano is the wall-clock of the most recent limiter shed;
+	// /readyz answers 503 within ReadinessShedWindow of it.
+	lastShedNano atomic.Int64
 
 	metrics     *telemetry.Registry
 	budgetUsedH *telemetry.Histogram // work units consumed per optimizer run
@@ -146,9 +181,10 @@ func New(cfg Config) *Server {
 		cache = plancache.New(cfg.Cache)
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cache,
-		sem:   newSemaphore(cfg.MaxInFlightJoins),
+		cfg:     cfg,
+		cache:   cache,
+		sem:     newSemaphore(cfg.MaxInFlightJoins),
+		persist: cfg.Persist,
 		//ljqlint:allow detrand -- serving-layer uptime bookkeeping; the seeded optimizer trajectory never observes it
 		start: time.Now(),
 	}
@@ -175,6 +211,9 @@ func New(cfg Config) *Server {
 			"Work units consumed per optimizer run.",
 			telemetry.ExpBuckets(256, 4, 10))
 		cache.RegisterMetrics(reg, "ljq_plancache")
+		if s.persist != nil {
+			s.persist.RegisterMetrics(reg, "ljq_persist")
+		}
 	}
 	return s
 }
@@ -182,19 +221,66 @@ func New(cfg Config) *Server {
 // Cache exposes the plan cache (tests, expvar wiring).
 func (s *Server) Cache() *plancache.Cache { return s.cache }
 
+// SetReady flips the readiness latch. The daemon holds readiness false
+// while startup recovery (journal replay) runs; /readyz answers 503
+// until it is set true. Liveness (/healthz, /livez) is unaffected.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Flush writes a compacting snapshot of the cache through the
+// persistence manager. No-op (nil) when persistence is off. Called by
+// the daemon at drain time, after in-flight requests finish.
+func (s *Server) Flush() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.Flush()
+}
+
 // Handler returns the HTTP routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.handleOptimize)
 	mux.HandleFunc("/statusz", s.handleStatusz)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	// Liveness: the process is up. Kept on /healthz for compatibility
+	// with pre-split deployments; /livez is the modern spelling.
+	mux.HandleFunc("/healthz", s.handleLiveness)
+	mux.HandleFunc("/livez", s.handleLiveness)
+	// Readiness: the process should receive traffic.
+	mux.HandleFunc("/readyz", s.handleReadiness)
 	if s.metrics != nil {
 		mux.HandleFunc("/metrics", s.handleMetrics)
 	}
 	return mux
+}
+
+func (s *Server) handleLiveness(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadiness answers 503 while the daemon should not receive new
+// traffic: startup recovery still replaying the plan journal, or the
+// limiter shed a request within ReadinessShedWindow (an overloaded
+// daemon wants less traffic, not a restart — that distinction is the
+// point of the liveness/readiness split).
+func (s *Server) handleReadiness(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.notReady.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering: journal replay in progress")
+		return
+	}
+	if last := s.lastShedNano.Load(); last != 0 {
+		//ljqlint:allow detrand -- readiness wall-clock window, outside any seeded trajectory
+		since := time.Duration(time.Now().UnixNano() - last)
+		if since < s.cfg.ReadinessShedWindow {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.ReadinessShedWindow-since))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "shedding: limiter at capacity")
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // handleMetrics serves the registry in Prometheus text exposition
@@ -237,6 +323,7 @@ type OptimizeResponse struct {
 // StatusResponse is the JSON body of GET /statusz.
 type StatusResponse struct {
 	UptimeSeconds    float64         `json:"uptimeSeconds"`
+	Ready            bool            `json:"ready"`
 	InFlightRequests int64           `json:"inFlightRequests"`
 	InFlightJoins    int64           `json:"inFlightJoins"`
 	QueuedRequests   int             `json:"queuedRequests"`
@@ -244,6 +331,9 @@ type StatusResponse struct {
 	Optimizations    uint64          `json:"optimizations"`
 	Shed             uint64          `json:"shed"`
 	Cache            plancache.Stats `json:"cache"`
+	// Persist carries the durability layer's recovery and journal
+	// counters; omitted when the daemon runs without -cache-dir.
+	Persist *persist.ManagerStats `json:"persist,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +344,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := StatusResponse{
 		//ljqlint:allow detrand -- serving-layer uptime reporting, outside any seeded trajectory
 		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Ready:            !s.notReady.Load(),
 		InFlightRequests: s.inFlight.Load(),
 		InFlightJoins:    s.sem.InUse(),
 		QueuedRequests:   s.sem.Waiting(),
@@ -261,6 +352,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Optimizations:    s.optimizes.Load(),
 		Shed:             s.shed.Load(),
 		Cache:            s.cache.Stats(),
+	}
+	if s.persist != nil {
+		ps := s.persist.Stats()
+		st.Persist = &ps
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -299,6 +394,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errShed):
 		s.shed.Add(1)
+		//ljqlint:allow detrand -- readiness shed-window bookkeeping, outside any seeded trajectory
+		s.lastShedNano.Store(time.Now().UnixNano())
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueTimeout))
 		http.Error(w, "optimizer at capacity; retry later", http.StatusServiceUnavailable)
 		return
@@ -424,8 +521,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfterSeconds serializes a suggested wait as a Retry-After
+// header value, rounding UP to whole seconds: a 400ms suggestion must
+// become "1", not a truncated "0" (which clients read as "retry
+// immediately" — the opposite of shedding), and a 1.4s suggestion must
+// not lose its fractional 400ms either.
 func retryAfterSeconds(d time.Duration) string {
-	secs := int64(d / time.Second)
+	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

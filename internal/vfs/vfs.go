@@ -1,0 +1,290 @@
+// Package vfs is the narrow filesystem seam the durability layer
+// writes through. internal/persist performs every mutating operation —
+// create, append, write, fsync, rename, remove — via the FS interface,
+// so tests can substitute an in-memory filesystem (Mem) and the fault
+// harness can substitute one that tears writes, fails fsyncs, or
+// "loses power" at a scheduled operation (faultinject.FaultFS).
+//
+// The interface is deliberately minimal: exactly the operations the
+// crash-safe journal/snapshot protocol needs, with the durability
+// points (Sync on files, SyncDir on directories) explicit so a fault
+// filesystem can model what is and is not on disk when the plug is
+// pulled.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is a writable file handle. Write may be called repeatedly;
+// Sync is the durability point (data written before a successful Sync
+// must survive a crash); Close releases the handle without implying
+// durability.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the handle. Closing does not imply Sync.
+	Close() error
+}
+
+// FS is the filesystem surface the persistence layer uses.
+type FS interface {
+	// Create opens name for writing, truncating it if it exists and
+	// creating it otherwise.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// ReadFile returns the entire contents of name. A missing file
+	// surfaces as an error satisfying os.IsNotExist / fs.ErrNotExist.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name. Removing a missing file is an error
+	// (callers that tolerate absence check os.IsNotExist).
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// inside it durable.
+	SyncDir(dir string) error
+}
+
+// ---------------------------------------------------------------------
+// OS: the real filesystem.
+
+// OS implements FS on the host filesystem.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Append implements FS.
+func (OS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS: open the directory and fsync it.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ---------------------------------------------------------------------
+// Mem: an in-memory filesystem for hermetic, fast crash tests.
+
+// Mem is an in-memory FS. It is safe for concurrent use. Sync and
+// SyncDir are no-ops (every write is immediately "durable"), which is
+// the conservative model for crash tests layered on top: a fault
+// filesystem that wants weaker durability injects the loss itself.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memNode
+	dirs  map[string]bool
+}
+
+// memNode is the "inode": file identity survives renames, and a handle
+// holding a node that is no longer linked under its name writes into
+// the unlinked inode — invisible to readers, exactly like POSIX.
+type memNode struct {
+	data []byte
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memNode), dirs: make(map[string]bool)}
+}
+
+// memFile is a handle onto a Mem inode. Writes publish immediately
+// (byte-granular durability; fault injection layers tear writes above
+// this) — but only reach readers while the inode is still linked.
+type memFile struct {
+	fs     *Mem
+	node   *memNode
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	// Writes go to the inode. If the name was renamed-over or removed,
+	// the inode is unlinked: the bytes land where no reader will ever
+	// look — the property the snapshot protocol's crash-safety relies
+	// on (a stale journal handle must not corrupt the published file).
+	f.node.data = append(f.node.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// Create implements FS.
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := &memNode{}
+	m.files[name] = n
+	return &memFile{fs: m, node: n}, nil
+}
+
+// Append implements FS.
+func (m *Mem) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[name]
+	if !ok {
+		n = &memNode{}
+		m.files[name] = n
+	}
+	return &memFile{fs: m, node: n}, nil
+}
+
+// ReadFile implements FS.
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// Rename implements FS.
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	m.files[newname] = n
+	delete(m.files, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// MkdirAll implements FS.
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := filepath.Clean(dir); d != "." && d != string(filepath.Separator); d = filepath.Dir(d) {
+		m.dirs[d] = true
+	}
+	return nil
+}
+
+// SyncDir implements FS (no-op: Mem is always "durable").
+func (m *Mem) SyncDir(string) error { return nil }
+
+// Names returns the sorted file names currently present (test helper).
+func (m *Mem) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	//ljqlint:allow detrand -- order-insensitive collection; sorted immediately below
+	for n := range m.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Truncate shortens an existing file to n bytes (test helper for
+// hand-crafting torn tails).
+func (m *Mem) Truncate(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nd, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if n < len(nd.data) {
+		nd.data = nd.data[:n]
+	}
+	return nil
+}
+
+// Corrupt flips a bit at byte offset off of name (test helper).
+func (m *Mem) Corrupt(name string, off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nd, ok := m.files[name]
+	if !ok || off >= len(nd.data) {
+		return &os.PathError{Op: "corrupt", Path: name, Err: os.ErrNotExist}
+	}
+	nd.data[off] ^= 0x40
+	return nil
+}
+
+// HasPrefixFile reports whether any present file name starts with
+// prefix (test helper: temp-file leak checks).
+func (m *Mem) HasPrefixFile(prefix string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//ljqlint:allow detrand -- existence check: any-order scan yields the same boolean
+	for n := range m.files {
+		if strings.HasPrefix(n, prefix) {
+			return true
+		}
+	}
+	return false
+}

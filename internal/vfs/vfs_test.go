@@ -1,0 +1,196 @@
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// implementations runs a test against both FS implementations: the
+// durability layer must behave identically over the real filesystem
+// and the in-memory model the chaos harness wraps.
+func implementations(t *testing.T) map[string]FS {
+	t.Helper()
+	return map[string]FS{
+		"mem": NewMem(),
+		"os":  OS{},
+	}
+}
+
+// path roots names for the OS implementation inside a temp dir; Mem
+// paths are plain keys.
+func rooted(t *testing.T, name string, fs FS) string {
+	t.Helper()
+	if _, ok := fs.(OS); ok {
+		return filepath.Join(t.TempDir(), name)
+	}
+	return name
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	for label, fs := range implementations(t) {
+		t.Run(label, func(t *testing.T) {
+			p := rooted(t, "dir/file.bin", fs)
+			if err := fs.MkdirAll(filepath.Dir(p)); err != nil {
+				t.Fatal(err)
+			}
+			f, err := fs.Create(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			data, err := fs.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != "hello world" {
+				t.Fatalf("read back %q", data)
+			}
+		})
+	}
+}
+
+func TestAppendExtends(t *testing.T) {
+	for label, fs := range implementations(t) {
+		t.Run(label, func(t *testing.T) {
+			p := rooted(t, "log", fs)
+			if err := fs.MkdirAll(filepath.Dir(p)); err != nil {
+				t.Fatal(err)
+			}
+			f, _ := fs.Create(p)
+			_, _ = f.Write([]byte("aa"))
+			_ = f.Close()
+			g, err := fs.Append(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Write([]byte("bb")); err != nil {
+				t.Fatal(err)
+			}
+			_ = g.Close()
+			data, _ := fs.ReadFile(p)
+			if string(data) != "aabb" {
+				t.Fatalf("append produced %q, want aabb", data)
+			}
+		})
+	}
+}
+
+func TestRenameReplacesAtomically(t *testing.T) {
+	for label, fs := range implementations(t) {
+		t.Run(label, func(t *testing.T) {
+			dir := rooted(t, "d", fs)
+			if err := fs.MkdirAll(dir); err != nil {
+				t.Fatal(err)
+			}
+			oldp, newp := filepath.Join(dir, "x.tmp"), filepath.Join(dir, "x")
+			for _, w := range []struct{ p, s string }{{newp, "old"}, {oldp, "new"}} {
+				f, _ := fs.Create(w.p)
+				_, _ = f.Write([]byte(w.s))
+				_ = f.Close()
+			}
+			if err := fs.Rename(oldp, newp); err != nil {
+				t.Fatal(err)
+			}
+			data, _ := fs.ReadFile(newp)
+			if string(data) != "new" {
+				t.Fatalf("rename target holds %q, want new", data)
+			}
+			if _, err := fs.ReadFile(oldp); !os.IsNotExist(err) {
+				t.Fatalf("rename source still readable (err=%v)", err)
+			}
+		})
+	}
+}
+
+func TestRemoveMissingIsNotExist(t *testing.T) {
+	for label, fs := range implementations(t) {
+		t.Run(label, func(t *testing.T) {
+			p := rooted(t, "gone", fs)
+			if fsOS, ok := fs.(OS); ok {
+				_ = fsOS.MkdirAll(filepath.Dir(p))
+			}
+			if err := fs.Remove(p); !os.IsNotExist(err) {
+				t.Fatalf("Remove(missing) = %v, want IsNotExist", err)
+			}
+		})
+	}
+}
+
+func TestReadMissingIsNotExist(t *testing.T) {
+	for label, fs := range implementations(t) {
+		t.Run(label, func(t *testing.T) {
+			if _, err := fs.ReadFile(rooted(t, "nope", fs)); !os.IsNotExist(err) {
+				t.Fatalf("ReadFile(missing) = %v, want IsNotExist", err)
+			}
+		})
+	}
+}
+
+// TestMemWritesToReplacedFileAreDropped pins the POSIX unlinked-inode
+// model: a handle that was renamed over keeps writing into the void,
+// not into the new file — the property the snapshot protocol's
+// crash-safety relies on.
+func TestMemWritesToReplacedFileAreDropped(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("a")
+	_, _ = f.Write([]byte("first"))
+
+	g, _ := m.Create("a.tmp")
+	_, _ = g.Write([]byte("second"))
+	_ = g.Close()
+	if err := m.Rename("a.tmp", "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale handle's writes must not corrupt the published file.
+	_, _ = f.Write([]byte("GARBAGE"))
+	_ = f.Close()
+	data, _ := m.ReadFile("a")
+	if string(data) != "second" {
+		t.Fatalf("published file holds %q, want second", data)
+	}
+}
+
+func TestMemTestHelpers(t *testing.T) {
+	m := NewMem()
+	for _, n := range []string{"b", "a"} {
+		f, _ := m.Create(n)
+		_, _ = f.Write([]byte("0123456789"))
+		_ = f.Close()
+	}
+	names := m.Names()
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if err := m.Truncate("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := m.ReadFile("a")
+	if string(data) != "0123" {
+		t.Fatalf("truncated file = %q", data)
+	}
+	if err := m.Corrupt("b", 5); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = m.ReadFile("b")
+	if data[5] == '5' {
+		t.Fatal("Corrupt did not flip the byte")
+	}
+	if !m.HasPrefixFile("a") || m.HasPrefixFile("zz") {
+		t.Fatal("HasPrefixFile misbehaved")
+	}
+}
