@@ -30,6 +30,12 @@
 //	# Prometheus metrics (on by default; -metrics=false disables)
 //	curl -s localhost:8080/metrics
 //
+//	# cluster mode: each peer lists the full ring membership and its
+//	# own advertised URL; on start it warm-starts its plan cache from
+//	# the other peers' GET /snapshot before accepting traffic
+//	ljqd -addr :8081 -advertise http://host1:8081 \
+//	     -peers http://host1:8081,http://host2:8081,http://host3:8081
+//
 //	# CPU/heap profiling (opt-in; serves net/http/pprof under /debug/pprof/)
 //	ljqd -pprof
 //
@@ -50,9 +56,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"joinopt/internal/cluster"
 	"joinopt/internal/core"
 	"joinopt/internal/cost"
 	"joinopt/internal/persist"
@@ -80,6 +88,9 @@ func main() {
 		grace        = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
 		metricsOn    = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes internals)")
+		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every ring member, this one included (cluster mode)")
+		advertise    = flag.String("advertise", "", "this peer's own base URL as it appears in -peers")
+		warmTimeout  = flag.Duration("warm-timeout", 30*time.Second, "per-donor deadline for the startup snapshot fetch")
 	)
 	flag.Parse()
 
@@ -160,6 +171,46 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Cluster mode: before the listener opens (and therefore before
+	// /readyz ever answers 200), warm-start the plan cache from the
+	// other ring members' snapshots. Donor order is the -peers order
+	// with this peer removed, so a rolling restart ships plans from a
+	// deterministic neighbor first. Warm-start failure is non-fatal:
+	// a peer with no reachable donor joins cold, it does not crash.
+	if *peersFlag != "" {
+		peers := splitPeers(*peersFlag)
+		if *advertise == "" {
+			fail(fmt.Errorf("-peers requires -advertise (this peer's own URL in the ring)"))
+		}
+		donors := make([]string, 0, len(peers))
+		self := false
+		for _, p := range peers {
+			if p == *advertise {
+				self = true
+				continue
+			}
+			donors = append(donors, p)
+		}
+		if !self {
+			fail(fmt.Errorf("-advertise %q is not listed in -peers", *advertise))
+		}
+		if len(donors) > 0 {
+			res, werr := cluster.WarmStart(ctx, cache, cluster.WarmStartConfig{
+				Donors:          donors,
+				PerDonorTimeout: *warmTimeout,
+			})
+			for _, a := range res.Attempts {
+				fmt.Fprintf(os.Stderr, "ljqd: warm-start donor %s failed: %v\n", a.Donor, a.Err)
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "ljqd: warm-start found no donor, joining cold: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "ljqd: warm-started %d plans (%d bytes) from %s\n",
+					res.Entries, res.Bytes, res.Donor)
+			}
+		}
+	}
+
 	err = serve.RunDaemon(ctx, serve.DaemonConfig{
 		Server:  srv,
 		Addr:    *addr,
@@ -182,6 +233,19 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "ljqd: bye")
+}
+
+// splitPeers parses a comma-separated peer list, trimming whitespace
+// and trailing slashes and dropping empties.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func fail(err error) {

@@ -2,6 +2,7 @@ package client
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -62,6 +63,11 @@ type breaker struct {
 	cfg BreakerConfig
 	now func() time.Time
 
+	// transitions counts state changes (closed→open, open→half-open,
+	// half-open→closed, half-open→open): the operational "how often is
+	// this peer flapping" number, exported through telemetry.
+	transitions atomic.Uint64
+
 	mu            sync.Mutex
 	state         breakerState
 	failures      int
@@ -89,6 +95,7 @@ func (b *breaker) allow() bool {
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
 			b.state = breakerHalfOpen
+			b.transitions.Add(1)
 			b.probeInFlight = true
 			return true
 		}
@@ -110,6 +117,9 @@ func (b *breaker) success() {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		b.transitions.Add(1)
+	}
 	b.state = breakerClosed
 	b.failures = 0
 	b.probeInFlight = false
@@ -126,15 +136,31 @@ func (b *breaker) failure() {
 	case breakerHalfOpen:
 		// The probe failed: reopen for another cooldown.
 		b.state = breakerOpen
+		b.transitions.Add(1)
 		b.openedAt = b.now()
 		b.probeInFlight = false
 	case breakerClosed:
 		b.failures++
 		if b.failures >= b.cfg.Threshold {
 			b.state = breakerOpen
+			b.transitions.Add(1)
 			b.openedAt = b.now()
 		}
 	}
+}
+
+// cancelSlot releases a slot claimed by allow() without judging the
+// peer: the request was abandoned (a hedged loser torn down after a
+// winner, not a verdict on the peer's health). In the closed state
+// this is a no-op; in half-open it frees the probe slot so the next
+// request can probe instead of parking the breaker half-open forever.
+func (b *breaker) cancelSlot() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probeInFlight = false
 }
 
 // currentState snapshots the state (status/debugging).
@@ -143,3 +169,46 @@ func (b *breaker) currentState() breakerState {
 	defer b.mu.Unlock()
 	return b.state
 }
+
+// ---------------------------------------------------------------------
+
+// Breaker is the exported half-open circuit breaker: the same state
+// machine the Client runs per daemon, reusable as a standalone
+// component (internal/cluster keeps one per peer for its health view).
+//
+// Contract: every Allow() == true must be followed by exactly one
+// Success() or Failure() — in the half-open state, Allow grants the
+// single probe slot, and a caller that drops the slot on the floor
+// parks the breaker half-open forever.
+type Breaker struct{ b *breaker }
+
+// NewBreaker builds a standalone breaker. now is the clock (nil means
+// time.Now; tests inject a fake clock to drive cooldowns).
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		//ljqlint:allow detrand -- wall-clock breaker cooldown, outside any seeded optimizer path
+		now = time.Now
+	}
+	return &Breaker{b: newBreaker(cfg, now)}
+}
+
+// Allow reports whether a request may proceed (and in half-open state
+// claims the probe slot — see the type contract).
+func (b *Breaker) Allow() bool { return b.b.allow() }
+
+// Success records a useful completion.
+func (b *Breaker) Success() { b.b.success() }
+
+// Failure records a retryable failure.
+func (b *Breaker) Failure() { b.b.failure() }
+
+// Cancel releases an Allow slot without recording a verdict: the
+// request was abandoned before completing (e.g. a hedged loser), so
+// its fate says nothing about the peer.
+func (b *Breaker) Cancel() { b.b.cancelSlot() }
+
+// State names the current state ("closed", "open", "half-open").
+func (b *Breaker) State() string { return b.b.currentState().String() }
+
+// Transitions returns how many state changes the breaker has made.
+func (b *Breaker) Transitions() uint64 { return b.b.transitions.Load() }

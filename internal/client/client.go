@@ -38,11 +38,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/qfile"
 	"joinopt/internal/serve"
+	"joinopt/internal/telemetry"
 )
 
 // Errors surfaced by the client.
@@ -103,7 +105,10 @@ type Config struct {
 	//
 	// Sleep waits between attempts (default: ctx-aware timer).
 	Sleep func(ctx context.Context, d time.Duration) error
-	// After arms the hedge timer (default time.After).
+	// After arms the hedge timer (default: a stoppable time.Timer —
+	// unlike time.After, the timer is released as soon as the attempt
+	// resolves, so a fast-failing primary does not strand a HedgeDelay
+	// timer per retry).
 	After func(d time.Duration) <-chan time.Time
 	// Now is the breaker's clock (default time.Now).
 	Now func() time.Time
@@ -138,10 +143,8 @@ func (c *Config) fill() error {
 	if c.Sleep == nil {
 		c.Sleep = sleepCtx
 	}
-	if c.After == nil {
-		//ljqlint:allow detrand -- wall-clock hedge timer in the network client; the optimizer's seeded trajectory never observes it
-		c.After = time.After
-	}
+	// c.After stays nil by default: hedgedAttempt then uses a stoppable
+	// time.Timer instead of a fire-and-forget channel.
 	if c.Now == nil {
 		//ljqlint:allow detrand -- wall-clock breaker cooldown in the network client, outside any seeded path
 		c.Now = time.Now
@@ -169,8 +172,25 @@ type Client struct {
 	cfg     Config
 	breaker *breaker
 
+	// Resilience counters, exported via Stats and RegisterMetrics: how
+	// much work the failure-handling machinery is actually doing.
+	retries     atomic.Uint64 // extra attempts beyond the first, per call
+	hedges      atomic.Uint64 // hedged secondaries launched
+	hedgeWins   atomic.Uint64 // hedged secondary's response was used
+	hedgeLosses atomic.Uint64 // hedge launched but the primary's response won
+
 	mu  sync.Mutex
 	rng *rand.Rand
+}
+
+// Stats is a snapshot of the client's resilience counters.
+type Stats struct {
+	Retries            uint64 `json:"retries"`
+	Hedges             uint64 `json:"hedges"`
+	HedgeWins          uint64 `json:"hedgeWins"`
+	HedgeLosses        uint64 `json:"hedgeLosses"`
+	BreakerTransitions uint64 `json:"breakerTransitions"`
+	BreakerState       string `json:"breakerState"`
 }
 
 // New builds a client.
@@ -188,6 +208,35 @@ func New(cfg Config) (*Client, error) {
 // BreakerState names the breaker's current state ("closed", "open",
 // "half-open") for status surfaces.
 func (c *Client) BreakerState() string { return c.breaker.currentState().String() }
+
+// Stats snapshots the resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Retries:            c.retries.Load(),
+		Hedges:             c.hedges.Load(),
+		HedgeWins:          c.hedgeWins.Load(),
+		HedgeLosses:        c.hedgeLosses.Load(),
+		BreakerTransitions: c.breaker.transitions.Load(),
+		BreakerState:       c.BreakerState(),
+	}
+}
+
+// RegisterMetrics exports the resilience counters into reg under the
+// given metric-name prefix, optionally tagged with a literal label
+// suffix (pass labels like `{peer="http://host:8080"}`, or "" for
+// none). The cluster router registers one client per peer this way, so
+// /metrics breaks retries, hedge outcomes and breaker churn down by
+// peer.
+func (c *Client) RegisterMetrics(reg *telemetry.Registry, prefix, labels string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_retries_total"+labels, "Retry attempts beyond each call's first try.", c.retries.Load)
+	reg.CounterFunc(prefix+"_hedges_total"+labels, "Hedged secondary requests launched.", c.hedges.Load)
+	reg.CounterFunc(prefix+"_hedge_wins_total"+labels, "Hedged requests whose secondary response was used.", c.hedgeWins.Load)
+	reg.CounterFunc(prefix+"_hedge_losses_total"+labels, "Hedged requests where the primary still won.", c.hedgeLosses.Load)
+	reg.CounterFunc(prefix+"_breaker_transitions_total"+labels, "Circuit-breaker state transitions.", c.breaker.transitions.Load)
+}
 
 // Optimize sends q to POST /optimize (JSON interchange format) with
 // the full resilience stack and returns the decoded response.
@@ -252,6 +301,7 @@ type outcome struct {
 	err        error // nil iff 2xx
 	retryable  bool
 	retryAfter time.Duration // server's 503 hint, 0 if none
+	fromHedge  bool          // produced by the hedged secondary
 }
 
 // call runs the full retry/hedge/breaker loop for one logical request.
@@ -260,6 +310,9 @@ func (c *Client) call(ctx context.Context, method, path, contentType string, bod
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if attempt > 0 {
+			c.retries.Add(1)
 		}
 		if !c.breaker.allow() {
 			return nil, ErrCircuitOpen
@@ -311,38 +364,70 @@ func (c *Client) backoff(attempt int) time.Duration {
 // if HedgeDelay is set and the primary is still silent when it fires —
 // a hedged secondary. The first useful outcome (success or permanent
 // failure) wins; if both fail retryably the primary's outcome is
-// reported. The loser is cancelled.
+// reported.
+//
+// Loser handling is explicit and leak-free:
+//
+//   - the moment a winner is chosen, the shared attempt context is
+//     cancelled, so the losing in-flight request (and its transport
+//     connection) is torn down immediately rather than running to its
+//     per-attempt timeout;
+//   - the hedge timer is a stoppable time.Timer (unless the After test
+//     hook overrides it), stopped on every exit path — a fast-failing
+//     primary does not strand one armed HedgeDelay timer per retry;
+//   - result delivery uses a buffered channel sized for both attempts,
+//     so a late loser writes its outcome and exits without a reader.
+//
+// TestHedgeLoserCancelledNoLeak pins this down against a scripted Hang
+// transport.
 func (c *Client) hedgedAttempt(ctx context.Context, method, path, contentType string, body []byte) outcome {
 	if c.cfg.HedgeDelay <= 0 {
 		return c.attempt(ctx, method, path, contentType, body)
 	}
 
 	actx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	defer cancel() // belt and braces: every exit cancels any in-flight loser
 	results := make(chan outcome, 2)
-	launch := func() {
+	launch := func(hedge bool) {
 		go func() {
 			// Goroutine panic barrier (panicguard): a bug in the
 			// attempt path must resolve this hedge slot, not kill the
 			// process.
 			defer func() {
 				if r := recover(); r != nil {
-					results <- outcome{err: fmt.Errorf("client: attempt panicked: %v", r), retryable: true}
+					results <- outcome{err: fmt.Errorf("client: attempt panicked: %v", r), retryable: true, fromHedge: hedge}
 				}
 			}()
-			results <- c.attempt(actx, method, path, contentType, body)
+			out := c.attempt(actx, method, path, contentType, body)
+			out.fromHedge = hedge
+			results <- out
 		}()
 	}
 
-	launch()
+	timerC, stopTimer := c.hedgeTimer()
+	defer stopTimer()
+
+	launch(false)
 	hedged := false
-	timer := c.cfg.After(c.cfg.HedgeDelay)
 	var first *outcome
 	for {
 		select {
 		case out := <-results:
 			if out.err == nil || !out.retryable {
-				return out // useful result: success or permanent failure
+				// Useful result: success or permanent failure. Cancel
+				// the loser *now* — the deferred cancel would fire too,
+				// but making the teardown explicit keeps the loser from
+				// holding a connection for even a moment longer than
+				// the winning response.
+				cancel()
+				if hedged {
+					if out.fromHedge {
+						c.hedgeWins.Add(1)
+					} else {
+						c.hedgeLosses.Add(1)
+					}
+				}
+				return out
 			}
 			if !hedged {
 				// Primary failed before the hedge timer fired: no point
@@ -354,16 +439,33 @@ func (c *Client) hedgedAttempt(ctx context.Context, method, path, contentType st
 				first = &out
 				continue // the other request is still running
 			}
-			// Both failed retryably; report the first failure.
+			// Both failed retryably; report the primary's failure (the
+			// launch order, not arrival order: backoff policy keys off
+			// the primary path).
+			if first.fromHedge {
+				first = &out
+			}
 			return *first
-		case <-timer:
+		case <-timerC:
 			hedged = true
-			timer = nil
-			launch()
+			timerC = nil
+			c.hedges.Add(1)
+			launch(true)
 		case <-ctx.Done():
 			return outcome{err: ctx.Err(), retryable: false}
 		}
 	}
+}
+
+// hedgeTimer arms the hedge-delay timer: the After test hook if set,
+// otherwise a real time.Timer whose stop function releases it as soon
+// as the attempt resolves.
+func (c *Client) hedgeTimer() (<-chan time.Time, func()) {
+	if c.cfg.After != nil {
+		return c.cfg.After(c.cfg.HedgeDelay), func() {}
+	}
+	t := time.NewTimer(c.cfg.HedgeDelay)
+	return t.C, func() { t.Stop() }
 }
 
 // attempt performs one physical HTTP request under the per-attempt

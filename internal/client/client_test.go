@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 
 	"joinopt/internal/faultinject"
 	"joinopt/internal/serve"
+	"joinopt/internal/telemetry"
 )
 
 // roundTripperFunc adapts a function to http.RoundTripper (the inner
@@ -455,6 +457,122 @@ func TestStatusAndReadyProbesSingleAttempt(t *testing.T) {
 	}
 	if !st.Ready || st.CapacityJoins != 256 {
 		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestHedgeLoserCancelledNoLeak is the hedged-loser regression gate:
+// every hedged call leaves one request hanging (the scripted Hang
+// outcome blocks until its context dies), and the winning response
+// must cancel it immediately — no goroutine may outlive the call. The
+// per-attempt timeout is set far beyond the test's patience, so if the
+// loser were only reaped by that timeout instead of by explicit
+// cancellation, the goroutine count could not settle and the test
+// would fail.
+func TestHedgeLoserCancelledNoLeak(t *testing.T) {
+	const calls = 20
+	var outcomes []faultinject.Outcome
+	for i := 0; i < calls; i++ {
+		// Scheduler order decides which of the pair each request draws;
+		// either way one hangs and one passes.
+		outcomes = append(outcomes,
+			faultinject.Outcome{Kind: faultinject.Hang},
+			faultinject.Outcome{Kind: faultinject.Pass},
+		)
+	}
+	ft := faultinject.NewFlakyTransport(okInner(t), outcomes...)
+	c := newTestClient(t, Config{
+		Transport: ft, MaxAttempts: 1,
+		PerAttemptTimeout: time.Hour, // only cancellation can release the loser
+		HedgeDelay:        time.Millisecond,
+		After:             firesImmediately,
+		Sleep:             (&sleepRecorder{}).sleep,
+	})
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < calls; i++ {
+		if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// Cancellation is asynchronous from the caller's point of view;
+	// give the losers a moment to observe it.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after %d hedged calls", before, now, calls)
+	}
+	st := c.Stats()
+	if st.Hedges != calls {
+		t.Fatalf("hedges = %d, want %d", st.Hedges, calls)
+	}
+	if st.HedgeWins+st.HedgeLosses != calls {
+		t.Fatalf("hedge wins %d + losses %d, want their sum = %d", st.HedgeWins, st.HedgeLosses, calls)
+	}
+}
+
+func TestResilienceCountersAndMetrics(t *testing.T) {
+	ft := faultinject.NewFlakyTransport(okInner(t),
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Drop},
+		faultinject.Outcome{Kind: faultinject.Pass},
+	)
+	c := newTestClient(t, Config{Transport: ft, MaxAttempts: 4, Sleep: (&sleepRecorder{}).sleep})
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (two drops before the pass)", st.Retries)
+	}
+	if st.BreakerState != "closed" {
+		t.Fatalf("breaker state %q, want closed", st.BreakerState)
+	}
+
+	reg := telemetry.NewRegistry()
+	c.RegisterMetrics(reg, "ljq_client", `{peer="p0"}`)
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ljq_client_retries_total{peer="p0"} 2`,
+		`ljq_client_hedges_total{peer="p0"} 0`,
+		`ljq_client_breaker_transitions_total{peer="p0"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBreakerTransitionsCounted(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second}, clock.now)
+	b.Failure()
+	b.Failure() // closed → open
+	if st := b.State(); st != "open" {
+		t.Fatalf("state %q, want open", st)
+	}
+	clock.advance(time.Second)
+	if !b.Allow() { // open → half-open, probe slot claimed
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	b.Success() // half-open → closed
+	if got := b.Transitions(); got != 3 {
+		t.Fatalf("transitions = %d, want 3 (open, half-open, closed)", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	b.Success() // closed → closed: not a transition
+	if got := b.Transitions(); got != 3 {
+		t.Fatalf("transitions = %d after steady-state success, want still 3", got)
 	}
 }
 

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+
+	"joinopt/internal/serve"
+)
+
+// forgeHeaderCRC recomputes a persist container header's CRC in place
+// after the test tampered with its version bytes, so only the decoder's
+// semantic checks (not the checksum) can object.
+func forgeHeaderCRC(data []byte) {
+	crc := crc32.Checksum(data[:8], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[8:12], crc)
+}
+
+// jsonDecode decodes an *http.Response body, failing on non-200.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// statusOf fetches a peer's /statusz.
+func statusOf(base string) (*serve.StatusResponse, error) {
+	resp, err := http.Get(base + "/statusz")
+	if err != nil {
+		return nil, err
+	}
+	var st serve.StatusResponse
+	if err := jsonDecode(resp, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"joinopt/internal/catalog"
+	"joinopt/internal/client"
+	"joinopt/internal/fingerprint"
+	"joinopt/internal/serve"
+	"joinopt/internal/telemetry"
+)
+
+// ErrNoPeers reports that every routing rung is gone: all candidate
+// peers failed or were skipped and the router has no local optimizer.
+var ErrNoPeers = errors.New("cluster: no peer available and no local optimizer")
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Peers are the ring members' base URLs (e.g. "http://host:8080").
+	Peers []string
+	// Replicas is the ring's virtual-node count per peer (default
+	// DefaultReplicas).
+	Replicas int
+	// FallbackDepth is how many ring successors beyond the primary to
+	// try before falling back to local compute (default: every other
+	// peer).
+	FallbackDepth int
+	// Local, when set, is the last rung of the degradation ladder: an
+	// in-process serve.Server that optimizes when every candidate peer
+	// is unreachable. Without it, total peer loss surfaces ErrNoPeers.
+	Local *serve.Server
+	// Client is the template for the per-peer resilient clients.
+	// BaseURL is set per peer; the per-client circuit breaker is
+	// DISABLED (the Health view owns circuit state — double-breaking
+	// would make one peer's cooldown unobservable to routing).
+	Client client.Config
+	// HedgeDelay, when positive, races the next ring successor after
+	// this much primary silence instead of waiting for it to fail
+	// outright; the first useful response wins and the loser is
+	// cancelled. 0 = strictly sequential failover (deterministic, the
+	// chaos harness's mode).
+	HedgeDelay time.Duration
+	// After overrides the hedge timer (tests); nil = real timer.
+	After func(d time.Duration) <-chan time.Time
+	// Health tunes the peer-health view. A nil Health.Probe defaults
+	// to GET /readyz through the per-peer client.
+	Health HealthConfig
+	// Metrics, when set, receives per-peer routing counters, breaker
+	// churn, health gauges and the per-peer client resilience stats.
+	Metrics *telemetry.Registry
+}
+
+// Router is the cluster routing client: consistent-hash primary
+// routing with breaker-aware ring-successor failover and optional
+// local compute. Safe for concurrent use; with HedgeDelay == 0 and a
+// sequential caller its request trajectory is deterministic.
+type Router struct {
+	cfg     RouterConfig
+	ring    *Ring
+	health  *Health
+	clients map[string]*client.Client
+	depth   int // candidates per request (primary + fallbacks)
+
+	routes          map[string]*atomic.Uint64 // successes routed per peer
+	failovers       atomic.Uint64             // responses served by a non-primary peer
+	breakerSkips    atomic.Uint64             // candidates skipped with an open breaker
+	localFallbacks  atomic.Uint64             // requests served by local compute
+	hedgedFallbacks atomic.Uint64             // successor launches triggered by the hedge timer
+}
+
+// NewRouter builds a router over the configured peers.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ring, err := NewRing(cfg.Peers, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	peers := ring.Peers()
+	depth := cfg.FallbackDepth + 1
+	if cfg.FallbackDepth <= 0 || depth > len(peers) {
+		depth = len(peers)
+	}
+	r := &Router{
+		cfg:     cfg,
+		ring:    ring,
+		clients: make(map[string]*client.Client, len(peers)),
+		depth:   depth,
+		routes:  make(map[string]*atomic.Uint64, len(peers)),
+	}
+	for _, p := range peers {
+		ccfg := cfg.Client
+		ccfg.BaseURL = p
+		// Health owns the circuit state; a second breaker inside the
+		// client would trip invisibly to routing.
+		ccfg.Breaker = client.BreakerConfig{Threshold: -1}
+		c, err := client.New(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %s: %w", p, err)
+		}
+		r.clients[p] = c
+		r.routes[p] = &atomic.Uint64{}
+	}
+	hcfg := cfg.Health
+	if hcfg.Probe == nil {
+		hcfg.Probe = func(ctx context.Context, peer string) error {
+			return r.clients[peer].Ready(ctx)
+		}
+	}
+	r.health = NewHealth(peers, hcfg)
+	if reg := cfg.Metrics; reg != nil {
+		reg.CounterFunc("ljq_cluster_failover_total", "Requests served by a non-primary ring peer.", r.failovers.Load)
+		reg.CounterFunc("ljq_cluster_local_fallback_total", "Requests served by local compute after peer exhaustion.", r.localFallbacks.Load)
+		reg.CounterFunc("ljq_cluster_breaker_skip_total", "Candidate peers skipped with an open breaker.", r.breakerSkips.Load)
+		reg.CounterFunc("ljq_cluster_hedged_fallback_total", "Ring-successor launches triggered by the hedge timer.", r.hedgedFallbacks.Load)
+		for _, peer := range peers {
+			p := peer
+			label := fmt.Sprintf("{peer=%q}", p)
+			reg.CounterFunc("ljq_cluster_route_total"+label, "Requests served by this peer.", r.routes[p].Load)
+			reg.CounterFunc("ljq_cluster_breaker_transitions_total"+label, "This peer's breaker state transitions.",
+				func() uint64 { return r.health.Transitions(p) })
+			reg.GaugeFunc("ljq_cluster_peer_healthy"+label, "1 while this peer's breaker admits traffic.", func() float64 {
+				if r.health.Healthy(p) {
+					return 1
+				}
+				return 0
+			})
+			r.clients[p].RegisterMetrics(reg, "ljq_cluster_client", label)
+		}
+	}
+	return r, nil
+}
+
+// Ring exposes the routing ring (status surfaces, tests).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Health exposes the peer-health view.
+func (r *Router) Health() *Health { return r.health }
+
+// ProbeAll actively probes every admitted peer's /readyz (see
+// Health.ProbeAll).
+func (r *Router) ProbeAll(ctx context.Context) { r.health.ProbeAll(ctx) }
+
+// Stats is a snapshot of the router's routing counters.
+type RouterStats struct {
+	Routes          map[string]uint64 `json:"routes"`
+	Failovers       uint64            `json:"failovers"`
+	BreakerSkips    uint64            `json:"breakerSkips"`
+	LocalFallbacks  uint64            `json:"localFallbacks"`
+	HedgedFallbacks uint64            `json:"hedgedFallbacks"`
+}
+
+// Stats snapshots the routing counters.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Routes:          make(map[string]uint64, len(r.routes)),
+		Failovers:       r.failovers.Load(),
+		BreakerSkips:    r.breakerSkips.Load(),
+		LocalFallbacks:  r.localFallbacks.Load(),
+		HedgedFallbacks: r.hedgedFallbacks.Load(),
+	}
+	for _, p := range r.ring.Peers() {
+		st.Routes[p] = r.routes[p].Load()
+	}
+	return st
+}
+
+// Optimize routes q down the degradation ladder: primary peer, then
+// ring successors (hedged when HedgeDelay is set), then local compute.
+// The returned error is only ever the caller's own (4xx APIError, a
+// dead context) or — with no local rung — ErrNoPeers.
+func (r *Router) Optimize(ctx context.Context, q *catalog.Query) (*serve.OptimizeResponse, error) {
+	fp, _, _ := fingerprint.CanonicalQuery(q)
+	cands := r.ring.Successors(fp, r.depth)
+	if r.cfg.HedgeDelay > 0 && len(cands) > 1 {
+		return r.optimizeHedged(ctx, q, cands)
+	}
+	return r.optimizeSequential(ctx, q, cands)
+}
+
+// optimizeSequential tries candidates one at a time, in ring order.
+func (r *Router) optimizeSequential(ctx context.Context, q *catalog.Query, cands []string) (*serve.OptimizeResponse, error) {
+	var lastErr error
+	for i, peer := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !r.health.Allow(peer) {
+			r.breakerSkips.Add(1)
+			continue
+		}
+		resp, err := r.clients[peer].Optimize(ctx, q)
+		if err == nil {
+			r.health.ReportSuccess(peer)
+			r.routes[peer].Add(1)
+			if i > 0 {
+				r.failovers.Add(1)
+			}
+			return resp, nil
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			// The peer is alive and judged the request itself
+			// defective; that verdict belongs to the caller — failing
+			// over would just re-ask the same question.
+			r.health.ReportSuccess(peer)
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			r.health.ReportCancelled(peer)
+			return nil, ctx.Err()
+		}
+		r.health.ReportFailure(peer)
+		lastErr = err
+	}
+	return r.localCompute(ctx, q, lastErr)
+}
+
+// localCompute is the ladder's last rung.
+func (r *Router) localCompute(ctx context.Context, q *catalog.Query, lastErr error) (*serve.OptimizeResponse, error) {
+	if r.cfg.Local == nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("%w (last peer error: %v)", ErrNoPeers, lastErr)
+		}
+		return nil, ErrNoPeers
+	}
+	r.localFallbacks.Add(1)
+	return r.cfg.Local.OptimizeQuery(ctx, q)
+}
+
+// peerResult is one candidate's outcome in the hedged path.
+type peerResult struct {
+	peer string
+	resp *serve.OptimizeResponse
+	err  error
+}
+
+// optimizeHedged races ring candidates: the primary launches
+// immediately; if it is still silent after HedgeDelay the next
+// admitted successor joins the race (one hedge at a time — further
+// successors launch only after an outright failure). The first useful
+// response wins and every loser is cancelled; abandoned health slots
+// are released without a verdict.
+func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []string) (*serve.OptimizeResponse, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan peerResult, len(cands))
+	next, inFlight := 0, 0
+	primary := ""
+	launch := func(hedge bool) bool {
+		for next < len(cands) {
+			peer := cands[next]
+			next++
+			if !r.health.Allow(peer) {
+				r.breakerSkips.Add(1)
+				continue
+			}
+			if primary == "" {
+				primary = peer
+			}
+			if hedge {
+				r.hedgedFallbacks.Add(1)
+			}
+			inFlight++
+			go func(peer string) {
+				// Goroutine panic barrier (panicguard): a crash in the
+				// client must resolve this candidate's slot, not kill
+				// the process.
+				defer func() {
+					if rec := recover(); rec != nil {
+						results <- peerResult{peer: peer, err: fmt.Errorf("cluster: peer attempt panicked: %v", rec)}
+					}
+				}()
+				resp, err := r.clients[peer].Optimize(actx, q)
+				results <- peerResult{peer: peer, resp: resp, err: err}
+			}(peer)
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		return r.localCompute(ctx, q, nil)
+	}
+	timerC, stopTimer := r.hedgeTimer()
+	defer stopTimer()
+
+	var lastErr error
+	for {
+		select {
+		case out := <-results:
+			inFlight--
+			if out.err == nil {
+				r.health.ReportSuccess(out.peer)
+				r.routes[out.peer].Add(1)
+				if out.peer != primary {
+					r.failovers.Add(1)
+				}
+				cancel()
+				r.reapLosers(results, inFlight)
+				return out.resp, nil
+			}
+			var apiErr *client.APIError
+			if errors.As(out.err, &apiErr) {
+				r.health.ReportSuccess(out.peer)
+				cancel()
+				r.reapLosers(results, inFlight)
+				return nil, out.err
+			}
+			if ctx.Err() != nil {
+				r.health.ReportCancelled(out.peer)
+				r.reapLosers(results, inFlight)
+				return nil, ctx.Err()
+			}
+			r.health.ReportFailure(out.peer)
+			lastErr = out.err
+			if inFlight == 0 && !launch(false) {
+				return r.localCompute(ctx, q, lastErr)
+			}
+		case <-timerC:
+			timerC = nil
+			launch(true)
+		case <-ctx.Done():
+			r.reapLosers(results, inFlight)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// reapLosers collects the outstanding candidates' results in the
+// background so every claimed health slot is resolved: a loser that
+// actually completed gets its real verdict; a cancelled one releases
+// its slot verdict-free. The results channel is buffered for every
+// candidate and losers are cancelled, so the reaper always terminates.
+func (r *Router) reapLosers(results chan peerResult, inFlight int) {
+	if inFlight <= 0 {
+		return
+	}
+	go func() {
+		// Goroutine panic barrier (panicguard).
+		defer func() { _ = recover() }()
+		for i := 0; i < inFlight; i++ {
+			out := <-results
+			if out.err == nil {
+				r.health.ReportSuccess(out.peer)
+			} else {
+				r.health.ReportCancelled(out.peer)
+			}
+		}
+	}()
+}
+
+// hedgeTimer arms the hedge-delay timer: the After test hook if set,
+// otherwise a stoppable real timer.
+func (r *Router) hedgeTimer() (<-chan time.Time, func()) {
+	if r.cfg.After != nil {
+		return r.cfg.After(r.cfg.HedgeDelay), func() {}
+	}
+	t := time.NewTimer(r.cfg.HedgeDelay)
+	return t.C, func() { t.Stop() }
+}

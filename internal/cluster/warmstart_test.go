@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"joinopt/internal/faultinject"
+	"joinopt/internal/fingerprint"
+	"joinopt/internal/persist"
+	"joinopt/internal/plan"
+	"joinopt/internal/plancache"
+	"joinopt/internal/qfile"
+	"joinopt/internal/serve"
+	"joinopt/internal/workload"
+)
+
+// wsEntry fabricates a cacheable entry for warm-start tests.
+func wsEntry(i int) *plancache.Entry {
+	var fp fingerprint.Fingerprint
+	binary.LittleEndian.PutUint64(fp[:8], uint64(i))
+	return &plancache.Entry{
+		Fingerprint: fp,
+		Plan: &plan.Plan{
+			Components: []plan.Result{{Perm: plan.Perm{0, 1}, Cost: float64(i) + 0.5}},
+			TotalCost:  float64(i) + 0.5,
+		},
+		BudgetUsed: int64(100 + i),
+	}
+}
+
+// snapshotHandler serves a fixed payload on /snapshot.
+func snapshotHandler(payload []byte) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/snapshot" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		_, _ = w.Write(payload)
+	})
+}
+
+func TestWarmStartHappyPath(t *testing.T) {
+	entries := []*plancache.Entry{wsEntry(1), wsEntry(2), wsEntry(3)}
+	payload := persist.EncodeSnapshot(entries)
+	ct := faultinject.NewClusterTransport(map[string]http.Handler{
+		"donor": snapshotHandler(payload),
+	}, nil)
+
+	cache := plancache.New(plancache.Config{Capacity: 64})
+	res, err := WarmStart(context.Background(), cache, WarmStartConfig{
+		Donors:    []string{"http://donor"},
+		Transport: ct,
+	})
+	if err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	if res.Donor != "http://donor" || res.Entries != 3 || res.Bytes != int64(len(payload)) {
+		t.Fatalf("result %+v", res)
+	}
+	for _, e := range entries {
+		if _, ok := cache.Get(e.Fingerprint); !ok {
+			t.Fatalf("entry %s not warmed", e.Fingerprint)
+		}
+	}
+	if st := cache.Stats(); st.Warmed != 3 {
+		t.Fatalf("warmed counter = %d", st.Warmed)
+	}
+}
+
+// TestWarmStartTornStreamFallsToNextDonor: the first donor dies
+// mid-snapshot-stream; the strict decoder refuses the torn payload and
+// the second donor supplies the snapshot.
+func TestWarmStartTornStreamFallsToNextDonor(t *testing.T) {
+	entries := []*plancache.Entry{wsEntry(1), wsEntry(2)}
+	payload := persist.EncodeSnapshot(entries)
+	ct := faultinject.NewClusterTransport(map[string]http.Handler{
+		"d1": snapshotHandler(payload),
+		"d2": snapshotHandler(payload),
+	}, nil,
+		faultinject.PeerAction{AtOp: 0, Kind: faultinject.KillMidResponse, Peer: "d1", AfterBytes: len(payload) / 2},
+	)
+
+	cache := plancache.New(plancache.Config{Capacity: 64})
+	res, err := WarmStart(context.Background(), cache, WarmStartConfig{
+		Donors:    []string{"http://d1", "http://d2"},
+		Transport: ct,
+	})
+	if err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	if res.Donor != "http://d2" || res.Entries != 2 {
+		t.Fatalf("result %+v, want donor d2", res)
+	}
+	if len(res.Attempts) != 1 || res.Attempts[0].Donor != "http://d1" {
+		t.Fatalf("attempts %+v", res.Attempts)
+	}
+	if cache.Stats().Warmed != 2 {
+		t.Fatal("cache not warmed from the second donor")
+	}
+}
+
+// TestWarmStartRefusesTruncationWithIntactRead: a payload that arrives
+// "complete" at the transport level but is a truncated container (the
+// donor snapshotted a torn file) is refused by the strict decoder.
+func TestWarmStartRefusesTruncatedContainer(t *testing.T) {
+	payload := persist.EncodeSnapshot([]*plancache.Entry{wsEntry(1), wsEntry(2)})
+	torn := payload[:len(payload)-7]
+	ct := faultinject.NewClusterTransport(map[string]http.Handler{
+		"d1": snapshotHandler(torn),
+	}, nil)
+
+	cache := plancache.New(plancache.Config{Capacity: 64})
+	_, err := WarmStart(context.Background(), cache, WarmStartConfig{
+		Donors:    []string{"http://d1"},
+		Transport: ct,
+	})
+	if !errors.Is(err, ErrNoDonor) {
+		t.Fatalf("err = %v, want ErrNoDonor", err)
+	}
+	if cache.Stats().Warmed != 0 {
+		t.Fatal("torn container partially warmed the cache")
+	}
+}
+
+// TestWarmStartRefusesSchemaMismatch: a donor running a different
+// fingerprint schema version must be refused — its plans answer
+// different canonical questions.
+func TestWarmStartRefusesSchemaMismatch(t *testing.T) {
+	payload := persist.EncodeSnapshot([]*plancache.Entry{wsEntry(1)})
+	forged := make([]byte, len(payload))
+	copy(forged, payload)
+	forged[5] = fingerprint.SchemaVersion + 1
+	// Recompute the header CRC so only the schema check can object.
+	forgeHeaderCRC(forged)
+
+	ct := faultinject.NewClusterTransport(map[string]http.Handler{
+		"d1": snapshotHandler(forged),
+	}, nil)
+	cache := plancache.New(plancache.Config{Capacity: 64})
+	res, err := WarmStart(context.Background(), cache, WarmStartConfig{
+		Donors:    []string{"http://d1"},
+		Transport: ct,
+	})
+	if !errors.Is(err, ErrNoDonor) {
+		t.Fatalf("err = %v, want ErrNoDonor", err)
+	}
+	if len(res.Attempts) != 1 {
+		t.Fatalf("attempts %+v", res.Attempts)
+	}
+	if cache.Stats().Warmed != 0 {
+		t.Fatal("schema-mismatched snapshot warmed the cache")
+	}
+}
+
+func TestWarmStartRespectsByteCap(t *testing.T) {
+	payload := persist.EncodeSnapshot([]*plancache.Entry{wsEntry(1), wsEntry(2), wsEntry(3)})
+	ct := faultinject.NewClusterTransport(map[string]http.Handler{
+		"d1": snapshotHandler(payload),
+	}, nil)
+	cache := plancache.New(plancache.Config{Capacity: 64})
+	_, err := WarmStart(context.Background(), cache, WarmStartConfig{
+		Donors:    []string{"http://d1"},
+		Transport: ct,
+		MaxBytes:  int64(len(payload) - 1),
+	})
+	if !errors.Is(err, ErrNoDonor) {
+		t.Fatalf("err = %v, want ErrNoDonor (payload over cap)", err)
+	}
+}
+
+func TestWarmStartDeadDonorFallsThrough(t *testing.T) {
+	payload := persist.EncodeSnapshot([]*plancache.Entry{wsEntry(4)})
+	ct := faultinject.NewClusterTransport(map[string]http.Handler{
+		"d1": snapshotHandler(payload),
+		"d2": snapshotHandler(payload),
+	}, nil)
+	ct.Kill("d1")
+	cache := plancache.New(plancache.Config{Capacity: 64})
+	res, err := WarmStart(context.Background(), cache, WarmStartConfig{
+		Donors:    []string{"http://d1", "http://d2"},
+		Transport: ct,
+	})
+	if err != nil || res.Donor != "http://d2" {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+// TestRestartJoinServesWarmPlans is the restart-join satellite: a
+// fresh peer warm-starts from a live donor's /snapshot and serves the
+// donor's cached plan as a byte-identical cache hit, without running
+// its own optimizer.
+func TestRestartJoinServesWarmPlans(t *testing.T) {
+	donor := serve.New(serve.Config{TCoeff: 1})
+	dts := httptest.NewServer(donor.Handler())
+	defer dts.Close()
+
+	q := workload.Default().Generate(12, rand.New(rand.NewSource(21)))
+	var buf bytes.Buffer
+	if err := qfile.Write(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(dts.URL+"/optimize", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first serve.OptimizeResponse
+	if err := jsonDecode(resp, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	// The joiner: fresh server, warm-started over HTTP before serving.
+	joiner := serve.New(serve.Config{TCoeff: 1})
+	res, err := WarmStart(context.Background(), joiner.Cache(), WarmStartConfig{
+		Donors: []string{dts.URL},
+	})
+	if err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	if res.Entries != 1 {
+		t.Fatalf("warmed %d entries, want 1", res.Entries)
+	}
+
+	jts := httptest.NewServer(joiner.Handler())
+	defer jts.Close()
+	resp2, err := http.Post(jts.URL+"/optimize", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warmed serve.OptimizeResponse
+	if err := jsonDecode(resp2, &warmed); err != nil {
+		t.Fatal(err)
+	}
+	if !warmed.CacheHit {
+		t.Fatal("warm-started peer missed on a shipped shape")
+	}
+	if warmed.Explain != first.Explain || warmed.Fingerprint != first.Fingerprint {
+		t.Fatal("warm-started plan is not byte-identical to the donor's")
+	}
+	if warmed.BudgetUsed != first.BudgetUsed {
+		t.Fatalf("budgetUsed drifted: %d != %d", warmed.BudgetUsed, first.BudgetUsed)
+	}
+	// No recomputation: the joiner's optimizer never ran.
+	st, err := statusOf(jts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Optimizations != 0 {
+		t.Fatalf("joiner ran %d optimizations, want 0", st.Optimizations)
+	}
+}

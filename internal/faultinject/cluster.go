@@ -1,0 +1,287 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ClusterTransport simulates a multi-peer ljqd deployment inside one
+// process: an http.RoundTripper that dispatches requests to in-process
+// handlers keyed by host name, while a deterministic script kills and
+// restarts peers at global operation indices — including tearing a
+// response mid-body, the "donor died mid-snapshot-stream" case.
+//
+// Every RoundTrip claims the next operation index; scripted actions
+// with AtOp ≤ that index fire first, in script order. With a
+// sequential caller the op numbering — and therefore the entire
+// kill/restart/traffic interleaving — is exactly reproducible, which
+// is what lets the chaos test demand byte-identical trajectory logs
+// from same-seed runs. Restart handlers are built by a hook invoked
+// WITHOUT the transport lock, so a restarting peer may recurse through
+// this same transport (warm-start fetching /snapshot from a donor);
+// the recursive requests consume op indices like any others.
+//
+// The trajectory log records every event in op order:
+//
+//	op=004 POST peer0/optimize -> 200
+//	op=007 !kill peer1
+//	op=007 POST peer1/optimize -> down
+//	op=012 !restart peer2
+//	op=013 GET peer0/snapshot -> torn@128
+//	op=014 GET peer1/snapshot -> 200
+//	op=012 !ready peer2
+//
+// (The !ready line carries the index of the op that triggered the
+// restart; recursive warm-start fetches log their own later indices in
+// between.)
+
+// PeerActionKind classifies one scripted cluster event.
+type PeerActionKind int
+
+const (
+	// KillPeer marks the peer dead: subsequent requests to it fail
+	// with ErrPeerDown until a RestartPeer action revives it.
+	KillPeer PeerActionKind = iota
+	// RestartPeer builds a fresh handler for the peer via the restart
+	// hook and marks it alive.
+	RestartPeer
+	// KillMidResponse arms a torn response: the peer's NEXT request is
+	// served, but its body is cut after AfterBytes bytes and the read
+	// fails — and the peer is dead from that moment on.
+	KillMidResponse
+)
+
+// String names the action kind.
+func (k PeerActionKind) String() string {
+	switch k {
+	case KillPeer:
+		return "kill"
+	case RestartPeer:
+		return "restart"
+	case KillMidResponse:
+		return "kill-mid-response"
+	}
+	return fmt.Sprintf("PeerActionKind(%d)", int(k))
+}
+
+// PeerAction is one scripted cluster event.
+type PeerAction struct {
+	// AtOp is the global operation index at which the action fires,
+	// before that operation dispatches.
+	AtOp int
+	Kind PeerActionKind
+	// Peer is the target host name.
+	Peer string
+	// AfterBytes, for KillMidResponse, is how many body bytes the torn
+	// response delivers before failing.
+	AfterBytes int
+}
+
+// ErrPeerDown is the connection failure a dead peer produces.
+var ErrPeerDown = errors.New("faultinject: peer is down")
+
+// ClusterTransport implements http.RoundTripper over in-process peers.
+type ClusterTransport struct {
+	restart func(peer string) http.Handler
+
+	mu         sync.Mutex
+	handlers   map[string]http.Handler
+	alive      map[string]bool
+	midKill    map[string]int // armed torn responses: peer -> AfterBytes
+	script     []PeerAction
+	nextAction int
+	ops        int
+	log        []string
+}
+
+// NewClusterTransport builds a transport over the given peers (all
+// initially alive). restart builds a replacement handler when a
+// RestartPeer action fires; it runs without the transport lock and may
+// issue requests through this transport (warm-start recursion). The
+// script is sorted by AtOp (stably, so same-index actions keep their
+// given order).
+func NewClusterTransport(handlers map[string]http.Handler, restart func(peer string) http.Handler, script ...PeerAction) *ClusterTransport {
+	t := &ClusterTransport{
+		restart:  restart,
+		handlers: make(map[string]http.Handler, len(handlers)),
+		alive:    make(map[string]bool, len(handlers)),
+		midKill:  make(map[string]int),
+		script:   append([]PeerAction(nil), script...),
+	}
+	//ljqlint:allow detrand -- keys are copied into maps, not ordered output; handler identity is per-key
+	for host, h := range handlers {
+		t.handlers[host] = h
+		t.alive[host] = true
+	}
+	sort.SliceStable(t.script, func(i, j int) bool { return t.script[i].AtOp < t.script[j].AtOp })
+	return t
+}
+
+// Ops returns how many operations have been dispatched.
+func (t *ClusterTransport) Ops() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops
+}
+
+// Alive reports whether the peer currently accepts requests.
+func (t *ClusterTransport) Alive(peer string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.alive[peer]
+}
+
+// Kill marks peer dead immediately: the imperative counterpart of a
+// scripted KillPeer action, for tests that drive cluster state
+// directly instead of by op index.
+func (t *ClusterTransport) Kill(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.alive[peer] = false
+	t.logf("op=%03d !kill %s", t.ops, peer)
+}
+
+// Revive marks peer alive again, installing h as its handler (nil
+// keeps the peer's previous handler: a revival without a restart).
+func (t *ClusterTransport) Revive(peer string, h http.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h != nil {
+		t.handlers[peer] = h
+	}
+	t.alive[peer] = true
+	delete(t.midKill, peer)
+	t.logf("op=%03d !revive %s", t.ops, peer)
+}
+
+// Trajectory returns the event log as one newline-joined string: the
+// byte-identical-replay artifact chaos tests compare across runs.
+func (t *ClusterTransport) Trajectory() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return strings.Join(t.log, "\n")
+}
+
+func (t *ClusterTransport) logf(format string, args ...any) {
+	t.log = append(t.log, fmt.Sprintf(format, args...))
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ClusterTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	op := t.ops
+	t.ops++
+	var due []PeerAction
+	for t.nextAction < len(t.script) && t.script[t.nextAction].AtOp <= op {
+		due = append(due, t.script[t.nextAction])
+		t.nextAction++
+	}
+	t.mu.Unlock()
+	for _, a := range due {
+		t.apply(op, a)
+	}
+	return t.dispatch(op, req)
+}
+
+// apply fires one scripted action. Restart hooks run without the lock
+// and may recurse into RoundTrip.
+func (t *ClusterTransport) apply(op int, a PeerAction) {
+	switch a.Kind {
+	case KillPeer:
+		t.mu.Lock()
+		t.alive[a.Peer] = false
+		t.logf("op=%03d !kill %s", op, a.Peer)
+		t.mu.Unlock()
+	case KillMidResponse:
+		t.mu.Lock()
+		t.midKill[a.Peer] = a.AfterBytes
+		t.logf("op=%03d !arm-torn %s after=%d", op, a.Peer, a.AfterBytes)
+		t.mu.Unlock()
+	case RestartPeer:
+		t.mu.Lock()
+		t.logf("op=%03d !restart %s", op, a.Peer)
+		hook := t.restart
+		t.mu.Unlock()
+		if hook == nil {
+			return
+		}
+		h := hook(a.Peer) // may recurse through this transport
+		t.mu.Lock()
+		t.handlers[a.Peer] = h
+		t.alive[a.Peer] = true
+		delete(t.midKill, a.Peer)
+		t.logf("op=%03d !ready %s", op, a.Peer)
+		t.mu.Unlock()
+	}
+}
+
+// dispatch serves the request against the target peer's in-process
+// handler (or fails it, per the peer's state).
+func (t *ClusterTransport) dispatch(op int, req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	label := fmt.Sprintf("%s %s%s", req.Method, host, req.URL.Path)
+
+	t.mu.Lock()
+	h, known := t.handlers[host]
+	alive := t.alive[host]
+	tornAfter, torn := t.midKill[host]
+	if torn {
+		// The torn response is the kill: serve this one request with a
+		// cut body, then the peer is gone.
+		delete(t.midKill, host)
+		t.alive[host] = false
+	}
+	t.mu.Unlock()
+
+	switch {
+	case !known:
+		t.mu.Lock()
+		t.logf("op=%03d %s -> unknown", op, label)
+		t.mu.Unlock()
+		drainBody(req)
+		return nil, fmt.Errorf("faultinject: unknown peer %q", host)
+	case !alive:
+		t.mu.Lock()
+		t.logf("op=%03d %s -> down", op, label)
+		t.mu.Unlock()
+		drainBody(req)
+		return nil, fmt.Errorf("%w: %s", ErrPeerDown, host)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+
+	if torn {
+		full := rec.Body.Bytes()
+		cut := tornAfter
+		if cut > len(full) {
+			cut = len(full)
+		}
+		resp.Body = io.NopCloser(io.MultiReader(
+			strings.NewReader(string(full[:cut])),
+			&errReader{err: fmt.Errorf("%w: %s died mid-response", ErrPeerDown, host)},
+		))
+		t.mu.Lock()
+		t.logf("op=%03d %s -> torn@%d", op, label, cut)
+		t.mu.Unlock()
+		return resp, nil
+	}
+
+	t.mu.Lock()
+	t.logf("op=%03d %s -> %d", op, label, resp.StatusCode)
+	t.mu.Unlock()
+	return resp, nil
+}
+
+// errReader fails every read: the tail of a torn response body.
+type errReader struct{ err error }
+
+func (r *errReader) Read([]byte) (int, error) { return 0, r.err }

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func peerHandler(tag string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "%s:%s", tag, r.URL.Path)
+	})
+}
+
+func get(t *testing.T, rt http.RoundTripper, host, path string) (*http.Response, string, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://"+host+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	return resp, string(body), rerr
+}
+
+func TestClusterTransportKillRestartTorn(t *testing.T) {
+	restarted := 0
+	ct := NewClusterTransport(
+		map[string]http.Handler{
+			"peer0": peerHandler("a"),
+			"peer1": peerHandler("b"),
+		},
+		func(peer string) http.Handler {
+			restarted++
+			return peerHandler("reborn")
+		},
+		PeerAction{AtOp: 1, Kind: KillPeer, Peer: "peer1"},
+		PeerAction{AtOp: 3, Kind: RestartPeer, Peer: "peer1"},
+		PeerAction{AtOp: 4, Kind: KillMidResponse, Peer: "peer0", AfterBytes: 3},
+	)
+
+	// op 0: normal dispatch.
+	if _, body, err := get(t, ct, "peer0", "/x"); err != nil || body != "a:/x" {
+		t.Fatalf("op 0: body=%q err=%v", body, err)
+	}
+	// op 1: the kill fires first, then the dispatch finds peer1 dead.
+	if _, _, err := get(t, ct, "peer1", "/x"); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("op 1: err=%v, want ErrPeerDown", err)
+	}
+	// op 2: still dead.
+	if _, _, err := get(t, ct, "peer1", "/x"); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("op 2: err=%v, want ErrPeerDown", err)
+	}
+	// op 3: restart fires; the fresh handler serves.
+	if _, body, err := get(t, ct, "peer1", "/y"); err != nil || body != "reborn:/y" {
+		t.Fatalf("op 3: body=%q err=%v", body, err)
+	}
+	if restarted != 1 {
+		t.Fatalf("restart hook ran %d times", restarted)
+	}
+	// op 4: torn response — three bytes, then a read error, then dead.
+	resp, body, rerr := get(t, ct, "peer0", "/x")
+	if resp == nil || rerr == nil || !errors.Is(rerr, ErrPeerDown) {
+		t.Fatalf("op 4: resp=%v read err=%v, want torn body read failure", resp, rerr)
+	}
+	if body != "a:/" {
+		t.Fatalf("op 4: delivered %q before the cut, want %q", body, "a:/")
+	}
+	// op 5: the torn response killed peer0.
+	if _, _, err := get(t, ct, "peer0", "/x"); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("op 5: err=%v, want ErrPeerDown", err)
+	}
+
+	want := strings.Join([]string{
+		"op=000 GET peer0/x -> 200",
+		"op=001 !kill peer1",
+		"op=001 GET peer1/x -> down",
+		"op=002 GET peer1/x -> down",
+		"op=003 !restart peer1",
+		"op=003 !ready peer1",
+		"op=003 GET peer1/y -> 200",
+		"op=004 !arm-torn peer0 after=3",
+		"op=004 GET peer0/x -> torn@3",
+		"op=005 GET peer0/x -> down",
+	}, "\n")
+	if got := ct.Trajectory(); got != want {
+		t.Fatalf("trajectory mismatch:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+	if ct.Ops() != 6 {
+		t.Fatalf("ops = %d, want 6", ct.Ops())
+	}
+}
+
+// TestClusterTransportRestartHookRecursion: a restart hook may issue
+// requests through the transport (the warm-start fetch); the recursive
+// ops claim their own indices and the trajectory stays coherent.
+func TestClusterTransportRestartHookRecursion(t *testing.T) {
+	var ct *ClusterTransport
+	ct = NewClusterTransport(
+		map[string]http.Handler{
+			"peer0": peerHandler("donor"),
+			"peer1": peerHandler("b"),
+		},
+		func(peer string) http.Handler {
+			// Recurse: fetch state from the donor mid-restart.
+			if _, body, err := get(t, ct, "peer0", "/snapshot"); err != nil || body != "donor:/snapshot" {
+				t.Errorf("recursive fetch: body=%q err=%v", body, err)
+			}
+			return peerHandler("warmed")
+		},
+		PeerAction{AtOp: 1, Kind: KillPeer, Peer: "peer1"},
+		PeerAction{AtOp: 2, Kind: RestartPeer, Peer: "peer1"},
+	)
+
+	if _, _, err := get(t, ct, "peer0", "/x"); err != nil { // op 0
+		t.Fatal(err)
+	}
+	if _, _, err := get(t, ct, "peer1", "/x"); !errors.Is(err, ErrPeerDown) { // op 1
+		t.Fatalf("err=%v", err)
+	}
+	// op 2 triggers the restart; the hook's fetch is op 3; the
+	// triggering request then dispatches against the warmed handler.
+	if _, body, err := get(t, ct, "peer1", "/z"); err != nil || body != "warmed:/z" {
+		t.Fatalf("body=%q err=%v", body, err)
+	}
+
+	want := strings.Join([]string{
+		"op=000 GET peer0/x -> 200",
+		"op=001 !kill peer1",
+		"op=001 GET peer1/x -> down",
+		"op=002 !restart peer1",
+		"op=003 GET peer0/snapshot -> 200",
+		"op=002 !ready peer1",
+		"op=002 GET peer1/z -> 200",
+	}, "\n")
+	if got := ct.Trajectory(); got != want {
+		t.Fatalf("trajectory mismatch:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"joinopt/internal/persist"
+	"joinopt/internal/plancache"
+	"joinopt/internal/workload"
+)
+
+func postBatch(t *testing.T, url string, body []byte) (*http.Response, BatchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/optimize/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func batchBody(t *testing.T, items ...[]byte) []byte {
+	t.Helper()
+	raw := make([]json.RawMessage, len(items))
+	for i, b := range items {
+		raw[i] = json.RawMessage(b)
+	}
+	body, err := json.Marshal(BatchRequest{Queries: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestBatchOrderAndCoalescing is the batch contract: results in input
+// order, intra-batch duplicates of one canonical shape coalesce onto a
+// single optimizer run, and each slot is translated into its own
+// requester coordinates.
+func TestBatchOrderAndCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(7))
+	q0 := workload.Default().Generate(5, rng)
+	q1 := workload.Default().Generate(6, rng)
+	q2 := workload.Default().Generate(7, rng)
+
+	// q0 appears three times, q1 twice: 6 items, 3 unique shapes.
+	body := batchBody(t,
+		queryBody(t, q0), queryBody(t, q1), queryBody(t, q0),
+		queryBody(t, q2), queryBody(t, q1), queryBody(t, q0))
+	resp, out := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(out.Results))
+	}
+	for i, item := range out.Results {
+		if item.Error != "" || item.Plan == nil {
+			t.Fatalf("item %d failed: %+v", i, item)
+		}
+	}
+	// Input order: slots 0, 2 and 5 are q0; 1 and 4 are q1; 3 is q2.
+	fp := func(i int) string { return out.Results[i].Plan.Fingerprint }
+	if fp(0) != fp(2) || fp(0) != fp(5) || fp(1) != fp(4) {
+		t.Fatal("duplicate slots returned different fingerprints")
+	}
+	if fp(0) == fp(1) || fp(1) == fp(3) || fp(0) == fp(3) {
+		t.Fatal("distinct shapes share a fingerprint")
+	}
+	for i, want := range []int{6, 7, 6, 8, 7, 6} {
+		if got := len(out.Results[i].Plan.Order); got != want {
+			t.Fatalf("item %d order has %d relations, want %d", i, got, want)
+		}
+	}
+	// One optimizer run per unique shape — the coalescing assertion.
+	st := s.Cache().Stats()
+	if st.Misses != 3 {
+		t.Fatalf("cache misses = %d, want 3 (one per unique shape)", st.Misses)
+	}
+	// Duplicate slots that rode a batchmate's run say so.
+	if !out.Results[2].Plan.Coalesced || !out.Results[5].Plan.Coalesced || !out.Results[4].Plan.Coalesced {
+		t.Fatalf("duplicate slots not flagged coalesced: %+v %+v %+v",
+			out.Results[2].Plan, out.Results[4].Plan, out.Results[5].Plan)
+	}
+	// Identical plans for identical shapes, byte for byte.
+	if out.Results[0].Plan.Explain != out.Results[2].Plan.Explain {
+		t.Fatal("duplicate slots produced different plans")
+	}
+
+	// A rerun of the whole batch is all cache hits, no new misses.
+	_, out2 := postBatch(t, ts.URL, body)
+	for i, item := range out2.Results {
+		if item.Plan == nil || !item.Plan.CacheHit {
+			t.Fatalf("rerun item %d not a cache hit", i)
+		}
+	}
+	if got := s.Cache().Stats().Misses; got != 3 {
+		t.Fatalf("rerun added misses: %d", got)
+	}
+}
+
+// TestBatchPerItemErrors: a malformed item claims its own slot without
+// poisoning its batchmates, and slots carry standalone HTTP statuses.
+func TestBatchPerItemErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(3))
+	good := queryBody(t, workload.Default().Generate(5, rng))
+
+	body := batchBody(t, good, []byte(`{"relations": "not a list"}`), good)
+	resp, out := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with per-item slots", resp.StatusCode)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	if out.Results[0].Plan == nil || out.Results[2].Plan == nil {
+		t.Fatal("valid batchmates were poisoned by the bad item")
+	}
+	bad := out.Results[1]
+	if bad.Plan != nil || bad.Error == "" || bad.Status != http.StatusBadRequest {
+		t.Fatalf("bad item slot = %+v, want 400 error", bad)
+	}
+}
+
+func TestBatchEnvelopeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchItems: 2, MaxBodyBytes: 4096})
+	rng := rand.New(rand.NewSource(4))
+	good := queryBody(t, workload.Default().Generate(4, rng))
+
+	get, err := http.Get(ts.URL + "/optimize/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405", get.StatusCode)
+	}
+
+	cases := []struct {
+		name   string
+		body   []byte
+		status int
+	}{
+		{"malformed", []byte(`{"queries": 7}`), http.StatusBadRequest},
+		{"empty", batchBody(t), http.StatusBadRequest},
+		{"too-many-items", batchBody(t, good, good, good), http.StatusBadRequest},
+		{"oversized", []byte(`{"queries": [` + strings.Repeat(" ", 5000) + `]}`), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, _ := postBatch(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+// TestSnapshotEndpoint: GET /snapshot ships the cache as a strict-
+// decodable snapshot a fresh cache can warm from — the donor half of
+// the cluster warm-start protocol.
+func TestSnapshotEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{5, 8} {
+		resp, _ := postOptimize(t, ts.URL, queryBody(t, workload.Default().Generate(n, rng)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed optimize: status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /snapshot: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.ContentLength; got != int64(buf.Len()) {
+		t.Fatalf("Content-Length %d, body %d bytes", got, buf.Len())
+	}
+
+	entries, err := persist.DecodeSnapshotStrict(buf.Bytes())
+	if err != nil {
+		t.Fatalf("strict decode of shipped snapshot: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("shipped %d entries, want 2", len(entries))
+	}
+	fresh := plancache.New(plancache.Config{Capacity: 64})
+	for _, e := range entries {
+		if !fresh.Warm(e) {
+			t.Fatalf("fresh cache refused shipped entry %s", e.Fingerprint)
+		}
+	}
+	for _, e := range s.Cache().Dump() {
+		if _, ok := fresh.Get(e.Fingerprint); !ok {
+			t.Fatalf("warmed cache missing %s", e.Fingerprint)
+		}
+	}
+
+	// POST is not a snapshot verb.
+	post, err := http.Post(ts.URL+"/snapshot", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /snapshot: status %d, want 405", post.StatusCode)
+	}
+}

@@ -117,6 +117,11 @@ type Config struct {
 	// after the limiter sheds a request (default 5s; load balancers
 	// should back off an overloaded daemon rather than pile on).
 	ReadinessShedWindow time.Duration
+	// MaxBatchItems caps how many queries one POST /optimize/batch may
+	// carry (default 64). The cap bounds the fan-out a single request
+	// can demand from the limiter, not the response size: each unique
+	// shape in the batch still queues for join-weighted capacity.
+	MaxBatchItems int
 }
 
 func (c *Config) fill() {
@@ -144,6 +149,9 @@ func (c *Config) fill() {
 	if c.ReadinessShedWindow <= 0 {
 		c.ReadinessShedWindow = 5 * time.Second
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 }
 
 // errShed marks a request dropped by the limiter's queue deadline.
@@ -160,6 +168,8 @@ type Server struct {
 	inFlight  atomic.Int64  // HTTP requests inside /optimize
 	optimizes atomic.Uint64 // optimizer runs started (cache misses that won capacity)
 	shed      atomic.Uint64 // 503s issued by the limiter
+	batches   atomic.Uint64 // POST /optimize/batch requests accepted
+	snapships atomic.Uint64 // GET /snapshot payloads served (warm-start donations)
 
 	// notReady is the readiness latch: nonzero while journal replay
 	// (or any other startup work) is still in progress. Inverted so
@@ -192,6 +202,8 @@ func New(cfg Config) *Server {
 		s.metrics = reg
 		reg.CounterFunc("ljq_optimizations_total", "Optimizer runs started (cache misses that won limiter capacity).", s.optimizes.Load)
 		reg.CounterFunc("ljq_shed_total", "Requests shed with 503 by the concurrency limiter.", s.shed.Load)
+		reg.CounterFunc("ljq_batch_requests_total", "Accepted POST /optimize/batch requests.", s.batches.Load)
+		reg.CounterFunc("ljq_snapshot_served_total", "Warm-start snapshots served from GET /snapshot.", s.snapships.Load)
 		reg.GaugeFunc("ljq_inflight_requests", "HTTP requests currently inside /optimize.", func() float64 {
 			return float64(s.inFlight.Load())
 		})
@@ -240,6 +252,8 @@ func (s *Server) Flush() error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/optimize/batch", s.handleOptimizeBatch)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	// Liveness: the process is up. Kept on /healthz for compatibility
 	// with pre-split deployments; /livez is the modern spelling.
@@ -379,45 +393,73 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	resp, err := s.OptimizeQuery(r.Context(), q)
+	if err != nil {
+		status, msg, retryAfter := s.optimizeFailure(err)
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		}
+		http.Error(w, msg, status)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errNoPlan guards the (unreachable under the anytime contract)
+// nil-entry result of a compute; kept distinct so it maps to a 500
+// rather than masquerading as capacity pressure.
+var errNoPlan = errors.New("serve: no plan produced")
+
+// OptimizeQuery is the in-process optimization path: fingerprint the
+// query, consult the cache (coalescing concurrent duplicates), run the
+// optimizer on a miss, and translate the canonical plan back into the
+// requester's relation numbering. It is shared by POST /optimize, the
+// batch endpoint, and the cluster router's local-compute rung — the
+// last rung of the degradation ladder calls this directly instead of
+// looping an HTTP request back to itself.
+//
+// Errors: errShed when the limiter's queue deadline passed,
+// ctx.Err() when the caller's deadline did; map them with
+// optimizeFailure for HTTP responses.
+func (s *Server) OptimizeQuery(ctx context.Context, q *catalog.Query) (*OptimizeResponse, error) {
 	fp, order, cq := fingerprint.CanonicalQuery(q)
+	entry, hit, shared, err := s.computeEntry(ctx, fp, cq)
+	if err != nil {
+		return nil, err
+	}
+	return buildResponse(q, order, fp, entry, hit, shared), nil
+}
+
+// computeEntry resolves a canonical fingerprint to a plan entry —
+// cache hit, coalesced wait, or fresh optimizer run — under the
+// service's request deadline.
+func (s *Server) computeEntry(ctx context.Context, fp fingerprint.Fingerprint, cq *catalog.Query) (entry *plancache.Entry, hit, shared bool, err error) {
 	weight := int64(len(cq.Relations) - 1)
 	if weight < 1 {
 		weight = 1
 	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
-
-	entry, hit, shared, err := s.cache.GetOrCompute(ctx, fp, func(ctx context.Context) (*plancache.Entry, error) {
+	entry, hit, shared, err = s.cache.GetOrCompute(ctx, fp, func(ctx context.Context) (*plancache.Entry, error) {
 		return s.optimize(ctx, fp, cq, weight)
 	})
-	switch {
-	case errors.Is(err, errShed):
-		s.shed.Add(1)
-		//ljqlint:allow detrand -- readiness shed-window bookkeeping, outside any seeded trajectory
-		s.lastShedNano.Store(time.Now().UnixNano())
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueTimeout))
-		http.Error(w, "optimizer at capacity; retry later", http.StatusServiceUnavailable)
-		return
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		// The *waiter's* deadline passed while another request's
-		// optimization was still running (or the client went away).
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueTimeout))
-		http.Error(w, "request deadline passed before a plan was available",
-			http.StatusServiceUnavailable)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	case entry == nil || entry.Plan == nil:
-		http.Error(w, "no plan produced", http.StatusInternalServerError)
-		return
+	if err != nil {
+		return nil, false, false, err
 	}
+	if entry == nil || entry.Plan == nil {
+		return nil, false, false, errNoPlan
+	}
+	return entry, hit, shared, nil
+}
 
-	// The cached plan lives in canonical coordinates; translate it
-	// into the requester's own relation numbering.
+// buildResponse translates a cached plan (canonical coordinates) into
+// the requester's own relation numbering and wraps it in the response
+// envelope. Two differently-labeled queries of the same shape share a
+// fingerprint and an entry but get different orders and names — the
+// translation must use each requester's own canonical order.
+func buildResponse(q *catalog.Query, order []catalog.RelID, fp fingerprint.Fingerprint, entry *plancache.Entry, hit, shared bool) *OptimizeResponse {
 	pl := translatePlan(entry.Plan, order)
-	resp := OptimizeResponse{
+	resp := &OptimizeResponse{
 		Fingerprint:   fp.String(),
 		CacheHit:      hit,
 		Coalesced:     shared,
@@ -431,7 +473,46 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		resp.Order = append(resp.Order, int(rel))
 		resp.Names = append(resp.Names, q.RelationName(rel))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// optimizeFailure maps an OptimizeQuery error onto an HTTP status,
+// message and Retry-After suggestion (0 = none), recording the shed
+// bookkeeping that drives the /readyz back-pressure window.
+func (s *Server) optimizeFailure(err error) (status int, msg string, retryAfter time.Duration) {
+	switch {
+	case errors.Is(err, errShed):
+		s.shed.Add(1)
+		//ljqlint:allow detrand -- readiness shed-window bookkeeping, outside any seeded trajectory
+		s.lastShedNano.Store(time.Now().UnixNano())
+		return http.StatusServiceUnavailable, "optimizer at capacity; retry later", s.cfg.QueueTimeout
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// The *waiter's* deadline passed while another request's
+		// optimization was still running (or the client went away).
+		return http.StatusServiceUnavailable, "request deadline passed before a plan was available", s.cfg.QueueTimeout
+	default:
+		return http.StatusInternalServerError, err.Error(), 0
+	}
+}
+
+// handleSnapshot is the warm-start donor side: GET /snapshot ships the
+// whole plan cache as the schema-versioned, CRC-framed snapshot
+// container (the same bytes internal/persist writes to disk). Dump is
+// fingerprint-sorted, so two donors with identical cache contents ship
+// identical bytes. Served regardless of readiness — a draining or
+// just-recovered peer is still a legitimate donor.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data := persist.EncodeSnapshot(s.cache.Dump())
+	s.snapships.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	// A short write means the joiner went away mid-transfer; its strict
+	// decoder will refuse the torn payload and try the next donor.
+	_, _ = w.Write(data)
 }
 
 // optimize is the cache-miss path: acquire join-weighted capacity
