@@ -1,0 +1,116 @@
+// Command allocgate enforces the hot-path allocation budgets
+// (ALLOC_BUDGETS.json) in CI. It has two modes, and CI's bench-allocs
+// job runs both:
+//
+// Bench mode (default) reads `go test -bench -benchmem` output from
+// stdin (or -bench file) and fails if any budgeted benchmark exceeds
+// its allocs/op ceiling — or did not run at all:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/... | go run ./cmd/allocgate
+//
+// Escape mode reads `go build -gcflags=-m` diagnostics and fails if
+// any value escapes to the heap inside a //ljqlint:hotpath function
+// (unless the site carries an inline //ljqlint:allow hotalloc with a
+// reason). The compiler only re-emits -m diagnostics on a real
+// compile, so capture them with a cold cache:
+//
+//	GOCACHE=$(mktemp -d) go build -gcflags=-m ./... 2> escapes.txt
+//	go run ./cmd/allocgate -escapes escapes.txt
+//
+// Together with the hotalloc analyzer (syntactic allocation sites,
+// enforced by ljqlint) this closes the loop: the analyzer catches
+// composite literals/make/append/boxing at review time, the escape
+// gate catches compiler-decided heap moves, and the bench gate
+// catches everything that actually allocates at run time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"joinopt/internal/analysis/allocbudget"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("allocgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	budgets := fs.String("budgets", "ALLOC_BUDGETS.json", "allocation budgets file")
+	benchFile := fs.String("bench", "-", "bench output to check (- = stdin)")
+	escapes := fs.String("escapes", "", "check `go build -gcflags=-m` diagnostics from this file instead of bench output")
+	root := fs.String("root", ".", "module root the escape diagnostics' paths are relative to")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *escapes != "" {
+		return runEscapes(*escapes, *root, stdout, stderr)
+	}
+	return runBench(*budgets, *benchFile, stdout, stderr)
+}
+
+func runBench(budgetsPath, benchPath string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(budgetsPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "allocgate:", err)
+		return 2
+	}
+	f, err := allocbudget.ParseBudgets(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "allocgate:", err)
+		return 2
+	}
+	var in io.Reader = os.Stdin
+	if benchPath != "-" {
+		bf, err := os.Open(benchPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "allocgate:", err)
+			return 2
+		}
+		defer bf.Close()
+		in = bf
+	}
+	results, err := allocbudget.ParseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "allocgate:", err)
+		return 2
+	}
+	violations := allocbudget.Check(f, results)
+	for _, v := range violations {
+		fmt.Fprintf(stdout, "allocgate: %s\n", v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(stderr, "allocgate: %d budget violation(s); fix the regression or re-measure and raise the budget with a note\n", len(violations))
+		return 1
+	}
+	fmt.Fprintf(stdout, "allocgate: %d budget(s) honored\n", len(f.Budgets))
+	return 0
+}
+
+func runEscapes(escapesPath, root string, stdout, stderr io.Writer) int {
+	ef, err := os.Open(escapesPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "allocgate:", err)
+		return 2
+	}
+	defer ef.Close()
+	findings, err := allocbudget.CheckEscapes(ef, root)
+	if err != nil {
+		fmt.Fprintln(stderr, "allocgate:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "allocgate: %s\n", f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "allocgate: %d heap escape(s) inside //ljqlint:hotpath functions\n", len(findings))
+		return 1
+	}
+	fmt.Fprintln(stdout, "allocgate: hotpath functions are escape-clean")
+	return 0
+}

@@ -1,8 +1,10 @@
 // Command ljqlint runs the repository's custom static-analysis suite:
-// five analyzers enforcing the invariants the paper reproduction rests
+// nine analyzers enforcing the invariants the paper reproduction rests
 // on (budget metering, seeded determinism, float safety, context
-// propagation, goroutine panic isolation). See internal/analysis and
-// DESIGN.md's "Enforced invariants" section.
+// propagation, goroutine panic isolation, breaker-slot resolution,
+// durability-error sinks, lock-hold blocking, hot-path allocations).
+// The last four run on the CFG/dataflow core in internal/analysis/cfg.
+// See internal/analysis and DESIGN.md's "Enforced invariants" section.
 //
 // Usage:
 //

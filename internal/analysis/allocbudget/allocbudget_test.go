@@ -1,0 +1,127 @@
+package allocbudget
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	// Real shapes: proc suffix present and absent, sub-benchmarks,
+	// extra MB/s column, interleaved noise.
+	out := `goos: linux
+goarch: amd64
+pkg: joinopt/internal/serve
+BenchmarkOptimizeCacheHit 	    5796	    183379 ns/op	   90368 B/op	     402 allocs/op
+BenchmarkOptimizeCacheHit-8 	    6000	    180000 ns/op	   90000 B/op	     400 allocs/op
+BenchmarkAppend/nosync=false-4         	     200	       602.8 ns/op	     617 B/op	       3 allocs/op
+BenchmarkWarmStartLoad   	     100	    101247 ns/op	 197.34 MB/s	   94712 B/op	    1419 allocs/op
+BenchmarkNoMem 	    1000	    50 ns/op
+PASS
+ok  	joinopt/internal/serve	12.119s
+`
+	res, err := ParseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -8 run overwrote the bare run (same normalized name, last wins).
+	if r := res["BenchmarkOptimizeCacheHit"]; !r.HasAllocs || r.AllocsPerOp != 400 {
+		t.Fatalf("OptimizeCacheHit = %+v, want 400 allocs (last result wins)", r)
+	}
+	if r := res["BenchmarkAppend/nosync=false"]; !r.HasAllocs || r.AllocsPerOp != 3 || r.BytesPerOp != 617 {
+		t.Fatalf("sub-benchmark = %+v", r)
+	}
+	if r := res["BenchmarkWarmStartLoad"]; r.AllocsPerOp != 1419 {
+		t.Fatalf("MB/s column broke parsing: %+v", r)
+	}
+	if r := res["BenchmarkNoMem"]; r.HasAllocs {
+		t.Fatalf("no-benchmem line claims allocs: %+v", r)
+	}
+}
+
+func TestParseBudgetsValidation(t *testing.T) {
+	if _, err := ParseBudgets([]byte(`{"budgets":[]}`)); err == nil {
+		t.Error("empty budgets accepted")
+	}
+	if _, err := ParseBudgets([]byte(`{"budgets":[{"bench":"BenchmarkX","max_allocs_per_op":1},{"bench":"BenchmarkX","max_allocs_per_op":2}]}`)); err == nil {
+		t.Error("duplicate budget accepted")
+	}
+	f, err := ParseBudgets([]byte(`{"budgets":[{"bench":"BenchmarkX","max_allocs_per_op":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Budgets) != 1 || f.Budgets[0].MaxAllocsPerOp != 5 {
+		t.Fatalf("round-trip: %+v", f)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	f := &File{Budgets: []Budget{
+		{Bench: "BenchmarkOK", MaxAllocsPerOp: 10},
+		{Bench: "BenchmarkOver", MaxAllocsPerOp: 10},
+		{Bench: "BenchmarkMissing", MaxAllocsPerOp: 10},
+		{Bench: "BenchmarkNoMem", MaxAllocsPerOp: 10},
+	}}
+	res := map[string]BenchResult{
+		"BenchmarkOK":       {Name: "BenchmarkOK", AllocsPerOp: 10, HasAllocs: true},
+		"BenchmarkOver":     {Name: "BenchmarkOver", AllocsPerOp: 11, HasAllocs: true},
+		"BenchmarkNoMem":    {Name: "BenchmarkNoMem"}, // ran without -benchmem
+		"BenchmarkUnbudget": {Name: "BenchmarkUnbudget", AllocsPerOp: 999, HasAllocs: true},
+	}
+	vs := Check(f, res)
+	if len(vs) != 3 {
+		t.Fatalf("violations = %v, want 3 (over, missing, no-benchmem)", vs)
+	}
+	byBench := map[string]Violation{}
+	for _, v := range vs {
+		byBench[v.Bench] = v
+	}
+	if v := byBench["BenchmarkOver"]; v.Missing || v.Got != 11 {
+		t.Fatalf("over: %+v", v)
+	}
+	if v := byBench["BenchmarkMissing"]; !v.Missing {
+		t.Fatalf("missing: %+v", v)
+	}
+	if v := byBench["BenchmarkNoMem"]; !v.Missing {
+		t.Fatalf("no-benchmem: %+v", v)
+	}
+}
+
+func TestCheckEscapes(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+// hot is on the critical path.
+//
+//ljqlint:hotpath
+func hot(n int) []int {
+	s := make([]int, n)
+	t := make([]int, n) //ljqlint:allow hotalloc -- measured and budgeted
+	_ = t
+	return s
+}
+
+func cold(n int) []int {
+	return make([]int, n)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := `p.go:7:11: make([]int, n) escapes to heap
+p.go:8:11: make([]int, n) escapes to heap
+p.go:14:13: make([]int, n) escapes to heap
+p.go:6:10: n does not escape
+`
+	fs, err := CheckEscapes(strings.NewReader(diags), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly the unannotated hotpath escape", fs)
+	}
+	if fs[0].Func != "hot" || !strings.Contains(fs[0].Pos, "p.go:7") {
+		t.Fatalf("finding = %+v", fs[0])
+	}
+}

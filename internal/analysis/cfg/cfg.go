@@ -1,0 +1,533 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs forward dataflow analyses over them.
+//
+// The graph is deliberately small: basic blocks hold "atomic" nodes
+// (simple statements and the condition expressions of branches) in
+// execution order, and compound statements (if/for/switch/select) are
+// lowered into blocks and edges. Two synthetic blocks terminate every
+// graph: Exit (normal return) and Panic (explicit panic() calls).
+// Deferred calls are lowered into a shared "defers" epilogue block
+// that every return and panic path flows through, in reverse lexical
+// order — an approximation (a defer inside an if is treated as always
+// registered) that errs toward believing deferred cleanup runs, which
+// is the useful direction for must-resolve analyses.
+//
+// Edges carry the branch condition that guards them (Cond + Branch),
+// which is what lets analyzers like slotresolve be path-sensitive
+// about `if !b.Allow() { ... }`.
+//
+// Function literals are NOT descended into: a FuncLit gets its own CFG
+// (call Build on its body); in the enclosing graph it is just an
+// expression inside whatever node contains it.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Edge is one control-flow edge. When Cond is non-nil the edge is
+// taken only when Cond evaluates to Branch.
+type Edge struct {
+	To     *Block
+	Cond   ast.Expr // branch condition guarding this edge, or nil
+	Branch bool     // value Cond must have for the edge to be taken
+}
+
+// Kind classifies a block for analyzers that care about the compound
+// statement a block was lowered from.
+type Kind int
+
+const (
+	Plain Kind = iota
+	// SelectHead is the decision point of a select statement; Stmt is
+	// the *ast.SelectStmt. A select without a default clause is a
+	// blocking point.
+	SelectHead
+	// DeferEpilogue holds the function's deferred calls in reverse
+	// lexical order; every return and panic path runs through it.
+	DeferEpilogue
+	// RangeHead is the decision point of a range loop; Stmt is the
+	// *ast.RangeStmt and the block's single node is the ranged
+	// expression (ranging a channel is a blocking receive).
+	RangeHead
+)
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Label string // stable human-readable label for dumps
+	Kind  Kind
+	Stmt  ast.Stmt   // originating compound statement (select), or nil
+	Nodes []ast.Node // atomic statements/exprs in execution order
+	Succs []Edge
+	Preds []*Block
+}
+
+func (b *Block) addNode(n ast.Node) { b.Nodes = append(b.Nodes, n) }
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is Entry
+	Entry  *Block
+	Exit   *Block // normal-return exit
+	Panic  *Block // reached from explicit panic() calls (may have no preds)
+	// Defers lists every defer statement seen, in lexical order.
+	Defers []*ast.DeferStmt
+}
+
+// Build constructs the CFG of body. body may be nil (declared-only
+// functions), in which case the graph is Entry→Exit.
+func Build(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cfg.Panic = b.newBlock("panic")
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.cfg.Exit)
+	b.resolveGotos()
+	b.wireDefers()
+	b.wirePreds()
+	return b.cfg
+}
+
+type loopFrame struct {
+	label    string // "" for unlabeled
+	breakTo  *Block
+	contTo   *Block // nil for switch/select frames
+	isSwitch bool
+}
+
+type gotoFix struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	cfg     *CFG
+	cur     *Block // nil while the current point is unreachable
+	frames  []loopFrame
+	gotos   []gotoFix
+	labeled map[string]*Block // label → first block of labeled stmt
+	// pendingLabel is set between seeing `L:` and building the labeled
+	// statement, so loops register their frames under it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(label string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Label: label}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge adds from→to with no condition.
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, Edge{To: to})
+}
+
+// condEdge adds from→to guarded by cond==branch.
+func (b *builder) condEdge(from, to *Block, cond ast.Expr, branch bool) {
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, Branch: branch})
+}
+
+// jump terminates the current block with an unconditional edge to to
+// and marks the current point unreachable.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to)
+	}
+	b.cur = nil
+}
+
+// start makes blk the current block, creating a fresh unreachable
+// block if needed so dead statements still get nodes.
+func (b *builder) start(blk *Block) { b.cur = blk }
+
+// ensure returns a usable current block (statements after return/panic
+// land in an unreachable block with no predecessors).
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic.
+func isPanicCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return nil, false
+	}
+	// Shadowing of the builtin is vanishingly rare in this tree; the
+	// purely syntactic check keeps the builder type-info-free.
+	return call, true
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ExprStmt:
+		if call, ok := isPanicCall(s.X); ok {
+			b.ensure().addNode(call)
+			b.jump(b.cfg.Panic)
+			return
+		}
+		b.ensure().addNode(s)
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.EmptyStmt:
+		b.ensure().addNode(s)
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.ensure().addNode(s)
+	case *ast.ReturnStmt:
+		b.ensure().addNode(s)
+		b.jump(b.cfg.Exit)
+	case *ast.LabeledStmt:
+		blk := b.newBlock("label." + s.Label.Name)
+		b.jump(blk)
+		b.start(blk)
+		if b.labeled == nil {
+			b.labeled = make(map[string]*Block)
+		}
+		b.labeled[s.Label.Name] = blk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Anything unrecognized is treated as a straight-line node.
+		b.ensure().addNode(s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.jump(f.breakTo)
+				return
+			}
+		}
+		b.cur = nil // malformed; treat as terminating
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.contTo == nil {
+				continue // switch/select frames are not continue targets
+			}
+			if label == "" || f.label == label {
+				b.jump(f.contTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		if b.cur != nil {
+			b.gotos = append(b.gotos, gotoFix{from: b.cur, label: label})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled structurally in switchStmt via clause ordering; a
+		// stray fallthrough just ends the block.
+		b.cur = nil
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.ensure().addNode(s.Init)
+	}
+	head := b.ensure()
+	head.addNode(s.Cond)
+	thenBlk := b.newBlock("if.then")
+	var elseBlk *Block
+	join := b.newBlock("if.join")
+	b.condEdge(head, thenBlk, s.Cond, true)
+	if s.Else != nil {
+		elseBlk = b.newBlock("if.else")
+		b.condEdge(head, elseBlk, s.Cond, false)
+	} else {
+		b.condEdge(head, join, s.Cond, false)
+	}
+	b.cur = nil
+	b.start(thenBlk)
+	b.stmt(s.Body)
+	b.jump(join)
+	if s.Else != nil {
+		b.start(elseBlk)
+		b.stmt(s.Else)
+		b.jump(join)
+	}
+	b.start(join)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.ensure().addNode(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	exit := b.newBlock("for.exit")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	b.jump(head)
+	b.start(head)
+	if s.Cond != nil {
+		head.addNode(s.Cond)
+		b.condEdge(head, body, s.Cond, true)
+		b.condEdge(head, exit, s.Cond, false)
+	} else {
+		b.edge(head, body)
+	}
+	b.cur = nil
+
+	b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: exit, contTo: post})
+	b.start(body)
+	b.stmt(s.Body)
+	b.jump(post)
+	b.popFrame()
+
+	if s.Post != nil {
+		b.start(post)
+		post.addNode(s.Post)
+		b.jump(head)
+	}
+	b.start(exit)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	exit := b.newBlock("range.exit")
+	b.ensure()
+	b.jump(head)
+	b.start(head)
+	// Only the ranged expression is the head's node (the body has its
+	// own blocks); Kind+Stmt let analyzers see it is a range loop.
+	head.Kind = RangeHead
+	head.Stmt = s
+	head.addNode(s.X)
+	b.edge(head, body)
+	b.edge(head, exit)
+	b.cur = nil
+
+	b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: exit, contTo: head})
+	b.start(body)
+	b.stmt(s.Body)
+	b.jump(head)
+	b.popFrame()
+
+	b.start(exit)
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.ensure().addNode(s.Init)
+	}
+	if s.Tag != nil {
+		b.ensure().addNode(s.Tag)
+	}
+	head := b.ensure()
+	join := b.newBlock("switch.join")
+	b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: join, isSwitch: true})
+
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		name := "case"
+		if c.List == nil {
+			name = "default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock("switch." + name)
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = nil
+	for i, c := range clauses {
+		b.start(blocks[i])
+		for _, e := range c.List {
+			blocks[i].addNode(e)
+		}
+		fallsThrough := false
+		for _, st := range c.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				break
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(join)
+		}
+	}
+	b.popFrame()
+	b.start(join)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.ensure().addNode(s.Init)
+	}
+	b.ensure().addNode(s.Assign)
+	head := b.ensure()
+	join := b.newBlock("typeswitch.join")
+	b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: join, isSwitch: true})
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		c := cs.(*ast.CaseClause)
+		name := "case"
+		if c.List == nil {
+			name = "default"
+			hasDefault = true
+		}
+		blk := b.newBlock("typeswitch." + name)
+		b.edge(head, blk)
+		b.cur = nil
+		b.start(blk)
+		b.stmtList(c.Body)
+		b.jump(join)
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.popFrame()
+	b.start(join)
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.ensure()
+	// Mark the decision point so analyzers can see a blocking select
+	// (no default clause) with one glance at the block.
+	selHead := b.newBlock("select.head")
+	selHead.Kind = SelectHead
+	selHead.Stmt = s
+	b.edge(head, selHead)
+	join := b.newBlock("select.join")
+	b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: join, isSwitch: true})
+	for _, cs := range s.Body.List {
+		c := cs.(*ast.CommClause)
+		name := "comm"
+		if c.Comm == nil {
+			name = "default"
+		}
+		blk := b.newBlock("select." + name)
+		b.edge(selHead, blk)
+		b.cur = nil
+		b.start(blk)
+		if c.Comm != nil {
+			blk.addNode(c.Comm)
+		}
+		b.stmtList(c.Body)
+		b.jump(join)
+	}
+	if len(s.Body.List) == 0 {
+		// `select {}` blocks forever: no successors out of the head.
+		b.cur = nil
+		b.start(join)
+		b.popFrame()
+		return
+	}
+	b.popFrame()
+	b.start(join)
+}
+
+func (b *builder) pushFrame(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// takeLabel consumes the pending statement label, if any.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if to, ok := b.labeled[g.label]; ok {
+			b.edge(g.from, to)
+		}
+	}
+}
+
+// wireDefers lowers deferred calls into an epilogue block that every
+// Exit and Panic path runs through. Deferred calls appear in reverse
+// lexical order (last-registered runs first).
+func (b *builder) wireDefers() {
+	if len(b.cfg.Defers) == 0 {
+		return
+	}
+	ep := b.newBlock("defers")
+	ep.Kind = DeferEpilogue
+	for i := len(b.cfg.Defers) - 1; i >= 0; i-- {
+		ep.addNode(b.cfg.Defers[i].Call)
+	}
+	// Re-point every edge into Exit or Panic through the epilogue.
+	for _, blk := range b.cfg.Blocks {
+		if blk == ep {
+			continue
+		}
+		for i := range blk.Succs {
+			if to := blk.Succs[i].To; to == b.cfg.Exit || to == b.cfg.Panic {
+				blk.Succs[i].To = ep
+			}
+		}
+	}
+	b.edge(ep, b.cfg.Exit)
+	b.edge(ep, b.cfg.Panic)
+}
+
+func (b *builder) wirePreds() {
+	for _, blk := range b.cfg.Blocks {
+		seen := make(map[*Block]bool)
+		for _, e := range blk.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				e.To.Preds = append(e.To.Preds, blk)
+			}
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a complete function declaration) and builds
+// the CFG of its body.
+func buildFunc(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return Build(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+func checkGolden(t *testing.T, got, want string) {
+	t.Helper()
+	got = strings.TrimSpace(got)
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG dump mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestDumpDefer(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(mu sync.Locker, x int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if x > 0 {
+		return x
+	}
+	return -x
+}`)
+	checkGolden(t, Dump(g, fset), `
+b0 entry (entry)
+  mu.Lock()
+  defer mu.Unlock()
+  x > 0
+  -> b3 [x > 0=true]
+  -> b4 [x > 0=false]
+b1 exit (exit)
+b2 panic (panic)
+b3 if.then
+  return x
+  -> b5
+b4 if.join
+  return -x
+  -> b5
+b5 defers
+  mu.Unlock()
+  -> b1
+  -> b2
+`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+}
+
+func TestDumpPanic(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(ok bool) {
+	if !ok {
+		panic("bad")
+	}
+	work()
+}`)
+	checkGolden(t, Dump(g, fset), `
+b0 entry (entry)
+  !ok
+  -> b3 [!ok=true]
+  -> b4 [!ok=false]
+b1 exit (exit)
+b2 panic (panic)
+b3 if.then
+  panic("bad")
+  -> b2
+b4 if.join
+  work()
+  -> b1
+`)
+	if len(g.Panic.Preds) != 1 {
+		t.Fatalf("panic preds = %d, want 1", len(g.Panic.Preds))
+	}
+}
+
+func TestDumpLabeledBreak(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(rows [][]int) int {
+outer:
+	for _, r := range rows {
+		for _, v := range r {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}`)
+	checkGolden(t, Dump(g, fset), `
+b0 entry (entry)
+  -> b3
+b1 exit (exit)
+b2 panic (panic)
+b3 label.outer
+  -> b4
+b4 range.head
+  rows
+  -> b5
+  -> b6
+b5 range.body
+  -> b7
+b6 range.exit
+  return 0
+  -> b1
+b7 range.head
+  r
+  -> b8
+  -> b9
+b8 range.body
+  v < 0
+  -> b10 [v < 0=true]
+  -> b11 [v < 0=false]
+b9 range.exit
+  -> b4
+b10 if.then
+  -> b6
+b11 if.join
+  -> b7
+`)
+}
+
+func TestDumpSelect(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(ch chan int, done chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}`)
+	checkGolden(t, Dump(g, fset), `
+b0 entry (entry)
+  -> b3
+b1 exit (exit)
+b2 panic (panic)
+b3 select.head (select)
+  -> b5
+  -> b6
+b4 select.join
+  -> b1
+b5 select.comm
+  v := <-ch
+  return v
+  -> b1
+b6 select.comm
+  <-done
+  return 0
+  -> b1
+`)
+	// The head must expose the originating select so analyzers can
+	// check for a default clause.
+	var sel *Block
+	for _, b := range g.Blocks {
+		if b.Kind == SelectHead {
+			sel = b
+		}
+	}
+	if sel == nil || sel.Stmt == nil {
+		t.Fatal("no SelectHead block with Stmt")
+	}
+	if _, ok := sel.Stmt.(*ast.SelectStmt); !ok {
+		t.Fatalf("SelectHead.Stmt = %T, want *ast.SelectStmt", sel.Stmt)
+	}
+}
+
+func TestDumpSwitchFallthrough(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 0
+	}
+	return x
+}`)
+	// The case-1 block must flow into the case-2 block, not the join.
+	var c1, c2 *Block
+	for _, b := range g.Blocks {
+		if b.Label == "switch.case" {
+			if c1 == nil {
+				c1 = b
+			} else if c2 == nil {
+				c2 = b
+			}
+		}
+	}
+	if c1 == nil || c2 == nil {
+		t.Fatal("missing case blocks")
+	}
+	found := false
+	for _, e := range c1.Succs {
+		if e.To == c2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+// TestForwardReachingMust checks the dataflow engine with a tiny
+// must-analysis: "x definitely assigned" through branches and loops.
+func TestForwardReachingMust(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(c bool) {
+	if c {
+		x := 1
+		_ = x
+	}
+	use()
+}`)
+	// State: set of assigned variable names; merge = intersection
+	// (must), so x is NOT definitely assigned at exit.
+	type state = map[string]bool
+	prob := Problem[state]{
+		Entry:  state{},
+		Bottom: func() state { return nil }, // nil = unreached (top)
+		Transfer: func(n ast.Node, s state) state {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return s
+			}
+			out := make(state, len(s)+1)
+			for k := range s {
+				out[k] = true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out[id.Name] = true
+				}
+			}
+			return out
+		},
+		Merge: func(a, b state) state {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := make(state)
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b state) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	res := Forward(g, prob)
+	in := res.In[g.Exit]
+	if in == nil {
+		t.Fatal("exit unreached")
+	}
+	if in["x"] {
+		t.Fatal("x must-assigned at exit despite the untaken branch")
+	}
+}

@@ -1,0 +1,94 @@
+package cfg
+
+import "go/ast"
+
+// Problem is a forward dataflow problem over one CFG. S is the
+// abstract state; implementations must treat states as values (Transfer
+// and TransferEdge return a possibly-new state and must not mutate a
+// shared one that Merge later reads).
+type Problem[S any] struct {
+	// Entry is the state at function entry.
+	Entry S
+	// Bottom produces the "no information yet" state used for blocks
+	// not reached by any path so far (unreachable blocks keep it).
+	Bottom func() S
+	// Transfer applies one atomic node.
+	Transfer func(n ast.Node, s S) S
+	// TransferEdge refines the state along a conditional edge (nil = identity).
+	TransferEdge func(e Edge, s S) S
+	// Merge joins the states of two incoming paths.
+	Merge func(a, b S) S
+	// Equal reports state equality; the fixpoint loop stops when every
+	// block's input state is stable.
+	Equal func(a, b S) bool
+}
+
+// Result holds the per-block fixpoint states: In is the state at block
+// entry, Out after all its nodes. Re-run Transfer from In to recover
+// intermediate states when reporting at a specific node.
+type Result[S any] struct {
+	In, Out map[*Block]S
+}
+
+// maxPasses caps fixpoint iteration as a defensive bound; with a
+// finite lattice and monotone transfer it is never reached.
+const maxPasses = 64
+
+// Forward solves p over g with a round-robin worklist and returns the
+// fixpoint states.
+func Forward[S any](g *CFG, p Problem[S]) *Result[S] {
+	res := &Result[S]{
+		In:  make(map[*Block]S, len(g.Blocks)),
+		Out: make(map[*Block]S, len(g.Blocks)),
+	}
+	reached := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		res.In[b] = p.Bottom()
+		res.Out[b] = p.Bottom()
+	}
+	res.In[g.Entry] = p.Entry
+	reached[g.Entry] = true
+
+	transferBlock := func(b *Block) S {
+		s := res.In[b]
+		for _, n := range b.Nodes {
+			s = p.Transfer(n, s)
+		}
+		return s
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, b := range g.Blocks {
+			if !reached[b] {
+				continue
+			}
+			out := transferBlock(b)
+			if !p.Equal(out, res.Out[b]) {
+				res.Out[b] = out
+				changed = true
+			}
+			for _, e := range b.Succs {
+				s := out
+				if p.TransferEdge != nil {
+					s = p.TransferEdge(e, s)
+				}
+				if !reached[e.To] {
+					reached[e.To] = true
+					res.In[e.To] = s
+					changed = true
+					continue
+				}
+				merged := p.Merge(res.In[e.To], s)
+				if !p.Equal(merged, res.In[e.To]) {
+					res.In[e.To] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,55 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders g as deterministic text for golden tests: one stanza
+// per block in index order, each node printed as source, each edge as
+// `-> target [cond=..., branch]`.
+func Dump(g *CFG, fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", b.Index, b.Label)
+		switch {
+		case b == g.Entry:
+			sb.WriteString(" (entry)")
+		case b == g.Exit:
+			sb.WriteString(" (exit)")
+		case b == g.Panic:
+			sb.WriteString(" (panic)")
+		}
+		if b.Kind == SelectHead {
+			sb.WriteString(" (select)")
+		}
+		sb.WriteString("\n")
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&sb, "  %s\n", nodeText(n, fset))
+		}
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				fmt.Fprintf(&sb, "  -> b%d [%s=%v]\n", e.To.Index, nodeText(e.Cond, fset), e.Branch)
+			} else {
+				fmt.Fprintf(&sb, "  -> b%d\n", e.To.Index)
+			}
+		}
+	}
+	return sb.String()
+}
+
+func nodeText(n ast.Node, fset *token.FileSet) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	return s
+}

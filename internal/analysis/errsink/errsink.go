@@ -1,0 +1,332 @@
+// Package errsink checks that errors returned by durability-bearing
+// calls — methods named Sync, SyncDir, Close or Rename whose last
+// result is an error (the vfs.FS / vfs.File surface, os files, journal
+// handles) — are not discarded or shadowed. On the persistence paths a
+// swallowed Close or Sync error is a lost-write the crash-loop harness
+// can never see.
+//
+// Flagged:
+//   - a designated call as a bare statement or bare defer;
+//   - `_ = f.Close()` outside an error-handling branch (inside an
+//     `err != nil` block the process is already on a failure path and
+//     best-effort cleanup is the established idiom — those are
+//     permitted);
+//   - an error variable holding a designated call's result that is
+//     overwritten before being examined (shadowing), or never examined
+//     on any path to the function's exit (dataflow over the CFG; a
+//     read anywhere — a condition, a return, a call argument, a
+//     closure — counts).
+//
+// Propagating without looking (`return f.Close()`) is fine: the caller
+// inherits the obligation.
+package errsink
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"joinopt/internal/analysis"
+	"joinopt/internal/analysis/cfg"
+)
+
+// Analyzer is the errsink analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "Sync/SyncDir/Close/Rename errors on durability paths must not be discarded or shadowed",
+	Run:  run,
+}
+
+var designatedNames = map[string]bool{
+	"Sync": true, "SyncDir": true, "Close": true, "Rename": true,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		c.permitted = errorBranchSpans(file, pass.TypesInfo)
+		c.reportSyntactic(file)
+		analysis.WalkFuncs(file, func(node ast.Node, body *ast.BlockStmt) {
+			c.checkFunc(body)
+		})
+	}
+	return nil
+}
+
+type span struct{ lo, hi token.Pos }
+
+type checker struct {
+	pass      *analysis.Pass
+	permitted []span
+}
+
+// designatedCall reports whether call is a Sync/SyncDir/Close/Rename
+// function or method whose last result is an error.
+func designatedCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || !designatedNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errorBranchSpans collects the body ranges of `if <err-test>` blocks:
+// inside one, the function is already handling a failure and
+// best-effort `_ = f.Close()` cleanup is permitted.
+func errorBranchSpans(file *ast.File, info *types.Info) []span {
+	var out []span
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		if condTestsError(ifs.Cond, info) {
+			out = append(out, span{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// condTestsError reports whether the condition compares an error-typed
+// expression against nil somewhere.
+func condTestsError(cond ast.Expr, info *types.Info) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if t := info.TypeOf(side); t != nil && isErrorType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func (c *checker) inPermittedSpan(pos token.Pos) bool {
+	for _, s := range c.permitted {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// reportSyntactic flags bare-statement, bare-defer and blank-assigned
+// designated calls.
+func (c *checker) reportSyntactic(file *ast.File) {
+	info := c.pass.TypesInfo
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && designatedCall(info, call) {
+				c.pass.Reportf(call.Pos(), "%s: error discarded", types.ExprString(call))
+			}
+		case *ast.DeferStmt:
+			if designatedCall(info, st.Call) {
+				c.pass.Reportf(st.Call.Pos(), "deferred %s discards its error", types.ExprString(st.Call))
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok || !designatedCall(info, call) {
+				return true
+			}
+			allBlank := true
+			for _, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if allBlank && !c.inPermittedSpan(st.Pos()) {
+				c.pass.Reportf(st.Pos(), "%s: error discarded to blank outside an error-handling branch", types.ExprString(call))
+			}
+		}
+		return true
+	})
+}
+
+// source records one tracked, not-yet-examined error value.
+type source struct {
+	pos  token.Pos
+	text string
+}
+
+// state maps error variables to the designated call whose result they
+// hold, while unexamined. nil = unreached.
+type state map[*types.Var]source
+
+func clone(s state) state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.Build(body)
+	prob := cfg.Problem[state]{
+		Entry:  state{},
+		Bottom: func() state { return nil },
+		Transfer: func(n ast.Node, s state) state {
+			if s == nil {
+				return nil
+			}
+			return c.transfer(n, s, nil)
+		},
+		Merge: func(a, b state) state {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			// May-unread: a value that can reach a join unexamined on
+			// either path keeps its obligation.
+			out := state{}
+			for k, av := range a {
+				if bv, ok := b[k]; ok && bv.pos < av.pos {
+					av = bv
+				}
+				out[k] = av
+			}
+			for k, bv := range b {
+				if _, ok := a[k]; !ok {
+					out[k] = bv
+				}
+			}
+			return out
+		},
+		Equal: func(a, b state) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k, av := range a {
+				if bv, ok := b[k]; !ok || av != bv {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	res := cfg.Forward(g, prob)
+
+	reported := map[token.Pos]bool{}
+	// Deterministic re-walk from the fixpoint inputs to report shadows
+	// at their precise assignment.
+	for _, b := range g.Blocks {
+		s := res.In[b]
+		if s == nil {
+			continue
+		}
+		s = clone(s)
+		for _, n := range b.Nodes {
+			s = c.transfer(n, s, func(pos token.Pos, format string, args ...any) {
+				if !reported[pos] {
+					reported[pos] = true
+					c.pass.Reportf(pos, format, args...)
+				}
+			})
+		}
+	}
+	if s := res.In[g.Exit]; s != nil {
+		for _, src := range s {
+			if !reported[src.pos] {
+				reported[src.pos] = true
+				c.pass.Reportf(src.pos, "error from %s may reach function exit unexamined", src.text)
+			}
+		}
+	}
+}
+
+// transfer applies one node; report (when non-nil) receives shadowing
+// diagnostics — it is nil during fixpoint iteration.
+func (c *checker) transfer(n ast.Node, s state, report func(token.Pos, string, ...any)) state {
+	info := c.pass.TypesInfo
+	// A return inside an error-handling branch already surfaces a
+	// failure; durability errors still pending on that path are
+	// deliberately dominated (the vfs.SyncDir "sync error wins"
+	// idiom), so their obligations end here.
+	if _, ok := n.(*ast.ReturnStmt); ok && c.inPermittedSpan(n.Pos()) {
+		return state{}
+	}
+	out := clone(s)
+
+	var lhsIdents map[*ast.Ident]bool
+	if as, ok := n.(*ast.AssignStmt); ok {
+		lhsIdents = map[*ast.Ident]bool{}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				lhsIdents[id] = true
+			}
+		}
+	}
+
+	// Any identifier use outside a plain-assignment LHS examines the
+	// value (conditions, returns, call args, closures all count).
+	ast.Inspect(n, func(sub ast.Node) bool {
+		id, ok := sub.(*ast.Ident)
+		if !ok || lhsIdents[id] {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			delete(out, v)
+		}
+		return true
+	})
+
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := varOf(info, id)
+			if v == nil {
+				continue
+			}
+			if src, tracked := out[v]; tracked && report != nil {
+				report(as.Pos(), "assignment overwrites the unexamined error from %s", src.text)
+			}
+			delete(out, v)
+		}
+		// Track fresh designated results (1:1 assignments only).
+		if len(as.Rhs) == 1 && len(as.Lhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && designatedCall(info, call) {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if v := varOf(info, id); v != nil && isErrorType(info.TypeOf(as.Lhs[0])) {
+						out[v] = source{pos: call.Pos(), text: types.ExprString(call)}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/errsink"
+)
+
+func TestErrSink(t *testing.T) {
+	analysistest.Run(t, "testdata", errsink.Analyzer, "errsinktest", "errsinkok")
+}

@@ -1,0 +1,64 @@
+// Package errsinkok holds clean durability-error patterns the errsink
+// analyzer must accept without diagnostics.
+package errsinkok
+
+import "fmt"
+
+// File mimics the vfs.File surface.
+type File struct{}
+
+func (f *File) Sync() error  { return nil }
+func (f *File) Close() error { return nil }
+
+// FS mimics the vfs.FS surface.
+type FS struct{}
+
+func (fs *FS) Rename(oldpath, newpath string) error { return nil }
+func (fs *FS) SyncDir(dir string) error             { return nil }
+
+// checkEach examines every error where it happens.
+func checkEach(f *File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}
+
+// propagate hands the obligation to the caller.
+func propagate(f *File) error {
+	return f.Close()
+}
+
+// syncThenClose is the vfs.SyncDir idiom: both errors captured, sync
+// error wins, close error still surfaces.
+func syncThenClose(f *File) error {
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// bestEffortCleanup discards a Close inside an error-handling branch:
+// the function is already failing, cleanup is best-effort by design.
+func bestEffortCleanup(f *File, write func() error) error {
+	if err := write(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// joined combines both errors before anyone branches.
+func joined(fs *FS, f *File, tmp, final string) error {
+	err := fs.Rename(tmp, final)
+	if err != nil {
+		return err
+	}
+	err = fs.SyncDir(final)
+	return err
+}

@@ -1,0 +1,48 @@
+// Package errsinktest exercises the errsink analyzer: durability
+// errors (Sync/SyncDir/Close/Rename) must not be discarded or
+// shadowed.
+package errsinktest
+
+// File mimics the vfs.File surface.
+type File struct{}
+
+func (f *File) Sync() error  { return nil }
+func (f *File) Close() error { return nil }
+
+// FS mimics the vfs.FS surface.
+type FS struct{}
+
+func (fs *FS) Rename(oldpath, newpath string) error { return nil }
+func (fs *FS) SyncDir(dir string) error             { return nil }
+
+// bareStatement drops the Close error on the floor.
+func bareStatement(f *File) {
+	f.Close() // want `f\.Close\(\): error discarded`
+}
+
+// bareDefer defers a Close with nowhere for the error to go.
+func bareDefer(f *File) {
+	defer f.Close() // want `deferred f\.Close\(\) discards its error`
+}
+
+// blankOutsideHandler discards to blank on the happy path.
+func blankOutsideHandler(f *File) {
+	_ = f.Close() // want `error discarded to blank outside an error-handling branch`
+}
+
+// shadowed overwrites the Sync error before anyone looks at it.
+func shadowed(f *File) error {
+	err := f.Sync()
+	err = f.Close() // want `assignment overwrites the unexamined error from f\.Sync\(\)`
+	return err
+}
+
+// ignoredOnOnePath examines the error on one branch only; the other
+// branch lets a rename failure escape silently.
+func ignoredOnOnePath(f *File, cond bool) error {
+	err := f.Sync() // want `error from f\.Sync\(\) may reach function exit unexamined`
+	if cond {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,190 @@
+// Package hotalloc checks that functions annotated with a
+// //ljqlint:hotpath directive in their doc comment stay
+// allocation-free: it flags composite literals that allocate (slice
+// and map literals, &struct{} escapes), make/new, append growth,
+// closure allocations, string concatenation and string<->[]byte
+// conversions, and concrete-to-interface conversions at call
+// boundaries (boxing).
+//
+// The analyzer is the fast, syntactic half of a two-part gate: the
+// bench-allocs CI job independently verifies the same functions with
+// `go build -gcflags=-m` escape output and per-benchmark AllocsPerOp
+// ceilings from ALLOC_BUDGETS.json (see cmd/allocgate). A residual
+// allocation that is deliberate — an amortized scratch-buffer append,
+// say — gets an //ljqlint:allow hotalloc directive with a reason and
+// a budget entry, not silence.
+//
+// Plain calls are not flagged: callees are either themselves
+// annotated (and checked), or covered by the benchmark ceilings.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"joinopt/internal/analysis"
+)
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//ljqlint:hotpath functions must be allocation-free",
+	Run:  run,
+}
+
+// Directive marks a function as a checked hot path.
+const Directive = "//ljqlint:hotpath"
+
+// IsHotpath reports whether the function declaration carries the
+// hotpath directive in its doc comment.
+func IsHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), Directive) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !IsHotpath(fd) {
+				continue
+			}
+			check(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "function literal allocates a closure in a hotpath function")
+			return false // its body is the closure's problem
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&composite literal escapes to the heap in a hotpath function")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal allocates in a hotpath function")
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal allocates in a hotpath function")
+			}
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" {
+				if t := info.TypeOf(x); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(x.OpPos, "string concatenation allocates in a hotpath function")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins: make, new, append.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in a hotpath function")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in a hotpath function")
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in a hotpath function")
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		if src != nil && stringByteConv(dst, src) {
+			pass.Reportf(call.Pos(), "conversion between string and byte/rune slice allocates in a hotpath function")
+		}
+		return
+	}
+	// Boxing: a concrete argument passed as an interface parameter.
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing concrete %s as interface %s may allocate (boxing) in a hotpath function", at, pt)
+	}
+}
+
+// stringByteConv reports whether converting src to dst crosses the
+// string/byte-slice boundary (an allocating copy).
+func stringByteConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Uint8 || e.Kind() == types.Rune || e.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotalloctest", "hotallocok")
+}

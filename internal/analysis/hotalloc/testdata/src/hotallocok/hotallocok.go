@@ -1,0 +1,48 @@
+// Package hotallocok holds allocation-free hotpath functions the
+// hotalloc analyzer must accept without diagnostics.
+package hotallocok
+
+// mix is a pure-arithmetic hash step.
+//
+//ljqlint:hotpath
+func mix(h, v uint64) uint64 {
+	h ^= v * 0x9e3779b97f4a7c15
+	h = (h << 31) | (h >> 33)
+	return h * 0xff51afd7ed558ccd
+}
+
+// sum walks a slice without growing anything.
+//
+//ljqlint:hotpath
+func sum(xs []uint64) uint64 {
+	var h uint64
+	for _, x := range xs {
+		h = mix(h, x)
+	}
+	return h
+}
+
+// valueStruct builds a plain value composite: stack-allocated.
+//
+//ljqlint:hotpath
+func valueStruct(a, b uint64) uint64 {
+	p := struct{ x, y uint64 }{a, b}
+	return p.x + p.y
+}
+
+// reuse writes into caller-owned scratch without growing it.
+//
+//ljqlint:hotpath
+func reuse(scratch []uint64, v uint64) {
+	for i := range scratch {
+		scratch[i] = v
+	}
+}
+
+// budgeted keeps one amortized append under an explicit allow.
+//
+//ljqlint:hotpath
+func budgeted(scratch []uint64, v uint64) []uint64 {
+	//ljqlint:allow hotalloc -- amortized growth into caller-owned scratch, ceiling enforced by ALLOC_BUDGETS.json
+	return append(scratch, v)
+}

@@ -1,0 +1,69 @@
+// Package hotalloctest exercises the hotalloc analyzer: annotated
+// hotpath functions must be allocation-free.
+package hotalloctest
+
+func sink(any) {}
+
+var global []uint64
+
+// sliceLit builds a slice literal per call.
+//
+//ljqlint:hotpath
+func sliceLit(a, b uint64) {
+	global = []uint64{a, b} // want `slice literal allocates in a hotpath function`
+}
+
+// escape leaks a struct pointer.
+//
+//ljqlint:hotpath
+func escape() *struct{ x int } {
+	return &struct{ x int }{x: 1} // want `&composite literal escapes to the heap in a hotpath function`
+}
+
+// grow appends into a global.
+//
+//ljqlint:hotpath
+func grow(v uint64) {
+	global = append(global, v) // want `append may grow its backing array in a hotpath function`
+}
+
+// makes allocates a fresh map.
+//
+//ljqlint:hotpath
+func makes() map[uint64]int {
+	return make(map[uint64]int) // want `make allocates in a hotpath function`
+}
+
+// closure allocates a capturing closure.
+//
+//ljqlint:hotpath
+func closure(v uint64) func() uint64 {
+	return func() uint64 { return v } // want `function literal allocates a closure in a hotpath function`
+}
+
+// boxes passes a concrete int as interface{}.
+//
+//ljqlint:hotpath
+func boxes(v int) {
+	sink(v) // want `passing concrete int as interface .* may allocate \(boxing\) in a hotpath function`
+}
+
+// concat builds a string per call.
+//
+//ljqlint:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates in a hotpath function`
+}
+
+// stringify crosses the string/[]byte boundary.
+//
+//ljqlint:hotpath
+func stringify(b []byte) string {
+	return string(b) // want `conversion between string and byte/rune slice allocates in a hotpath function`
+}
+
+// unannotated does all of the above but carries no directive: silent.
+func unannotated(a, b uint64) {
+	global = append(global, a, b)
+	sink(a)
+}

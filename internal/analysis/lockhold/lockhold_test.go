@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer, "lockholdtest", "lockholdok")
+}

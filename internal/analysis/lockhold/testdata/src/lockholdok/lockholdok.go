@@ -1,0 +1,75 @@
+// Package lockholdok holds clean locking patterns the lockhold
+// analyzer must accept without diagnostics.
+package lockholdok
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	mu      sync.Mutex
+	ch      chan int
+	waiters []chan struct{}
+	state   int
+}
+
+// unlockBeforeWait releases the shard lock before parking — the
+// plancache singleflight shape.
+func (s *server) unlockBeforeWait(ctx context.Context) int {
+	s.mu.Lock()
+	if s.state != 0 {
+		v := s.state
+		s.mu.Unlock()
+		return v
+	}
+	w := make(chan struct{})
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	select {
+	case <-w:
+	case <-ctx.Done():
+	}
+	return 0
+}
+
+// pollUnderLock uses a select WITH default: non-blocking poll is fine.
+func (s *server) pollUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.state = v
+	default:
+	}
+}
+
+// notifyUnderLock closes a waiter channel under the lock: close never
+// blocks.
+func (s *server) notifyUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.waiters {
+		close(w)
+	}
+	s.waiters = nil
+}
+
+// launchUnderLock starts a goroutine that blocks — the goroutine has
+// its own stack and no lock.
+func (s *server) launchUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-done
+	}()
+}
+
+// condWait releases the mutex while waiting by contract.
+func condWait(mu *sync.Mutex, cond *sync.Cond, ready func() bool) {
+	mu.Lock()
+	for !ready() {
+		cond.Wait()
+	}
+	mu.Unlock()
+}

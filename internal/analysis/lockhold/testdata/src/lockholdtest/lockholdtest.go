@@ -1,0 +1,88 @@
+// Package lockholdtest exercises the lockhold analyzer: no blocking
+// operations while a mutex is held.
+package lockholdtest
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	state int
+}
+
+// recvUnderLock waits on a channel inside the critical section.
+func (s *server) recvUnderLock() {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while holding mutex "s\.mu"`
+	s.state = v
+	s.mu.Unlock()
+}
+
+// sendUnderDeferredLock holds via defer across a send.
+func (s *server) sendUnderDeferredLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while holding mutex "s\.mu"`
+}
+
+// ctxWaitUnderRLock waits for cancellation under a read lock.
+func (s *server) ctxWaitUnderRLock(ctx context.Context) {
+	s.rw.RLock()
+	<-ctx.Done() // want `channel receive while holding mutex "s\.rw"`
+	s.rw.RUnlock()
+}
+
+// selectUnderLock parks in a select with the lock held.
+func (s *server) selectUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding mutex "s\.mu"`
+	case v := <-s.ch:
+		s.state = v
+	case <-done:
+	}
+}
+
+// sleepUnderLock sleeps in the critical section.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding mutex "s\.mu"`
+	s.mu.Unlock()
+}
+
+// httpUnderLock performs network I/O in the critical section.
+func (s *server) httpUnderLock(c *http.Client, url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := c.Get(url) // want `net/http Get while holding mutex "s\.mu"`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// blockingHelper hides the wait one call away.
+func (s *server) blockingHelper() {
+	<-s.ch
+}
+
+// helperUnderLock blocks through the summarized helper.
+func (s *server) helperUnderLock() {
+	s.mu.Lock()
+	s.blockingHelper() // want `call to blocking blockingHelper while holding mutex "s\.mu"`
+	s.mu.Unlock()
+}
+
+// rangeChanUnderLock drains a channel under the lock.
+func (s *server) rangeChanUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `ranging over a channel while holding mutex "s\.mu"`
+		s.state += v
+	}
+}

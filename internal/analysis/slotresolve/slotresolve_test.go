@@ -1,0 +1,12 @@
+package slotresolve_test
+
+import (
+	"testing"
+
+	"joinopt/internal/analysis/analysistest"
+	"joinopt/internal/analysis/slotresolve"
+)
+
+func TestSlotResolve(t *testing.T) {
+	analysistest.Run(t, "testdata", slotresolve.Analyzer, "slotresolvetest", "slotresolveok")
+}

@@ -12,8 +12,12 @@ import (
 	"joinopt/internal/analysis/budgetcharge"
 	"joinopt/internal/analysis/ctxflow"
 	"joinopt/internal/analysis/detrand"
+	"joinopt/internal/analysis/errsink"
 	"joinopt/internal/analysis/floatsafe"
+	"joinopt/internal/analysis/hotalloc"
+	"joinopt/internal/analysis/lockhold"
 	"joinopt/internal/analysis/panicguard"
+	"joinopt/internal/analysis/slotresolve"
 )
 
 // Module is the module path the scopes are expressed against.
@@ -43,6 +47,17 @@ var meteredPackages = []string{
 //     not on the optimizer's seeded trajectory; keeping it out of
 //     scope avoids self-referential directive noise) — floatsafe and
 //     ctxflow do include internal/analysis.
+//   - slotresolve: the packages that speak the breaker slot protocol —
+//     the resilient client (breaker state machine), the cluster router
+//     and health view, and serve (which owns the daemon wiring).
+//   - errsink: the durability paths — vfs, persist and serve (which
+//     flushes snapshots on drain). cluster is out of scope: its one
+//     Close is an http response body on a best-effort warm-start path.
+//   - lockhold: the concurrency-bearing serving layers — serve,
+//     plancache, cluster and client, where a blocked critical section
+//     convoys live requests.
+//   - hotalloc: everywhere — the directive is opt-in per function, so
+//     whole-tree scope costs nothing where nothing is annotated.
 func Entries() []Entry {
 	return []Entry{
 		{budgetcharge.Analyzer, within(meteredPackages...)},
@@ -50,6 +65,10 @@ func Entries() []Entry {
 		{floatsafe.Analyzer, allInternal()},
 		{ctxflow.Analyzer, allInternal()},
 		{panicguard.Analyzer, allInternalExcept("internal/analysis")},
+		{slotresolve.Analyzer, within("internal/client", "internal/cluster", "internal/serve")},
+		{errsink.Analyzer, within("internal/vfs", "internal/persist", "internal/serve")},
+		{lockhold.Analyzer, within("internal/serve", "internal/plancache", "internal/cluster", "internal/client")},
+		{hotalloc.Analyzer, allInternal()},
 	}
 }
 

@@ -25,13 +25,34 @@ func TestScopes(t *testing.T) {
 		}},
 		{"joinopt/internal/analysis", map[string]bool{
 			"budgetcharge": false, "detrand": false, "floatsafe": true,
-			"ctxflow": true, "panicguard": false,
+			"ctxflow": true, "panicguard": false, "hotalloc": true,
+			"slotresolve": false, "errsink": false, "lockhold": false,
 		}},
 		{"joinopt/internal/analysis/invariant", map[string]bool{
 			"detrand": false, "panicguard": false, "floatsafe": true,
 		}},
 		{"joinopt/cmd/joinopt", map[string]bool{
 			"budgetcharge": false, "detrand": false, "floatsafe": false,
+		}},
+		{"joinopt/internal/client", map[string]bool{
+			"slotresolve": true, "errsink": false, "lockhold": true,
+			"hotalloc": true,
+		}},
+		{"joinopt/internal/cluster", map[string]bool{
+			"slotresolve": true, "errsink": false, "lockhold": true,
+		}},
+		{"joinopt/internal/persist", map[string]bool{
+			"slotresolve": false, "errsink": true, "lockhold": false,
+		}},
+		{"joinopt/internal/serve", map[string]bool{
+			"slotresolve": true, "errsink": true, "lockhold": true,
+			"hotalloc": true,
+		}},
+		{"joinopt/internal/vfs", map[string]bool{
+			"errsink": true, "lockhold": false,
+		}},
+		{"joinopt/internal/plancache", map[string]bool{
+			"lockhold": true, "errsink": false, "slotresolve": false,
 		}},
 	}
 	for _, c := range cases {
@@ -48,7 +69,7 @@ func TestScopes(t *testing.T) {
 	}
 }
 
-func TestEntriesCoverAllFiveAnalyzers(t *testing.T) {
+func TestEntriesCoverAllNineAnalyzers(t *testing.T) {
 	names := map[string]bool{}
 	for _, e := range suite.Entries() {
 		if e.Analyzer == nil || e.InScope == nil {
@@ -56,13 +77,16 @@ func TestEntriesCoverAllFiveAnalyzers(t *testing.T) {
 		}
 		names[e.Analyzer.Name] = true
 	}
-	for _, want := range []string{"budgetcharge", "detrand", "floatsafe", "ctxflow", "panicguard"} {
+	for _, want := range []string{
+		"budgetcharge", "detrand", "floatsafe", "ctxflow", "panicguard",
+		"slotresolve", "errsink", "lockhold", "hotalloc",
+	} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %s", want)
 		}
 	}
-	if len(names) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(names))
+	if len(names) != 9 {
+		t.Errorf("suite has %d analyzers, want 9", len(names))
 	}
 }
 

@@ -328,6 +328,14 @@ func (c *Client) call(ctx context.Context, method, path, contentType string, bod
 			var apiErr *APIError
 			if errors.As(out.err, &apiErr) {
 				c.breaker.success()
+			} else {
+				// Any other non-retryable failure is the caller's
+				// doing — its context died mid-attempt or the request
+				// could not be built. No verdict on the daemon, but
+				// the claimed slot (possibly the half-open probe
+				// slot) must be released: dropping it would park the
+				// breaker half-open and fail every future call fast.
+				c.breaker.cancelSlot()
 			}
 			return nil, out.err
 		}

@@ -597,3 +597,77 @@ func TestCallerContextCancelStopsRetrying(t *testing.T) {
 		t.Fatalf("client kept retrying after cancel: %d requests", ft.Requests())
 	}
 }
+
+// TestCallerCtxDeathReleasesHalfOpenProbeSlot is the regression test
+// for the slotresolve finding in call(): when the half-open probe's
+// caller hung up mid-attempt (non-retryable, but not an APIError), the
+// probe slot claimed by allow() was dropped on the floor — parking the
+// breaker half-open and failing every future call fast with
+// ErrCircuitOpen. The fix releases the slot with cancelSlot().
+func TestCallerCtxDeathReleasesHalfOpenProbeSlot(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	ok := okInner(t)
+	var mu sync.Mutex
+	var cancelCaller context.CancelFunc // armed for the probe call
+	failing := true
+	rt := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		mu.Lock()
+		cancel := cancelCaller
+		cancelCaller = nil
+		fail := failing
+		mu.Unlock()
+		if cancel != nil {
+			// The caller gives up while this attempt is on the wire:
+			// the transport error is then classified non-retryable
+			// because the *caller's* context died, not the attempt's.
+			cancel()
+			return nil, errors.New("connection torn down")
+		}
+		if fail {
+			return nil, errors.New("connection refused")
+		}
+		return ok.RoundTrip(r)
+	})
+	c := newTestClient(t, Config{
+		Transport: rt, MaxAttempts: 1,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 5 * time.Second},
+		Now:     clock.now,
+		Sleep:   (&sleepRecorder{}).sleep,
+	})
+
+	// Trip the breaker open.
+	for i := 0; i < 2; i++ {
+		if _, err := c.OptimizeDSL(context.Background(), "q"); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("call %d: err = %v, want ErrExhausted", i, err)
+		}
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker %s, want open", st)
+	}
+
+	// Cooldown elapses; the next call is granted the single half-open
+	// probe slot — and its caller hangs up mid-attempt. No verdict on
+	// the daemon, but the slot must be released.
+	clock.advance(5 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mu.Lock()
+	cancelCaller = cancel
+	mu.Unlock()
+	if _, err := c.OptimizeDSL(ctx, "q"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("probe call: err = %v, want context.Canceled", err)
+	}
+
+	// The next caller must be able to probe. Before the fix the leaked
+	// slot kept probeInFlight set forever and this call failed fast
+	// with ErrCircuitOpen.
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	if _, err := c.OptimizeDSL(context.Background(), "q"); err != nil {
+		t.Fatalf("post-cancel probe: %v (a leaked probe slot parks the breaker half-open)", err)
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", st)
+	}
+}

@@ -253,6 +253,7 @@ func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []s
 		for next < len(cands) {
 			peer := cands[next]
 			next++
+			//ljqlint:allow slotresolve -- the slot resolves in the result loop, not here: ReportSuccess for the winning response, ReportFailure for errors, and reapLosers' ReportCancelled for abandoned in-flight candidates
 			if !r.health.Allow(peer) {
 				r.breakerSkips.Add(1)
 				continue

@@ -33,6 +33,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"joinopt/internal/catalog"
@@ -169,6 +170,8 @@ const (
 )
 
 // mix folds one 64-bit word into an FNV-1a state, byte by byte.
+//
+//ljqlint:hotpath
 func mix(h, v uint64) uint64 {
 	for i := 0; i < 8; i++ {
 		h ^= v & 0xff
@@ -178,6 +181,7 @@ func mix(h, v uint64) uint64 {
 	return h
 }
 
+//ljqlint:hotpath
 func mixFloat(h uint64, f float64) uint64 { return mix(h, math.Float64bits(f)) }
 
 // halfEdge is one predicate seen from one endpoint.
@@ -205,6 +209,7 @@ type graph struct {
 	searchBudget int
 }
 
+//ljqlint:hotpath
 func histHash(h *catalog.Histogram) uint64 {
 	acc := fnvOffset
 	if h == nil {
@@ -218,6 +223,7 @@ func histHash(h *catalog.Histogram) uint64 {
 	return acc
 }
 
+//ljqlint:hotpath
 func sideHash(distinct float64, h *catalog.Histogram) uint64 {
 	acc := fnvOffset
 	acc = mixFloat(acc, distinct)
@@ -253,12 +259,16 @@ func buildGraph(q *catalog.Query) *graph {
 	return g
 }
 
-func sortU64(s []uint64) {
-	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
-}
+// sortU64 sorts in place. slices.Sort rather than sort.Slice: the
+// latter boxes the slice header into a sort.Interface, a heap
+// allocation per call that the escape gate flags inside refineStep's
+// //ljqlint:hotpath inner loop (n vertices × WL rounds of them).
+func sortU64(s []uint64) { slices.Sort(s) }
 
 // refineStep computes one WL round: each color becomes a hash of
 // itself and the sorted multiset of (edge statistics, neighbor color).
+//
+//ljqlint:hotpath
 func (g *graph) refineStep(colors, out []uint64, scratch []uint64) {
 	for v := 0; v < g.n; v++ {
 		contrib := scratch[:0]
@@ -268,7 +278,7 @@ func (g *graph) refineStep(colors, out []uint64, scratch []uint64) {
 			h = mix(h, he.otherSide)
 			h = mix(h, he.sel)
 			h = mix(h, colors[he.to])
-			contrib = append(contrib, h)
+			contrib = append(contrib, h) //ljqlint:allow hotalloc -- scratch is pre-sized to max degree by the caller; this append never grows it
 		}
 		sortU64(contrib)
 		acc := mix(fnvOffset, colors[v])
@@ -299,7 +309,16 @@ func classes(colors []uint64) int {
 func (g *graph) refineToStable(colors []uint64) []uint64 {
 	cur := append([]uint64(nil), colors...)
 	next := make([]uint64, g.n)
-	scratch := make([]uint64, 0, 8)
+	// Pre-size scratch to the maximum degree: refineStep's append into
+	// it must never grow (growth inside the loop would be re-paid every
+	// round, since the grown header can't propagate back here).
+	maxDeg := 0
+	for _, adj := range g.adj {
+		if len(adj) > maxDeg {
+			maxDeg = len(adj)
+		}
+	}
+	scratch := make([]uint64, 0, maxDeg)
 	k := classes(cur)
 	for round := 0; round < g.n; round++ {
 		g.refineStep(cur, next, scratch)

@@ -279,8 +279,15 @@ func (s *Store) writeSnapshotLocked(entries []*plancache.Entry) error {
 // (header only) and reopens the append handle onto it.
 func (s *Store) resetJournalLocked() error {
 	if s.journal != nil {
-		_ = s.journal.Close()
+		cerr := s.journal.Close()
 		s.journal = nil
+		if cerr != nil {
+			// A failed close can mean buffered journal bytes never
+			// reached the disk; surfacing it (rather than resetting
+			// on top of it) lets the manager count the failure and
+			// the caller retry the compaction.
+			return fmt.Errorf("persist: close old journal: %w", cerr)
+		}
 	}
 	tmp := filepath.Join(s.dir, journalName+tmpSuffix)
 	f, err := s.opts.FS.Create(tmp)

@@ -374,3 +374,72 @@ func TestRecoveryJournalSupersedesSnapshotPerKey(t *testing.T) {
 		t.Fatalf("budget weight %d, want %d", got.BudgetUsed, newE.BudgetUsed)
 	}
 }
+
+// closeFailFS wraps a vfs.FS and makes Close fail on handles opened
+// via Append while armed — the seam FaultFS lacks (it treats Close as
+// non-mutating). POSIX close(2) can surface deferred write-back
+// errors, which is exactly what resetJournalLocked must not swallow.
+type closeFailFS struct {
+	vfs.FS
+	armed bool
+	err   error
+}
+
+func (f *closeFailFS) Append(name string) (vfs.File, error) {
+	inner, err := f.FS.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &closeFailFile{File: inner, fs: f}, nil
+}
+
+type closeFailFile struct {
+	vfs.File
+	fs *closeFailFS
+}
+
+func (w *closeFailFile) Close() error {
+	err := w.File.Close()
+	if w.fs.armed {
+		return w.fs.err
+	}
+	return err
+}
+
+// TestCompactionSurfacesJournalCloseError is the regression test for
+// the errsink finding in resetJournalLocked: the old journal handle's
+// Close error was discarded, so a failed close — which can mean
+// buffered journal bytes never reached the disk — looked like a clean
+// compaction. The error must surface so the manager counts the
+// failure and the caller can retry.
+func TestCompactionSurfacesJournalCloseError(t *testing.T) {
+	boom := errors.New("deferred write-back failed")
+	ffs := &closeFailFS{FS: vfs.NewMem(), err: boom}
+	st, _, _ := openMem(t, ffs)
+	if _, err := st.Append(testEntry(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	ffs.armed = true
+	err := st.Snapshot([]*plancache.Entry{testEntry(1)})
+	if err == nil {
+		t.Fatal("Snapshot succeeded despite the old journal's Close failing")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected close error wrapped", err)
+	}
+
+	// The failed handle is released either way (journal == nil), so a
+	// retry must not double-close; once the fault clears, compaction
+	// succeeds and appends flow again.
+	ffs.armed = false
+	if err := st.Snapshot([]*plancache.Entry{testEntry(1)}); err != nil {
+		t.Fatalf("retry after close failure: %v", err)
+	}
+	if _, err := st.Append(testEntry(2)); err != nil {
+		t.Fatalf("Append after recovered compaction: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -185,6 +185,7 @@ func New(cfg Config) *Cache {
 	return c
 }
 
+//ljqlint:hotpath
 func (c *Cache) shardOf(k Key) *shard {
 	// The fingerprint is a cryptographic hash; its first bytes are
 	// uniformly distributed, so they select the shard directly.
@@ -193,6 +194,8 @@ func (c *Cache) shardOf(k Key) *shard {
 }
 
 // Get returns the cached entry, if present, bumping its recency.
+//
+//ljqlint:hotpath
 func (c *Cache) Get(k Key) (*Entry, bool) {
 	s := c.shardOf(k)
 	s.mu.Lock()
@@ -538,6 +541,7 @@ func (s *shard) remove(n *node) {
 	n.prev, n.next = nil, nil
 }
 
+//ljqlint:hotpath
 func (s *shard) moveFront(n *node) {
 	s.remove(n)
 	s.pushFront(n)

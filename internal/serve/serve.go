@@ -42,6 +42,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -50,6 +51,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -592,14 +594,49 @@ func decodeQuery(r *http.Request, maxBytes int64) (*catalog.Query, error) {
 	return qfile.ReadLimit(br, maxBytes)
 }
 
+// jsonEncBuf is one pooled encode unit: the buffer and an encoder
+// permanently aimed at it (json.Encoder has no Reset, so reusing it
+// means pooling them together). Once warm, a response costs zero
+// encoder/buffer allocations, and the handler hands net/http a single
+// sized Write (Content-Length instead of chunked framing).
+type jsonEncBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{
+	New: func() any {
+		e := &jsonEncBuf{}
+		e.enc = json.NewEncoder(&e.buf)
+		e.enc.SetIndent("", "  ")
+		return e
+	},
+}
+
+// jsonBufPoolCap bounds what returns to the pool: a rare huge Explain
+// response must not pin its capacity forever.
+const jsonBufPoolCap = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := jsonBufPool.Get().(*jsonEncBuf)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Nothing reached the wire yet, so the failure can surface as
+		// a real 500 (the streaming encoder could only tear the
+		// connection mid-body).
+		jsonBufPool.Put(e)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
 	// Write errors mean the client went away; nothing useful remains
 	// to be done with the connection.
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= jsonBufPoolCap {
+		jsonBufPool.Put(e)
+	}
 }
 
 // retryAfterSeconds serializes a suggested wait as a Retry-After
@@ -607,6 +644,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // become "1", not a truncated "0" (which clients read as "retry
 // immediately" — the opposite of shedding), and a 1.4s suggestion must
 // not lose its fractional 400ms either.
+//
+//ljqlint:hotpath
 func retryAfterSeconds(d time.Duration) string {
 	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
