@@ -30,6 +30,13 @@
 //	# Prometheus metrics (on by default; -metrics=false disables)
 //	curl -s localhost:8080/metrics
 //
+//	# tiered planning (on by default): a cold miss is answered from the
+//	# greedy fast path (X-Plan-Tier: 1) while the full search upgrades
+//	# the cached entry in the background; tune when to escalate a miss
+//	# to the synchronous full search and how much to spend on upgrades
+//	ljqd -greedy-threshold 1e12 -upgrade-budget 18
+//	ljqd -tiered=false   # classic synchronous full search on every miss
+//
 //	# cluster mode: each peer lists the full ring membership and its
 //	# own advertised URL; on start it warm-starts its plan cache from
 //	# the other peers' GET /snapshot before accepting traffic
@@ -63,6 +70,7 @@ import (
 	"joinopt/internal/cluster"
 	"joinopt/internal/core"
 	"joinopt/internal/cost"
+	"joinopt/internal/greedy"
 	"joinopt/internal/persist"
 	"joinopt/internal/plancache"
 	"joinopt/internal/serve"
@@ -91,6 +99,10 @@ func main() {
 		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every ring member, this one included (cluster mode)")
 		advertise    = flag.String("advertise", "", "this peer's own base URL as it appears in -peers")
 		warmTimeout  = flag.Duration("warm-timeout", 30*time.Second, "per-donor deadline for the startup snapshot fetch")
+
+		tiered          = flag.Bool("tiered", true, "serve cache misses from the greedy fast path and upgrade in the background")
+		greedyThreshold = flag.Float64("greedy-threshold", greedy.DefaultThreshold, "greedy-plan cost at or above which a miss escalates to the synchronous full search (<=0: never on cost)")
+		upgradeBudget   = flag.Float64("upgrade-budget", 0, "budget coefficient for background tier upgrades (0 = same as -t)")
 	)
 	flag.Parse()
 
@@ -151,6 +163,9 @@ func main() {
 		CacheHandle:      cache,
 		Metrics:          reg,
 		Persist:          mgr,
+		Tiered:           *tiered,
+		GreedyThreshold:  *greedyThreshold,
+		UpgradeTCoeff:    *upgradeBudget,
 	})
 
 	handler := srv.Handler()

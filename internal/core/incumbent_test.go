@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"joinopt/internal/cost"
+	"joinopt/internal/plan"
+	"joinopt/internal/testutil"
+)
+
+// TestIncumbentWarmStart pins the warm-start contract the tiered
+// serving layer relies on: with Options.Incumbent set and a budget too
+// small for any search, the run returns the incumbent itself — valid,
+// not degraded — because the incumbent is offered to the tracker
+// before any strategy runs.
+func TestIncumbentWarmStart(t *testing.T) {
+	q := testutil.BenchQuery(10, 7)
+
+	// First find any good complete order with a real run.
+	opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), cost.NewBudget(cost.UnitsFor(9, 10)), rand.New(rand.NewSource(1)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := opt.RunContext(context.Background(), II)
+	if err != nil || ref.Degraded {
+		t.Fatalf("reference run failed: err=%v degraded=%v", err, ref.Degraded)
+	}
+	incumbent := ref.Order().Clone()
+
+	// Re-run with a starved budget: without a warm start this is a
+	// degraded fallback plan; with one, the incumbent must survive.
+	opt2, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), cost.NewBudget(1), rand.New(rand.NewSource(1)), Options{Incumbent: incumbent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := opt2.RunContext(context.Background(), II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Degraded {
+		t.Fatalf("warm-started run degraded: %s", pl.DegradeReason)
+	}
+	got := pl.Order()
+	if len(got) != len(incumbent) {
+		t.Fatalf("plan order %v does not match incumbent %v", got, incumbent)
+	}
+	for i := range incumbent {
+		if got[i] != incumbent[i] {
+			t.Fatalf("plan order %v diverged from incumbent %v at %d", got, incumbent, i)
+		}
+	}
+
+	// A plentiful run with the incumbent must never end worse than it.
+	opt3, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), cost.NewBudget(cost.UnitsFor(9, 10)), rand.New(rand.NewSource(2)), Options{Incumbent: incumbent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl3, err := opt3.RunContext(context.Background(), II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incCost := opt3.Evaluator().Cost(incumbent)
+	if pl3.TotalCost > incCost*(1+1e-9) {
+		t.Fatalf("warm-started search ended at %g, worse than its incumbent %g", pl3.TotalCost, incCost)
+	}
+}
+
+// TestIncumbentInvalidIgnored: a nonsense incumbent (wrong relations,
+// duplicates) must be ignored, not crash the run or corrupt the plan.
+func TestIncumbentInvalidIgnored(t *testing.T) {
+	q := testutil.BenchQuery(8, 3)
+	bad := plan.Perm{0, 0, 99, 3}
+	opt, err := NewOptimizer(q.Clone(), cost.NewMemoryModel(), cost.NewBudget(cost.UnitsFor(9, 8)), rand.New(rand.NewSource(1)), Options{Incumbent: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := opt.RunContext(context.Background(), II)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, opt, pl, 9, "invalid incumbent")
+	if pl.Degraded {
+		t.Fatalf("run with ignored incumbent degraded: %s", pl.DegradeReason)
+	}
+}

@@ -39,6 +39,16 @@ type Options struct {
 	// with the given probability (0 = the [SG88] swap-only default).
 	// Kept as an ablation knob; see BenchmarkAblationMoveSet.
 	InsertMoveProb float64
+	// Incumbent, if non-empty, is a join order offered as the starting
+	// incumbent before any strategy runs: its restriction to each
+	// component is priced (charging the budget as usual) and fed to the
+	// tracker, so the final plan is never worse than the incumbent under
+	// this optimizer's cost function. The tiered serving layer passes
+	// the greedy Tier-1 order here as the warm start for the background
+	// upgrade. A restriction that is invalid or does not cover its
+	// component is silently ignored — the warm start is an optimization,
+	// never a correctness input.
+	Incumbent plan.Perm
 	// OnImprove, if non-nil, is invoked whenever the incumbent best
 	// total cost improves, with the new cost and the budget units
 	// consumed so far. Experiment harnesses use it to read off
@@ -201,7 +211,7 @@ func (o *Optimizer) RunContext(ctx context.Context, m Method) (*plan.Plan, error
 			onImprove = nil
 		}
 		t := newTracker(o.budget, onImprove, o.opts.Trace)
-		if perr := o.runComponentIsolated(m, sp, t); perr != nil && panicErr == nil {
+		if perr := o.runComponentIsolated(m, comp, sp, t); perr != nil && panicErr == nil {
 			panicErr = perr
 		}
 		best, bestCost := t.best, t.bestCost
@@ -253,15 +263,44 @@ func (o *Optimizer) RunContext(ctx context.Context, m Method) (*plan.Plan, error
 
 // runComponentIsolated runs one component's strategy behind a panic
 // barrier: a crash in search, heuristic or cost-model code is recovered
-// and reported, and the tracker's incumbent survives.
-func (o *Optimizer) runComponentIsolated(m Method, sp *search.Space, t *tracker) (perr *PanicError) {
+// and reported, and the tracker's incumbent survives. The warm-start
+// offer runs inside the same barrier, so a fault while pricing the
+// incumbent degrades the run honestly instead of crashing it.
+func (o *Optimizer) runComponentIsolated(m Method, comp []catalog.RelID, sp *search.Space, t *tracker) (perr *PanicError) {
 	defer func() {
 		if r := recover(); r != nil {
 			perr = &PanicError{Method: m, Value: r}
 		}
 	}()
+	o.offerIncumbent(comp, t)
 	o.runComponent(m, sp, t)
 	return nil
+}
+
+// offerIncumbent seeds the tracker with the restriction of
+// Options.Incumbent to comp, if that restriction is a valid complete
+// order of the component. Pricing charges the budget like any other
+// evaluation; an unusable incumbent is ignored.
+func (o *Optimizer) offerIncumbent(comp []catalog.RelID, t *tracker) {
+	inc := o.opts.Incumbent
+	if len(inc) == 0 {
+		return
+	}
+	in := make([]bool, o.query.NumRelations())
+	for _, r := range comp {
+		in[r] = true
+	}
+	sub := make(plan.Perm, 0, len(comp))
+	for _, r := range inc {
+		if int(r) >= 0 && int(r) < len(in) && in[r] {
+			in[r] = false
+			sub = append(sub, r)
+		}
+	}
+	if len(sub) != len(comp) || !o.eval.Valid(sub) {
+		return
+	}
+	t.offer(sub, o.eval.Cost(sub))
 }
 
 // fallbackState produces a valid state for a component when search

@@ -1,0 +1,69 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"joinopt/internal/cost"
+	"joinopt/internal/workload"
+)
+
+var benchSink float64
+
+// BenchmarkGreedyPlan20 is the Tier-1 steady-state number the ISSUE
+// pins: replanning the smoke workload's 20-join query (21 relations,
+// same generator seed as serve's TestSmokeEndToEnd) must stay under
+// 15µs with 0 allocs/op — the planner is built once and every Plan
+// call reuses its buffers. Budgeted in ALLOC_BUDGETS.json.
+func BenchmarkGreedyPlan20(b *testing.B) {
+	q := workload.Default().Generate(20, rand.New(rand.NewSource(42)))
+	p, err := New(q, cost.NewMemoryModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = p.Plan().TotalCost
+	}
+}
+
+// BenchmarkGreedyColdPlan20 prices the cold path the tier orchestrator
+// actually pays on a cache miss: construct the planner and plan once.
+// Construction allocates by design (CSR adjacency, scratch buffers);
+// the budget ceiling guards against accidental bloat, not zero.
+func BenchmarkGreedyColdPlan20(b *testing.B) {
+	q := workload.Default().Generate(20, rand.New(rand.NewSource(42)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := New(q, cost.NewMemoryModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = p.Plan().TotalCost
+	}
+}
+
+// TestPlanSteadyStateZeroAllocs asserts the 0 allocs/op contract
+// directly in the unit suite (the allocgate benchmark gate enforces it
+// in CI too, but this fails faster and locally). Skipped under -race:
+// the race runtime instruments allocations.
+func TestPlanSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	q := workload.Default().Generate(20, rand.New(rand.NewSource(42)))
+	p, err := New(q, cost.NewMemoryModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Plan() // warm: first call touches every buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		benchSink = p.Plan().TotalCost
+	})
+	if allocs != 0 {
+		//ljqlint:allow floatsafe -- comparing an allocation count against the constant zero
+		t.Fatalf("Plan allocates %.0f allocs/op in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,144 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"joinopt/internal/dp"
+	"joinopt/internal/workload"
+)
+
+// greedySanityRatio is the documented Tier-1 quality bound: on the
+// oracle grid (chain/star/cycle/grid, N ≤ 10) a greedy plan stays
+// within this factor of the exact DP optimum. It is a
+// catastrophic-regression guard like the strategy suite's bound in
+// internal/core — greedy is usually within a few x (and often optimal
+// on chains/stars, per the "When Greedy Beats Optimal" writeup cited
+// in PAPERS.md/SNIPPETS.md), but star/grid queries with adversarial
+// selectivity draws can push it far out; that is exactly the case the
+// escalation rule and the background Tier-2 upgrade exist for.
+const greedySanityRatio = 100.0
+
+// TestDifferentialGreedyOracle extends the differential oracle suite
+// to the Tier-1 planner: greedy plans on every shape at N ≤ 10 must be
+// valid, finitely priced, never cheaper than the exact left-deep
+// optimum under the same static cost function, and within
+// greedySanityRatio of it.
+func TestDifferentialGreedyOracle(t *testing.T) {
+	shapes := []struct {
+		name  string
+		shape workload.Shape
+	}{
+		{"chain", workload.ShapeChain},
+		{"star", workload.ShapeStar},
+		{"cycle", workload.ShapeCycle},
+		{"grid", workload.ShapeGrid},
+	}
+	const slack = 1e-9 // float re-pricing tolerance on the ≥-optimum side
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			for _, n := range []int{4, 7, 9, 10} {
+				for _, seed := range []int64{1, 2, 3} {
+					q, err := workload.Default().GenerateShape(sh.shape, n, rand.New(rand.NewSource(seed)))
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: generate: %v", n, seed, err)
+					}
+					p, err := New(q.Clone(), nil)
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: New: %v", n, seed, err)
+					}
+					res := p.Plan()
+					if len(res.Order) != n {
+						t.Fatalf("n=%d seed=%d: greedy covers %d of %d relations", n, seed, len(res.Order), n)
+					}
+
+					eval := oracleEval(t, q.Clone())
+					if !eval.Valid(res.Order) {
+						t.Fatalf("n=%d seed=%d: invalid greedy order %v (cross product)", n, seed, res.Order)
+					}
+					// Re-price under the oracle evaluator so the
+					// comparison uses one cost function.
+					c := eval.Cost(res.Order)
+					if math.IsNaN(c) || math.IsInf(c, 0) {
+						t.Fatalf("n=%d seed=%d: non-finite greedy cost %g", n, seed, c)
+					}
+
+					comps := eval.Stats().Graph().Components()
+					if len(comps) != 1 {
+						t.Fatalf("n=%d seed=%d: shape generator produced %d components, want 1", n, seed, len(comps))
+					}
+					optPerm, optCost, err := dp.Optimal(eval, comps[0])
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: dp oracle: %v", n, seed, err)
+					}
+					if len(optPerm) != n || math.IsNaN(optCost) || math.IsInf(optCost, 0) {
+						t.Fatalf("n=%d seed=%d: degenerate oracle: perm=%d cost=%g", n, seed, len(optPerm), optCost)
+					}
+					if c < optCost*(1-slack) {
+						t.Fatalf("n=%d seed=%d: greedy cost %g undercuts exact optimum %g — inconsistent costing",
+							n, seed, c, optCost)
+					}
+					if optCost > 0 && c > optCost*greedySanityRatio {
+						t.Fatalf("n=%d seed=%d: greedy cost %g is %.1fx the optimum %g (sanity ratio %g)",
+							n, seed, c, c/optCost, optCost, greedySanityRatio)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEscalationFiresOnWorstShape pins the escalation rule to the
+// differential grid: with the threshold set between the most expensive
+// greedy plan and the runner-up, exactly the worst shape escalates.
+// This is the deployment contract of -greedy-threshold — the shapes
+// where greedy plans are estimated worst are the ones that pay the
+// synchronous full search.
+func TestEscalationFiresOnWorstShape(t *testing.T) {
+	shapes := []struct {
+		name  string
+		shape workload.Shape
+	}{
+		{"chain", workload.ShapeChain},
+		{"star", workload.ShapeStar},
+		{"cycle", workload.ShapeCycle},
+		{"grid", workload.ShapeGrid},
+	}
+	const n, seed = 9, 1
+	costs := make([]float64, len(shapes))
+	for i, sh := range shapes {
+		q, err := workload.Default().GenerateShape(sh.shape, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[i] = p.Plan().TotalCost
+	}
+	sorted := append([]float64(nil), costs...)
+	sort.Float64s(sorted)
+	worst, second := sorted[len(sorted)-1], sorted[len(sorted)-2]
+	if !(second < worst) {
+		t.Skipf("degenerate draw: two shapes tied at cost %g", worst)
+	}
+	threshold := second + (worst-second)/2
+	fired := 0
+	for i, sh := range shapes {
+		esc := Escalate(costs[i], threshold)
+		if esc {
+			fired++
+		}
+		wantEsc := !(costs[i] < worst) // only the worst shape is at/above threshold
+		if esc != wantEsc {
+			t.Errorf("%s: Escalate(%g, %g) = %v, want %v", sh.name, costs[i], threshold, esc, wantEsc)
+		}
+	}
+	if fired != 1 {
+		t.Errorf("escalations fired = %d, want exactly 1 (the worst shape)", fired)
+	}
+}

@@ -33,7 +33,7 @@ import (
 //
 //	fingerprint[32]
 //	budgetUsed[8]          (uint64 two's-complement of int64)
-//	flags[1]               (bit0: degraded)
+//	flags[1]               (bit0: degraded; bits1-2: planning tier)
 //	reasonLen uvarint, reason bytes
 //	totalCost[8]           (Float64bits)
 //	crossCost[8]           (Float64bits)
@@ -151,6 +151,11 @@ func encodeEntry(e *plancache.Entry) []byte {
 	if pl.Degraded {
 		flags |= 1
 	}
+	// Planning tier rides in bits 1-2, stored verbatim: a zero Tier
+	// stays zero so pre-tiering files round-trip byte-identically (no
+	// format/schema version bump needed; decoders rank zero as full via
+	// plancache.TierRank at the point of use).
+	flags |= (e.Tier & 3) << 1
 	buf = append(buf, flags)
 	buf = binary.AppendUvarint(buf, uint64(len(pl.DegradeReason)))
 	buf = append(buf, pl.DegradeReason...)
@@ -270,7 +275,7 @@ func decodeEntry(payload []byte) (*plancache.Entry, error) {
 	if d.off != len(payload) {
 		return nil, errCorrupt // trailing garbage: reject the record
 	}
-	return &plancache.Entry{Fingerprint: fp, Plan: pl, BudgetUsed: int64(bu)}, nil
+	return &plancache.Entry{Fingerprint: fp, Plan: pl, BudgetUsed: int64(bu), Tier: (flagb[0] >> 1) & 3}, nil
 }
 
 // replay walks the framed records after a validated header, calling

@@ -1,0 +1,53 @@
+package persist
+
+import (
+	"testing"
+
+	"joinopt/internal/fingerprint"
+	"joinopt/internal/plan"
+	"joinopt/internal/plancache"
+)
+
+// TestRecordTierRoundTrip pins the tier bits of the record flags byte:
+// every representable tier — including the legacy zero, which must
+// round-trip as zero so pre-tiering files re-encode byte-identically —
+// survives encode/decode unchanged.
+func TestRecordTierRoundTrip(t *testing.T) {
+	for _, tier := range []uint8{0, plancache.TierGreedy, plancache.TierFull} {
+		var fp fingerprint.Fingerprint
+		fp[0] = tier
+		e := &plancache.Entry{
+			Fingerprint: fp,
+			Plan: &plan.Plan{
+				TotalCost:  42,
+				Components: []plan.Result{{Perm: plan.Perm{0, 1}, Cost: 42}},
+			},
+			BudgetUsed: 7,
+			Tier:       tier,
+		}
+		got, err := decodeEntry(encodeEntry(e))
+		if err != nil {
+			t.Fatalf("tier %d: round trip failed: %v", tier, err)
+		}
+		if got.Tier != tier {
+			t.Fatalf("tier %d decoded as %d", tier, got.Tier)
+		}
+	}
+
+	// The tier bits must not bleed into the degraded flag or vice versa.
+	e := &plancache.Entry{
+		Plan: &plan.Plan{
+			Degraded:      true,
+			DegradeReason: "budget exhausted",
+			Components:    []plan.Result{{Perm: plan.Perm{0}}},
+		},
+		Tier: plancache.TierGreedy,
+	}
+	got, err := decodeEntry(encodeEntry(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Plan.Degraded || got.Tier != plancache.TierGreedy {
+		t.Fatalf("flag bleed: degraded=%v tier=%d", got.Plan.Degraded, got.Tier)
+	}
+}

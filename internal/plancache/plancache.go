@@ -63,6 +63,35 @@ type Entry struct {
 	// finding the plan — the entry's replacement-resistance weight
 	// under cost-aware admission.
 	BudgetUsed int64
+	// Tier records which planning tier produced the plan: TierGreedy
+	// for the fast-path greedy planner, TierFull for the full anytime
+	// search. Zero (entries from before tiering existed) ranks as
+	// TierFull — see TierRank. Replacement is upgrade-only: an entry
+	// never moves to a lower-ranked tier in place.
+	Tier uint8
+}
+
+// Planning tiers, ordered by rank: a higher tier may replace a lower
+// one under the same key, never the reverse.
+const (
+	// TierGreedy marks plans from the Tier-1 greedy fast path
+	// (internal/greedy): served immediately on a miss, upgraded in the
+	// background.
+	TierGreedy uint8 = 1
+	// TierFull marks plans from the full anytime search
+	// (internal/core).
+	TierFull uint8 = 2
+)
+
+// TierRank maps an entry's Tier to its replacement rank. The zero Tier
+// (entries persisted or constructed before tiering) ranks as TierFull:
+// those plans came from the full search, and warm-started snapshots
+// must not be clobbered by greedy plans after an upgrade.
+func TierRank(t uint8) uint8 {
+	if t == 0 {
+		return TierFull
+	}
+	return t
 }
 
 // Config tunes a cache.
@@ -122,10 +151,14 @@ type Stats struct {
 	Rejected  uint64 `json:"rejected"`
 	// Warmed counts entries admitted through the recovery path (Warm)
 	// rather than by live optimizations.
-	Warmed   uint64 `json:"warmed"`
-	Entries  int    `json:"entries"`
-	InFlight int    `json:"inFlight"`
-	Shards   []int  `json:"shardEntries"`
+	Warmed uint64 `json:"warmed"`
+	// TierRejected counts inserts refused because they would downgrade
+	// an entry to a lower planning tier (a late greedy result arriving
+	// after the background upgrade already landed).
+	TierRejected uint64 `json:"tierRejected"`
+	Entries      int    `json:"entries"`
+	InFlight     int    `json:"inFlight"`
+	Shards       []int  `json:"shardEntries"`
 }
 
 // Hooks observe cache mutations, for the durability layer
@@ -155,12 +188,13 @@ type Cache struct {
 	trace         *telemetry.Tracer
 	hooks         atomic.Pointer[Hooks]
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	evictions atomic.Uint64
-	rejected  atomic.Uint64
-	warmed    atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	coalesced    atomic.Uint64
+	evictions    atomic.Uint64
+	rejected     atomic.Uint64
+	warmed       atomic.Uint64
+	tierRejected atomic.Uint64
 }
 
 // New builds a cache from cfg (zero value = defaults).
@@ -310,14 +344,33 @@ func (c *Cache) Dump() []*Entry {
 // refused); victim is the entry evicted to make room, if any.
 func (c *Cache) insertLocked(s *shard, e *Entry) (stored, victim *Entry) {
 	if n, ok := s.items[e.Fingerprint]; ok {
-		// Refresh in place: a newer optimization of the same shape
-		// replaces the old plan (keep the larger budget weight — the
-		// shape has had that much search spent on it in total).
-		if e.BudgetUsed > n.entry.BudgetUsed {
+		er, nr := TierRank(n.entry.Tier), TierRank(e.Tier)
+		switch {
+		case nr < er:
+			// Upgrade-only replacement: a lower-tier plan never
+			// displaces a higher-tier one. This is also what makes the
+			// background upgrade safe against the singleflight: if the
+			// Tier-2 upgrade lands while the original greedy flight is
+			// still finishing, the flight's late Tier-1 insert is
+			// refused here instead of clobbering the better plan.
+			c.tierRejected.Add(1)
+			return nil, nil
+		case nr > er:
+			// Tier upgrade: the new plan wins wholesale, keeping the
+			// larger budget weight (the shape has had that much search
+			// spent on it in total).
+			if n.entry.BudgetUsed > e.BudgetUsed {
+				e = &Entry{Fingerprint: e.Fingerprint, Plan: e.Plan, BudgetUsed: n.entry.BudgetUsed, Tier: e.Tier}
+			}
 			n.entry = e
-		} else {
+		case e.BudgetUsed > n.entry.BudgetUsed:
+			// Same tier, refresh in place: a newer optimization of the
+			// same shape replaces the old plan (keep the larger budget
+			// weight).
+			n.entry = e
+		default:
 			old := n.entry
-			n.entry = &Entry{Fingerprint: old.Fingerprint, Plan: e.Plan, BudgetUsed: old.BudgetUsed}
+			n.entry = &Entry{Fingerprint: old.Fingerprint, Plan: e.Plan, BudgetUsed: old.BudgetUsed, Tier: old.Tier}
 		}
 		s.moveFront(n)
 		return n.entry, nil
@@ -433,16 +486,38 @@ func (c *Cache) wait(ctx context.Context, fl *flight, shared bool) (*Entry, bool
 	}
 }
 
+// TierCounts reports the cache's tier composition: how many resident
+// entries hold greedy (Tier-1) plans awaiting upgrade versus
+// full-search plans (Tier-2; legacy untagged entries count as full —
+// see TierRank).
+func (c *Cache) TierCounts() (greedy, full int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		//ljqlint:allow detrand -- counting by tier is iteration-order independent
+		for _, n := range s.items {
+			if TierRank(n.entry.Tier) == TierGreedy {
+				greedy++
+			} else {
+				full++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return greedy, full
+}
+
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Rejected:  c.rejected.Load(),
-		Warmed:    c.warmed.Load(),
-		Shards:    make([]int, len(c.shards)),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Evictions:    c.evictions.Load(),
+		Rejected:     c.rejected.Load(),
+		Warmed:       c.warmed.Load(),
+		TierRejected: c.tierRejected.Load(),
+		Shards:       make([]int, len(c.shards)),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -468,8 +543,17 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_coalesced_total", "Requests coalesced onto another request's in-flight optimization.", c.coalesced.Load)
 	reg.CounterFunc(prefix+"_evictions_total", "Entries evicted to admit newer plans.", c.evictions.Load)
 	reg.CounterFunc(prefix+"_rejected_total", "Entries refused admission (degraded plans, cost-aware policy).", c.rejected.Load)
+	reg.CounterFunc(prefix+"_tier_downgrades_refused_total", "Inserts refused because they would downgrade a cached entry's planning tier.", c.tierRejected.Load)
 	reg.GaugeFunc(prefix+"_entries", "Entries currently cached.", func() float64 {
 		return float64(c.Len())
+	})
+	reg.GaugeFunc(prefix+"_tier1_entries", "Cached greedy (Tier-1) plans awaiting background upgrade.", func() float64 {
+		g, _ := c.TierCounts()
+		return float64(g)
+	})
+	reg.GaugeFunc(prefix+"_tier2_entries", "Cached full-search (Tier-2) plans.", func() float64 {
+		_, f := c.TierCounts()
+		return float64(f)
 	})
 	reg.GaugeFunc(prefix+"_inflight_flights", "Singleflight computations currently in progress.", func() float64 {
 		total := 0

@@ -317,3 +317,93 @@ func BenchmarkGetOrComputeHit(b *testing.B) {
 		}
 	}
 }
+
+func tierEntry(i int, budget int64, tier uint8) *Entry {
+	e := entry(i, budget)
+	e.Tier = tier
+	return e
+}
+
+func TestTierUpgradeOnlyReplacement(t *testing.T) {
+	c := New(Config{Capacity: 8, Shards: 1})
+
+	// Tier-1 in, Tier-2 upgrade replaces it.
+	if !c.Put(tierEntry(1, 10, TierGreedy)) {
+		t.Fatal("greedy entry not admitted")
+	}
+	up := tierEntry(1, 500, TierFull)
+	up.Plan = &plan.Plan{TotalCost: 999}
+	if !c.Put(up) {
+		t.Fatal("tier upgrade not admitted")
+	}
+	got, ok := c.Get(key(1))
+	if !ok || got.Tier != TierFull || got.Plan.TotalCost != 999 {
+		t.Fatalf("upgrade did not land: %+v", got)
+	}
+	if got.BudgetUsed != 500 {
+		t.Fatalf("upgraded BudgetUsed = %d, want 500", got.BudgetUsed)
+	}
+
+	// A late greedy insert (the singleflight race) must be refused and
+	// counted, leaving the Tier-2 plan untouched.
+	if c.Put(tierEntry(1, 10_000, TierGreedy)) {
+		t.Fatal("greedy insert downgraded a Tier-2 entry")
+	}
+	got, _ = c.Get(key(1))
+	if got.Tier != TierFull || got.Plan.TotalCost != 999 {
+		t.Fatalf("Tier-2 entry clobbered by late greedy insert: %+v", got)
+	}
+	if st := c.Stats(); st.TierRejected != 1 {
+		t.Fatalf("TierRejected = %d, want 1", st.TierRejected)
+	}
+
+	// Legacy untagged entries (Tier 0) rank as full: greedy must not
+	// replace them either.
+	if !c.Put(tierEntry(2, 50, 0)) {
+		t.Fatal("legacy entry not admitted")
+	}
+	if c.Put(tierEntry(2, 50, TierGreedy)) {
+		t.Fatal("greedy insert replaced a legacy (rank-full) entry")
+	}
+
+	// Upgrades keep the larger budget weight when the old entry's is
+	// bigger (total search spent on the shape).
+	if !c.Put(tierEntry(3, 700, TierGreedy)) {
+		t.Fatal("greedy entry 3 not admitted")
+	}
+	if !c.Put(tierEntry(3, 40, TierFull)) {
+		t.Fatal("upgrade of entry 3 not admitted")
+	}
+	got, _ = c.Get(key(3))
+	if got.Tier != TierFull || got.BudgetUsed != 700 {
+		t.Fatalf("upgrade lost budget weight: tier=%d budget=%d, want tier=%d budget=700", got.Tier, got.BudgetUsed, TierFull)
+	}
+}
+
+func TestTierCounts(t *testing.T) {
+	c := New(Config{Capacity: 16, Shards: 2})
+	for i := 0; i < 3; i++ {
+		c.Put(tierEntry(i, 10, TierGreedy))
+	}
+	c.Put(tierEntry(10, 10, TierFull))
+	c.Put(tierEntry(11, 10, 0)) // legacy counts as full
+	g, f := c.TierCounts()
+	if g != 3 || f != 2 {
+		t.Fatalf("TierCounts = (%d, %d), want (3, 2)", g, f)
+	}
+	// Upgrading one greedy entry shifts the composition.
+	c.Put(tierEntry(0, 20, TierFull))
+	g, f = c.TierCounts()
+	if g != 2 || f != 3 {
+		t.Fatalf("after upgrade TierCounts = (%d, %d), want (2, 3)", g, f)
+	}
+}
+
+func TestTierRank(t *testing.T) {
+	if TierRank(0) != TierFull {
+		t.Fatal("zero tier must rank as full")
+	}
+	if TierRank(TierGreedy) != TierGreedy || TierRank(TierFull) != TierFull {
+		t.Fatal("explicit tiers must rank as themselves")
+	}
+}

@@ -91,6 +91,7 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
 	select {
 	case err := <-errc:
 		// The listener died on its own; still try to preserve state.
+		cfg.Server.StopUpgrades()
 		if ferr := cfg.Server.Flush(); ferr != nil {
 			cfg.Logf("ljqd: flush after listener failure: %v", ferr)
 		}
@@ -117,6 +118,11 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
 		_ = hs.Close()
 		drainErr = fmt.Errorf("serve: drain incomplete: %w", err)
 	}
+
+	// Stop the background tier-upgrade pipeline before the flush:
+	// cancelled upgrades are discarded (their degraded incumbents never
+	// land), so the snapshot below is the stable final cache state.
+	cfg.Server.StopUpgrades()
 
 	// Snapshot after the drain so the final requests' plans are in it.
 	if err := cfg.Server.Flush(); err != nil {

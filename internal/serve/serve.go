@@ -59,6 +59,7 @@ import (
 	"joinopt/internal/core"
 	"joinopt/internal/cost"
 	"joinopt/internal/fingerprint"
+	"joinopt/internal/greedy"
 	"joinopt/internal/persist"
 	"joinopt/internal/plan"
 	"joinopt/internal/plancache"
@@ -124,6 +125,26 @@ type Config struct {
 	// can demand from the limiter, not the response size: each unique
 	// shape in the batch still queues for join-weighted capacity.
 	MaxBatchItems int
+	// Tiered enables the tiered planning ladder: a cache miss is served
+	// immediately from the Tier-1 greedy planner (internal/greedy) and
+	// the cached entry is upgraded in the background by the full anytime
+	// search, warm-started from the greedy order. Off by default: the
+	// zero Config keeps the classic synchronous full-search path.
+	Tiered bool
+	// GreedyThreshold is the Tier-1 escalation ceiling: a greedy plan
+	// whose estimated total cost meets or exceeds it is not served;
+	// the miss runs the full search synchronously instead (default
+	// greedy.DefaultThreshold; <= 0 disables cost-based escalation —
+	// non-finite greedy costs always escalate).
+	GreedyThreshold float64
+	// UpgradeTCoeff is the budget coefficient for background Tier-2
+	// upgrades (default: TCoeff). Operators raise it to spend more
+	// search off the latency path than they would synchronously.
+	UpgradeTCoeff float64
+	// UpgradeConcurrency caps concurrently-running background upgrades
+	// (default 2); queued upgrades wait without holding limiter
+	// capacity away from foreground requests.
+	UpgradeConcurrency int
 }
 
 func (c *Config) fill() {
@@ -154,6 +175,15 @@ func (c *Config) fill() {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 64
 	}
+	if c.GreedyThreshold == 0 {
+		c.GreedyThreshold = greedy.DefaultThreshold
+	}
+	if c.UpgradeTCoeff <= 0 {
+		c.UpgradeTCoeff = c.TCoeff
+	}
+	if c.UpgradeConcurrency <= 0 {
+		c.UpgradeConcurrency = 2
+	}
 }
 
 // errShed marks a request dropped by the limiter's queue deadline.
@@ -165,7 +195,8 @@ type Server struct {
 	cache   *plancache.Cache
 	sem     *semaphore
 	start   time.Time
-	persist *persist.Manager // nil when persistence is off
+	persist *persist.Manager  // nil when persistence is off
+	tiers   *tierOrchestrator // nil when Config.Tiered is off
 
 	inFlight  atomic.Int64  // HTTP requests inside /optimize
 	optimizes atomic.Uint64 // optimizer runs started (cache misses that won capacity)
@@ -200,6 +231,9 @@ func New(cfg Config) *Server {
 		//ljqlint:allow detrand -- serving-layer uptime bookkeeping; the seeded optimizer trajectory never observes it
 		start: time.Now(),
 	}
+	if cfg.Tiered {
+		s.tiers = newTierOrchestrator(s)
+	}
 	if reg := cfg.Metrics; reg != nil {
 		s.metrics = reg
 		reg.CounterFunc("ljq_optimizations_total", "Optimizer runs started (cache misses that won limiter capacity).", s.optimizes.Load)
@@ -227,6 +261,9 @@ func New(cfg Config) *Server {
 		cache.RegisterMetrics(reg, "ljq_plancache")
 		if s.persist != nil {
 			s.persist.RegisterMetrics(reg, "ljq_persist")
+		}
+		if s.tiers != nil {
+			s.tiers.registerMetrics(reg)
 		}
 	}
 	return s
@@ -332,6 +369,10 @@ type OptimizeResponse struct {
 	TotalCost float64  `json:"totalCost"`
 	Order     []int    `json:"order"`
 	Names     []string `json:"names"`
+	// Tier is the planning tier that produced the plan: 1 = greedy fast
+	// path (awaiting background upgrade), 2 = full anytime search. Also
+	// exposed as the X-Plan-Tier response header.
+	Tier int `json:"tier"`
 	// Explain is the human-readable plan rendering.
 	Explain string `json:"explain"`
 }
@@ -347,9 +388,33 @@ type StatusResponse struct {
 	Optimizations    uint64          `json:"optimizations"`
 	Shed             uint64          `json:"shed"`
 	Cache            plancache.Stats `json:"cache"`
+	// Tiers reports the tiered-planning state: cache tier composition
+	// and the background-upgrade pipeline. Enabled is false (and the
+	// pipeline counters zero) when the daemon runs untiered; the entry
+	// counts are still filled so operators see composition after a
+	// warm start from a tiered peer.
+	Tiers TierStatus `json:"tiers"`
 	// Persist carries the durability layer's recovery and journal
 	// counters; omitted when the daemon runs without -cache-dir.
 	Persist *persist.ManagerStats `json:"persist,omitempty"`
+}
+
+// TierStatus is the /statusz view of tiered planning.
+type TierStatus struct {
+	Enabled bool `json:"enabled"`
+	// Tier1Entries / Tier2Entries is the cache's tier composition:
+	// greedy plans awaiting upgrade vs full-search plans.
+	Tier1Entries int `json:"tier1Entries"`
+	Tier2Entries int `json:"tier2Entries"`
+	// PendingUpgrades counts upgrades scheduled but not yet finished —
+	// the operator-visible upgrade backlog.
+	PendingUpgrades   int    `json:"pendingUpgrades"`
+	Tier1Served       uint64 `json:"tier1Served"`
+	Escalations       uint64 `json:"escalations"`
+	UpgradesStarted   uint64 `json:"upgradesStarted"`
+	UpgradesCompleted uint64 `json:"upgradesCompleted"`
+	UpgradesFailed    uint64 `json:"upgradesFailed"`
+	UpgradesDropped   uint64 `json:"upgradesDropped"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -368,6 +433,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Optimizations:    s.optimizes.Load(),
 		Shed:             s.shed.Load(),
 		Cache:            s.cache.Stats(),
+	}
+	st.Tiers.Tier1Entries, st.Tiers.Tier2Entries = s.cache.TierCounts()
+	if s.tiers != nil {
+		s.tiers.fillStatus(&st.Tiers)
 	}
 	if s.persist != nil {
 		ps := s.persist.Stats()
@@ -404,7 +473,27 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, msg, status)
 		return
 	}
+	w.Header().Set("X-Plan-Tier", planTierHeader(resp.Tier))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// planTierHeader / tierExplainLine render tier provenance as constant
+// strings: the cache-hit path stays allocation-flat.
+//
+//ljqlint:hotpath
+func planTierHeader(tier int) string {
+	if tier == int(plancache.TierGreedy) {
+		return "1"
+	}
+	return "2"
+}
+
+//ljqlint:hotpath
+func tierExplainLine(tier int) string {
+	if tier == int(plancache.TierGreedy) {
+		return "  tier 1 (greedy fast path)\n"
+	}
+	return "  tier 2 (full anytime search)\n"
 }
 
 // errNoPlan guards the (unreachable under the anytime contract)
@@ -443,6 +532,9 @@ func (s *Server) computeEntry(ctx context.Context, fp fingerprint.Fingerprint, c
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	entry, hit, shared, err = s.cache.GetOrCompute(ctx, fp, func(ctx context.Context) (*plancache.Entry, error) {
+		if s.tiers != nil {
+			return s.tiers.compute(ctx, fp, cq, weight)
+		}
 		return s.optimize(ctx, fp, cq, weight)
 	})
 	if err != nil {
@@ -461,6 +553,7 @@ func (s *Server) computeEntry(ctx context.Context, fp fingerprint.Fingerprint, c
 // translation must use each requester's own canonical order.
 func buildResponse(q *catalog.Query, order []catalog.RelID, fp fingerprint.Fingerprint, entry *plancache.Entry, hit, shared bool) *OptimizeResponse {
 	pl := translatePlan(entry.Plan, order)
+	tier := int(plancache.TierRank(entry.Tier))
 	resp := &OptimizeResponse{
 		Fingerprint:   fp.String(),
 		CacheHit:      hit,
@@ -469,7 +562,8 @@ func buildResponse(q *catalog.Query, order []catalog.RelID, fp fingerprint.Finge
 		DegradeReason: pl.DegradeReason,
 		BudgetUsed:    entry.BudgetUsed,
 		TotalCost:     pl.TotalCost,
-		Explain:       pl.Explain(q),
+		Tier:          tier,
+		Explain:       pl.Explain(q) + tierExplainLine(tier),
 	}
 	for _, rel := range pl.Order() {
 		resp.Order = append(resp.Order, int(rel))
@@ -552,7 +646,7 @@ func (s *Server) optimize(ctx context.Context, fp fingerprint.Fingerprint, cq *c
 	// A recovered strategy panic still yields a valid (degraded) plan;
 	// serve it — the plancache's admission policy keeps degraded plans
 	// out of the cache.
-	return &plancache.Entry{Fingerprint: fp, Plan: pl, BudgetUsed: budget.Used()}, nil
+	return &plancache.Entry{Fingerprint: fp, Plan: pl, BudgetUsed: budget.Used(), Tier: plancache.TierFull}, nil
 }
 
 // translatePlan maps a plan expressed in canonical relation positions
