@@ -18,6 +18,12 @@
 //	# optimize a DSL query (see internal/qdsl)
 //	curl -s --data-binary @q.dsl 'localhost:8080/optimize?format=dsl'
 //
+//	# binary wire protocol (internal/wire): Content-Type
+//	# application/x-ljq-wire selects the binary request codec, Accept
+//	# the binary response codec; either mixes freely with JSON. ljqopt
+//	# speaks it natively:
+//	ljqopt -query q.json -server http://localhost:8080 -wire
+//
 //	# operational status: cache + durability counters, in-flight work
 //	curl -s localhost:8080/statusz
 //

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"joinopt/internal/catalog"
+	"joinopt/internal/client"
 	"joinopt/internal/core"
 	"joinopt/internal/cost"
 	"joinopt/internal/engine"
@@ -53,6 +54,8 @@ func main() {
 		fpOnly    = flag.Bool("fingerprint", false, "print the query's canonical fingerprint (the ljqd plan-cache key) and exit")
 		trace     = flag.Bool("trace", false, "dump a budget-stamped search trace to stderr after the run (deterministic per seed)")
 		traceCap  = flag.Int("trace-cap", telemetry.DefaultTraceCapacity, "trace ring capacity: how many most-recent events are retained")
+		server    = flag.String("server", "", "optimize via a running ljqd daemon at this base URL (e.g. http://127.0.0.1:8080) instead of in-process")
+		useWire   = flag.Bool("wire", false, "with -server: use the binary wire protocol instead of JSON (falls back to JSON against a pre-wire daemon)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,13 @@ func main() {
 	if *fpOnly {
 		fmt.Println(fingerprint.Of(q))
 		return
+	}
+	if *server != "" {
+		runRemote(*server, *useWire, *timeout, q)
+		return
+	}
+	if *useWire {
+		fail(fmt.Errorf("-wire requires -server"))
 	}
 	var model cost.Model
 	switch *costName {
@@ -140,6 +150,33 @@ func main() {
 	}
 	fmt.Printf("method: %s, cost model: %s, budget: %d units (t=%g), used: %d\n",
 		m, model.Name(), cost.UnitsFor(*tcoeff, n), *tcoeff, used)
+}
+
+// runRemote sends the query to a running ljqd daemon through the
+// hardened client (retries, backoff, breaker) and prints the daemon's
+// plan rendering. -wire selects the binary protocol; the client falls
+// back to JSON automatically when the daemon predates it.
+func runRemote(baseURL string, useWire bool, timeout time.Duration, q *catalog.Query) {
+	c, err := client.New(client.Config{BaseURL: baseURL, Wire: useWire})
+	if err != nil {
+		fail(err)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := c.Optimize(ctx, q)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(resp.Explain)
+	fmt.Printf("fingerprint: %s, cost: %.6g, cacheHit: %v, budget used: %d\n",
+		resp.Fingerprint, resp.TotalCost, resp.CacheHit, resp.BudgetUsed)
+	if resp.Degraded {
+		fmt.Printf("degraded: %s\n", resp.DegradeReason)
+	}
 }
 
 // planStats rebuilds the statistics used by ExplainDetailed.

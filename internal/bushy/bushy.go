@@ -21,6 +21,7 @@ import (
 	"joinopt/internal/catalog"
 	"joinopt/internal/cost"
 	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 )
 
@@ -105,7 +106,7 @@ type Space struct {
 	// applicable move per Neighbor call.
 	MaxProposals int
 
-	maskL, maskR []bool
+	maskL, maskR joingraph.Bitset
 }
 
 // NewSpace builds a bushy search space over the component rels.
@@ -118,8 +119,8 @@ func NewSpace(st *estimate.Stats, model cost.Model, budget *cost.Budget, rels []
 		rels:         rels,
 		rng:          rng,
 		MaxProposals: 32,
-		maskL:        make([]bool, n),
-		maskR:        make([]bool, n),
+		maskL:        joingraph.NewBitset(n),
+		maskR:        joingraph.NewBitset(n),
 	}
 }
 
@@ -157,24 +158,22 @@ func (s *Space) costAndSize(t *Tree) (costSum, size float64) {
 // crossSelectivity multiplies the selectivities of all edges between
 // the two subtrees' leaf sets.
 func (s *Space) crossSelectivity(l, r *Tree, sizeL, sizeR float64) float64 {
-	for i := range s.maskL {
-		s.maskL[i] = false
-		s.maskR[i] = false
-	}
+	s.maskL.Reset()
+	s.maskR.Reset()
 	for _, rel := range l.Leaves(nil) {
-		s.maskL[rel] = true
+		s.maskL.Set(rel)
 	}
 	for _, rel := range r.Leaves(nil) {
-		s.maskR[rel] = true
+		s.maskR.Set(rel)
 	}
 	sel := 1.0
 	dynamic := s.stats.Dynamic()
 	for _, e := range s.stats.Graph().Edges() {
 		var dl, dr float64
 		switch {
-		case s.maskL[e.From] && s.maskR[e.To]:
+		case s.maskL.Test(e.From) && s.maskR.Test(e.To):
 			dl, dr = e.FromDistinct, e.ToDistinct
-		case s.maskL[e.To] && s.maskR[e.From]:
+		case s.maskL.Test(e.To) && s.maskR.Test(e.From):
 			dl, dr = e.ToDistinct, e.FromDistinct
 		default:
 			continue
@@ -225,11 +224,9 @@ func (s *Space) RandomTree() *Tree {
 		leafSets[i] = []catalog.RelID{t.Rel}
 	}
 	connected := func(a, b int) bool {
-		for i := range s.maskL {
-			s.maskL[i] = false
-		}
+		s.maskL.Reset()
 		for _, r := range leafSets[b] {
-			s.maskL[r] = true
+			s.maskL.Set(r)
 		}
 		g := s.stats.Graph()
 		for _, r := range leafSets[a] {
@@ -421,11 +418,9 @@ func (s *Space) GOO() (*Tree, float64) {
 // pairConnected reports whether any join edge crosses between the two
 // subtrees' leaf sets.
 func (s *Space) pairConnected(l, r *Tree) bool {
-	for i := range s.maskL {
-		s.maskL[i] = false
-	}
+	s.maskL.Reset()
 	for _, rel := range r.Leaves(nil) {
-		s.maskL[rel] = true
+		s.maskL.Set(rel)
 	}
 	g := s.stats.Graph()
 	for _, rel := range l.Leaves(nil) {

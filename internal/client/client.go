@@ -45,6 +45,7 @@ import (
 	"joinopt/internal/qfile"
 	"joinopt/internal/serve"
 	"joinopt/internal/telemetry"
+	"joinopt/internal/wire"
 )
 
 // Errors surfaced by the client.
@@ -98,6 +99,13 @@ type Config struct {
 	// if the first has produced nothing after this long; the first
 	// useful response wins (default 0: disabled).
 	HedgeDelay time.Duration
+	// Wire selects the binary wire protocol (internal/wire) for
+	// Optimize: the query ships as a length-prefixed binary frame and
+	// the response is requested in the same codec via Accept. Against a
+	// daemon that predates the protocol — recognized by a 4xx on the
+	// binary request — the call transparently falls back to JSON, so
+	// mixed fleets upgrade safely.
+	Wire bool
 	// Breaker tunes the circuit breaker.
 	Breaker BreakerConfig
 
@@ -238,25 +246,63 @@ func (c *Client) RegisterMetrics(reg *telemetry.Registry, prefix, labels string)
 	reg.CounterFunc(prefix+"_breaker_transitions_total"+labels, "Circuit-breaker state transitions.", c.breaker.transitions.Load)
 }
 
-// Optimize sends q to POST /optimize (JSON interchange format) with
-// the full resilience stack and returns the decoded response.
+// Optimize sends q to POST /optimize with the full resilience stack
+// and returns the decoded response. The codec is JSON unless
+// Config.Wire selects the binary wire protocol.
 func (c *Client) Optimize(ctx context.Context, q *catalog.Query) (*serve.OptimizeResponse, error) {
+	if c.cfg.Wire {
+		resp, err := c.optimize(ctx, wire.EncodeQuery(q), "/optimize", wire.ContentType, wire.ContentType)
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) {
+			return resp, err
+		}
+		// The daemon judged the binary request itself defective — most
+		// likely a pre-wire build that cannot parse the frame. Fall back
+		// to JSON for this call; retryable failures above never reach
+		// here (the retry loop already ran).
+	}
 	var buf bytes.Buffer
 	if err := qfile.Write(&buf, q); err != nil {
 		return nil, fmt.Errorf("client: encode query: %w", err)
 	}
-	return c.optimize(ctx, buf.Bytes(), "/optimize", "application/json")
+	return c.optimize(ctx, buf.Bytes(), "/optimize", "application/json", "")
 }
 
 // OptimizeDSL sends a textual-DSL query body to POST /optimize.
 func (c *Client) OptimizeDSL(ctx context.Context, src string) (*serve.OptimizeResponse, error) {
-	return c.optimize(ctx, []byte(src), "/optimize?format=dsl", "text/x-qdsl")
+	return c.optimize(ctx, []byte(src), "/optimize?format=dsl", "text/x-qdsl", "")
 }
 
-func (c *Client) optimize(ctx context.Context, body []byte, path, contentType string) (*serve.OptimizeResponse, error) {
-	data, err := c.call(ctx, http.MethodPost, path, contentType, body)
+func (c *Client) optimize(ctx context.Context, body []byte, path, contentType, accept string) (*serve.OptimizeResponse, error) {
+	data, err := c.call(ctx, http.MethodPost, path, contentType, accept, body)
 	if err != nil {
 		return nil, err
+	}
+	return decodeOptimizeResponse(data)
+}
+
+// decodeOptimizeResponse sniffs the codec by the frame magic rather
+// than trusting headers: a daemon that ignored the Accept header (or a
+// proxy that rewrote Content-Type) still decodes correctly.
+func decodeOptimizeResponse(data []byte) (*serve.OptimizeResponse, error) {
+	if wire.IsFrame(data) {
+		wr, err := wire.DecodeResponse(data)
+		if err != nil {
+			return nil, fmt.Errorf("client: decode response: %w", err)
+		}
+		return &serve.OptimizeResponse{
+			Fingerprint:   wr.Fingerprint,
+			CacheHit:      wr.CacheHit,
+			Coalesced:     wr.Coalesced,
+			Degraded:      wr.Degraded,
+			DegradeReason: wr.DegradeReason,
+			BudgetUsed:    wr.BudgetUsed,
+			TotalCost:     wr.TotalCost,
+			Order:         wr.Order,
+			Names:         wr.Names,
+			Tier:          wr.Tier,
+			Explain:       wr.Explain,
+		}, nil
 	}
 	var resp serve.OptimizeResponse
 	if err := json.Unmarshal(data, &resp); err != nil {
@@ -288,7 +334,7 @@ func (c *Client) Ready(ctx context.Context) error {
 
 // once performs a single unretried attempt (health/status probes).
 func (c *Client) once(ctx context.Context, method, path string) ([]byte, error) {
-	out := c.attempt(ctx, method, path, "", nil)
+	out := c.attempt(ctx, method, path, "", "", nil)
 	if out.err != nil {
 		return nil, out.err
 	}
@@ -305,7 +351,7 @@ type outcome struct {
 }
 
 // call runs the full retry/hedge/breaker loop for one logical request.
-func (c *Client) call(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+func (c *Client) call(ctx context.Context, method, path, contentType, accept string, body []byte) ([]byte, error) {
 	var last outcome
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -317,7 +363,7 @@ func (c *Client) call(ctx context.Context, method, path, contentType string, bod
 		if !c.breaker.allow() {
 			return nil, ErrCircuitOpen
 		}
-		out := c.hedgedAttempt(ctx, method, path, contentType, body)
+		out := c.hedgedAttempt(ctx, method, path, contentType, accept, body)
 		if out.err == nil {
 			c.breaker.success()
 			return out.body, nil
@@ -388,9 +434,9 @@ func (c *Client) backoff(attempt int) time.Duration {
 //
 // TestHedgeLoserCancelledNoLeak pins this down against a scripted Hang
 // transport.
-func (c *Client) hedgedAttempt(ctx context.Context, method, path, contentType string, body []byte) outcome {
+func (c *Client) hedgedAttempt(ctx context.Context, method, path, contentType, accept string, body []byte) outcome {
 	if c.cfg.HedgeDelay <= 0 {
-		return c.attempt(ctx, method, path, contentType, body)
+		return c.attempt(ctx, method, path, contentType, accept, body)
 	}
 
 	actx, cancel := context.WithCancel(ctx)
@@ -406,7 +452,7 @@ func (c *Client) hedgedAttempt(ctx context.Context, method, path, contentType st
 					results <- outcome{err: fmt.Errorf("client: attempt panicked: %v", r), retryable: true, fromHedge: hedge}
 				}
 			}()
-			out := c.attempt(actx, method, path, contentType, body)
+			out := c.attempt(actx, method, path, contentType, accept, body)
 			out.fromHedge = hedge
 			results <- out
 		}()
@@ -478,7 +524,7 @@ func (c *Client) hedgeTimer() (<-chan time.Time, func()) {
 
 // attempt performs one physical HTTP request under the per-attempt
 // timeout and classifies the result.
-func (c *Client) attempt(ctx context.Context, method, path, contentType string, body []byte) outcome {
+func (c *Client) attempt(ctx context.Context, method, path, contentType, accept string, body []byte) outcome {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.PerAttemptTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -491,6 +537,9 @@ func (c *Client) attempt(ctx context.Context, method, path, contentType string, 
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := c.cfg.Transport.RoundTrip(req)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 )
 
@@ -107,7 +108,7 @@ func BushyOptimal(eval *plan.Evaluator, rels []catalog.RelID) (*BushyNode, float
 	// (well-defined under the static estimator). Computed incrementally:
 	// grow S by its lowest member under the standard formula.
 	size := make([]float64, full+1)
-	inSet := make([]bool, st.Query().NumRelations())
+	inSet := joingraph.NewBitset(st.Query().NumRelations())
 	for s := uint32(1); s <= full; s++ {
 		low := s & (-s)
 		j := trailingZeros(low)

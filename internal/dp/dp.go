@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 )
 
@@ -87,7 +88,7 @@ func Optimal(eval *plan.Evaluator, rels []catalog.RelID) (plan.Perm, float64, er
 		lastRel[m] = int8(i)
 	}
 
-	inSet := make([]bool, st.Query().NumRelations())
+	inSet := joingraph.NewBitset(st.Query().NumRelations())
 	for s := uint32(1); s <= full; s++ {
 		if s&(s-1) == 0 {
 			continue // singleton, handled above
@@ -136,13 +137,11 @@ func Optimal(eval *plan.Evaluator, rels []catalog.RelID) (plan.Perm, float64, er
 	return out, bestCost[full], nil
 }
 
-func setMask(inSet []bool, idOf []catalog.RelID, mask uint32) {
-	for i := range inSet {
-		inSet[i] = false
-	}
+func setMask(inSet joingraph.Bitset, idOf []catalog.RelID, mask uint32) {
+	inSet.Reset()
 	for i := 0; mask != 0; i++ {
 		if mask&1 != 0 {
-			inSet[idOf[i]] = true
+			inSet.Set(idOf[i])
 		}
 		mask >>= 1
 	}

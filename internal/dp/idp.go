@@ -7,6 +7,7 @@ import (
 
 	"joinopt/internal/bushy"
 	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 )
 
@@ -50,13 +51,13 @@ func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float6
 		size float64
 		cost float64
 		// members marks the base relations covered (for adjacency).
-		members []bool
+		members joingraph.Bitset
 	}
 	nrel := st.Query().NumRelations()
 	blocks := make([]*block, 0, n)
 	for _, r := range rels {
-		m := make([]bool, nrel)
-		m[r] = true
+		m := joingraph.NewBitset(nrel)
+		m.Set(r)
 		blocks = append(blocks, &block{
 			tree: &bushy.Tree{Rel: r}, size: st.Cardinality(r), members: m,
 		})
@@ -64,8 +65,8 @@ func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float6
 
 	// adjacency between blocks: any edge between their member sets.
 	adjacent := func(a, b *block) bool {
-		for r := range a.members {
-			if a.members[r] && g.JoinsInto(catalog.RelID(r), b.members) {
+		for r := 0; r < nrel; r++ {
+			if a.members.Test(catalog.RelID(r)) && g.JoinsInto(catalog.RelID(r), b.members) {
 				return true
 			}
 		}
@@ -73,20 +74,20 @@ func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float6
 	}
 	// crossSel multiplies the selectivities of edges from block b into
 	// the union set.
-	crossSel := func(unionSet []bool, unionSize float64, b *block) float64 {
+	crossSel := func(unionSet joingraph.Bitset, unionSize float64, b *block) float64 {
 		sel := 1.0
-		for r := range b.members {
-			if b.members[r] {
+		for r := 0; r < nrel; r++ {
+			if b.members.Test(catalog.RelID(r)) {
 				sel *= st.SelectivityInto(unionSize, unionSet, catalog.RelID(r))
 				// Mark incrementally so multi-relation blocks don't
 				// double-count internal edges.
-				unionSet[r] = true
+				unionSet.Set(catalog.RelID(r))
 			}
 		}
 		// Unmark to restore the caller's set.
-		for r := range b.members {
-			if b.members[r] {
-				unionSet[r] = false
+		for r := 0; r < nrel; r++ {
+			if b.members.Test(catalog.RelID(r)) {
+				unionSet.Clear(catalog.RelID(r))
 			}
 		}
 		return sel
@@ -105,7 +106,7 @@ func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float6
 			bestCost[s] = math.Inf(1)
 			last[s] = -1
 		}
-		unionSet := make([]bool, nrel)
+		unionSet := joingraph.NewBitset(nrel)
 		for i := 0; i < m; i++ {
 			mask := uint32(1) << uint(i)
 			bestCost[mask] = chosen[i].cost
@@ -136,15 +137,11 @@ func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float6
 					continue
 				}
 				// Union member set of rest for selectivity.
-				for i := range unionSet {
-					unionSet[i] = false
-				}
+				unionSet.Reset()
 				for i := 0; i < m; i++ {
 					if rest&(1<<uint(i)) != 0 {
-						for r := range chosen[i].members {
-							if chosen[i].members[r] {
-								unionSet[r] = true
-							}
+						for w, bits := range chosen[i].members {
+							unionSet[w] |= bits
 						}
 					}
 				}
@@ -223,17 +220,15 @@ func IDP(eval *plan.Evaluator, rels []catalog.RelID, k int) (*bushy.Tree, float6
 			return nil, 0, errors.New("dp: IDP found no connected block subset")
 		}
 		// Build the compound block.
-		comp := &block{size: bestSize, cost: bestCost, members: make([]bool, nrel)}
+		comp := &block{size: bestSize, cost: bestCost, members: joingraph.NewBitset(nrel)}
 		chosen := make([]*block, len(bestSubset))
 		for i, bi := range bestSubset {
 			chosen[i] = blocks[bi]
 		}
 		comp.tree = spine(chosen, bestOrder)
 		for _, bi := range bestSubset {
-			for r := range blocks[bi].members {
-				if blocks[bi].members[r] {
-					comp.members[r] = true
-				}
+			for w, bits := range blocks[bi].members {
+				comp.members[w] |= bits
 			}
 		}
 		// Remove the frozen blocks (descending index), add the compound.

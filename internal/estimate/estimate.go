@@ -82,7 +82,7 @@ func (s *Stats) Cardinality(id catalog.RelID) float64 { return s.card[id] }
 // classical order-independent model (required by the DP baseline).
 // Predicates carrying an explicit selectivity but no distinct counts
 // always use that static selectivity.
-func (s *Stats) JoinSize(outerSize float64, inSet []bool, inner catalog.RelID) float64 {
+func (s *Stats) JoinSize(outerSize float64, inSet joingraph.Bitset, inner catalog.RelID) float64 {
 	sel := s.SelectivityInto(outerSize, inSet, inner)
 	// Expected sizes are kept fractional (no one-tuple floor): clamping
 	// would erase the cost differences between plans whose intermediate
@@ -94,7 +94,7 @@ func (s *Stats) JoinSize(outerSize float64, inSet []bool, inner catalog.RelID) f
 // SelectivityInto returns the combined (dynamic) join selectivity of all
 // edges linking relation inner to the prefix set, given the prefix's
 // current size. See JoinSize for the model.
-func (s *Stats) SelectivityInto(outerSize float64, inSet []bool, inner catalog.RelID) float64 {
+func (s *Stats) SelectivityInto(outerSize float64, inSet joingraph.Bitset, inner catalog.RelID) float64 {
 	sel := 1.0
 	s.graph.ForEachIncident(inner, inSet, func(e joingraph.Edge, other catalog.RelID) {
 		// Histograms, when both sides carry aligned ones, dominate the
@@ -134,7 +134,7 @@ func (s *Stats) SelectivityInto(outerSize float64, inSet []bool, inner catalog.R
 // induces.
 type Prefix struct {
 	stats *Stats
-	inSet []bool
+	inSet joingraph.Bitset
 	size  float64
 	n     int
 }
@@ -143,15 +143,13 @@ type Prefix struct {
 func NewPrefix(s *Stats) *Prefix {
 	return &Prefix{
 		stats: s,
-		inSet: make([]bool, s.query.NumRelations()),
+		inSet: joingraph.NewBitset(s.query.NumRelations()),
 	}
 }
 
 // Reset empties the prefix for reuse.
 func (p *Prefix) Reset() {
-	for i := range p.inSet {
-		p.inSet[i] = false
-	}
+	p.inSet.Reset()
 	p.size = 0
 	p.n = 0
 }
@@ -164,10 +162,10 @@ func (p *Prefix) Len() int { return p.n }
 func (p *Prefix) Size() float64 { return p.size }
 
 // Contains reports whether relation id is already in the prefix.
-func (p *Prefix) Contains(id catalog.RelID) bool { return p.inSet[id] }
+func (p *Prefix) Contains(id catalog.RelID) bool { return p.inSet.Test(id) }
 
-// InSet exposes the membership mask; callers must not modify it.
-func (p *Prefix) InSet() []bool { return p.inSet }
+// InSet exposes the membership bitset; callers must not modify it.
+func (p *Prefix) InSet() joingraph.Bitset { return p.inSet }
 
 // Extend appends relation id. For the first relation it returns
 // (0, card, card) with no join. For subsequent relations it returns the
@@ -177,14 +175,14 @@ func (p *Prefix) Extend(id catalog.RelID) (outer, inner, result float64) {
 	inner = p.stats.Cardinality(id)
 	if p.n == 0 {
 		p.size = inner
-		p.inSet[id] = true
+		p.inSet.Set(id)
 		p.n = 1
 		return 0, inner, inner
 	}
 	outer = p.size
 	result = p.stats.JoinSize(outer, p.inSet, id)
 	p.size = result
-	p.inSet[id] = true
+	p.inSet.Set(id)
 	p.n++
 	return outer, inner, result
 }

@@ -48,7 +48,7 @@ func TestJoinSizeStaticFallback(t *testing.T) {
 		},
 	}
 	st := build(q)
-	inSet := []bool{true, false}
+	inSet := makeBitset(2, 0)
 	got := st.JoinSize(100, inSet, 1)
 	if got != 100*100*0.25 {
 		t.Fatalf("static selectivity path: got %g, want 2500", got)
@@ -57,7 +57,7 @@ func TestJoinSizeStaticFallback(t *testing.T) {
 
 func TestJoinSizeDynamicDistinct(t *testing.T) {
 	st := build(chain3())
-	inSet := []bool{true, false, false}
+	inSet := makeBitset(3, 0)
 	// Outer size 100 ≥ D_left=50, so J = 1/max(50 capped at 100? no:
 	// min(Douter=50, outer=100)=50, max(50, Dinner=100) = 100 → J=0.01.
 	got := st.JoinSize(100, inSet, 1)
@@ -67,7 +67,7 @@ func TestJoinSizeDynamicDistinct(t *testing.T) {
 	}
 	// A tiny outer crushes the outer-side distinct count: outer=2 →
 	// min(50,2)=2, max(2,100)=100 → same J here; crush the other way:
-	inSet = []bool{false, true, false}
+	inSet = makeBitset(3, 1)
 	// joining relation 0 (D=50 on its side, prefix side D=100) with a
 	// 2-tuple prefix: min(100,2)=2, max(2, 50)=50 → J = 1/50.
 	got = st.JoinSize(2, inSet, 0)
@@ -79,7 +79,7 @@ func TestJoinSizeDynamicDistinct(t *testing.T) {
 
 func TestJoinSizeCrossProduct(t *testing.T) {
 	st := build(chain3())
-	inSet := []bool{true, false, false}
+	inSet := makeBitset(3, 0)
 	got := st.JoinSize(100, inSet, 2) // no edge 0–2
 	if got != 100*300 {
 		t.Fatalf("cross product: got %g, want 30000", got)
@@ -196,7 +196,7 @@ func TestDynamicCrushInflatesLaterJoins(t *testing.T) {
 		},
 	}
 	st := build(q)
-	inSet := []bool{true, false}
+	inSet := makeBitset(2, 0)
 	static := 1.0 / 500 // static: 1/max(500,200)
 	// A 10-tuple prefix crushes the outer-side distinct count to 10:
 	// J = 1/max(min(500,10), 200) = 1/200 > 1/500.
@@ -234,9 +234,18 @@ func TestSelectivityIntoMultiEdge(t *testing.T) {
 		},
 	}
 	st := build(q)
-	inSet := []bool{true, true, false}
+	inSet := makeBitset(3, 0, 1)
 	got := st.SelectivityInto(100, inSet, 2)
 	if math.Abs(got-0.1*0.2) > 1e-12 {
 		t.Fatalf("multi-edge selectivity: got %g, want 0.02", got)
 	}
+}
+
+// makeBitset builds a joingraph.Bitset of capacity n with the given members set.
+func makeBitset(n int, members ...int) joingraph.Bitset {
+	b := joingraph.NewBitset(n)
+	for _, m := range members {
+		b.Set(catalog.RelID(m))
+	}
+	return b
 }

@@ -257,3 +257,22 @@ func benchFingerprint(b *testing.B, n int) {
 		Of(q)
 	}
 }
+
+// BenchmarkFingerprintBitset20/60 measure the steady-state hot path: a
+// warm reusable Hasher fingerprinting the same query (the serving
+// daemon's per-request shape, minus pool traffic). ALLOC_BUDGETS.json
+// pins these at 0 allocs/op.
+func BenchmarkFingerprintBitset20(b *testing.B) { benchFingerprintBitset(b, 20) }
+func BenchmarkFingerprintBitset60(b *testing.B) { benchFingerprintBitset(b, 60) }
+
+func benchFingerprintBitset(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(29))
+	q := workload.Default().Generate(n, rng)
+	h := NewHasher()
+	h.Of(q) // warm the buffers: steady state is what the budget pins
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Of(q)
+	}
+}

@@ -1,0 +1,169 @@
+package fingerprint
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"joinopt/internal/qdsl"
+	"joinopt/internal/workload"
+)
+
+// The golden fingerprint corpus: a checked-in fixture of qdsl query
+// texts and the hex digests this package produced for them when the
+// fixture was written. Same-run determinism is covered elsewhere
+// (TestDeterminism); this file is the *cross-version* pin — any change
+// to the canonical encoding, the refinement procedure, or the IR
+// tie-breaking shows up as a digest drift against the fixture and
+// fails tier-1 loudly. If a drift is intentional, regenerate with
+//
+//	go test ./internal/fingerprint -run TestGoldenCorpus -update-golden
+//
+// and bump SchemaVersion in the same change (the persist layer stamps
+// it into journal headers precisely so stale fingerprints cold-start
+// instead of poisoning the cache).
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_fingerprints.txt from the current implementation")
+
+const goldenPath = "testdata/golden_fingerprints.txt"
+
+const caseMarker = "=== "
+const digestMarker = "--- digest: "
+
+// goldenQueries builds the corpus deterministically: every canonical
+// shape at small/medium/large sizes plus hand-written edge cases
+// (single join, parallel predicates folded by qdsl into re-declared
+// joins, selections). All cases must survive a qdsl round trip, since
+// the fixture stores qdsl text.
+func goldenQueries(t *testing.T) (names []string, texts []string) {
+	t.Helper()
+	add := func(name, text string) {
+		names = append(names, name)
+		texts = append(texts, text)
+	}
+	add("two-relations-minimal", strings.Join([]string{
+		"relation a 100",
+		"relation b 200",
+		"join a b distinct 10 20",
+	}, "\n")+"\n")
+	add("selections-and-explicit-selectivity", strings.Join([]string{
+		"relation orders 1000000 select 0.1 0.5",
+		"relation customers 50000 select 0.25",
+		"relation nation 25",
+		"join orders customers distinct 50000 50000",
+		"join customers nation selectivity 0.04",
+	}, "\n")+"\n")
+	add("symmetric-star-tied-leaves", strings.Join([]string{
+		"relation hub 1000000",
+		"relation l1 500",
+		"relation l2 500",
+		"relation l3 500",
+		"join hub l1 distinct 100 50",
+		"join hub l2 distinct 100 50",
+		"join hub l3 distinct 100 50",
+	}, "\n")+"\n")
+	rng := rand.New(rand.NewSource(2026))
+	spec := workload.Default()
+	for _, shape := range workload.Shapes {
+		for _, n := range []int{5, 20, 60} {
+			q, err := spec.GenerateShape(shape, n, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			add(fmt.Sprintf("%s-%d", shape, n), qdsl.Format(q))
+		}
+	}
+	return names, texts
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	names, texts := goldenQueries(t)
+
+	if *updateGolden {
+		var sb strings.Builder
+		sb.WriteString("# Golden fingerprint corpus — qdsl query texts and their canonical\n")
+		sb.WriteString("# digests. Regenerate with: go test ./internal/fingerprint -run\n")
+		sb.WriteString("# TestGoldenCorpus -update-golden (and bump SchemaVersion: a digest\n")
+		sb.WriteString("# change invalidates every persisted fingerprint).\n")
+		for i, name := range names {
+			sb.WriteString(caseMarker + name + "\n")
+			sb.WriteString(texts[i])
+			q, err := qdsl.ParseString(texts[i])
+			if err != nil {
+				t.Fatalf("case %s: %v", name, err)
+			}
+			sb.WriteString(digestMarker + Of(q).String() + "\n")
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(names))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden fixture missing (regenerate with -update-golden): %v", err)
+	}
+	type goldenCase struct{ name, text, digest string }
+	var cases []goldenCase
+	var cur *goldenCase
+	for _, line := range strings.SplitAfter(string(raw), "\n") {
+		trimmed := strings.TrimSuffix(line, "\n")
+		switch {
+		case strings.HasPrefix(trimmed, "#"):
+		case strings.HasPrefix(trimmed, caseMarker):
+			cases = append(cases, goldenCase{name: strings.TrimPrefix(trimmed, caseMarker)})
+			cur = &cases[len(cases)-1]
+		case strings.HasPrefix(trimmed, digestMarker):
+			cur.digest = strings.TrimPrefix(trimmed, digestMarker)
+			cur = nil
+		case cur != nil:
+			cur.text += line
+		}
+	}
+	if len(cases) == 0 {
+		t.Fatal("golden fixture parsed to zero cases")
+	}
+
+	// The corpus on disk must match what goldenQueries generates —
+	// otherwise the fixture silently pins fewer cases than intended.
+	if len(cases) != len(names) {
+		t.Fatalf("fixture has %d cases, generator produces %d (regenerate with -update-golden)", len(cases), len(names))
+	}
+	for i, c := range cases {
+		if c.name != names[i] {
+			t.Fatalf("fixture case %d is %q, generator says %q (regenerate with -update-golden)", i, c.name, names[i])
+		}
+		if c.text != texts[i] {
+			t.Fatalf("fixture case %q text drifted from generator (regenerate with -update-golden)", c.name)
+		}
+	}
+
+	for _, c := range cases {
+		q, err := qdsl.ParseString(c.text)
+		if err != nil {
+			t.Fatalf("case %s: parse: %v", c.name, err)
+		}
+		want, err := Parse(c.digest)
+		if err != nil {
+			t.Fatalf("case %s: bad fixture digest: %v", c.name, err)
+		}
+		if got := Of(q); got != want {
+			t.Errorf("case %s: digest drift: got %s, fixture has %s — the canonical encoding changed; if intentional, bump SchemaVersion and regenerate",
+				c.name, got.String(), want.String())
+		}
+		// Cross-check the frozen legacy path too: fixture, live path and
+		// legacy path must all agree.
+		if got := LegacyOf(q); got != want {
+			t.Errorf("case %s: legacy path disagrees with fixture: %s vs %s", c.name, got.String(), want.String())
+		}
+	}
+}

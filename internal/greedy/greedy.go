@@ -103,12 +103,11 @@ type Planner struct {
 
 	// card[r] is relation r's effective cardinality (>= 1).
 	card []float64
-	// CSR adjacency over the merged join graph: incidences of relation
-	// r live at adjNbr/adjSel[adjOff[r]:adjOff[r+1]]. adjSel carries
-	// the merged static selectivity of the edge to that neighbor.
-	adjOff []int32
-	adjNbr []int32
-	adjSel []float64
+	// csr is the join graph's shared flat adjacency view (joingraph
+	// builds it once per query): incidences of relation r live at
+	// csr.Nbr/csr.Sel[csr.Off[r]:csr.Off[r+1]], and NeighborMask(r)
+	// feeds the joinability word-AND in selInto.
+	csr *joingraph.CSR
 
 	// comps holds the relations of each connected component (ascending
 	// IDs within a component), segmented by compOff.
@@ -120,7 +119,7 @@ type Planner struct {
 	// segmentation; segSize/segCost record each component's final size
 	// and summed join cost; segIdx is the combination-order sort
 	// permutation; order is the concatenated final order.
-	frontier []uint64
+	frontier joingraph.Bitset
 	scratch  []int32
 	segSize  []float64
 	segCost  []float64
@@ -149,28 +148,7 @@ func New(q *catalog.Query, model cost.Model) (*Planner, error) {
 		p.card[i] = q.Relations[i].EffectiveCardinality()
 	}
 
-	edges := g.Edges()
-	deg := make([]int32, n)
-	for _, e := range edges {
-		deg[e.From]++
-		deg[e.To]++
-	}
-	p.adjOff = make([]int32, n+1)
-	for i := 0; i < n; i++ {
-		p.adjOff[i+1] = p.adjOff[i] + deg[i]
-	}
-	cur := make([]int32, n)
-	copy(cur, p.adjOff[:n])
-	p.adjNbr = make([]int32, 2*len(edges))
-	p.adjSel = make([]float64, 2*len(edges))
-	for _, e := range edges {
-		p.adjNbr[cur[e.From]] = int32(e.To)
-		p.adjSel[cur[e.From]] = e.Selectivity
-		cur[e.From]++
-		p.adjNbr[cur[e.To]] = int32(e.From)
-		p.adjSel[cur[e.To]] = e.Selectivity
-		cur[e.To]++
-	}
+	p.csr = g.CSR()
 
 	comps := g.Components()
 	p.compOff = make([]int32, 1, len(comps)+1)
@@ -182,7 +160,7 @@ func New(q *catalog.Query, model cost.Model) (*Planner, error) {
 		p.compOff = append(p.compOff, int32(len(p.comps)))
 	}
 
-	p.frontier = make([]uint64, (n+63)/64)
+	p.frontier = joingraph.NewBitset(n)
 	p.scratch = make([]int32, n)
 	p.segSize = make([]float64, len(comps))
 	p.segCost = make([]float64, len(comps))
@@ -251,9 +229,7 @@ func (p *Planner) Plan() *Result {
 //ljqlint:hotpath
 func (p *Planner) planComponent(c int) float64 {
 	a, b := int(p.compOff[c]), int(p.compOff[c+1])
-	for i := range p.frontier {
-		p.frontier[i] = 0
-	}
+	p.frontier.Reset()
 	// Seed with the smallest relation (ascending scan + strict < means
 	// ties go to the lowest ID).
 	seed := p.comps[a]
@@ -263,7 +239,7 @@ func (p *Planner) planComponent(c int) float64 {
 		}
 	}
 	p.scratch[a] = seed
-	p.frontier[seed>>6] |= 1 << uint(seed&63)
+	p.frontier.Set(catalog.RelID(seed))
 	size := p.card[seed]
 	totalCost := 0.0
 	for filled := 1; filled < b-a; filled++ {
@@ -273,7 +249,7 @@ func (p *Planner) planComponent(c int) float64 {
 		bestSize := 0.0
 		for i := a; i < b; i++ {
 			rid := p.comps[i]
-			if p.frontier[rid>>6]&(1<<uint(rid&63)) != 0 {
+			if p.frontier.Test(catalog.RelID(rid)) {
 				continue
 			}
 			sel, joined := p.selInto(rid)
@@ -289,7 +265,7 @@ func (p *Planner) planComponent(c int) float64 {
 			}
 		}
 		p.scratch[a+filled] = best
-		p.frontier[best>>6] |= 1 << uint(best&63)
+		p.frontier.Set(catalog.RelID(best))
 		size = bestSize
 		totalCost += bestCost
 	}
@@ -299,18 +275,22 @@ func (p *Planner) planComponent(c int) float64 {
 }
 
 // selInto returns the product of static selectivities of rid's edges
-// into the current frontier, and whether any such edge exists.
+// into the current frontier, and whether any such edge exists. The
+// joinability check is a word-AND against rid's precomputed neighbor
+// mask; the selectivity walk reads the shared CSR's Nbr/Sel lanes in
+// merged-edge order (order-stable float accumulation).
 //
 //ljqlint:hotpath
 func (p *Planner) selInto(rid int32) (float64, bool) {
+	if !p.csr.JoinsInto(catalog.RelID(rid), p.frontier) {
+		return 1.0, false
+	}
 	sel := 1.0
-	joined := false
-	for ei := p.adjOff[rid]; ei < p.adjOff[rid+1]; ei++ {
-		nb := p.adjNbr[ei]
-		if p.frontier[nb>>6]&(1<<uint(nb&63)) != 0 {
-			sel *= p.adjSel[ei]
-			joined = true
+	for ei := p.csr.Off[rid]; ei < p.csr.Off[rid+1]; ei++ {
+		nb := p.csr.Nbr[ei]
+		if p.frontier.Test(catalog.RelID(nb)) {
+			sel *= p.csr.Sel[ei]
 		}
 	}
-	return sel, joined
+	return sel, true
 }

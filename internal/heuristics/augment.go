@@ -11,6 +11,7 @@ import (
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/estimate"
+	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 )
 
@@ -64,7 +65,7 @@ var Criteria = []Criterion{
 // better; CriterionMaxDegree is negated so min-selection applies
 // uniformly). curSize is the current intermediate-result size, inSet the
 // prefix membership mask.
-func (c Criterion) score(st *estimate.Stats, curSize float64, inSet []bool, j catalog.RelID) float64 {
+func (c Criterion) score(st *estimate.Stats, curSize float64, inSet joingraph.Bitset, j catalog.RelID) float64 {
 	g := st.Graph()
 	switch c {
 	case CriterionMinCard:
@@ -94,7 +95,7 @@ func (c Criterion) score(st *estimate.Stats, curSize float64, inSet []bool, j ca
 
 // distinctInto returns the distinct-value count of j's join column on its
 // most selective edge into the prefix set (≥ 1).
-func distinctInto(st *estimate.Stats, inSet []bool, j catalog.RelID) float64 {
+func distinctInto(st *estimate.Stats, inSet joingraph.Bitset, j catalog.RelID) float64 {
 	g := st.Graph()
 	best := 1.0
 	bestSel := math.Inf(1)
@@ -109,7 +110,7 @@ func distinctInto(st *estimate.Stats, inSet []bool, j catalog.RelID) float64 {
 		default:
 			continue
 		}
-		if !inSet[other] {
+		if !inSet.Test(other) {
 			continue
 		}
 		if e.Selectivity < bestSel {

@@ -462,7 +462,9 @@ func TestDistinctIntoPicksMostSelectiveEdge(t *testing.T) {
 	q.Normalize()
 	g := joingraph.New(q)
 	st := estimate.NewStats(q, g)
-	inSet := []bool{true, true, false}
+	inSet := joingraph.NewBitset(3)
+	inSet.Set(0)
+	inSet.Set(1)
 	if got := distinctInto(st, inSet, 2); got != 80 {
 		t.Fatalf("distinctInto picked %g, want 80 (most selective edge's j-side)", got)
 	}

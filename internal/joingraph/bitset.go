@@ -1,0 +1,163 @@
+// Bitset and CSR: the packed adjacency view of a join graph.
+//
+// Every frontier scan in the optimizer — "does relation v join the set
+// of relations already placed?" — used to walk a []bool membership
+// slice per candidate. The Bitset packs membership 64 relations per
+// word, and the CSR view precomputes each vertex's neighbor mask, so a
+// frontier test collapses to a handful of word ANDs regardless of
+// degree. The CSR arrays additionally lay the merged adjacency flat
+// (offsets + neighbor ids + edge indices + static selectivities), the
+// cache-friendly layout the greedy tier and the search strategies scan.
+//
+// The view is built once per query inside New and shared by everything
+// that consumes the graph: fingerprint canonicalization, the greedy
+// planner, the move-based search strategies' validity scans, and the
+// estimator's prefix frontier.
+package joingraph
+
+import (
+	"math/bits"
+
+	"joinopt/internal/catalog"
+)
+
+// Bitset is a fixed-capacity set of relation IDs, packed 64 per word.
+// Allocate with NewBitset; the zero value is an empty set of capacity 0.
+type Bitset []uint64
+
+// NewBitset returns an empty set able to hold relations [0, n).
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)>>6) }
+
+// Reset clears the set in place.
+//
+//ljqlint:hotpath
+func (b Bitset) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Set adds relation id to the set.
+//
+//ljqlint:hotpath
+func (b Bitset) Set(id catalog.RelID) { b[id>>6] |= 1 << uint(id&63) }
+
+// Clear removes relation id from the set.
+//
+//ljqlint:hotpath
+func (b Bitset) Clear(id catalog.RelID) { b[id>>6] &^= 1 << uint(id&63) }
+
+// Test reports whether relation id is in the set.
+//
+//ljqlint:hotpath
+func (b Bitset) Test(id catalog.RelID) bool { return b[id>>6]&(1<<uint(id&63)) != 0 }
+
+// Intersects reports whether b and o share any member. The sets must
+// have been sized for the same relation count.
+//
+//ljqlint:hotpath
+func (b Bitset) Intersects(o Bitset) bool {
+	for i, w := range b {
+		if w&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of members.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CopyFrom overwrites b with o's members. Same-capacity sets only.
+//
+//ljqlint:hotpath
+func (b Bitset) CopyFrom(o Bitset) { copy(b, o) }
+
+// CSR is the flat adjacency view of a Graph: the incidences of vertex v
+// live at Nbr/EdgeIdx/Sel[Off[v]:Off[v+1]], and NeighborMask(v) is v's
+// neighbor set as a Bitset. Built once per query by New; immutable.
+type CSR struct {
+	words int
+	// Off has one entry per vertex plus a terminator.
+	Off []int32
+	// Nbr lists neighbor vertex ids, grouped by vertex, in merged-edge
+	// index order within each group (the same order Graph.Neighbors and
+	// ForEachIncident visit, so float accumulation orders are preserved
+	// when callers switch views).
+	Nbr []int32
+	// EdgeIdx holds the index into Graph.Edges() of each incidence.
+	EdgeIdx []int32
+	// Sel duplicates each incident edge's merged static selectivity next
+	// to the neighbor id: the greedy tier's inner loop reads only these
+	// two arrays.
+	Sel []float64
+	// masks packs each vertex's neighbor Bitset, words words per vertex.
+	masks []uint64
+}
+
+// NeighborMask returns v's neighbor set. Callers must not modify it.
+//
+//ljqlint:hotpath
+func (c *CSR) NeighborMask(v catalog.RelID) Bitset {
+	return Bitset(c.masks[int(v)*c.words : (int(v)+1)*c.words])
+}
+
+// JoinsInto reports whether v has at least one edge into set: a word-AND
+// over v's neighbor mask, independent of v's degree.
+//
+//ljqlint:hotpath
+func (c *CSR) JoinsInto(v catalog.RelID, set Bitset) bool {
+	off := int(v) * c.words
+	for i := 0; i < c.words; i++ {
+		if c.masks[off+i]&set[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCSR lays the merged adjacency flat and precomputes neighbor
+// masks. Per-vertex incidence order follows edge index order, matching
+// the append order of buildAdjacency.
+func (g *Graph) buildCSR() {
+	n := g.n
+	words := (n + 63) >> 6
+	c := &CSR{
+		words:   words,
+		Off:     make([]int32, n+1),
+		Nbr:     make([]int32, 2*len(g.edges)),
+		EdgeIdx: make([]int32, 2*len(g.edges)),
+		Sel:     make([]float64, 2*len(g.edges)),
+		masks:   make([]uint64, n*words),
+	}
+	for _, e := range g.edges {
+		c.Off[e.From+1]++
+		c.Off[e.To+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.Off[v+1] += c.Off[v]
+	}
+	cur := make([]int32, n)
+	copy(cur, c.Off[:n])
+	put := func(v, other catalog.RelID, ei int, sel float64) {
+		c.Nbr[cur[v]] = int32(other)
+		c.EdgeIdx[cur[v]] = int32(ei)
+		c.Sel[cur[v]] = sel
+		cur[v]++
+		c.masks[int(v)*words+int(other)>>6] |= 1 << uint(other&63)
+	}
+	for ei, e := range g.edges {
+		put(e.From, e.To, ei, e.Selectivity)
+		put(e.To, e.From, ei, e.Selectivity)
+	}
+	g.csr = c
+}
+
+// CSR returns the graph's flat adjacency view.
+func (g *Graph) CSR() *CSR { return g.csr }

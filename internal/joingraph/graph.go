@@ -37,6 +37,9 @@ type Graph struct {
 	edges []Edge
 	// adj[v] lists indices into edges for every edge incident to v.
 	adj [][]int
+	// csr is the flat bitset adjacency view (see bitset.go), built once
+	// at construction and shared by every frontier-scanning consumer.
+	csr *CSR
 }
 
 // New builds a join graph from a query's predicates. Parallel predicates
@@ -63,6 +66,7 @@ func New(q *catalog.Query) *Graph {
 		})
 	}
 	g.buildAdjacency()
+	g.buildCSR()
 	return g
 }
 
@@ -121,9 +125,9 @@ func (g *Graph) Connected(u, v catalog.RelID) bool {
 }
 
 // SelectivityBetween returns the product of the join selectivities of all
-// edges between v and any relation in the set marked true in inSet. A
-// relation with no edge into the set yields 1 (pure cross product).
-func (g *Graph) SelectivityBetween(v catalog.RelID, inSet []bool) float64 {
+// edges between v and any relation in the set. A relation with no edge
+// into the set yields 1 (pure cross product).
+func (g *Graph) SelectivityBetween(v catalog.RelID, set Bitset) float64 {
 	sel := 1.0
 	for _, ei := range g.adj[v] {
 		e := g.edges[ei]
@@ -131,7 +135,7 @@ func (g *Graph) SelectivityBetween(v catalog.RelID, inSet []bool) float64 {
 		if other == v {
 			other = e.To
 		}
-		if inSet[other] {
+		if set.Test(other) {
 			sel *= e.Selectivity
 		}
 	}
@@ -139,34 +143,30 @@ func (g *Graph) SelectivityBetween(v catalog.RelID, inSet []bool) float64 {
 }
 
 // ForEachIncident invokes f for every edge incident to v whose other
-// endpoint is marked in inSet, passing the edge and that endpoint.
-func (g *Graph) ForEachIncident(v catalog.RelID, inSet []bool, f func(Edge, catalog.RelID)) {
+// endpoint is in set, passing the edge and that endpoint. Edges are
+// visited in merged-edge index order, so callers' floating-point
+// accumulations are order-stable across views.
+//
+//ljqlint:hotpath
+func (g *Graph) ForEachIncident(v catalog.RelID, set Bitset, f func(Edge, catalog.RelID)) {
 	for _, ei := range g.adj[v] {
 		e := g.edges[ei]
 		other := e.From
 		if other == v {
 			other = e.To
 		}
-		if inSet[other] {
+		if set.Test(other) {
 			f(e, other)
 		}
 	}
 }
 
-// JoinsInto reports whether v joins with at least one relation marked
-// true in inSet.
-func (g *Graph) JoinsInto(v catalog.RelID, inSet []bool) bool {
-	for _, ei := range g.adj[v] {
-		e := g.edges[ei]
-		other := e.From
-		if other == v {
-			other = e.To
-		}
-		if inSet[other] {
-			return true
-		}
-	}
-	return false
+// JoinsInto reports whether v joins with at least one relation in set:
+// a word-AND over v's precomputed neighbor mask, independent of degree.
+//
+//ljqlint:hotpath
+func (g *Graph) JoinsInto(v catalog.RelID, set Bitset) bool {
+	return g.csr.JoinsInto(v, set)
 }
 
 // Components returns the connected components of the graph, each as a

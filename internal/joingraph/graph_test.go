@@ -91,7 +91,7 @@ func TestComponents(t *testing.T) {
 
 func TestJoinsIntoAndSelectivityBetween(t *testing.T) {
 	g := New(chainQuery(4))
-	inSet := []bool{true, false, false, false}
+	inSet := makeBitset(4, 0)
 	if !g.JoinsInto(1, inSet) || g.JoinsInto(2, inSet) {
 		t.Fatal("JoinsInto wrong")
 	}
@@ -284,7 +284,7 @@ func TestMSTSpansProperty(t *testing.T) {
 
 func TestForEachIncident(t *testing.T) {
 	g := New(chainQuery(4))
-	inSet := []bool{false, true, true, false}
+	inSet := makeBitset(4, 1, 2)
 	var got []catalog.RelID
 	g.ForEachIncident(2, inSet, func(e Edge, other catalog.RelID) {
 		got = append(got, other)
@@ -292,4 +292,13 @@ func TestForEachIncident(t *testing.T) {
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("incident into set: %v, want [1]", got)
 	}
+}
+
+// makeBitset builds a Bitset of capacity n with the given members set.
+func makeBitset(n int, members ...int) Bitset {
+	b := NewBitset(n)
+	for _, m := range members {
+		b.Set(catalog.RelID(m))
+	}
+	return b
 }

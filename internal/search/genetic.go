@@ -120,15 +120,13 @@ func (s *Space) crossover(a, b plan.Perm) plan.Perm {
 	out := make(plan.Perm, 0, n)
 	out = append(out, a[:cut]...)
 
-	for i := range s.inSet {
-		s.inSet[i] = false
-	}
+	s.inSet.Reset()
 	for _, r := range out {
-		s.inSet[r] = true
+		s.inSet.Set(r)
 	}
 	remaining := make([]catalog.RelID, 0, n-cut)
 	for _, r := range b {
-		if !s.inSet[r] {
+		if !s.inSet.Test(r) {
 			remaining = append(remaining, r)
 		}
 	}
@@ -149,7 +147,7 @@ func (s *Space) crossover(a, b plan.Perm) plan.Perm {
 		r := remaining[pick]
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 		out = append(out, r)
-		s.inSet[r] = true
+		s.inSet.Set(r)
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"joinopt/internal/catalog"
+	"joinopt/internal/joingraph"
 	"joinopt/internal/plan"
 	"joinopt/internal/telemetry"
 )
@@ -50,7 +51,7 @@ type Space struct {
 	Trace *telemetry.Tracer
 
 	scratch plan.Perm
-	inSet   []bool
+	inSet   joingraph.Bitset
 }
 
 // NewSpace returns a search space over the given component relations.
@@ -62,7 +63,7 @@ func NewSpace(eval *plan.Evaluator, rels []catalog.RelID, rng *rand.Rand) *Space
 		SwapWeight:   1.0,
 		MaxProposals: 32,
 		scratch:      make(plan.Perm, len(rels)),
-		inSet:        make([]bool, eval.Stats().Query().NumRelations()),
+		inSet:        joingraph.NewBitset(eval.Stats().Query().NumRelations()),
 	}
 }
 
@@ -88,9 +89,7 @@ func (s *Space) RandomState() plan.Perm {
 	if n == 0 {
 		return out
 	}
-	for i := range s.inSet {
-		s.inSet[i] = false
-	}
+	s.inSet.Reset()
 	graph := s.eval.Stats().Graph()
 
 	remaining := append([]catalog.RelID(nil), s.rels...)
@@ -100,7 +99,7 @@ func (s *Space) RandomState() plan.Perm {
 	remaining[fi] = remaining[len(remaining)-1]
 	remaining = remaining[:len(remaining)-1]
 	out = append(out, first)
-	s.inSet[first] = true
+	s.inSet.Set(first)
 
 	budget := s.eval.Budget()
 	for len(remaining) > 0 {
@@ -121,16 +120,15 @@ func (s *Space) RandomState() plan.Perm {
 		remaining[pick] = remaining[len(remaining)-1]
 		remaining = remaining[:len(remaining)-1]
 		out = append(out, r)
-		s.inSet[r] = true
+		s.inSet.Set(r)
 	}
 	return out
 }
 
 // frontierIndices appends to dst the indices into remaining of relations
-// that join at least one relation marked in inSet.
-func frontierIndices(g interface {
-	JoinsInto(catalog.RelID, []bool) bool
-}, remaining []catalog.RelID, inSet []bool, dst []int) []int {
+// that join at least one relation in inSet. Each check is a word-AND
+// over the graph's precomputed neighbor masks.
+func frontierIndices(g *joingraph.Graph, remaining []catalog.RelID, inSet joingraph.Bitset, dst []int) []int {
 	for i, r := range remaining {
 		if g.JoinsInto(r, inSet) {
 			dst = append(dst, i)

@@ -61,7 +61,6 @@ type batchShape struct {
 	q     *catalog.Query
 	fp    fingerprint.Fingerprint
 	order []catalog.RelID
-	cq    *catalog.Query
 }
 
 func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
@@ -118,7 +117,7 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		sh := &batchShape{q: q}
-		sh.fp, sh.order, sh.cq = fingerprint.CanonicalQuery(q)
+		sh.fp, sh.order = fingerprint.Canonical(q)
 		shapes[i] = sh
 		if _, dup := unique[sh.fp]; !dup {
 			unique[sh.fp] = &computed{}
@@ -150,7 +149,7 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 					c.err = fmt.Errorf("serve: batch compute panicked: %v", rec)
 				}
 			}()
-			c.entry, c.hit, c.shared, c.err = s.computeEntry(r.Context(), sh.fp, sh.cq)
+			c.entry, c.hit, c.shared, c.err = s.computeEntry(r.Context(), sh.fp, sh.q, sh.order)
 		}(sh, c)
 	}
 	wg.Wait()

@@ -47,6 +47,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -66,6 +67,7 @@ import (
 	"joinopt/internal/qdsl"
 	"joinopt/internal/qfile"
 	"joinopt/internal/telemetry"
+	"joinopt/internal/wire"
 )
 
 // Config tunes a Server. The zero value selects production-ish
@@ -474,8 +476,21 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Plan-Tier", planTierHeader(resp.Tier))
+	// Response codec is negotiated independently of the request codec:
+	// Accept picks binary, everything else stays JSON. Errors above are
+	// always plain text regardless — a client that cannot read them has
+	// bigger problems than framing.
+	if strings.Contains(r.Header.Get("Accept"), wireSubtype) {
+		writeWire(w, http.StatusOK, resp)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// wireSubtype is the distinctive part of wire.ContentType that request
+// and Accept headers are matched on (tolerating parameters like
+// ";v=1" or lists).
+const wireSubtype = "x-ljq-wire"
 
 // planTierHeader / tierExplainLine render tier provenance as constant
 // strings: the cache-hit path stays allocation-flat.
@@ -513,8 +528,12 @@ var errNoPlan = errors.New("serve: no plan produced")
 // ctx.Err() when the caller's deadline did; map them with
 // optimizeFailure for HTTP responses.
 func (s *Server) OptimizeQuery(ctx context.Context, q *catalog.Query) (*OptimizeResponse, error) {
-	fp, order, cq := fingerprint.CanonicalQuery(q)
-	entry, hit, shared, err := s.computeEntry(ctx, fp, cq)
+	// Canonical (not CanonicalQuery) keeps the hit path lean: the
+	// canonical *relabeling* — a full clone plus renumbering — is only
+	// needed to feed the optimizer, so computeEntry builds it inside the
+	// miss closure. A cache hit pays for fingerprinting alone.
+	fp, order := fingerprint.Canonical(q)
+	entry, hit, shared, err := s.computeEntry(ctx, fp, q, order)
 	if err != nil {
 		return nil, err
 	}
@@ -523,15 +542,17 @@ func (s *Server) OptimizeQuery(ctx context.Context, q *catalog.Query) (*Optimize
 
 // computeEntry resolves a canonical fingerprint to a plan entry —
 // cache hit, coalesced wait, or fresh optimizer run — under the
-// service's request deadline.
-func (s *Server) computeEntry(ctx context.Context, fp fingerprint.Fingerprint, cq *catalog.Query) (entry *plancache.Entry, hit, shared bool, err error) {
-	weight := int64(len(cq.Relations) - 1)
+// service's request deadline. q stays in the requester's coordinates;
+// the canonical relabeling is built lazily on the miss path only.
+func (s *Server) computeEntry(ctx context.Context, fp fingerprint.Fingerprint, q *catalog.Query, order []catalog.RelID) (entry *plancache.Entry, hit, shared bool, err error) {
+	weight := int64(len(q.Relations) - 1)
 	if weight < 1 {
 		weight = 1
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	entry, hit, shared, err = s.cache.GetOrCompute(ctx, fp, func(ctx context.Context) (*plancache.Entry, error) {
+		cq := fingerprint.Relabel(q, order)
 		if s.tiers != nil {
 			return s.tiers.compute(ctx, fp, cq, weight)
 		}
@@ -671,15 +692,27 @@ func translatePlan(pl *plan.Plan, order []catalog.RelID) *plan.Plan {
 
 // decodeQuery reads a size-capped query body. The format is the JSON
 // interchange format by default; `?format=dsl` or a Content-Type
-// containing "x-qdsl" selects the textual DSL. Both paths go through
-// the hardened limit readers, so an oversized body surfaces as
-// catalog.ErrTooLarge (→ 413), never as a silently truncated parse.
+// containing "x-qdsl" selects the textual DSL, and `?format=wire` or a
+// Content-Type containing "x-ljq-wire" selects the binary wire codec.
+// All paths go through the hardened limit readers, so an oversized body
+// surfaces as catalog.ErrTooLarge (→ 413), never as a silently
+// truncated parse.
 func decodeQuery(r *http.Request, maxBytes int64) (*catalog.Query, error) {
 	format := r.URL.Query().Get("format")
 	ct := r.Header.Get("Content-Type")
 	isDSL := format == "dsl" || strings.Contains(ct, "x-qdsl")
-	if format != "" && format != "dsl" && format != "json" {
-		return nil, fmt.Errorf("serve: unknown format %q (want dsl or json)", format)
+	isWire := format == "wire" || strings.Contains(ct, wireSubtype)
+	switch format {
+	case "", "dsl", "json", "wire":
+	default:
+		return nil, fmt.Errorf("serve: unknown format %q (want dsl, json or wire)", format)
+	}
+	if isWire {
+		data, err := io.ReadAll(catalog.CapReader(r.Body, maxBytes))
+		if err != nil {
+			return nil, err
+		}
+		return wire.DecodeQuery(data)
 	}
 	br := bufio.NewReader(r.Body)
 	if isDSL {
@@ -730,6 +763,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(e.buf.Bytes())
 	if e.buf.Cap() <= jsonBufPoolCap {
 		jsonBufPool.Put(e)
+	}
+}
+
+// wireBufPool holds the binary response path's encode buffers; like
+// the JSON pool, a warm buffer makes a cache-hit response cost zero
+// encoder allocations and one sized Write.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func writeWire(w http.ResponseWriter, status int, resp *OptimizeResponse) {
+	bp := wireBufPool.Get().(*[]byte)
+	wr := wire.Response{
+		Fingerprint:   resp.Fingerprint,
+		CacheHit:      resp.CacheHit,
+		Coalesced:     resp.Coalesced,
+		Degraded:      resp.Degraded,
+		DegradeReason: resp.DegradeReason,
+		BudgetUsed:    resp.BudgetUsed,
+		TotalCost:     resp.TotalCost,
+		Order:         resp.Order,
+		Names:         resp.Names,
+		Tier:          resp.Tier,
+		Explain:       resp.Explain,
+	}
+	buf := wire.AppendResponse((*bp)[:0], &wr)
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(status)
+	// Write errors mean the client went away; nothing useful remains.
+	_, _ = w.Write(buf)
+	if cap(buf) <= jsonBufPoolCap {
+		*bp = buf
+		wireBufPool.Put(bp)
 	}
 }
 

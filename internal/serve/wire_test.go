@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"joinopt/internal/wire"
+	"joinopt/internal/workload"
+)
+
+// postWire posts a binary-framed query and asks for a binary response.
+func postWire(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/optimize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestWireCrossProtocol is the cross-protocol contract: the same query
+// posted as JSON and as a binary frame shares one cache entry and one
+// optimizer run, and the responses agree byte for byte where it
+// matters — fingerprint, plan Explain, tier header.
+func TestWireCrossProtocol(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	q := workload.Default().Generate(12, rand.New(rand.NewSource(31)))
+
+	jsonResp, jsonOut := postOptimize(t, ts.URL, queryBody(t, q))
+	if jsonResp.StatusCode != http.StatusOK {
+		t.Fatalf("json optimize: status %d", jsonResp.StatusCode)
+	}
+
+	wireHTTP, wireBody := postWire(t, ts.URL, wire.EncodeQuery(q))
+	if wireHTTP.StatusCode != http.StatusOK {
+		t.Fatalf("wire optimize: status %d: %s", wireHTTP.StatusCode, wireBody)
+	}
+	if ct := wireHTTP.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("wire response Content-Type = %q, want %q", ct, wire.ContentType)
+	}
+	wireOut, err := wire.DecodeResponse(wireBody)
+	if err != nil {
+		t.Fatalf("decode wire response: %v", err)
+	}
+
+	// Same shape → same cache entry: the second request must be a hit,
+	// and exactly one optimization ran across both protocols.
+	if !wireOut.CacheHit {
+		t.Fatal("binary request after JSON request was not a cache hit")
+	}
+	if got := s.optimizes.Load(); got != 1 {
+		t.Fatalf("optimizer ran %d times across two protocols, want 1", got)
+	}
+
+	if wireOut.Fingerprint != jsonOut.Fingerprint {
+		t.Fatalf("fingerprint drift across protocols: %s vs %s", wireOut.Fingerprint, jsonOut.Fingerprint)
+	}
+	if wireOut.Explain != jsonOut.Explain {
+		t.Fatalf("Explain drift across protocols:\njson:\n%s\nwire:\n%s", jsonOut.Explain, wireOut.Explain)
+	}
+	if wireOut.TotalCost != jsonOut.TotalCost {
+		t.Fatalf("cost drift: %g vs %g", wireOut.TotalCost, jsonOut.TotalCost)
+	}
+	if len(wireOut.Order) != len(jsonOut.Order) {
+		t.Fatalf("order length drift: %v vs %v", wireOut.Order, jsonOut.Order)
+	}
+	for i := range wireOut.Order {
+		if wireOut.Order[i] != jsonOut.Order[i] || wireOut.Names[i] != jsonOut.Names[i] {
+			t.Fatalf("order/name drift at %d: %v/%v vs %v/%v",
+				i, wireOut.Order, wireOut.Names, jsonOut.Order, jsonOut.Names)
+		}
+	}
+	if wireOut.Tier != jsonOut.Tier {
+		t.Fatalf("tier drift: %d vs %d", wireOut.Tier, jsonOut.Tier)
+	}
+	if got, want := wireHTTP.Header.Get("X-Plan-Tier"), jsonResp.Header.Get("X-Plan-Tier"); got != want {
+		t.Fatalf("X-Plan-Tier drift: %q vs %q", got, want)
+	}
+}
+
+// TestWireNegotiationIsIndependent: request codec (Content-Type) and
+// response codec (Accept) negotiate separately — a binary request can
+// take a JSON response and vice versa.
+func TestWireNegotiationIsIndependent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := workload.Default().Generate(5, rand.New(rand.NewSource(33)))
+
+	// Binary request, default (JSON) response.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/optimize", bytes.NewReader(wire.EncodeQuery(q)))
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wire-in/json-out: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("wire-in/json-out Content-Type = %q", ct)
+	}
+
+	// JSON request, binary response.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/optimize", bytes.NewReader(queryBody(t, q)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json-in/wire-out: status %d: %s", resp.StatusCode, body)
+	}
+	if !wire.IsFrame(body) {
+		t.Fatal("json-in/wire-out: response is not a wire frame")
+	}
+	if _, err := wire.DecodeResponse(body); err != nil {
+		t.Fatalf("json-in/wire-out: %v", err)
+	}
+}
+
+// TestWireRequestHardening: malformed frames get 400, oversized bodies
+// get 413 — the same edges the JSON path guards.
+func TestWireRequestHardening(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/optimize", bytes.NewReader([]byte("LJW1 garbage")))
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed frame: status %d, want 400", resp.StatusCode)
+	}
+
+	big := wire.EncodeQuery(workload.Default().Generate(60, rand.New(rand.NewSource(35))))
+	if len(big) <= 256 {
+		t.Fatalf("test needs an oversized body, got %d bytes", len(big))
+	}
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/optimize", bytes.NewReader(big))
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized frame: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// BenchmarkOptimizeBinaryHit is BenchmarkOptimizeCacheHit's binary
+// twin: the full handler path — binary decode → fingerprint → cache
+// hit → translate → binary encode. BENCH_serve.json tracks it against
+// the JSON hit path; the wire codec's job is to cut the codec share of
+// the hot path, not the fingerprint share.
+func BenchmarkOptimizeBinaryHit(b *testing.B) {
+	s := New(Config{TCoeff: 1})
+	q := workload.Default().Generate(20, rand.New(rand.NewSource(4)))
+	body := wire.EncodeQuery(q)
+	h := s.Handler()
+	warm := httptest.NewRequest(http.MethodPost, "/optimize", bytes.NewReader(body))
+	warm.Header.Set("Content-Type", wire.ContentType)
+	warm.Header.Set("Accept", wire.ContentType)
+	h.ServeHTTP(httptest.NewRecorder(), warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/optimize", bytes.NewReader(body))
+		req.Header.Set("Content-Type", wire.ContentType)
+		req.Header.Set("Accept", wire.ContentType)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
