@@ -49,6 +49,15 @@
 //	ljqd -addr :8081 -advertise http://host1:8081 \
 //	     -peers http://host1:8081,http://host2:8081,http://host3:8081
 //
+//	# dynamic membership: the ring comes from a roster file ("URL
+//	# [weight]" lines, # comments) polled every -membership-poll; each
+//	# semantic change mints a new epoch, and the daemon pushes the
+//	# arcs it no longer owns to their new owners (POST /snapshot/arc)
+//	# before evicting them. -membership-file takes precedence over
+//	# -peers (which pins a never-changing epoch 0).
+//	ljqd -addr :8081 -advertise http://host1:8081 \
+//	     -membership-file /etc/ljqd/members.conf -membership-poll 2s
+//
 //	# CPU/heap profiling (opt-in; serves net/http/pprof under /debug/pprof/)
 //	ljqd -pprof
 //
@@ -102,9 +111,11 @@ func main() {
 		grace        = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
 		metricsOn    = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes internals)")
-		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every ring member, this one included (cluster mode)")
-		advertise    = flag.String("advertise", "", "this peer's own base URL as it appears in -peers")
+		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every ring member, this one included (static cluster mode: a never-changing epoch 0)")
+		advertise    = flag.String("advertise", "", "this peer's own base URL as it appears in the ring membership")
 		warmTimeout  = flag.Duration("warm-timeout", 30*time.Second, "per-donor deadline for the startup snapshot fetch")
+		memberFile   = flag.String("membership-file", "", "ring roster file (\"URL [weight]\" per line); polled for epoch changes, takes precedence over -peers")
+		memberPoll   = flag.Duration("membership-poll", 2*time.Second, "how often to poll -membership-file for changes")
 
 		tiered          = flag.Bool("tiered", true, "serve cache misses from the greedy fast path and upgrade in the background")
 		greedyThreshold = flag.Float64("greedy-threshold", greedy.DefaultThreshold, "greedy-plan cost at or above which a miss escalates to the synchronous full search (<=0: never on cost)")
@@ -194,16 +205,75 @@ func main() {
 
 	// Cluster mode: before the listener opens (and therefore before
 	// /readyz ever answers 200), warm-start the plan cache from the
-	// other ring members' snapshots. Donor order is the -peers order
-	// with this peer removed, so a rolling restart ships plans from a
-	// deterministic neighbor first. Warm-start failure is non-fatal:
-	// a peer with no reachable donor joins cold, it does not crash.
-	if *peersFlag != "" {
+	// other ring members' snapshots. Donor order is the membership
+	// order with this peer removed, so a rolling restart ships plans
+	// from a deterministic neighbor first. Warm-start failure is
+	// non-fatal: a peer with no reachable donor joins cold, it does
+	// not crash.
+	//
+	// The ring itself comes from one of two places, in precedence
+	// order: -membership-file (dynamic: polled, each semantic change
+	// mints an epoch that the rebalancer applies — push moved arcs,
+	// evict what was acknowledged) or -peers (static: a never-changing
+	// epoch 0).
+	var donors []string
+	switch {
+	case *memberFile != "":
+		if *advertise == "" {
+			fail(fmt.Errorf("-membership-file requires -advertise (this peer's own URL in the roster)"))
+		}
+		if *peersFlag != "" {
+			fmt.Fprintln(os.Stderr, "ljqd: -membership-file takes precedence; ignoring -peers")
+		}
+		self := strings.TrimRight(*advertise, "/")
+		src, err := cluster.NewFileSource(nil, *memberFile, 0)
+		if err != nil {
+			// A missing or defective roster is a loud failure by design:
+			// a daemon must not join an empty or half-parsed ring.
+			fail(err)
+		}
+		e0 := src.Current()
+		if !e0.HasPeer(self) {
+			fail(fmt.Errorf("-advertise %q is not listed in %s", self, *memberFile))
+		}
+		for _, p := range e0.Peers() {
+			if p != self {
+				donors = append(donors, p)
+			}
+		}
+		rb, err := cluster.NewRebalancer(cluster.RebalanceConfig{
+			Self:  self,
+			Cache: cache,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ljqd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		if reg != nil {
+			rb.RegisterMetrics(reg)
+		}
+		if _, err := rb.Apply(ctx, e0); err != nil { // bootstrap: adopt epoch 0
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ljqd: dynamic membership from %s (%s, poll %s)\n", *memberFile, e0, *memberPoll)
+		go cluster.WatchMembership(ctx, src, *memberPoll, nil, func(e *cluster.Epoch) {
+			res, err := rb.Apply(ctx, e)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ljqd: rebalance to %s failed: %v\n", e, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ljqd: applied %s (pushed=%v failed=%v evicted=%d dropped=%d)\n",
+				e, res.Pushed, res.Failed, res.Evicted, res.Dropped)
+		}, func(err error) {
+			fmt.Fprintf(os.Stderr, "ljqd: membership poll: %v (keeping current epoch)\n", err)
+		})
+	case *peersFlag != "":
 		peers := splitPeers(*peersFlag)
 		if *advertise == "" {
 			fail(fmt.Errorf("-peers requires -advertise (this peer's own URL in the ring)"))
 		}
-		donors := make([]string, 0, len(peers))
 		self := false
 		for _, p := range peers {
 			if p == *advertise {
@@ -215,20 +285,20 @@ func main() {
 		if !self {
 			fail(fmt.Errorf("-advertise %q is not listed in -peers", *advertise))
 		}
-		if len(donors) > 0 {
-			res, werr := cluster.WarmStart(ctx, cache, cluster.WarmStartConfig{
-				Donors:          donors,
-				PerDonorTimeout: *warmTimeout,
-			})
-			for _, a := range res.Attempts {
-				fmt.Fprintf(os.Stderr, "ljqd: warm-start donor %s failed: %v\n", a.Donor, a.Err)
-			}
-			if werr != nil {
-				fmt.Fprintf(os.Stderr, "ljqd: warm-start found no donor, joining cold: %v\n", werr)
-			} else {
-				fmt.Fprintf(os.Stderr, "ljqd: warm-started %d plans (%d bytes) from %s\n",
-					res.Entries, res.Bytes, res.Donor)
-			}
+	}
+	if len(donors) > 0 {
+		res, werr := cluster.WarmStart(ctx, cache, cluster.WarmStartConfig{
+			Donors:          donors,
+			PerDonorTimeout: *warmTimeout,
+		})
+		for _, a := range res.Attempts {
+			fmt.Fprintf(os.Stderr, "ljqd: warm-start donor %s failed: %v\n", a.Donor, a.Err)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ljqd: warm-start found no donor, joining cold: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "ljqd: warm-started %d plans (%d bytes) from %s\n",
+				res.Entries, res.Bytes, res.Donor)
 		}
 	}
 

@@ -69,6 +69,23 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, strings.TrimSpace(e.Body))
 }
 
+// ShedError is a load-shedding answer — 503 or 429 — with its
+// Retry-After hint consumed. It is retryable: the daemon is alive and
+// refusing work, the opposite of dead. Under the default config the
+// client retries it in-line (sleeping at least RetryAfter); with
+// Config.ShedFailFast it surfaces immediately so a caller with its own
+// failover (the cluster router) can try another peer instead of
+// blocking on this one's backlog.
+type ShedError struct {
+	StatusCode int
+	RetryAfter time.Duration // server's hint, 0 if absent/unparseable
+	Body       string
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("client: server unavailable (%d): %s", e.StatusCode, strings.TrimSpace(e.Body))
+}
+
 // Config tunes a Client. The zero value (plus BaseURL) selects
 // production-ish defaults.
 type Config struct {
@@ -99,6 +116,14 @@ type Config struct {
 	// if the first has produced nothing after this long; the first
 	// useful response wins (default 0: disabled).
 	HedgeDelay time.Duration
+	// ShedFailFast makes a load-shedding answer (503/429 — a *ShedError)
+	// return immediately instead of being retried in-line with a
+	// Retry-After sleep. For callers that own a failover ladder (the
+	// cluster router): the right response to one peer shedding is to ask
+	// a different peer NOW, not to camp on the shedding peer's queue.
+	// The breaker records shed answers as successes — a shedding daemon
+	// is alive, and opening its circuit would misread load as death.
+	ShedFailFast bool
 	// Wire selects the binary wire protocol (internal/wire) for
 	// Optimize: the query ships as a length-prefixed binary frame and
 	// the response is requested in the same codec via Accept. Against a
@@ -368,6 +393,16 @@ func (c *Client) call(ctx context.Context, method, path, contentType, accept str
 			c.breaker.success()
 			return out.body, nil
 		}
+		if c.cfg.ShedFailFast {
+			var shed *ShedError
+			if errors.As(out.err, &shed) {
+				// The daemon answered — alive, just refusing work. Hand
+				// the verdict to the caller's own failover immediately;
+				// no in-line Retry-After sleep, no breaker strike.
+				c.breaker.success()
+				return nil, out.err
+			}
+		}
 		if !out.retryable {
 			// A 4xx proves the daemon is alive and judging requests:
 			// that is breaker-success even though the call failed.
@@ -559,26 +594,17 @@ func (c *Client) attempt(ctx context.Context, method, path, contentType, accept 
 		}
 		return outcome{body: data}
 	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests:
+		ra := c.parseRetryAfter(resp.Header.Get("Retry-After"))
 		return outcome{
-			err:        &unavailableError{status: resp.StatusCode, body: string(data)},
+			err:        &ShedError{StatusCode: resp.StatusCode, RetryAfter: ra, Body: string(data)},
 			retryable:  true,
-			retryAfter: c.parseRetryAfter(resp.Header.Get("Retry-After")),
+			retryAfter: ra,
 		}
 	case resp.StatusCode >= 500:
 		return outcome{err: fmt.Errorf("client: server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(data))), retryable: true}
 	default:
 		return outcome{err: &APIError{StatusCode: resp.StatusCode, Body: string(data)}, retryable: false}
 	}
-}
-
-// unavailableError is a 503/429 with its Retry-After hint consumed.
-type unavailableError struct {
-	status int
-	body   string
-}
-
-func (e *unavailableError) Error() string {
-	return fmt.Sprintf("client: server unavailable (%d): %s", e.status, strings.TrimSpace(e.body))
 }
 
 // parseRetryAfter decodes an integer-seconds Retry-After header,

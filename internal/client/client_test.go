@@ -671,3 +671,99 @@ func TestCallerCtxDeathReleasesHalfOpenProbeSlot(t *testing.T) {
 		t.Fatalf("breaker %s after successful probe, want closed", st)
 	}
 }
+
+// TestShedFailFastReturnsImmediately: with ShedFailFast set, a 429/503
+// answer comes straight back as a *ShedError — no Retry-After sleep,
+// no retry burn-down, and no breaker strike (the daemon answered; it
+// is alive, just refusing work). This is the mode the cluster router
+// runs its per-peer clients in: failover across peers beats waiting on
+// one.
+func TestShedFailFastReturnsImmediately(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		inner := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+			if r.Body != nil {
+				_, _ = io.Copy(io.Discard, r.Body)
+				_ = r.Body.Close()
+			}
+			h := make(http.Header)
+			h.Set("Retry-After", "30")
+			return &http.Response{
+				StatusCode: code,
+				Header:     h,
+				Body:       io.NopCloser(strings.NewReader("busy")),
+				Request:    r,
+			}, nil
+		})
+		rec := &sleepRecorder{}
+		c := newTestClient(t, Config{
+			Transport:    inner,
+			MaxAttempts:  5,
+			ShedFailFast: true,
+			Sleep:        rec.sleep,
+			Breaker:      BreakerConfig{Threshold: 2},
+		})
+		for i := 0; i < 6; i++ { // 3x the breaker threshold
+			_, err := c.OptimizeDSL(context.Background(), "R(10) S(20) R.x=S.y 0.1")
+			var shed *ShedError
+			if !errors.As(err, &shed) {
+				t.Fatalf("%d/%d: err = %v, want *ShedError", code, i, err)
+			}
+			if shed.StatusCode != code || shed.RetryAfter != 30*time.Second {
+				t.Fatalf("%d: shed = %+v", code, shed)
+			}
+		}
+		if got := rec.all(); len(got) != 0 {
+			t.Fatalf("%d: client slept %v despite ShedFailFast", code, got)
+		}
+		st := c.Stats()
+		if st.Retries != 0 {
+			t.Fatalf("%d: retries = %d, want 0", code, st.Retries)
+		}
+		if got := c.BreakerState(); got != "closed" {
+			t.Fatalf("%d: breaker %q after sheds, want closed", code, got)
+		}
+	}
+}
+
+// TestShedDefaultStillRetries pins the default (ShedFailFast unset):
+// shed answers remain retryable-with-backoff, honoring Retry-After.
+func TestShedDefaultStillRetries(t *testing.T) {
+	calls := 0
+	inner := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if r.Body != nil {
+			_, _ = io.Copy(io.Discard, r.Body)
+			_ = r.Body.Close()
+		}
+		calls++
+		if calls < 3 {
+			h := make(http.Header)
+			h.Set("Retry-After", "7")
+			return &http.Response{
+				StatusCode: http.StatusTooManyRequests,
+				Header:     h,
+				Body:       io.NopCloser(strings.NewReader("busy")),
+				Request:    r,
+			}, nil
+		}
+		return okInner(t).RoundTrip(r)
+	})
+	rec := &sleepRecorder{}
+	c := newTestClient(t, Config{
+		Transport:   inner,
+		MaxAttempts: 4,
+		Sleep:       rec.sleep,
+	})
+	resp, err := c.OptimizeDSL(context.Background(), "R(10) S(20) R.x=S.y 0.1")
+	if err != nil || resp.Explain == "" {
+		t.Fatalf("err=%v resp=%+v", err, resp)
+	}
+	delays := rec.all()
+	if len(delays) != 2 {
+		t.Fatalf("delays %v, want 2 Retry-After waits", delays)
+	}
+	for _, d := range delays {
+		if d != 7*time.Second {
+			t.Fatalf("delay %v, want the 7s Retry-After hint", d)
+		}
+	}
+}

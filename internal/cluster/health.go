@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"sort"
+	"sync"
 	"time"
 
 	"joinopt/internal/client"
@@ -32,8 +33,16 @@ type HealthConfig struct {
 // ReportCancelled for that peer — in the half-open state Allow grants
 // the single probe slot, and dropping it would park the breaker
 // half-open forever.
+// Membership is dynamic: Ensure registers peers minted by a new ring
+// epoch; peers that leave keep their breakers (a returning peer's
+// failure history survives its absence, and a stale routing client
+// referencing a removed peer still resolves its slots safely). The
+// map is guarded by an RWMutex — breaker operations themselves are
+// internally synchronized, the lock only protects registration.
 type Health struct {
-	cfg      HealthConfig
+	cfg HealthConfig
+
+	mu       sync.RWMutex
 	peers    []string // sorted; fixes ProbeAll order
 	breakers map[string]*client.Breaker
 }
@@ -42,34 +51,59 @@ type Health struct {
 func NewHealth(peers []string, cfg HealthConfig) *Health {
 	h := &Health{
 		cfg:      cfg,
-		peers:    append([]string(nil), peers...),
 		breakers: make(map[string]*client.Breaker, len(peers)),
 	}
-	sort.Strings(h.peers)
-	for _, p := range h.peers {
-		h.breakers[p] = client.NewBreaker(cfg.Breaker, cfg.Now)
-	}
+	h.Ensure(peers)
 	return h
+}
+
+// Ensure registers any of the given peers not yet in the view, each
+// with a fresh (closed) breaker. Already-known peers keep their
+// breaker and its history — an epoch change must not amnesty a flappy
+// peer. Called by the router when it applies a membership epoch.
+func (h *Health) Ensure(peers []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	added := false
+	for _, p := range peers {
+		if _, ok := h.breakers[p]; ok {
+			continue
+		}
+		h.breakers[p] = client.NewBreaker(h.cfg.Breaker, h.cfg.Now)
+		h.peers = append(h.peers, p)
+		added = true
+	}
+	if added {
+		sort.Strings(h.peers)
+	}
+}
+
+// breaker looks up peer's breaker (nil if unknown).
+func (h *Health) breaker(peer string) *client.Breaker {
+	h.mu.RLock()
+	b := h.breakers[peer]
+	h.mu.RUnlock()
+	return b
 }
 
 // Allow reports whether a request may be sent to peer, claiming the
 // half-open probe slot when there is one. Unknown peers are never
 // allowed.
 func (h *Health) Allow(peer string) bool {
-	b, ok := h.breakers[peer]
-	return ok && b.Allow()
+	b := h.breaker(peer)
+	return b != nil && b.Allow()
 }
 
 // ReportSuccess records a useful completion from peer.
 func (h *Health) ReportSuccess(peer string) {
-	if b, ok := h.breakers[peer]; ok {
+	if b := h.breaker(peer); b != nil {
 		b.Success()
 	}
 }
 
 // ReportFailure records a retryable failure from peer.
 func (h *Health) ReportFailure(peer string) {
-	if b, ok := h.breakers[peer]; ok {
+	if b := h.breaker(peer); b != nil {
 		b.Failure()
 	}
 }
@@ -77,7 +111,7 @@ func (h *Health) ReportFailure(peer string) {
 // ReportCancelled releases an Allow slot whose request was abandoned
 // (hedged loser): no verdict either way.
 func (h *Health) ReportCancelled(peer string) {
-	if b, ok := h.breakers[peer]; ok {
+	if b := h.breaker(peer); b != nil {
 		b.Cancel()
 	}
 }
@@ -85,7 +119,7 @@ func (h *Health) ReportCancelled(peer string) {
 // State names peer's breaker state ("closed", "open", "half-open"),
 // or "unknown" for a peer outside the view.
 func (h *Health) State(peer string) string {
-	if b, ok := h.breakers[peer]; ok {
+	if b := h.breaker(peer); b != nil {
 		return b.State()
 	}
 	return "unknown"
@@ -101,7 +135,7 @@ func (h *Health) Healthy(peer string) bool {
 // Transitions returns peer's breaker state-change count (the flap
 // metric).
 func (h *Health) Transitions(peer string) uint64 {
-	if b, ok := h.breakers[peer]; ok {
+	if b := h.breaker(peer); b != nil {
 		return b.Transitions()
 	}
 	return 0
@@ -116,7 +150,10 @@ func (h *Health) ProbeAll(ctx context.Context) {
 	if h.cfg.Probe == nil {
 		return
 	}
-	for _, p := range h.peers {
+	h.mu.RLock()
+	peers := append([]string(nil), h.peers...)
+	h.mu.RUnlock()
+	for _, p := range peers {
 		if !h.Allow(p) {
 			continue
 		}

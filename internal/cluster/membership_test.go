@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"joinopt/internal/fingerprint"
+	"joinopt/internal/vfs"
+)
+
+// writeMembership (re)writes a membership file on the in-memory fs.
+func writeMembership(t *testing.T, fs *vfs.Mem, path, content string) {
+	t.Helper()
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMembership(t *testing.T) {
+	members, err := ParseMembership([]byte(`
+# roster
+http://a:8080
+http://b:8080/   3   # trailing slash trimmed, weighted
+http://c:8080
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{URL: "http://a:8080", Weight: 1},
+		{URL: "http://b:8080", Weight: 3},
+		{URL: "http://c:8080", Weight: 1},
+	}
+	if len(members) != len(want) {
+		t.Fatalf("got %v, want %v", members, want)
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("member %d = %+v, want %+v", i, members[i], want[i])
+		}
+	}
+
+	for name, bad := range map[string]string{
+		"empty":          "",
+		"comments only":  "# a\n  # b\n",
+		"duplicate":      "http://a:8080\nhttp://a:8080/ 2\n",
+		"weight zero":    "http://a:8080 0\n",
+		"weight huge":    "http://a:8080 9999\n",
+		"weight garbage": "http://a:8080 two\n",
+		"extra fields":   "http://a:8080 2 3\n",
+	} {
+		if _, err := ParseMembership([]byte(bad)); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func TestRingMembersWeightOnlyPullsArcsOntoBumpedPeer(t *testing.T) {
+	peers := []string{"http://peer0", "http://peer1", "http://peer2"}
+	base, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped, err := NewRingMembers([]Member{
+		{URL: "http://peer0"},
+		{URL: "http://peer1", Weight: 4},
+		{URL: "http://peer2"},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raising one member's weight adds points only for that member, so
+	// ownership can move ONLY onto it: any fingerprint whose owner
+	// changed must now be owned by the bumped peer.
+	moved, total := 0, 4096
+	for i := 0; i < total; i++ {
+		var fp fingerprint.Fingerprint
+		fp[0], fp[1], fp[2] = byte(i), byte(i>>8), 0x5a
+		before, after := base.Primary(fp), bumped.Primary(fp)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "http://peer1" {
+			t.Fatalf("fp %d moved %s -> %s: weight bump moved an arc onto a non-bumped peer", i, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("weight bump moved nothing: MoveArc would be a no-op")
+	}
+
+	if _, err := NewRingMembers([]Member{{URL: "http://a", Weight: MaxMemberWeight + 1}}, 0); err == nil {
+		t.Fatal("want error for weight above cap")
+	}
+}
+
+func TestEpochCanonicalization(t *testing.T) {
+	e, err := NewEpoch(7, []Member{
+		{URL: "http://b"},
+		{URL: "http://a", Weight: 2},
+		{URL: "http://a"}, // dup: larger weight wins
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 7 {
+		t.Fatalf("Seq = %d", e.Seq)
+	}
+	if got := e.String(); got != "epoch 7 [http://a*2 http://b]" {
+		t.Fatalf("String() = %q", got)
+	}
+	if !e.HasPeer("http://a") || e.HasPeer("http://c") {
+		t.Fatal("HasPeer wrong")
+	}
+	if got := e.Peers(); len(got) != 2 || got[0] != "http://a" || got[1] != "http://b" {
+		t.Fatalf("Peers() = %v", got)
+	}
+}
+
+func TestFileSourceEpochSequence(t *testing.T) {
+	fs := vfs.NewMem()
+	const path = "members.conf"
+	writeMembership(t, fs, path, "http://a\nhttp://b\n")
+
+	src, err := NewFileSource(fs, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := src.Current()
+	if e0.Seq != 0 || len(e0.Members) != 2 {
+		t.Fatalf("epoch 0 = %s", e0)
+	}
+
+	// Identical content re-polled: no new epoch.
+	if _, changed, err := src.Poll(); changed || err != nil {
+		t.Fatalf("no-change poll: changed=%v err=%v", changed, err)
+	}
+	// Cosmetic rewrite (comments, ordering, whitespace): same parsed
+	// member set, so still no new epoch — epochs number semantic
+	// changes, not file writes.
+	writeMembership(t, fs, path, "# same roster\nhttp://b\n\nhttp://a 1\n")
+	if _, changed, err := src.Poll(); changed || err != nil {
+		t.Fatalf("cosmetic rewrite poll: changed=%v err=%v", changed, err)
+	}
+
+	// A join mints epoch 1.
+	writeMembership(t, fs, path, "http://a\nhttp://b\nhttp://c\n")
+	e1, changed, err := src.Poll()
+	if err != nil || !changed || e1.Seq != 1 || !e1.HasPeer("http://c") {
+		t.Fatalf("join poll: %s changed=%v err=%v", e1, changed, err)
+	}
+
+	// A defective rewrite keeps the current epoch in force and reports
+	// the error; the next good content resumes the sequence.
+	writeMembership(t, fs, path, "http://a 0\n")
+	e, changed, err := src.Poll()
+	if err == nil || changed || e.Seq != 1 {
+		t.Fatalf("defective poll: %s changed=%v err=%v", e, changed, err)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, changed, err := src.Poll(); err == nil || changed {
+		t.Fatalf("missing-file poll: changed=%v err=%v", changed, err)
+	}
+	writeMembership(t, fs, path, "http://a 2\nhttp://b\nhttp://c\n")
+	e2, changed, err := src.Poll()
+	if err != nil || !changed || e2.Seq != 2 {
+		t.Fatalf("recovery poll: %s changed=%v err=%v", e2, changed, err)
+	}
+	if e2.Members[0] != (Member{URL: "http://a", Weight: 2}) {
+		t.Fatalf("weight change lost: %s", e2)
+	}
+
+	// A missing or defective initial file fails construction loudly.
+	if _, err := NewFileSource(fs, "absent.conf", 0); err == nil {
+		t.Fatal("want error for missing initial file")
+	}
+	writeMembership(t, fs, "bad.conf", "# nothing\n")
+	if _, err := NewFileSource(fs, "bad.conf", 0); err == nil {
+		t.Fatal("want error for empty initial roster")
+	}
+}
+
+func TestWatchMembershipAppliesEpochsAndStops(t *testing.T) {
+	fs := vfs.NewMem()
+	const path = "members.conf"
+	writeMembership(t, fs, path, "http://a\n")
+	src, err := NewFileSource(fs, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stepped sleeper mutates the file at exact poll boundaries and
+	// ends the watch after a fixed number of polls — no wall clock, no
+	// goroutine: the loop runs to completion on this test's goroutine.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var applied []string
+	var errs []error
+	step := 0
+	sleep := func(_ context.Context, d time.Duration) error {
+		if d != 42*time.Millisecond {
+			t.Fatalf("sleep interval %v, want the configured 42ms", d)
+		}
+		step++
+		switch step {
+		case 1: // poll 1 sees a join
+			writeMembership(t, fs, path, "http://a\nhttp://b\n")
+		case 2: // poll 2 sees garbage → onErr, epoch keeps
+			writeMembership(t, fs, path, "http://a 0\n")
+		case 3: // poll 3 sees a weight move
+			writeMembership(t, fs, path, "http://a\nhttp://b 3\n")
+		case 4: // poll 4 sees nothing new; then stop
+			cancel()
+			return ctx.Err()
+		}
+		return nil
+	}
+	WatchMembership(ctx, src, 42*time.Millisecond, sleep,
+		func(e *Epoch) { applied = append(applied, e.String()) },
+		func(err error) { errs = append(errs, err) })
+
+	want := []string{
+		"epoch 1 [http://a http://b]",
+		"epoch 2 [http://a http://b*3]",
+	}
+	if len(applied) != len(want) || applied[0] != want[0] || applied[1] != want[1] {
+		t.Fatalf("applied %v, want %v", applied, want)
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "weight") {
+		t.Fatalf("errs = %v, want one weight parse error", errs)
+	}
+}

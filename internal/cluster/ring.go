@@ -35,15 +35,31 @@ import (
 // slice of peers·64 uint64s).
 const DefaultReplicas = 64
 
+// MaxMemberWeight caps a member's virtual-point multiplier: a typo'd
+// weight in a membership file must not explode the ring into millions
+// of points.
+const MaxMemberWeight = 64
+
+// Member is one ring member: a peer base URL plus its arc weight. A
+// weight of w contributes w·Replicas virtual points, so raising a
+// member's weight only moves arcs ONTO that member (its existing
+// points are untouched; new points claim arcs from whoever held them)
+// and lowering it only moves arcs off — the property the scripted
+// MoveArc chaos action relies on. Weight ≤ 0 is normalized to 1.
+type Member struct {
+	URL    string `json:"url"`
+	Weight int    `json:"weight"`
+}
+
 // Ring is an immutable consistent-hash ring over peer names.
 //
-// Peer i contributes Replicas virtual points, each the first 8 bytes
-// (big-endian) of SHA-256("peer#k"). A fingerprint hashes to the first
-// 8 bytes of itself — it is already a SHA-256 of the canonical query,
-// so its prefix is uniform — and is owned by the first point clockwise
-// from that value. Everything is a pure function of the peer list, so
-// every node (and every routing client) derives the identical ring
-// with no coordination.
+// A member with weight w contributes w·Replicas virtual points, each
+// the first 8 bytes (big-endian) of SHA-256("peer#k"). A fingerprint
+// hashes to the first 8 bytes of itself — it is already a SHA-256 of
+// the canonical query, so its prefix is uniform — and is owned by the
+// first point clockwise from that value. Everything is a pure function
+// of the member set, so every node (and every routing client) derives
+// the identical ring with no coordination.
 type Ring struct {
 	replicas int
 	peers    []string
@@ -55,23 +71,45 @@ type ringPoint struct {
 	peer string
 }
 
-// NewRing builds a ring over the given peers (deduplicated, order-
-// insensitive: the ring layout depends only on the set). replicas ≤ 0
-// selects DefaultReplicas.
+// NewRing builds a ring over the given peers, all at weight 1
+// (deduplicated, order-insensitive: the ring layout depends only on
+// the set). replicas ≤ 0 selects DefaultReplicas.
 func NewRing(peers []string, replicas int) (*Ring, error) {
+	members := make([]Member, 0, len(peers))
+	for _, p := range peers {
+		members = append(members, Member{URL: p, Weight: 1})
+	}
+	return NewRingMembers(members, replicas)
+}
+
+// NewRingMembers builds a weighted ring. Duplicate URLs collapse to
+// one member with the larger weight (order-insensitive, like NewRing's
+// dedup). replicas ≤ 0 selects DefaultReplicas.
+func NewRingMembers(members []Member, replicas int) (*Ring, error) {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
-	uniq := make([]string, 0, len(peers))
-	seen := make(map[string]bool, len(peers))
-	for _, p := range peers {
-		if p == "" {
+	weight := make(map[string]int, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.URL == "" {
 			return nil, fmt.Errorf("cluster: empty peer name")
 		}
-		if !seen[p] {
-			seen[p] = true
-			uniq = append(uniq, p)
+		w := m.Weight
+		if w <= 0 {
+			w = 1
 		}
+		if w > MaxMemberWeight {
+			return nil, fmt.Errorf("cluster: member %s weight %d exceeds cap %d", m.URL, w, MaxMemberWeight)
+		}
+		if old, ok := weight[m.URL]; ok {
+			if w > old {
+				weight[m.URL] = w
+			}
+			continue
+		}
+		weight[m.URL] = w
+		uniq = append(uniq, m.URL)
 	}
 	if len(uniq) == 0 {
 		return nil, fmt.Errorf("cluster: ring needs at least one peer")
@@ -83,7 +121,7 @@ func NewRing(peers []string, replicas int) (*Ring, error) {
 		points:   make([]ringPoint, 0, len(uniq)*replicas),
 	}
 	for _, p := range uniq {
-		for k := 0; k < replicas; k++ {
+		for k := 0; k < weight[p]*replicas; k++ {
 			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", p, k)))
 			r.points = append(r.points, ringPoint{
 				hash: binary.BigEndian.Uint64(sum[:8]),

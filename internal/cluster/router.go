@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"joinopt/internal/catalog"
 	"joinopt/internal/client"
 	"joinopt/internal/fingerprint"
+	"joinopt/internal/plan"
+	"joinopt/internal/plancache"
 	"joinopt/internal/serve"
 	"joinopt/internal/telemetry"
 )
@@ -20,10 +23,12 @@ var ErrNoPeers = errors.New("cluster: no peer available and no local optimizer")
 
 // RouterConfig tunes a Router.
 type RouterConfig struct {
-	// Peers are the ring members' base URLs (e.g. "http://host:8080").
+	// Peers are the initial ring members' base URLs (e.g.
+	// "http://host:8080") — membership epoch 0. ApplyEpoch swaps in
+	// later generations without rebuilding the router.
 	Peers []string
-	// Replicas is the ring's virtual-node count per peer (default
-	// DefaultReplicas).
+	// Replicas is the ring's virtual-node count per weight unit per
+	// peer (default DefaultReplicas).
 	Replicas int
 	// FallbackDepth is how many ring successors beyond the primary to
 	// try before falling back to local compute (default: every other
@@ -32,11 +37,16 @@ type RouterConfig struct {
 	// Local, when set, is the last rung of the degradation ladder: an
 	// in-process serve.Server that optimizes when every candidate peer
 	// is unreachable. Without it, total peer loss surfaces ErrNoPeers.
+	// It is also the read-repair anchor: routed responses are compared
+	// against this server's plan cache, and whichever side holds the
+	// higher-tier / cheaper plan wins (see readRepair).
 	Local *serve.Server
 	// Client is the template for the per-peer resilient clients.
 	// BaseURL is set per peer; the per-client circuit breaker is
 	// DISABLED (the Health view owns circuit state — double-breaking
-	// would make one peer's cooldown unobservable to routing).
+	// would make one peer's cooldown unobservable to routing) and
+	// ShedFailFast is forced on (a shedding peer should cause immediate
+	// failover to the next candidate, not an in-line Retry-After sleep).
 	Client client.Config
 	// HedgeDelay, when positive, races the next ring successor after
 	// this much primary silence instead of waiting for it to fail
@@ -54,87 +64,175 @@ type RouterConfig struct {
 	Metrics *telemetry.Registry
 }
 
+// peerState is one peer's routing state: its resilient client and
+// success counter. States are created when a peer first appears in an
+// epoch and never removed — a peer that leaves and rejoins keeps its
+// counters, and metrics for it register exactly once.
+type peerState struct {
+	client *client.Client
+	routes atomic.Uint64
+}
+
 // Router is the cluster routing client: consistent-hash primary
 // routing with breaker-aware ring-successor failover and optional
 // local compute. Safe for concurrent use; with HedgeDelay == 0 and a
 // sequential caller its request trajectory is deterministic.
+//
+// Membership is epoch-based: the ring lives behind an atomic pointer
+// to the current Epoch, loaded exactly once per request — every
+// request observes one consistent (ring, epoch) pair, and a request
+// in flight when ApplyEpoch lands finishes on the epoch it started on.
 type Router struct {
-	cfg     RouterConfig
-	ring    *Ring
-	health  *Health
-	clients map[string]*client.Client
-	depth   int // candidates per request (primary + fallbacks)
+	cfg    RouterConfig
+	epoch  atomic.Pointer[Epoch]
+	health *Health
 
-	routes          map[string]*atomic.Uint64 // successes routed per peer
-	failovers       atomic.Uint64             // responses served by a non-primary peer
-	breakerSkips    atomic.Uint64             // candidates skipped with an open breaker
-	localFallbacks  atomic.Uint64             // requests served by local compute
-	hedgedFallbacks atomic.Uint64             // successor launches triggered by the hedge timer
+	mu    sync.RWMutex // guards peers map shape (not the states within)
+	peers map[string]*peerState
+
+	failovers       atomic.Uint64 // responses served by a non-primary peer
+	breakerSkips    atomic.Uint64 // candidates skipped with an open breaker
+	localFallbacks  atomic.Uint64 // requests served by local compute
+	hedgedFallbacks atomic.Uint64 // successor launches triggered by the hedge timer
+	shedFailovers   atomic.Uint64 // candidates skipped over because they answered 429/503
+	epochApplies    atomic.Uint64 // membership epochs applied
+	staleEpochs     atomic.Uint64 // ApplyEpoch calls ignored as non-monotonic
+	readRepairs     atomic.Uint64 // read-repair actions (local served or local upgraded)
+	repairsServed   atomic.Uint64 // read-repairs that served the better local entry
+	repairsUpgraded atomic.Uint64 // read-repairs that upgraded the local cache from a routed plan
 }
 
-// NewRouter builds a router over the configured peers.
+// NewRouter builds a router over the configured peers (epoch 0).
 func NewRouter(cfg RouterConfig) (*Router, error) {
-	ring, err := NewRing(cfg.Peers, cfg.Replicas)
+	epoch0, err := StaticEpoch(cfg.Peers, cfg.Replicas)
 	if err != nil {
 		return nil, err
 	}
-	peers := ring.Peers()
-	depth := cfg.FallbackDepth + 1
-	if cfg.FallbackDepth <= 0 || depth > len(peers) {
-		depth = len(peers)
-	}
 	r := &Router{
-		cfg:     cfg,
-		ring:    ring,
-		clients: make(map[string]*client.Client, len(peers)),
-		depth:   depth,
-		routes:  make(map[string]*atomic.Uint64, len(peers)),
-	}
-	for _, p := range peers {
-		ccfg := cfg.Client
-		ccfg.BaseURL = p
-		// Health owns the circuit state; a second breaker inside the
-		// client would trip invisibly to routing.
-		ccfg.Breaker = client.BreakerConfig{Threshold: -1}
-		c, err := client.New(ccfg)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: peer %s: %w", p, err)
-		}
-		r.clients[p] = c
-		r.routes[p] = &atomic.Uint64{}
+		cfg:   cfg,
+		peers: make(map[string]*peerState, len(cfg.Peers)),
 	}
 	hcfg := cfg.Health
 	if hcfg.Probe == nil {
 		hcfg.Probe = func(ctx context.Context, peer string) error {
-			return r.clients[peer].Ready(ctx)
+			c := r.clientFor(peer)
+			if c == nil {
+				return fmt.Errorf("cluster: unknown peer %s", peer)
+			}
+			return c.Ready(ctx)
 		}
 	}
-	r.health = NewHealth(peers, hcfg)
+	r.health = NewHealth(nil, hcfg)
 	if reg := cfg.Metrics; reg != nil {
 		reg.CounterFunc("ljq_cluster_failover_total", "Requests served by a non-primary ring peer.", r.failovers.Load)
 		reg.CounterFunc("ljq_cluster_local_fallback_total", "Requests served by local compute after peer exhaustion.", r.localFallbacks.Load)
 		reg.CounterFunc("ljq_cluster_breaker_skip_total", "Candidate peers skipped with an open breaker.", r.breakerSkips.Load)
 		reg.CounterFunc("ljq_cluster_hedged_fallback_total", "Ring-successor launches triggered by the hedge timer.", r.hedgedFallbacks.Load)
-		for _, peer := range peers {
-			p := peer
-			label := fmt.Sprintf("{peer=%q}", p)
-			reg.CounterFunc("ljq_cluster_route_total"+label, "Requests served by this peer.", r.routes[p].Load)
-			reg.CounterFunc("ljq_cluster_breaker_transitions_total"+label, "This peer's breaker state transitions.",
-				func() uint64 { return r.health.Transitions(p) })
-			reg.GaugeFunc("ljq_cluster_peer_healthy"+label, "1 while this peer's breaker admits traffic.", func() float64 {
-				if r.health.Healthy(p) {
-					return 1
-				}
-				return 0
-			})
-			r.clients[p].RegisterMetrics(reg, "ljq_cluster_client", label)
-		}
+		reg.CounterFunc("ljq_cluster_shed_failover_total", "Candidates failed over because they answered with load shedding (429/503).", r.shedFailovers.Load)
+		reg.CounterFunc("ljq_cluster_epoch_applies_total", "Membership epochs applied to the routing ring.", r.epochApplies.Load)
+		reg.CounterFunc("ljq_read_repair_total", "Read-repair actions: responses replaced by a better local entry plus local entries upgraded from routed plans.", r.readRepairs.Load)
+		reg.GaugeFunc("ljq_cluster_epoch", "Current membership epoch sequence number.", func() float64 {
+			return float64(r.Epoch().Seq)
+		})
+	}
+	if err := r.ApplyEpoch(epoch0); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
 
-// Ring exposes the routing ring (status surfaces, tests).
-func (r *Router) Ring() *Ring { return r.ring }
+// ApplyEpoch swaps the routing ring to a new membership epoch. Epochs
+// apply monotonically: a sequence number at or below the current one
+// is ignored (counted, not an error — poll races are benign). New
+// peers get clients, breakers and metrics on first sight; peers that
+// left keep their state for a possible return. In-flight requests
+// finish on the epoch they loaded; the next request sees e.
+func (r *Router) ApplyEpoch(e *Epoch) error {
+	if e == nil {
+		return errors.New("cluster: nil epoch")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.epoch.Load(); cur != nil && e.Seq <= cur.Seq {
+		r.staleEpochs.Add(1)
+		return nil
+	}
+	for _, p := range e.Peers() {
+		if err := r.ensurePeerLocked(p); err != nil {
+			return err
+		}
+	}
+	r.health.Ensure(e.Peers())
+	r.epoch.Store(e)
+	r.epochApplies.Add(1)
+	return nil
+}
+
+// ensurePeerLocked creates peer's client/state on first sight. Caller
+// holds r.mu.
+func (r *Router) ensurePeerLocked(peer string) error {
+	if _, ok := r.peers[peer]; ok {
+		return nil
+	}
+	ccfg := r.cfg.Client
+	ccfg.BaseURL = peer
+	// Health owns the circuit state; a second breaker inside the
+	// client would trip invisibly to routing. ShedFailFast: a peer
+	// that answers 429/503 is alive but refusing work — the router
+	// fails over to the next ring successor immediately instead of
+	// camping on the shedding peer's Retry-After.
+	ccfg.Breaker = client.BreakerConfig{Threshold: -1}
+	ccfg.ShedFailFast = true
+	c, err := client.New(ccfg)
+	if err != nil {
+		return fmt.Errorf("cluster: peer %s: %w", peer, err)
+	}
+	st := &peerState{client: c}
+	r.peers[peer] = st
+	if reg := r.cfg.Metrics; reg != nil {
+		p := peer
+		label := fmt.Sprintf("{peer=%q}", p)
+		reg.CounterFunc("ljq_cluster_route_total"+label, "Requests served by this peer.", st.routes.Load)
+		reg.CounterFunc("ljq_cluster_breaker_transitions_total"+label, "This peer's breaker state transitions.",
+			func() uint64 { return r.health.Transitions(p) })
+		reg.GaugeFunc("ljq_cluster_peer_healthy"+label, "1 while this peer's breaker admits traffic.", func() float64 {
+			if r.health.Healthy(p) {
+				return 1
+			}
+			return 0
+		})
+		c.RegisterMetrics(reg, "ljq_cluster_client", label)
+	}
+	return nil
+}
+
+// clientFor returns peer's client (nil if the peer was never in any
+// applied epoch).
+func (r *Router) clientFor(peer string) *client.Client {
+	r.mu.RLock()
+	st := r.peers[peer]
+	r.mu.RUnlock()
+	if st == nil {
+		return nil
+	}
+	return st.client
+}
+
+// routeCounted bumps peer's success counter.
+func (r *Router) routeCounted(peer string) {
+	r.mu.RLock()
+	st := r.peers[peer]
+	r.mu.RUnlock()
+	if st != nil {
+		st.routes.Add(1)
+	}
+}
+
+// Epoch returns the membership epoch requests are currently routed on.
+func (r *Router) Epoch() *Epoch { return r.epoch.Load() }
+
+// Ring exposes the current routing ring (status surfaces, tests).
+func (r *Router) Ring() *Ring { return r.epoch.Load().ring }
 
 // Health exposes the peer-health view.
 func (r *Router) Health() *Health { return r.health }
@@ -143,28 +241,54 @@ func (r *Router) Health() *Health { return r.health }
 // Health.ProbeAll).
 func (r *Router) ProbeAll(ctx context.Context) { r.health.ProbeAll(ctx) }
 
-// Stats is a snapshot of the router's routing counters.
+// RouterStats is a snapshot of the router's routing counters.
 type RouterStats struct {
 	Routes          map[string]uint64 `json:"routes"`
 	Failovers       uint64            `json:"failovers"`
 	BreakerSkips    uint64            `json:"breakerSkips"`
 	LocalFallbacks  uint64            `json:"localFallbacks"`
 	HedgedFallbacks uint64            `json:"hedgedFallbacks"`
+	ShedFailovers   uint64            `json:"shedFailovers"`
+	Epoch           uint64            `json:"epoch"`
+	EpochApplies    uint64            `json:"epochApplies"`
+	ReadRepairs     uint64            `json:"readRepairs"`
+	RepairsServed   uint64            `json:"repairsServed"`
+	RepairsUpgraded uint64            `json:"repairsUpgraded"`
 }
 
-// Stats snapshots the routing counters.
+// Stats snapshots the routing counters. Routes covers every peer ever
+// seen in an applied epoch, including ones no longer in the ring.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{
-		Routes:          make(map[string]uint64, len(r.routes)),
 		Failovers:       r.failovers.Load(),
 		BreakerSkips:    r.breakerSkips.Load(),
 		LocalFallbacks:  r.localFallbacks.Load(),
 		HedgedFallbacks: r.hedgedFallbacks.Load(),
+		ShedFailovers:   r.shedFailovers.Load(),
+		Epoch:           r.Epoch().Seq,
+		EpochApplies:    r.epochApplies.Load(),
+		ReadRepairs:     r.readRepairs.Load(),
+		RepairsServed:   r.repairsServed.Load(),
+		RepairsUpgraded: r.repairsUpgraded.Load(),
 	}
-	for _, p := range r.ring.Peers() {
-		st.Routes[p] = r.routes[p].Load()
+	r.mu.RLock()
+	st.Routes = make(map[string]uint64, len(r.peers))
+	//ljqlint:allow detrand -- snapshot into a map; JSON marshaling sorts keys
+	for p, ps := range r.peers {
+		st.Routes[p] = ps.routes.Load()
 	}
+	r.mu.RUnlock()
 	return st
+}
+
+// depthFor is the candidate count for one request under epoch ep.
+func (r *Router) depthFor(ep *Epoch) int {
+	n := len(ep.Peers())
+	depth := r.cfg.FallbackDepth + 1
+	if r.cfg.FallbackDepth <= 0 || depth > n {
+		depth = n
+	}
+	return depth
 }
 
 // Optimize routes q down the degradation ladder: primary peer, then
@@ -172,16 +296,24 @@ func (r *Router) Stats() RouterStats {
 // The returned error is only ever the caller's own (4xx APIError, a
 // dead context) or — with no local rung — ErrNoPeers.
 func (r *Router) Optimize(ctx context.Context, q *catalog.Query) (*serve.OptimizeResponse, error) {
-	fp, _, _ := fingerprint.CanonicalQuery(q)
-	cands := r.ring.Successors(fp, r.depth)
+	fp, order := fingerprint.Canonical(q)
+	ep := r.epoch.Load() // one load: this request's consistent (ring, epoch) pair
+	cands := ep.ring.Successors(fp, r.depthFor(ep))
 	if r.cfg.HedgeDelay > 0 && len(cands) > 1 {
-		return r.optimizeHedged(ctx, q, cands)
+		return r.optimizeHedged(ctx, q, order, fp, cands)
 	}
-	return r.optimizeSequential(ctx, q, cands)
+	return r.optimizeSequential(ctx, q, order, fp, cands)
+}
+
+// shedding classifies err as a load-shedding answer (429/503) from an
+// alive peer.
+func shedding(err error) bool {
+	var s *client.ShedError
+	return errors.As(err, &s)
 }
 
 // optimizeSequential tries candidates one at a time, in ring order.
-func (r *Router) optimizeSequential(ctx context.Context, q *catalog.Query, cands []string) (*serve.OptimizeResponse, error) {
+func (r *Router) optimizeSequential(ctx context.Context, q *catalog.Query, order []catalog.RelID, fp fingerprint.Fingerprint, cands []string) (*serve.OptimizeResponse, error) {
 	var lastErr error
 	for i, peer := range cands {
 		if err := ctx.Err(); err != nil {
@@ -191,14 +323,22 @@ func (r *Router) optimizeSequential(ctx context.Context, q *catalog.Query, cands
 			r.breakerSkips.Add(1)
 			continue
 		}
-		resp, err := r.clients[peer].Optimize(ctx, q)
+		c := r.clientFor(peer)
+		if c == nil {
+			// Unreachable by construction (ApplyEpoch creates states
+			// before storing the epoch), but a missing client must still
+			// resolve the claimed health slot.
+			r.health.ReportCancelled(peer)
+			continue
+		}
+		resp, err := c.Optimize(ctx, q)
 		if err == nil {
 			r.health.ReportSuccess(peer)
-			r.routes[peer].Add(1)
+			r.routeCounted(peer)
 			if i > 0 {
 				r.failovers.Add(1)
 			}
-			return resp, nil
+			return r.readRepair(q, order, fp, resp), nil
 		}
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) {
@@ -207,6 +347,16 @@ func (r *Router) optimizeSequential(ctx context.Context, q *catalog.Query, cands
 			// over would just re-ask the same question.
 			r.health.ReportSuccess(peer)
 			return nil, err
+		}
+		if shedding(err) {
+			// 429/503: the peer is alive but refusing work. That is not
+			// a death verdict — no breaker strike (a shedding peer must
+			// not get its circuit opened as if it were down) — but the
+			// request moves on to the next candidate immediately.
+			r.health.ReportSuccess(peer)
+			r.shedFailovers.Add(1)
+			lastErr = err
+			continue
 		}
 		if ctx.Err() != nil {
 			r.health.ReportCancelled(peer)
@@ -230,6 +380,92 @@ func (r *Router) localCompute(ctx context.Context, q *catalog.Query, lastErr err
 	return r.cfg.Local.OptimizeQuery(ctx, q)
 }
 
+// readRepair reconciles a routed response against the local server's
+// plan cache when the two hold fingerprint-identical but divergent
+// plans (replicas drift after a schema bump: same shape, different
+// search outcomes). The higher-tier / lower-cost side wins, in both
+// directions:
+//
+//   - local better → the response is rebuilt from the local entry (the
+//     caller gets the best plan the cluster knows);
+//   - routed better → the routed plan is admitted into the local cache
+//     under the existing upgrade-only replacement rule (a repair can
+//     refresh or upgrade, never downgrade).
+//
+// Repair admission only reconstructs single-component plans — a
+// multi-component flat order cannot be split back into per-component
+// costs from the response envelope alone — and never degrades
+// anything: degraded responses and absent local entries are left as
+// they are (an absent entry is replication's job, not repair's).
+func (r *Router) readRepair(q *catalog.Query, order []catalog.RelID, fp fingerprint.Fingerprint, resp *serve.OptimizeResponse) *serve.OptimizeResponse {
+	local := r.cfg.Local
+	if local == nil || resp == nil || resp.Degraded {
+		return resp
+	}
+	ent, ok := local.Cache().Peek(fp)
+	if !ok || ent.Plan == nil {
+		return resp
+	}
+	localTier, respTier := plancache.TierRank(ent.Tier), uint8(resp.Tier)
+	switch {
+	case localTier > respTier,
+		localTier == respTier && ent.Plan.TotalCost < resp.TotalCost:
+		// The local cache knows a strictly better plan: serve it.
+		r.readRepairs.Add(1)
+		r.repairsServed.Add(1)
+		return serve.ResponseFromEntry(q, order, fp, ent)
+	case respTier > localTier,
+		localTier == respTier && resp.TotalCost < ent.Plan.TotalCost:
+		// The routed plan is strictly better: repair the local cache.
+		if e := entryFromResponse(order, fp, ent, resp); e != nil && local.Cache().Put(e) {
+			r.readRepairs.Add(1)
+			r.repairsUpgraded.Add(1)
+		}
+	}
+	return resp
+}
+
+// entryFromResponse reconstructs a canonical-coordinates cache entry
+// from a routed response. Only single-component, cross-product-free
+// plans are reconstructible: the response's flat Order is the one
+// component's permutation in the requester's numbering, inverse-mapped
+// through the canonical order. localEnt (same fingerprint, so same
+// component structure — components are a function of the query's join
+// graph, not of the search) gates reconstructibility. Returns nil when
+// the response cannot be faithfully rebuilt.
+func entryFromResponse(order []catalog.RelID, fp fingerprint.Fingerprint, localEnt *plancache.Entry, resp *serve.OptimizeResponse) *plancache.Entry {
+	if len(localEnt.Plan.Components) != 1 || localEnt.Plan.CrossCost != 0 {
+		return nil
+	}
+	if len(resp.Order) != len(order) {
+		return nil
+	}
+	pos := make(map[catalog.RelID]int, len(order))
+	for i, rel := range order {
+		pos[rel] = i
+	}
+	perm := make(plan.Perm, len(resp.Order))
+	seen := make([]bool, len(order))
+	for i, rid := range resp.Order {
+		p, ok := pos[catalog.RelID(rid)]
+		if !ok || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		perm[i] = catalog.RelID(p)
+	}
+	pl := &plan.Plan{
+		Components: []plan.Result{{Perm: perm, Cost: resp.TotalCost}},
+		TotalCost:  resp.TotalCost,
+	}
+	return &plancache.Entry{
+		Fingerprint: fp,
+		Plan:        pl,
+		BudgetUsed:  resp.BudgetUsed,
+		Tier:        uint8(resp.Tier),
+	}
+}
+
 // peerResult is one candidate's outcome in the hedged path.
 type peerResult struct {
 	peer string
@@ -243,7 +479,7 @@ type peerResult struct {
 // successors launch only after an outright failure). The first useful
 // response wins and every loser is cancelled; abandoned health slots
 // are released without a verdict.
-func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []string) (*serve.OptimizeResponse, error) {
+func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, order []catalog.RelID, fp fingerprint.Fingerprint, cands []string) (*serve.OptimizeResponse, error) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan peerResult, len(cands))
@@ -258,6 +494,11 @@ func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []s
 				r.breakerSkips.Add(1)
 				continue
 			}
+			c := r.clientFor(peer)
+			if c == nil {
+				r.health.ReportCancelled(peer)
+				continue
+			}
 			if primary == "" {
 				primary = peer
 			}
@@ -265,7 +506,7 @@ func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []s
 				r.hedgedFallbacks.Add(1)
 			}
 			inFlight++
-			go func(peer string) {
+			go func(peer string, c *client.Client) {
 				// Goroutine panic barrier (panicguard): a crash in the
 				// client must resolve this candidate's slot, not kill
 				// the process.
@@ -274,9 +515,9 @@ func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []s
 						results <- peerResult{peer: peer, err: fmt.Errorf("cluster: peer attempt panicked: %v", rec)}
 					}
 				}()
-				resp, err := r.clients[peer].Optimize(actx, q)
+				resp, err := c.Optimize(actx, q)
 				results <- peerResult{peer: peer, resp: resp, err: err}
-			}(peer)
+			}(peer, c)
 			return true
 		}
 		return false
@@ -294,13 +535,13 @@ func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []s
 			inFlight--
 			if out.err == nil {
 				r.health.ReportSuccess(out.peer)
-				r.routes[out.peer].Add(1)
+				r.routeCounted(out.peer)
 				if out.peer != primary {
 					r.failovers.Add(1)
 				}
 				cancel()
 				r.reapLosers(results, inFlight)
-				return out.resp, nil
+				return r.readRepair(q, order, fp, out.resp), nil
 			}
 			var apiErr *client.APIError
 			if errors.As(out.err, &apiErr) {
@@ -314,7 +555,14 @@ func (r *Router) optimizeHedged(ctx context.Context, q *catalog.Query, cands []s
 				r.reapLosers(results, inFlight)
 				return nil, ctx.Err()
 			}
-			r.health.ReportFailure(out.peer)
+			if shedding(out.err) {
+				// Alive but refusing work: release the slot as success
+				// (no breaker strike) and move on to the next candidate.
+				r.health.ReportSuccess(out.peer)
+				r.shedFailovers.Add(1)
+			} else {
+				r.health.ReportFailure(out.peer)
+			}
 			lastErr = out.err
 			if inFlight == 0 && !launch(false) {
 				return r.localCompute(ctx, q, lastErr)

@@ -256,3 +256,36 @@ func TestRestartJoinServesWarmPlans(t *testing.T) {
 		t.Fatalf("joiner ran %d optimizations, want 0", st.Optimizations)
 	}
 }
+
+// TestWarmStartEmptySnapshotIsSuccess: a donor whose cache is simply
+// empty ships a syntactically valid zero-entry snapshot. That is a
+// successful warm start (the donor answered authoritatively — there is
+// nothing to ship), NOT a failure to fall through to the next donor:
+// falling through would hammer every peer in turn for a cluster that
+// legitimately has no cached plans yet.
+func TestWarmStartEmptySnapshotIsSuccess(t *testing.T) {
+	empty := persist.EncodeSnapshot(nil)
+	full := persist.EncodeSnapshot([]*plancache.Entry{wsEntry(1)})
+	ct := faultinject.NewClusterTransport(map[string]http.Handler{
+		"d1": snapshotHandler(empty),
+		"d2": snapshotHandler(full), // must never be consulted
+	}, nil)
+
+	cache := plancache.New(plancache.Config{Capacity: 64})
+	res, err := WarmStart(context.Background(), cache, WarmStartConfig{
+		Donors:    []string{"http://d1", "http://d2"},
+		Transport: ct,
+	})
+	if err != nil {
+		t.Fatalf("WarmStart with empty donor: %v", err)
+	}
+	if res.Donor != "http://d1" || res.Entries != 0 || len(res.Attempts) != 0 {
+		t.Fatalf("result %+v, want a clean zero-entry success from d1", res)
+	}
+	if got := ct.Ops(); got != 1 {
+		t.Fatalf("%d transport ops, want 1: the empty snapshot fell through to the next donor", got)
+	}
+	if st := cache.Stats(); st.Warmed != 0 {
+		t.Fatalf("warmed = %d, want 0", st.Warmed)
+	}
+}

@@ -55,6 +55,20 @@ const (
 	// served, but its body is cut after AfterBytes bytes and the read
 	// fails — and the peer is dead from that moment on.
 	KillMidResponse
+	// AddPeer fires the membership hook with a join: the hook builds
+	// the new node, registers its handler (Register) and applies the
+	// grown epoch across the cluster. Arc pushes the application
+	// triggers recurse through this transport and claim op indices.
+	AddPeer
+	// RemovePeer fires the membership hook with a leave: the departing
+	// node hands its arcs off and every survivor applies the shrunken
+	// epoch.
+	RemovePeer
+	// MoveArc fires the membership hook with a weight change for Peer
+	// (Weight is the new weight): raising a member's weight pulls arcs
+	// onto it, which is the minimal "an arc moved without anyone
+	// joining or leaving" event.
+	MoveArc
 )
 
 // String names the action kind.
@@ -66,6 +80,12 @@ func (k PeerActionKind) String() string {
 		return "restart"
 	case KillMidResponse:
 		return "kill-mid-response"
+	case AddPeer:
+		return "add-peer"
+	case RemovePeer:
+		return "remove-peer"
+	case MoveArc:
+		return "move-arc"
 	}
 	return fmt.Sprintf("PeerActionKind(%d)", int(k))
 }
@@ -81,14 +101,24 @@ type PeerAction struct {
 	// AfterBytes, for KillMidResponse, is how many body bytes the torn
 	// response delivers before failing.
 	AfterBytes int
+	// Weight, for AddPeer and MoveArc, is the member's (new) ring
+	// weight; the membership hook receives it verbatim.
+	Weight int
 }
+
+// MembershipHook receives scripted AddPeer/RemovePeer/MoveArc actions.
+// It runs WITHOUT the transport lock — like a restart hook it may
+// recurse through the transport (epoch application pushes arcs), and
+// those recursive requests claim op indices like any others.
+type MembershipHook func(a PeerAction)
 
 // ErrPeerDown is the connection failure a dead peer produces.
 var ErrPeerDown = errors.New("faultinject: peer is down")
 
 // ClusterTransport implements http.RoundTripper over in-process peers.
 type ClusterTransport struct {
-	restart func(peer string) http.Handler
+	restart    func(peer string) http.Handler
+	membership MembershipHook
 
 	mu         sync.Mutex
 	handlers   map[string]http.Handler
@@ -121,6 +151,25 @@ func NewClusterTransport(handlers map[string]http.Handler, restart func(peer str
 	}
 	sort.SliceStable(t.script, func(i, j int) bool { return t.script[i].AtOp < t.script[j].AtOp })
 	return t
+}
+
+// SetMembershipHook installs the receiver for scripted membership
+// actions. Must be called before traffic starts.
+func (t *ClusterTransport) SetMembershipHook(hook MembershipHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.membership = hook
+}
+
+// Register adds (or replaces) a peer's handler and marks it alive: how
+// an AddPeer membership hook plugs the joining node into the cluster.
+func (t *ClusterTransport) Register(peer string, h http.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[peer] = h
+	t.alive[peer] = true
+	delete(t.midKill, peer)
+	t.logf("op=%03d !register %s", t.ops, peer)
 }
 
 // Ops returns how many operations have been dispatched.
@@ -217,6 +266,18 @@ func (t *ClusterTransport) apply(op int, a PeerAction) {
 		t.alive[a.Peer] = true
 		delete(t.midKill, a.Peer)
 		t.logf("op=%03d !ready %s", op, a.Peer)
+		t.mu.Unlock()
+	case AddPeer, RemovePeer, MoveArc:
+		t.mu.Lock()
+		t.logf("op=%03d !%s %s weight=%d", op, a.Kind, a.Peer, a.Weight)
+		hook := t.membership
+		t.mu.Unlock()
+		if hook == nil {
+			return
+		}
+		hook(a) // may recurse through this transport (arc pushes)
+		t.mu.Lock()
+		t.logf("op=%03d !%s-applied %s", op, a.Kind, a.Peer)
 		t.mu.Unlock()
 	}
 }

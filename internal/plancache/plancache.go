@@ -156,9 +156,13 @@ type Stats struct {
 	// an entry to a lower planning tier (a late greedy result arriving
 	// after the background upgrade already landed).
 	TierRejected uint64 `json:"tierRejected"`
-	Entries      int    `json:"entries"`
-	InFlight     int    `json:"inFlight"`
-	Shards       []int  `json:"shardEntries"`
+	// TargetedEvictions counts entries removed by EvictWhere (cluster
+	// ownership eviction on ring epoch changes), separate from
+	// capacity-pressure Evictions.
+	TargetedEvictions uint64 `json:"targetedEvictions"`
+	Entries           int    `json:"entries"`
+	InFlight          int    `json:"inFlight"`
+	Shards            []int  `json:"shardEntries"`
 }
 
 // Hooks observe cache mutations, for the durability layer
@@ -195,6 +199,9 @@ type Cache struct {
 	rejected     atomic.Uint64
 	warmed       atomic.Uint64
 	tierRejected atomic.Uint64
+	// targetedEvictions counts EvictWhere removals (cluster ownership
+	// eviction), distinct from capacity-pressure evictions.
+	targetedEvictions atomic.Uint64
 }
 
 // New builds a cache from cfg (zero value = defaults).
@@ -250,6 +257,60 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 		tr.Emit(telemetry.EvCacheMiss, 0, "")
 	}
 	return nil, false
+}
+
+// Peek returns the cached entry without bumping recency or touching
+// the hit/miss counters: a pure read for observers that must not
+// distort the LRU order or the cache's serving statistics (the cluster
+// router's read-repair comparison, tests).
+func (c *Cache) Peek(k Key) (*Entry, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	n, ok := s.items[k]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return n.entry, true
+}
+
+// EvictWhere removes every cached entry whose key satisfies pred and
+// returns how many were removed — the cluster rebalancer's ownership
+// eviction: when an epoch change moves an arc away, the old owner
+// drops exactly the fingerprints it no longer owns. Keys with an
+// in-flight singleflight computation are skipped (the flight's finish
+// will re-insert momentarily; evicting under it would only thrash),
+// as are keys whose pred says keep. Removals are counted in
+// Stats.TargetedEvictions, separate from capacity evictions. Hooks do
+// not fire: ownership eviction is not a capacity displacement, and the
+// durability layer's next compacting snapshot (built from Dump)
+// reflects the shrunken set naturally.
+func (c *Cache) EvictWhere(pred func(Key) bool) int {
+	evicted := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var victims []*node
+		//ljqlint:allow detrand -- victim selection is order-independent: the evicted SET is pred-determined, and counters are sums
+		for k, n := range s.items {
+			if _, inFlight := s.flights[k]; inFlight {
+				continue
+			}
+			if pred(k) {
+				victims = append(victims, n)
+			}
+		}
+		for _, n := range victims {
+			s.remove(n)
+			delete(s.items, n.entry.Fingerprint)
+		}
+		s.mu.Unlock()
+		evicted += len(victims)
+	}
+	if evicted > 0 {
+		c.targetedEvictions.Add(uint64(evicted))
+	}
+	return evicted
 }
 
 // SetHooks installs (or with a zero Hooks, clears) the mutation
@@ -510,14 +571,15 @@ func (c *Cache) TierCounts() (greedy, full int) {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		Coalesced:    c.coalesced.Load(),
-		Evictions:    c.evictions.Load(),
-		Rejected:     c.rejected.Load(),
-		Warmed:       c.warmed.Load(),
-		TierRejected: c.tierRejected.Load(),
-		Shards:       make([]int, len(c.shards)),
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Coalesced:         c.coalesced.Load(),
+		Evictions:         c.evictions.Load(),
+		Rejected:          c.rejected.Load(),
+		Warmed:            c.warmed.Load(),
+		TierRejected:      c.tierRejected.Load(),
+		TargetedEvictions: c.targetedEvictions.Load(),
+		Shards:            make([]int, len(c.shards)),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -544,6 +606,7 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_evictions_total", "Entries evicted to admit newer plans.", c.evictions.Load)
 	reg.CounterFunc(prefix+"_rejected_total", "Entries refused admission (degraded plans, cost-aware policy).", c.rejected.Load)
 	reg.CounterFunc(prefix+"_tier_downgrades_refused_total", "Inserts refused because they would downgrade a cached entry's planning tier.", c.tierRejected.Load)
+	reg.CounterFunc(prefix+"_targeted_evictions_total", "Entries removed by EvictWhere (cluster ownership eviction).", c.targetedEvictions.Load)
 	reg.GaugeFunc(prefix+"_entries", "Entries currently cached.", func() float64 {
 		return float64(c.Len())
 	})

@@ -407,3 +407,107 @@ func TestTierRank(t *testing.T) {
 		t.Fatal("explicit tiers must rank as themselves")
 	}
 }
+
+func TestEvictWhereTargetsExactlyMatchingKeys(t *testing.T) {
+	c := New(Config{Capacity: 64, Shards: 4})
+	for i := 0; i < 20; i++ {
+		if !c.Put(entry(i, 10)) {
+			t.Fatalf("entry %d not admitted", i)
+		}
+	}
+	// Evict the even keys: the rebalancer's "arcs I no longer own"
+	// predicate in miniature.
+	n := c.EvictWhere(func(k Key) bool { return k[0]%2 == 0 })
+	if n != 10 {
+		t.Fatalf("EvictWhere removed %d, want 10", n)
+	}
+	for i := 0; i < 20; i++ {
+		_, ok := c.Peek(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("entry %d present=%v, want %v", i, ok, want)
+		}
+	}
+	st := c.Stats()
+	if st.TargetedEvictions != 10 {
+		t.Fatalf("targetedEvictions = %d, want 10", st.TargetedEvictions)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("capacity evictions = %d: targeted eviction leaked into the capacity counter", st.Evictions)
+	}
+	if st.Entries != 10 {
+		t.Fatalf("entries = %d, want 10", st.Entries)
+	}
+}
+
+// TestEvictWhereSkipsInFlightKeys: a key with an in-flight
+// singleflight computation is never evicted mid-flight — the predicate
+// may claim it, but the eviction pass must leave it alone so waiters
+// land on a consistent entry.
+func TestEvictWhereSkipsInFlightKeys(t *testing.T) {
+	c := New(Config{Capacity: 64, Shards: 1})
+	c.Put(entry(1, 10))
+
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _, err := c.GetOrCompute(context.Background(), key(2), func(context.Context) (*Entry, error) {
+			close(computing)
+			<-release
+			return entry(2, 10), nil
+		})
+		if err != nil {
+			t.Errorf("GetOrCompute: %v", err)
+		}
+	}()
+	<-computing
+
+	// Predicate claims everything; only the settled entry may go.
+	if n := c.EvictWhere(func(Key) bool { return true }); n != 1 {
+		t.Fatalf("EvictWhere removed %d, want 1 (the settled entry only)", n)
+	}
+	close(release)
+	<-done
+	if _, ok := c.Peek(key(2)); !ok {
+		t.Fatal("in-flight entry lost: eviction raced the singleflight")
+	}
+}
+
+// TestWarmConcurrentWithLiveGets: Warm (bulk snapshot/arc ingest) must
+// be safe against concurrent readers of the same keys — the cluster
+// pushes arcs into serving nodes while traffic reads them.
+func TestWarmConcurrentWithLiveGets(t *testing.T) {
+	c := New(Config{Capacity: 4096, Shards: 8})
+	const keys = 256
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key((i + g) % keys)
+				if e, ok := c.Get(k); ok && e.Plan == nil {
+					t.Error("Get observed a torn entry")
+					return
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < keys; i++ {
+			c.Warm(entry(i, int64(10+round)))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := c.Stats(); st.Entries != keys {
+		t.Fatalf("entries = %d, want %d", st.Entries, keys)
+	}
+}

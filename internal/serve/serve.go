@@ -147,6 +147,10 @@ type Config struct {
 	// (default 2); queued upgrades wait without holding limiter
 	// capacity away from foreground requests.
 	UpgradeConcurrency int
+	// ArcPushMaxBytes caps one POST /snapshot/arc payload (default
+	// 64 MiB, matching the warm-start fetch cap): a confused pusher
+	// must not balloon this peer's memory.
+	ArcPushMaxBytes int64
 }
 
 func (c *Config) fill() {
@@ -186,6 +190,9 @@ func (c *Config) fill() {
 	if c.UpgradeConcurrency <= 0 {
 		c.UpgradeConcurrency = 2
 	}
+	if c.ArcPushMaxBytes <= 0 {
+		c.ArcPushMaxBytes = 64 << 20
+	}
 }
 
 // errShed marks a request dropped by the limiter's queue deadline.
@@ -205,6 +212,11 @@ type Server struct {
 	shed      atomic.Uint64 // 503s issued by the limiter
 	batches   atomic.Uint64 // POST /optimize/batch requests accepted
 	snapships atomic.Uint64 // GET /snapshot payloads served (warm-start donations)
+
+	arcPushes    atomic.Uint64 // POST /snapshot/arc payloads accepted
+	arcEntries   atomic.Uint64 // entries warmed from accepted arc pushes
+	arcRejected  atomic.Uint64 // arc pushes refused (bad method/payload/size)
+	arcPushBytes atomic.Uint64 // payload bytes accepted via /snapshot/arc
 
 	// notReady is the readiness latch: nonzero while journal replay
 	// (or any other startup work) is still in progress. Inverted so
@@ -242,6 +254,10 @@ func New(cfg Config) *Server {
 		reg.CounterFunc("ljq_shed_total", "Requests shed with 503 by the concurrency limiter.", s.shed.Load)
 		reg.CounterFunc("ljq_batch_requests_total", "Accepted POST /optimize/batch requests.", s.batches.Load)
 		reg.CounterFunc("ljq_snapshot_served_total", "Warm-start snapshots served from GET /snapshot.", s.snapships.Load)
+		reg.CounterFunc("ljq_arc_push_received_total", "Accepted POST /snapshot/arc payloads (ring-rebalance plan shipments).", s.arcPushes.Load)
+		reg.CounterFunc("ljq_arc_push_entries_total", "Plan entries warmed from accepted arc pushes.", s.arcEntries.Load)
+		reg.CounterFunc("ljq_arc_push_rejected_total", "Arc pushes refused (bad method, oversized or undecodable payload).", s.arcRejected.Load)
+		reg.CounterFunc("ljq_arc_push_bytes_total", "Payload bytes accepted via POST /snapshot/arc.", s.arcPushBytes.Load)
 		reg.GaugeFunc("ljq_inflight_requests", "HTTP requests currently inside /optimize.", func() float64 {
 			return float64(s.inFlight.Load())
 		})
@@ -295,6 +311,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/optimize", s.handleOptimize)
 	mux.HandleFunc("/optimize/batch", s.handleOptimizeBatch)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/snapshot/arc", s.handleSnapshotArc)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	// Liveness: the process is up. Kept on /healthz for compatibility
 	// with pre-split deployments; /livez is the modern spelling.
@@ -593,6 +610,16 @@ func buildResponse(q *catalog.Query, order []catalog.RelID, fp fingerprint.Finge
 	return resp
 }
 
+// ResponseFromEntry builds the response envelope for a cached entry in
+// the requester's own relation numbering, marked as a cache hit. It is
+// the exported sibling of the internal hit path, for callers that
+// resolve entries outside OptimizeQuery — the cluster router's
+// read-repair serves a better local entry over a routed response with
+// it. order must be q's canonical order (fingerprint.Canonical).
+func ResponseFromEntry(q *catalog.Query, order []catalog.RelID, fp fingerprint.Fingerprint, entry *plancache.Entry) *OptimizeResponse {
+	return buildResponse(q, order, fp, entry, true, false)
+}
+
 // optimizeFailure maps an OptimizeQuery error onto an HTTP status,
 // message and Retry-After suggestion (0 = none), recording the shed
 // bookkeeping that drives the /readyz back-pressure window.
@@ -630,6 +657,63 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// A short write means the joiner went away mid-transfer; its strict
 	// decoder will refuse the torn payload and try the next donor.
 	_, _ = w.Write(data)
+}
+
+// ArcPushResponse is the JSON body of a successful POST /snapshot/arc.
+type ArcPushResponse struct {
+	// Received is how many entries the payload carried.
+	Received int `json:"received"`
+	// Warmed is how many of them the cache accepted (the rest lost to
+	// admission policy or upgrade-only replacement — both fine: the
+	// pusher's job was delivery, not insistence).
+	Warmed int `json:"warmed"`
+}
+
+// handleSnapshotArc is the proactive-rebalance receiver: when a ring
+// epoch change makes this peer the owner of arcs another peer had
+// cached, that peer POSTs the affected entries here as the same
+// schema-versioned, CRC-framed snapshot container GET /snapshot ships
+// — so a joining peer is warmed by its neighbors the moment it
+// appears, instead of depending on its one startup pull. Entries warm
+// through the recovery path (no admission hooks fire, so pushed plans
+// are not re-journaled as fresh admissions) under the normal admission
+// policy: upgrade-only tier replacement means a push can never
+// downgrade what this peer already knows. A defective payload is the
+// pusher's bug, answered 400 (no retry will fix it); an oversized one
+// is answered 413.
+func (s *Server) handleSnapshotArc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.arcRejected.Add(1)
+		http.Error(w, "method not allowed; POST a snapshot container", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.ArcPushMaxBytes+1))
+	if err != nil {
+		s.arcRejected.Add(1)
+		http.Error(w, fmt.Sprintf("read payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if int64(len(data)) > s.cfg.ArcPushMaxBytes {
+		s.arcRejected.Add(1)
+		http.Error(w, fmt.Sprintf("payload exceeds %d bytes", s.cfg.ArcPushMaxBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	entries, err := persist.DecodeSnapshotStrict(data)
+	if err != nil {
+		s.arcRejected.Add(1)
+		http.Error(w, fmt.Sprintf("decode payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp := ArcPushResponse{Received: len(entries)}
+	for _, e := range entries {
+		if s.cache.Warm(e) {
+			resp.Warmed++
+		}
+	}
+	s.arcPushes.Add(1)
+	s.arcEntries.Add(uint64(resp.Warmed))
+	s.arcPushBytes.Add(uint64(len(data)))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // optimize is the cache-miss path: acquire join-weighted capacity
